@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Every figure of the paper's evaluation (7-18) has one module here.  Each
+module contains
+
+* ``test_figXX_series`` — regenerates the figure's data series through
+  the simulated devices (printed to stdout; shape checks asserted), and
+* measured micro-benchmarks of the real kernel hot paths involved.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run figure reproductions at the paper's full tree sizes "
+        "(hours of runtime) instead of the default 1/256 scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    from repro.bench.runner import Scale
+
+    if request.config.getoption("--paper-scale"):
+        return Scale(factor=1)
+    return Scale()
+
+
+@pytest.fixture(scope="session")
+def figure_output():
+    """Collects rendered figures; printed at session end by tee'ing."""
+    return []

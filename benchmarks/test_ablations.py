@@ -1,0 +1,181 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate each CuART optimization so its
+individual contribution is visible:
+
+* packed per-type buffers (CuART) vs single packed buffer (GRT),
+* compacted root table depth (none / 1 / 2 / 3 bytes),
+* split 8/16/32 leaves vs the initial single 32-byte leaf,
+* update hash-table sizing (collision pressure).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.runner import (
+    cuart_lookup_log,
+    cuart_update_run,
+    get_cuart,
+    get_tree,
+    grt_lookup_log,
+)
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import RTX3090
+
+N = 65536
+BATCH = 16384
+CM = CostModel(RTX3090, l2_scale=1 / 256)
+
+
+def _mops(log, batch=BATCH):
+    return batch / CM.kernel_time(log).total_s / 1e6
+
+
+def test_ablation_buffer_split(benchmark):
+    """Per-type buffers vs the single packed buffer, same tree."""
+
+    def run():
+        cu = cuart_lookup_log("random", N, 32, BATCH, root_k=None)
+        gr = grt_lookup_log("random", N, 32, BATCH)
+        return cu, gr
+
+    cu, gr = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("CuART (split buffers)", cu.total_transactions / BATCH,
+         cu.dependent_rounds, _mops(cu)),
+        ("GRT (single buffer)", gr.total_transactions / BATCH,
+         gr.dependent_rounds, _mops(gr)),
+    ]
+    print()
+    print(format_table(["layout", "tx/query", "rounds", "sim MOps/s"], rows))
+    # the split removes the header->body dependency: about half the rounds
+    assert gr.dependent_rounds >= 1.8 * cu.dependent_rounds
+    assert _mops(cu) > _mops(gr)
+
+
+def test_ablation_root_table_depth(benchmark):
+    """Compacted upper layers: deeper tables trade memory for rounds."""
+
+    def run():
+        out = []
+        for k in (None, 1, 2, 3):
+            log = cuart_lookup_log("random", N, 32, BATCH, root_k=k)
+            _, table = get_cuart("random", N, 32, k)
+            out.append((k, log, table.nbytes if table else 0))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (str(k), log.dependent_rounds, round(nbytes / 1024), _mops(log))
+        for k, log, nbytes in results
+    ]
+    print()
+    print(format_table(["table depth", "rounds", "table KiB", "sim MOps/s"], rows))
+    no_table = results[0][1]
+    deepest = results[-1][1]
+    assert deepest.dependent_rounds <= no_table.dependent_rounds
+    # memory cost grows 256x per level
+    assert results[-1][2] == 256 * results[-2][2]
+
+
+def test_ablation_leaf_split(benchmark):
+    """8/16/32 leaf buffers vs the initial single 32-byte leaf, for
+    short (8-byte) keys: the split avoids wasted leaf bandwidth."""
+
+    def run():
+        split = cuart_lookup_log("random", N, 8, BATCH, root_k=None)
+        fixed = cuart_lookup_log(
+            "random", N, 8, BATCH, root_k=None, single_leaf=32
+        )
+        return split, fixed
+
+    split, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["leaves", "bytes/query", "sim MOps/s"],
+            [
+                ("split 8/16/32", split.total_bytes / BATCH, _mops(split)),
+                ("fixed 32B", fixed.total_bytes / BATCH, _mops(fixed)),
+            ],
+        )
+    )
+    assert split.total_bytes < fixed.total_bytes
+
+
+@pytest.mark.parametrize("slots_pow", [12, 14, 16])
+def test_ablation_hash_table_size(benchmark, slots_pow):
+    """Figure-15 mechanism isolated: same update batch, varying table."""
+    slots = 1 << slots_pow
+    res = benchmark.pedantic(
+        cuart_update_run, args=("random", N, 16, 3072, slots),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\nslots=2^{slots_pow}: load={res.load_factor:.3f} "
+        f"probes/op={res.total_probes / 3072:.2f} max_probe={res.max_probe}"
+    )
+    assert res.writes > 0
+    if slots_pow >= 16:
+        assert res.total_probes / 3072 < 1.2  # roomy table: no clustering
+
+
+def test_ablation_range_query_transfer(benchmark):
+    """Section 3.2.1's range claim isolated: CuART ships index pairs over
+    ordered leaf arrays; GRT decodes interleaved records along the
+    in-order buffer."""
+    from repro.cuart.range_query import range_query
+    from repro.grt.range import grt_range_query
+
+    bundle = get_tree("random", N, 8)
+    layout, _ = get_cuart("random", N, 8, root_k=None)
+    from repro.bench.runner import get_grt
+
+    grt = get_grt("random", N, 8)
+    ordered = sorted(bundle.keys)
+    lo, hi = ordered[1000], ordered[3000]
+
+    def run():
+        return range_query(layout, lo, hi), grt_range_query(grt, lo, hi)
+
+    cu, gr = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cu.keys == gr.keys
+    rows = [
+        ("CuART (index pairs)", cu.log.total_transactions, _mops(cu.log, len(cu))),
+        ("GRT (buffer scan)", gr.log.total_transactions, _mops(gr.log, len(gr))),
+    ]
+    print()
+    print(format_table(["range impl", "transactions", "sim MOps/s"], rows))
+    assert cu.log.total_transactions < gr.log.total_transactions
+
+
+@pytest.mark.parametrize("window", [4, 15, 31])
+def test_ablation_prefix_window(benchmark, window):
+    """The freed-type-byte design decision isolated: smaller stored
+    windows shrink node records (fewer atoms per read) but deep-prefix
+    workloads (BTC-like IRIs) then skip optimistically and defer more
+    restructuring to the host; 15 (the paper's choice) covers typical
+    namespaces."""
+    from repro.cuart.layout import CuartLayout
+    from repro.cuart.lookup import lookup_batch
+    from repro.util.keys import keys_to_matrix
+    from repro.util.rng import make_rng
+
+    bundle = get_tree("btc", 16384, 32)
+
+    def run():
+        layout = CuartLayout(bundle.tree, prefix_window=window)
+        rng = make_rng(42)
+        idx = rng.integers(0, bundle.n, size=8192)
+        mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+        return layout, lookup_batch(layout, mat, lens)
+
+    layout, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.hits.all()
+    print(
+        f"\nwindow {window:2d}: node bytes/query "
+        f"{res.log.total_bytes / 8192:7.1f}  device "
+        f"{layout.device_bytes() // 1024} KiB  sim MOps/s "
+        f"{_mops(res.log, 8192):.1f}"
+    )

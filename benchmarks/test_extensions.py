@@ -1,0 +1,80 @@
+"""Benches for the §5.1 future-work extensions implemented here:
+device-side structural inserts and out-of-core hot/cold partitioning.
+
+Not paper figures — the paper leaves these as future work; the benches
+quantify what the extensions buy (insert throughput without re-maps,
+device-hit rate after adaptive migration).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table
+from repro.cuart.insert import InsertEngine
+from repro.cuart.layout import CuartLayout
+from repro.cuart.partition import PartitionedIndex
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import RTX3090
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+from repro.workloads import build_tree, random_keys, zipf_indices
+
+CM = CostModel(RTX3090, l2_scale=1 / 256)
+
+
+def test_ext_device_insert_vs_remap(benchmark):
+    """Device-side inserts amortize against the full re-map they avoid."""
+    base = random_keys(32768, 8, seed=81)
+    extra = [k for k in random_keys(3000, 8, seed=82) if k not in set(base)]
+    tree = build_tree(base)
+    layout = CuartLayout(tree, spare=0.3)
+    mat, lens = keys_to_matrix(extra, width=8)
+    vals = np.arange(len(extra)).astype(np.uint64)
+
+    def run():
+        eng = InsertEngine(layout, hash_slots=1 << 13)
+        return eng.apply(mat, lens, vals)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    kernel_s = CM.kernel_time(res.log).total_s
+    rows = [
+        ("device-inserted", res.n_inserted),
+        ("deferred to host", res.n_deferred),
+        ("nodes grown", res.grown_nodes),
+        ("sim kernel us", round(kernel_s * 1e6, 1)),
+        ("sim MOps/s", round(len(extra) / kernel_s / 1e6, 1)),
+    ]
+    print()
+    print(format_table(["metric", "value"], rows))
+    assert res.n_inserted > 0.8 * len(extra)  # most land without a re-map
+
+
+@pytest.mark.parametrize("budget_kib", [64, 256, 1024])
+def test_ext_out_of_core_budget_sweep(benchmark, budget_kib):
+    """Device-hit rate after adaptation, as the device budget grows."""
+    keys = random_keys(16384, 8, seed=83)
+
+    def run():
+        idx = PartitionedIndex(device_budget_bytes=budget_kib * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        rng = make_rng(84)
+        hot = sorted(keys)[: len(keys) // 4]
+        workload = [hot[i] for i in zipf_indices(len(hot), 4000, a=1.3, seed=rng)]
+        idx.lookup(workload)
+        idx.rebalance()
+        idx.device_queries = idx.host_queries = 0
+        idx.lookup(workload)
+        return idx
+
+    idx = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = idx.device_queries + idx.host_queries
+    hit = idx.device_queries / total
+    st = idx.stats()
+    print(
+        f"\nbudget {budget_kib:5d} KiB: device-hit {100 * hit:5.1f}%  "
+        f"hot partitions {st.hot_partitions:3d}  "
+        f"device {st.device_bytes // 1024} KiB"
+    )
+    assert st.device_bytes <= st.budget_bytes
+    if budget_kib >= 1024:
+        assert hit > 0.95  # ample budget: the hot zone fits after rebalance

@@ -1,0 +1,59 @@
+"""Figure 7 — CPU lookup throughput: classic ART vs the CuART layout.
+
+Series: modeled MOps/s over (tree size × key length); measured: wall
+clock of a real lookup batch through the pointer tree vs the flat-layout
+kernel on this machine's CPU (same comparison, honest timings).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig07
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.cpu_lookup import cpu_lookup_flat
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 65536
+KEY_LEN = 16
+BATCH = 4096
+
+
+def _batch():
+    bundle = get_tree("random", N, KEY_LEN)
+    rng = make_rng(3)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    keys = [bundle.keys[i] for i in idx]
+    return bundle, keys, keys_to_matrix(keys, width=KEY_LEN)
+
+
+def test_fig07_series(benchmark, scale):
+    result = benchmark.pedantic(fig07, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig07_measured_pointer_art(benchmark):
+    """Classic pointer-chasing ART lookups (the figure's baseline)."""
+    bundle, keys, _ = _batch()
+    tree = bundle.tree
+
+    def run():
+        hits = 0
+        for k in keys:
+            if tree.search(k) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits == BATCH
+
+
+def test_fig07_measured_flat_layout(benchmark):
+    """The same lookups through the CuART flat buffers on the CPU."""
+    _, keys, (mat, lens) = _batch()
+    layout, _ = get_cuart("random", N, KEY_LEN, root_k=None)
+
+    res = benchmark(cpu_lookup_flat, layout, mat, lens)
+    assert res.hits.all()

@@ -1,0 +1,31 @@
+"""Figure 8 — lookup throughput vs batch size (server, A100)."""
+
+import pytest
+
+from repro.bench.figures import fig08
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.lookup import lookup_batch
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 106496  # 26Mi / 256
+
+
+def test_fig08_series(benchmark, scale):
+    result = benchmark.pedantic(fig08, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("batch", [2048, 32768])
+def test_fig08_measured_kernel_batches(benchmark, batch):
+    """Real kernel wall time at the sweep's edge batch sizes."""
+    bundle = get_tree("random", N, 32)
+    layout, table = get_cuart("random", N, 32)
+    rng = make_rng(8)
+    idx = rng.integers(0, bundle.n, size=batch)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+
+    res = benchmark(lookup_batch, layout, mat, lens, root_table=table)
+    assert res.hits.all()

@@ -1,0 +1,34 @@
+"""Figure 9 — lookup throughput vs host threads (server, A100)."""
+
+from repro.bench.figures import fig09
+from repro.bench.runner import Scale, cuart_lookup_log
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import A100, SERVER_CPU
+from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+
+N = 106496
+
+
+def test_fig09_series(benchmark, scale):
+    result = benchmark.pedantic(fig09, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig09_measured_pipeline_model(benchmark):
+    """Pipeline-model evaluation cost across the thread sweep (the model
+    itself must be cheap enough to sweep widely)."""
+    log = cuart_lookup_log("random", N, 32, 32768)
+    timing = CostModel(A100, l2_scale=1 / 256).kernel_time(log)
+
+    def sweep():
+        return [
+            pipeline_throughput(
+                timing, DispatchConfig(host_threads=t), A100, SERVER_CPU
+            ).throughput_mops
+            for t in (1, 2, 4, 8, 12, 16, 24, 32)
+        ]
+
+    rates = benchmark(sweep)
+    assert rates == sorted(rates)

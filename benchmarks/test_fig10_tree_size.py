@@ -1,0 +1,41 @@
+"""Figure 10 — lookup throughput vs tree size (workstation, RTX3090)."""
+
+import pytest
+
+from repro.bench.figures import fig10
+from repro.bench.runner import get_cuart, get_grt, get_tree
+from repro.cuart.lookup import lookup_batch
+from repro.grt.kernel import grt_lookup_batch
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+BATCH = 16384
+
+
+def test_fig10_series(benchmark, scale):
+    result = benchmark.pedantic(fig10, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("n", [4096, 262144])
+def test_fig10_measured_cuart_by_size(benchmark, n):
+    bundle = get_tree("random", n, 32)
+    layout, table = get_cuart("random", n, 32)
+    rng = make_rng(10)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+    res = benchmark(lookup_batch, layout, mat, lens, root_table=table)
+    assert res.hits.all()
+
+
+def test_fig10_measured_grt_large_tree(benchmark):
+    n = 262144
+    bundle = get_tree("random", n, 32)
+    layout = get_grt("random", n, 32)
+    rng = make_rng(10)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+    res = benchmark(grt_lookup_batch, layout, mat, lens)
+    assert res.hits.all()

@@ -1,0 +1,30 @@
+"""Figure 11 — lookup throughput vs key length (server, A100)."""
+
+import pytest
+
+from repro.bench.figures import fig11
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.lookup import lookup_batch
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 106496
+BATCH = 16384
+
+
+def test_fig11_series(benchmark, scale):
+    result = benchmark.pedantic(fig11, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("key_len", [4, 16, 32])
+def test_fig11_measured_by_key_length(benchmark, key_len):
+    bundle = get_tree("random", N, key_len)
+    layout, table = get_cuart("random", N, key_len)
+    rng = make_rng(11)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=key_len)
+    res = benchmark(lookup_batch, layout, mat, lens, root_table=table)
+    assert res.hits.all()

@@ -1,0 +1,30 @@
+"""Figure 12 — throughput on the BTC(-like) dataset (server, A100)."""
+
+import pytest
+
+from repro.bench.figures import fig12
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.lookup import lookup_batch
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 63078  # 15.4M / 256
+BATCH = 16384
+
+
+def test_fig12_series(benchmark, scale):
+    result = benchmark.pedantic(fig12, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("kind", ["random", "btc"])
+def test_fig12_measured_datasets(benchmark, kind):
+    bundle = get_tree(kind, N, 32)
+    layout, table = get_cuart(kind, N, 32)
+    rng = make_rng(12)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+    res = benchmark(lookup_batch, layout, mat, lens, root_table=table)
+    assert res.hits.all()

@@ -1,0 +1,26 @@
+"""Figure 13 — hybrid CPU/GPU query split with long keys on the CPU."""
+
+from repro.bench.figures import fig13
+from repro.bench.runner import get_tree
+from repro.host.hybrid import split_queries
+from repro.util.rng import make_rng
+
+
+def test_fig13_series(benchmark, scale):
+    result = benchmark.pedantic(fig13, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig13_measured_query_split(benchmark):
+    """The host-side splitter itself (runs on every batch in the hybrid
+    path, so it must be cheap)."""
+    bundle = get_tree("mixed:5", 32768, 16)
+    rng = make_rng(13)
+    idx = rng.integers(0, bundle.n, size=32768)
+    queries = [bundle.keys[i] for i in idx]
+
+    (short, _), (long_, _) = benchmark(split_queries, queries, 32)
+    assert len(short) + len(long_) == 32768
+    assert all(len(k) > 32 for k in long_)

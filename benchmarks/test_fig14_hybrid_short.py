@@ -1,0 +1,28 @@
+"""Figure 14 — hybrid split with 5% *short* keys on the CPU: every GPU
+variant converges to the CPU bound."""
+
+from repro.bench.figures import fig14
+from repro.gpusim.devices import SERVER_CPU
+from repro.host.hybrid import HybridConfig, cpu_path_rate
+
+
+def test_fig14_series(benchmark, scale):
+    result = benchmark.pedantic(fig14, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig14_measured_cpu_path_model(benchmark):
+    """The CPU-path rate model evaluated across worker counts."""
+
+    def sweep():
+        return [
+            cpu_path_rate(
+                HybridConfig(cpu_fraction=0.05, cpu_threads=t), SERVER_CPU
+            )
+            for t in (8, 16, 32, 56)
+        ]
+
+    rates = benchmark(sweep)
+    assert rates == sorted(rates)

@@ -1,0 +1,34 @@
+"""Figure 15 — update throughput vs batch size (hash-table collisions)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig15
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.update import UpdateEngine
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 65536
+
+
+def test_fig15_series(benchmark, scale):
+    result = benchmark.pedantic(fig15, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("batch", [512, 3072])
+def test_fig15_measured_update_batches(benchmark, batch):
+    """Real update-engine wall time at low vs high hash-table load."""
+    bundle = get_tree("random", N, 16)
+    layout, table = get_cuart("random", N, 16)
+    rng = make_rng(15)
+    idx = rng.integers(0, bundle.n, size=batch)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=16)
+    values = rng.integers(0, 2**62, size=batch).astype(np.uint64)
+    engine = UpdateEngine(layout, root_table=table, hash_slots=4096)
+
+    res = benchmark(engine.apply, mat, lens, values)
+    assert res.found.all()

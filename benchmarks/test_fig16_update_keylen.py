@@ -1,0 +1,34 @@
+"""Figure 16 — update throughput vs key length per tree size."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig16
+from repro.bench.runner import get_cuart, get_tree
+from repro.cuart.update import UpdateEngine
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+BATCH = 2048
+
+
+def test_fig16_series(benchmark, scale):
+    result = benchmark.pedantic(fig16, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("key_len", [8, 32])
+def test_fig16_measured_by_key_length(benchmark, key_len):
+    n = 65536
+    bundle = get_tree("random", n, key_len)
+    layout, table = get_cuart("random", n, key_len)
+    rng = make_rng(16)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=key_len)
+    values = rng.integers(0, 2**62, size=BATCH).astype(np.uint64)
+    engine = UpdateEngine(layout, root_table=table, hash_slots=1 << 16)
+
+    res = benchmark(engine.apply, mat, lens, values)
+    assert res.found.all()

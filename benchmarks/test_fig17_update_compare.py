@@ -1,0 +1,62 @@
+"""Figure 17 — atomic update throughput: CuART vs GRT vs CPU ART."""
+
+import numpy as np
+
+from repro.bench.figures import fig17
+from repro.bench.runner import get_cuart, get_grt, get_tree
+from repro.cuart.update import UpdateEngine
+from repro.grt.update import grt_update_batch
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+N = 65536
+BATCH = 2048
+
+
+def _updates():
+    bundle = get_tree("random", N, 32)
+    rng = make_rng(17)
+    idx = rng.integers(0, bundle.n, size=BATCH)
+    mat, lens = keys_to_matrix([bundle.keys[i] for i in idx], width=32)
+    values = rng.integers(0, 2**62, size=BATCH).astype(np.uint64)
+    return bundle, mat, lens, values, idx
+
+
+def test_fig17_series(benchmark, scale):
+    result = benchmark.pedantic(fig17, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig17_measured_cuart_updates(benchmark):
+    _, mat, lens, values, _ = _updates()
+    layout, table = get_cuart("random", N, 32)
+    engine = UpdateEngine(layout, root_table=table, hash_slots=1 << 16)
+    res = benchmark(engine.apply, mat, lens, values)
+    assert res.found.all()
+
+
+def test_fig17_measured_grt_updates(benchmark):
+    _, mat, lens, values, _ = _updates()
+    layout = get_grt("random", N, 32)
+    res = benchmark(grt_update_batch, layout, mat, lens, values)
+    assert res.found.all()
+
+
+def test_fig17_measured_cpu_art_updates(benchmark):
+    # private tree: mutating the shared cached workload would invalidate
+    # the device layouts other benchmark modules still use
+    from repro.workloads import build_tree, random_keys
+
+    keys = random_keys(8192, 32, seed=17)
+    tree = build_tree(keys)
+    rng = make_rng(18)
+    idx = rng.integers(0, len(keys), size=BATCH)
+    values = rng.integers(0, 2**62, size=BATCH)
+
+    def run():
+        for i, v in zip(idx, values):
+            tree.insert(keys[i], int(v))
+
+    benchmark(run)

@@ -1,0 +1,29 @@
+"""Figure 18 — lookup/update throughput across GPUs (GDDR vs HBM)."""
+
+from repro.bench.figures import fig18
+from repro.bench.runner import cuart_lookup_log
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import DEVICES
+
+N = 65536
+
+
+def test_fig18_series(benchmark, scale):
+    result = benchmark.pedantic(fig18, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result)
+    assert result.all_checks_pass
+
+
+def test_fig18_measured_cost_model_eval(benchmark):
+    """Evaluating one log against all three devices (model hot path)."""
+    log = cuart_lookup_log("random", N, 32, 32768)
+
+    def evaluate():
+        return {
+            name: CostModel(dev, l2_scale=1 / 256).kernel_time(log).total_s
+            for name, dev in DEVICES.items()
+        }
+
+    times = benchmark(evaluate)
+    assert times["rtx3090"] < times["a100"] < times["gtx1070"]

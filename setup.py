@@ -1,0 +1,6 @@
+"""Shim for legacy (non-PEP-517) editable installs on environments
+without the ``wheel`` package: ``pip install -e . --no-use-pep517``."""
+
+from setuptools import setup
+
+setup()

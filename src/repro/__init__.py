@@ -1,0 +1,72 @@
+"""CuART reproduction — a scalable radix-tree lookup and update engine.
+
+Python reproduction of *"CuART — a CUDA-based, scalable Radix-Tree lookup
+and update engine"* (Koppehel, Pionteck, Groth, Groppe; ICPP 2021) with a
+transaction-level simulated GPU substrate in place of CUDA.
+
+Quickstart::
+
+    from repro import CuartEngine
+    from repro.util.keys import encode_str
+
+    eng = CuartEngine()
+    eng.populate([(encode_str("alpha"), 1), (encode_str("beta"), 2)])
+    eng.map_to_device()
+    eng.lookup([encode_str("alpha")])     # -> [1]
+    print(eng.last_report)                # simulated throughput breakdown
+
+Package map (see DESIGN.md for the paper-section cross-reference):
+
+=====================  ====================================================
+``repro.art``          host-side pointer ART (Leis 2013) — the substrate
+``repro.cuart``        the paper's contribution: per-type buffers, packed
+                       links, root table, lookup/update/delete kernels
+``repro.grt``          the GRT single-buffer baseline (Alam 2016)
+``repro.gpusim``       simulated GPU: memory architectures, transaction
+                       logs, cost model, PCIe, streams
+``repro.host``         batching, dispatch pipeline, hybrid split, engines
+``repro.workloads``    reproducible key sets and query streams
+``repro.bench``        per-figure experiment definitions and reports
+=====================  ====================================================
+"""
+
+from repro.art import AdaptiveRadixTree
+from repro.cuart import (
+    CuartLayout,
+    InsertEngine,
+    LongKeyStrategy,
+    PartitionedIndex,
+    RootTable,
+    UpdateEngine,
+    approx_lookup,
+    load_layout,
+    lookup_batch,
+    save_layout,
+)
+from repro.grt import GrtLayout, grt_lookup_batch
+from repro.host import CuartEngine, GrtEngine
+from repro.host.mixed import MixedWorkloadExecutor
+from repro.constants import NIL_VALUE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveRadixTree",
+    "CuartLayout",
+    "InsertEngine",
+    "LongKeyStrategy",
+    "PartitionedIndex",
+    "RootTable",
+    "UpdateEngine",
+    "approx_lookup",
+    "load_layout",
+    "lookup_batch",
+    "save_layout",
+    "GrtLayout",
+    "grt_lookup_batch",
+    "CuartEngine",
+    "GrtEngine",
+    "MixedWorkloadExecutor",
+    "NIL_VALUE",
+    "__version__",
+]

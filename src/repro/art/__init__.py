@@ -1,0 +1,26 @@
+"""Classic pointer-based Adaptive Radix Tree (Leis et al., ICDE 2013).
+
+This is the host-side substrate of the reproduction: the paper's pipeline
+(section 4.1) first *populates* a CPU ART, then *maps* it into the device
+buffer structure, then runs queries against the mapped copy.  It also
+serves as the "original ART" baseline of figures 7 and 17.
+"""
+
+from repro.art.nodes import Leaf, Node4, Node16, Node48, Node256
+from repro.art.tree import AdaptiveRadixTree
+from repro.art.stats import TreeStats, collect_stats
+from repro.art.bulk import bulk_load
+from repro.art.verify import verify_tree
+
+__all__ = [
+    "AdaptiveRadixTree",
+    "Leaf",
+    "Node4",
+    "Node16",
+    "Node48",
+    "Node256",
+    "TreeStats",
+    "collect_stats",
+    "bulk_load",
+    "verify_tree",
+]

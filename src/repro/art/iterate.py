@@ -1,0 +1,114 @@
+"""Ordered traversal, range scans and prefix scans over the host ART.
+
+The in-order traversal defined here is also what fixes the leaf numbering
+of the device layouts: because children are visited in ascending byte
+order, leaves come out in lexicographic key order, which is the property
+the CuART leaf buffers exploit for range queries (section 3.2.1: "the
+keys are already strictly ordered within the leaf buffers").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.art.nodes import Child, InnerNode, Leaf
+
+
+def iter_leaves(node: Optional[Child]) -> Iterator[Leaf]:
+    """Depth-first, byte-ordered iteration over all leaves below ``node``."""
+    if node is None:
+        return
+    stack: list[Child] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, Leaf):
+            yield cur
+        else:
+            # push children in reverse so the smallest byte pops first
+            stack.extend(child for _, child in reversed(list(cur.children_items())))
+
+
+def iter_items(tree) -> Iterator[tuple[bytes, int]]:
+    for leaf in iter_leaves(tree.root):
+        yield leaf.key, leaf.value
+
+
+def minimum_leaf(node: Optional[Child]) -> Optional[Leaf]:
+    """Leftmost (smallest-key) leaf below ``node``."""
+    while node is not None and not isinstance(node, Leaf):
+        node = next(child for _, child in node.children_items())
+    return node
+
+
+def maximum_leaf(node: Optional[Child]) -> Optional[Leaf]:
+    """Rightmost (largest-key) leaf below ``node``."""
+    while node is not None and not isinstance(node, Leaf):
+        node = list(node.children_items())[-1][1]
+    return node
+
+
+def iter_range(tree, lo: bytes, hi: bytes) -> Iterator[tuple[bytes, int]]:
+    """All ``(key, value)`` with ``lo <= key <= hi`` in ascending order.
+
+    Uses ordered traversal with subtree pruning: a subtree is entered only
+    if its key interval can intersect ``[lo, hi]``.
+    """
+    if lo > hi:
+        return
+    yield from _range_walk(tree.root, b"", lo, hi)
+
+
+def _range_walk(
+    node: Optional[Child], path: bytes, lo: bytes, hi: bytes
+) -> Iterator[tuple[bytes, int]]:
+    if node is None:
+        return
+    if isinstance(node, Leaf):
+        if lo <= node.key <= hi:
+            yield node.key, node.value
+        return
+    path = path + node.prefix
+    # prune: every key below starts with `path`; the subtree's key range
+    # is [path, path+0xff...], so skip it if it cannot intersect [lo, hi].
+    if path > hi or _subtree_upper_below(path, lo):
+        return
+    for byte, child in node.children_items():
+        yield from _range_walk(child, path + bytes([byte]), lo, hi)
+
+
+def _subtree_upper_below(path: bytes, lo: bytes) -> bool:
+    """True if every key starting with ``path`` is strictly below ``lo``.
+
+    That is the case exactly when ``path`` is not a prefix of ``lo`` and
+    ``path < lo``.
+    """
+    return path < lo[: len(path)]
+
+
+def iter_prefix(tree, prefix: bytes) -> Iterator[tuple[bytes, int]]:
+    """All ``(key, value)`` whose key starts with ``prefix``, in order.
+
+    Descends along ``prefix`` verifying every consumed byte (the host
+    tree stores complete compressed prefixes, so verification is exact),
+    then yields the entire covering subtree.
+    """
+    node = tree.root
+    path = b""  # bytes consumed from the root so far
+    while node is not None:
+        if isinstance(node, Leaf):
+            if node.key.startswith(prefix):
+                yield node.key, node.value
+            return
+        path = path + node.prefix
+        overlap = min(len(path), len(prefix))
+        if path[:overlap] != prefix[:overlap]:
+            return
+        if len(path) >= len(prefix):
+            # every leaf below this node starts with `path`, which itself
+            # starts with `prefix`: yield the whole subtree in order.
+            for leaf in iter_leaves(node):
+                yield leaf.key, leaf.value
+            return
+        byte = prefix[len(path)]
+        node = node.find_child(byte)
+        path = path + bytes([byte])

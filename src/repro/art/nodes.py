@@ -1,0 +1,284 @@
+"""ART node types.
+
+The four adaptive inner-node sizes of Leis et al. 2013:
+
+* ``Node4``   — up to 4 children, parallel key/child arrays,
+* ``Node16``  — up to 16 children, parallel key/child arrays,
+* ``Node48``  — 256-entry child index (1 byte each) into 48 child slots,
+* ``Node256`` — direct 256-entry child array.
+
+Nodes *grow* to the next type when full and *shrink* when underfull.  The
+host tree uses pessimistic path compression: the full compressed prefix is
+stored as a ``bytes`` object on every inner node (the device layouts later
+truncate it to their fixed header window and fall back to leaf
+verification, see ``repro.cuart.layout``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.constants import (
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    N48_EMPTY_SLOT,
+)
+
+
+class Leaf:
+    """A single key/value pair; stores the complete key so traversals can
+    verify optimistically skipped prefix bytes."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: bytes, value: int):
+        self.key = key
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Leaf({self.key!r}, {self.value})"
+
+
+Child = Union["InnerNode", Leaf]
+
+
+class InnerNode:
+    """Shared behaviour of the four adaptive node types."""
+
+    __slots__ = ("prefix",)
+
+    #: packed-link type code of this node class (set by subclasses).
+    TYPE: int = 0
+    #: maximum number of children before the node must grow.
+    CAPACITY: int = 0
+
+    def __init__(self, prefix: bytes = b""):
+        self.prefix = prefix
+
+    # -- interface ---------------------------------------------------------
+    @property
+    def num_children(self) -> int:
+        raise NotImplementedError
+
+    def find_child(self, byte: int) -> Optional[Child]:
+        raise NotImplementedError
+
+    def set_child(self, byte: int, child: Child) -> None:
+        """Insert or replace the child for ``byte``.
+
+        Precondition: either the byte is already present or the node is
+        not full (callers grow the node first via :func:`grown_copy`).
+        """
+        raise NotImplementedError
+
+    def remove_child(self, byte: int) -> None:
+        raise NotImplementedError
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        """Yield ``(byte, child)`` pairs in ascending byte order.
+
+        Ascending order is what makes the in-order device mapping produce
+        lexicographically sorted leaf buffers (section 3.2.1).
+        """
+        raise NotImplementedError
+
+    @property
+    def is_full(self) -> bool:
+        return self.num_children >= self.CAPACITY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(prefix={self.prefix!r}, "
+            f"children={self.num_children})"
+        )
+
+
+class Node4(InnerNode):
+    """Smallest node: ≤4 children in sorted parallel arrays."""
+
+    __slots__ = ("keys", "children")
+    TYPE = LINK_N4
+    CAPACITY = 4
+
+    def __init__(self, prefix: bytes = b""):
+        super().__init__(prefix)
+        self.keys: list[int] = []
+        self.children: list[Child] = []
+
+    @property
+    def num_children(self) -> int:
+        return len(self.keys)
+
+    def find_child(self, byte: int) -> Optional[Child]:
+        for i, k in enumerate(self.keys):
+            if k == byte:
+                return self.children[i]
+        return None
+
+    def set_child(self, byte: int, child: Child) -> None:
+        for i, k in enumerate(self.keys):
+            if k == byte:
+                self.children[i] = child
+                return
+        # keep the arrays sorted: find insertion point
+        pos = 0
+        while pos < len(self.keys) and self.keys[pos] < byte:
+            pos += 1
+        self.keys.insert(pos, byte)
+        self.children.insert(pos, child)
+
+    def remove_child(self, byte: int) -> None:
+        for i, k in enumerate(self.keys):
+            if k == byte:
+                del self.keys[i]
+                del self.children[i]
+                return
+        raise KeyError(byte)
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        yield from zip(self.keys, self.children)
+
+
+class Node16(Node4):
+    """≤16 children; identical organization to Node4, larger capacity.
+
+    (The real CUDA kernel searches the 16 keys with a single SIMD
+    comparison; the Python host tree keeps the arrays sorted and scans.)
+    """
+
+    __slots__ = ()
+    TYPE = LINK_N16
+    CAPACITY = 16
+
+
+class Node48(InnerNode):
+    """≤48 children; a 256-entry byte-indexed table maps key bytes to
+    slots in a 48-entry child array."""
+
+    __slots__ = ("child_index", "children", "_count")
+    TYPE = LINK_N48
+    CAPACITY = 48
+
+    def __init__(self, prefix: bytes = b""):
+        super().__init__(prefix)
+        self.child_index = bytearray([N48_EMPTY_SLOT]) * 256
+        self.children: list[Optional[Child]] = [None] * 48
+        self._count = 0
+
+    @property
+    def num_children(self) -> int:
+        return self._count
+
+    def find_child(self, byte: int) -> Optional[Child]:
+        slot = self.child_index[byte]
+        if slot == N48_EMPTY_SLOT:
+            return None
+        return self.children[slot]
+
+    def set_child(self, byte: int, child: Child) -> None:
+        slot = self.child_index[byte]
+        if slot != N48_EMPTY_SLOT:
+            self.children[slot] = child
+            return
+        slot = next(i for i, c in enumerate(self.children) if c is None)
+        self.child_index[byte] = slot
+        self.children[slot] = child
+        self._count += 1
+
+    def remove_child(self, byte: int) -> None:
+        slot = self.child_index[byte]
+        if slot == N48_EMPTY_SLOT:
+            raise KeyError(byte)
+        self.child_index[byte] = N48_EMPTY_SLOT
+        self.children[slot] = None
+        self._count -= 1
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        for byte in range(256):
+            slot = self.child_index[byte]
+            if slot != N48_EMPTY_SLOT:
+                child = self.children[slot]
+                assert child is not None
+                yield byte, child
+
+
+class Node256(InnerNode):
+    """Full fan-out: direct 256-entry child array."""
+
+    __slots__ = ("children", "_count")
+    TYPE = LINK_N256
+    CAPACITY = 256
+
+    def __init__(self, prefix: bytes = b""):
+        super().__init__(prefix)
+        self.children: list[Optional[Child]] = [None] * 256
+        self._count = 0
+
+    @property
+    def num_children(self) -> int:
+        return self._count
+
+    def find_child(self, byte: int) -> Optional[Child]:
+        return self.children[byte]
+
+    def set_child(self, byte: int, child: Child) -> None:
+        if self.children[byte] is None:
+            self._count += 1
+        self.children[byte] = child
+
+    def remove_child(self, byte: int) -> None:
+        if self.children[byte] is None:
+            raise KeyError(byte)
+        self.children[byte] = None
+        self._count -= 1
+
+    def children_items(self) -> Iterator[tuple[int, Child]]:
+        for byte in range(256):
+            child = self.children[byte]
+            if child is not None:
+                yield byte, child
+
+
+#: grow chain: Node4 -> Node16 -> Node48 -> Node256
+_GROW_TARGET = {Node4: Node16, Node16: Node48, Node48: Node256}
+#: shrink chain with the per-type minimum occupancy that triggers it.
+_SHRINK_TARGET = {Node16: (Node4, 4), Node48: (Node16, 16), Node256: (Node48, 48)}
+
+
+def grown_copy(node: InnerNode) -> InnerNode:
+    """Return a copy of ``node`` as the next larger node type."""
+    target_cls = _GROW_TARGET[type(node)]
+    bigger = target_cls(node.prefix)
+    for byte, child in node.children_items():
+        bigger.set_child(byte, child)
+    return bigger
+
+
+def maybe_shrunk_copy(node: InnerNode) -> InnerNode:
+    """Return a smaller copy of ``node`` if its occupancy dropped below the
+    smaller type's capacity, else ``node`` itself.
+
+    ``Node4`` never shrinks here; collapsing a 1-child ``Node4`` into its
+    child (path merging) is handled by the tree's delete logic because it
+    changes the compressed prefix.
+    """
+    entry = _SHRINK_TARGET.get(type(node))
+    if entry is None:
+        return node
+    target_cls, threshold = entry
+    if node.num_children > threshold:
+        return node
+    smaller = target_cls(node.prefix)
+    for byte, child in node.children_items():
+        smaller.set_child(byte, child)
+    return smaller
+
+
+def node_type_code(node: Child) -> int:
+    """Packed-link type code for an inner node (leaves are classified by
+    key length at mapping time, see ``repro.cuart.layout``)."""
+    if isinstance(node, Leaf):
+        raise TypeError("leaves have no single type code; size-dependent")
+    return node.TYPE

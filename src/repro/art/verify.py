@@ -1,0 +1,97 @@
+"""Structural invariant checker for the host ART.
+
+Used by the test suite after mutation storms and exposed publicly as a
+debugging aid.  :func:`verify_tree` walks the whole tree and checks every
+invariant the algorithms rely on; it returns a list of violation strings
+(empty = healthy) so callers can assert or report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.art.nodes import (
+    Child,
+    InnerNode,
+    Leaf,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+    N48_EMPTY_SLOT,
+)
+from repro.art.tree import AdaptiveRadixTree
+
+
+def verify_tree(tree: AdaptiveRadixTree) -> list[str]:
+    """Check all structural invariants; returns violations (empty = OK)."""
+    problems: list[str] = []
+    count = _verify_node(tree.root, b"", problems, is_root=True)
+    if count != len(tree):
+        problems.append(
+            f"size mismatch: tree reports {len(tree)} keys, walk found {count}"
+        )
+    return problems
+
+
+def _verify_node(
+    node: Optional[Child], path: bytes, problems: list[str], *, is_root: bool
+) -> int:
+    if node is None:
+        if not is_root:
+            problems.append(f"null child reachable below {path!r}")
+        return 0
+    if isinstance(node, Leaf):
+        if not node.key.startswith(path):
+            problems.append(
+                f"leaf key {node.key!r} does not extend its path {path!r}"
+            )
+        return 1
+
+    assert isinstance(node, InnerNode)
+    n = node.num_children
+    # -- occupancy invariants -------------------------------------------
+    if n > node.CAPACITY:
+        problems.append(f"{type(node).__name__} at {path!r} over capacity: {n}")
+    if not is_root and n < 2 and isinstance(node, Node4):
+        problems.append(
+            f"non-root Node4 at {path!r} has {n} child(ren): "
+            "should have been collapsed (path compression)"
+        )
+    if n == 0:
+        problems.append(f"{type(node).__name__} at {path!r} is empty")
+    # -- shrink thresholds (delete must downsize underfull nodes) --------
+    if isinstance(node, Node16) and n < 4:
+        problems.append(f"Node16 at {path!r} underfull ({n}): should be Node4")
+    if isinstance(node, Node48) and n < 16:
+        problems.append(f"Node48 at {path!r} underfull ({n}): should be Node16")
+    if isinstance(node, Node256) and n < 48:
+        problems.append(f"Node256 at {path!r} underfull ({n}): should be Node48")
+
+    # -- per-type representation invariants -------------------------------
+    if isinstance(node, (Node4, Node16)):
+        if node.keys != sorted(node.keys):
+            problems.append(f"{type(node).__name__} at {path!r}: keys unsorted")
+        if len(set(node.keys)) != len(node.keys):
+            problems.append(f"{type(node).__name__} at {path!r}: duplicate bytes")
+    if isinstance(node, Node48):
+        slots = [s for s in node.child_index if s != N48_EMPTY_SLOT]
+        if len(set(slots)) != len(slots):
+            problems.append(f"Node48 at {path!r}: child slots aliased")
+        for byte in range(256):
+            s = node.child_index[byte]
+            if s != N48_EMPTY_SLOT and node.children[s] is None:
+                problems.append(f"Node48 at {path!r}: byte {byte} -> empty slot")
+
+    # -- recurse, checking key ordering falls out of byte ordering --------
+    total = 0
+    new_path = path + node.prefix
+    last_byte = -1
+    for byte, child in node.children_items():
+        if byte <= last_byte:
+            problems.append(f"children out of byte order at {new_path!r}")
+        last_byte = byte
+        total += _verify_node(
+            child, new_path + bytes([byte]), problems, is_root=False
+        )
+    return total

@@ -1,0 +1,35 @@
+"""Benchmark harness: one experiment definition per paper figure.
+
+Every evaluation artifact of the paper (figures 7–18; the evaluation has
+no numbered tables) has a generator in :mod:`repro.bench.figures` that
+rebuilds the workload, runs the real kernels, feeds their transaction
+logs through the simulated devices and prints the same series the paper
+plots.  ``benchmarks/`` wraps these in pytest-benchmark targets.
+"""
+
+from repro.bench.runner import (
+    Scale,
+    get_tree,
+    get_cuart,
+    get_grt,
+    cuart_lookup_log,
+    grt_lookup_log,
+    cuart_update_run,
+    grt_update_run,
+)
+from repro.bench.report import FigureResult, format_table
+from repro.bench import figures
+
+__all__ = [
+    "Scale",
+    "get_tree",
+    "get_cuart",
+    "get_grt",
+    "cuart_lookup_log",
+    "grt_lookup_log",
+    "cuart_update_run",
+    "grt_update_run",
+    "FigureResult",
+    "format_table",
+    "figures",
+]

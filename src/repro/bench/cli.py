@@ -1,0 +1,79 @@
+"""Command-line figure regeneration: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench fig10 fig18
+    python -m repro.bench all --scale 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.runner import Scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Regenerate the paper's evaluation figures (7-18) through the "
+            "simulated GPU substrate and check their qualitative claims."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help="figure ids (fig07..fig18) or 'all' (default)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=Scale().factor,
+        metavar="N",
+        help="divide the paper's tree sizes by N (default %(default)s; "
+        "1 = paper scale, hours of runtime)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figures and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, fn in ALL_FIGURES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+
+    wanted = args.figures
+    if wanted == ["all"] or "all" in wanted:
+        wanted = list(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+
+    scale = Scale(factor=max(args.scale, 1))
+    failed = 0
+    for name in wanted:
+        t0 = time.perf_counter()
+        result = ALL_FIGURES[name](scale)
+        elapsed = time.perf_counter() - t0
+        print(result)
+        print(f"({elapsed:.1f}s)")
+        print()
+        if not result.all_checks_pass:
+            failed += 1
+    if failed:
+        print(f"{failed} figure(s) with failing shape checks", file=sys.stderr)
+        return 1
+    return 0

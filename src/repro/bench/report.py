@@ -1,0 +1,82 @@
+"""Plain-text rendering of figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: parameters + the plotted series as rows."""
+
+    figure: str
+    title: str
+    params: dict
+    columns: Sequence[str]
+    rows: list[tuple]
+    notes: str = ""
+    #: the paper's qualitative claim this figure must reproduce.
+    paper_claim: str = ""
+    _checks: list[tuple[str, bool]] = field(default_factory=list)
+
+    def check(self, description: str, passed: bool) -> None:
+        """Record one shape assertion (who wins / where the knee is)."""
+        self._checks.append((description, bool(passed)))
+
+    @property
+    def checks(self) -> list[tuple[str, bool]]:
+        return list(self._checks)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(ok for _, ok in self._checks)
+
+    def __str__(self) -> str:
+        return format_figure(self)
+
+
+def format_table(columns: Sequence[str], rows: list[tuple]) -> str:
+    """Align a list of tuples under their headers."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    head = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells
+    )
+    return "\n".join([head, sep, body]) if rows else head
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_figure(result: FigureResult) -> str:
+    lines = [
+        f"== {result.figure}: {result.title} ==",
+        "params: " + ", ".join(f"{k}={v}" for k, v in result.params.items()),
+    ]
+    if result.paper_claim:
+        lines.append(f"paper:  {result.paper_claim}")
+    lines.append("")
+    lines.append(format_table(result.columns, result.rows))
+    if result.notes:
+        lines.append("")
+        lines.append(f"note: {result.notes}")
+    if result._checks:
+        lines.append("")
+        for desc, ok in result._checks:
+            lines.append(f"  [{'PASS' if ok else 'MISS'}] {desc}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Shared experiment plumbing: cached workloads/layouts and kernel runs.
+
+The paper evaluates trees up to 144M keys on real CUDA hardware; the
+pure-Python substrate runs the same experiments at ``1/Scale.factor`` of
+the paper's sizes (default 1/256) — the cost model is driven by measured
+tree statistics (depths, node-type mix, footprints), which is what shapes
+every curve, so the scaled trees preserve the comparisons.  Pass
+``Scale(factor=1)`` for a paper-scale run if you have the hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.art.stats import TreeStats, collect_stats
+from repro.art.tree import AdaptiveRadixTree
+from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.root_table import RootTable
+from repro.cuart.update import UpdateEngine, UpdateResult
+from repro.grt.kernel import grt_lookup_batch
+from repro.grt.layout import GrtLayout
+from repro.grt.update import grt_update_batch
+from repro.gpusim.transactions import TransactionLog
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+from repro.workloads.btc import btc_like_keys
+from repro.workloads.synthetic import build_tree, mixed_length_keys, random_keys
+
+#: seed used by every cached bench workload.
+BENCH_SEED = 1337
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Size divisor applied to the paper's tree sizes."""
+
+    factor: int = 256
+
+    def size(self, paper_size: int) -> int:
+        """Scaled tree size (at least 256 keys so node types still mix)."""
+        return max(paper_size // self.factor, 256)
+
+    def hash_slots(self, paper_slots: int) -> int:
+        """The update hash table scales with the trees so the collision
+        crossover of figure 15 appears at the same *relative* point."""
+        return max(paper_slots // self.factor, 256)
+
+
+@dataclass
+class TreeBundle:
+    """One populated workload: keys + host tree + statistics."""
+
+    keys: list
+    tree: AdaptiveRadixTree
+    stats: TreeStats
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+
+@lru_cache(maxsize=12)
+def get_tree(kind: str, n: int, key_len: int) -> TreeBundle:
+    """Build (or fetch) one workload tree.
+
+    ``kind``: ``random`` (uniform keys), ``btc`` (RDF-like keys), or
+    ``mixed:<percent>`` (that share of 48-byte long keys).
+    """
+    if kind == "random":
+        keys = random_keys(n, key_len, seed=BENCH_SEED)
+    elif kind == "btc":
+        keys = btc_like_keys(n, key_len=key_len, seed=BENCH_SEED)
+    elif kind.startswith("mixed:"):
+        frac = float(kind.split(":", 1)[1]) / 100.0
+        keys = mixed_length_keys(
+            n, long_fraction=frac, short_len=key_len, seed=BENCH_SEED
+        )
+    else:
+        raise ValueError(f"unknown workload kind {kind!r}")
+    tree = build_tree(keys)
+    return TreeBundle(keys=keys, tree=tree, stats=collect_stats(tree.root))
+
+
+@lru_cache(maxsize=12)
+def get_cuart(
+    kind: str,
+    n: int,
+    key_len: int,
+    root_k: int | None = 2,
+    single_leaf: int | None = None,
+    long_keys: str = "error",
+) -> tuple[CuartLayout, RootTable | None]:
+    """Map (or fetch) the CuART layout for one workload."""
+    bundle = get_tree(kind, n, key_len)
+    layout = CuartLayout(
+        bundle.tree,
+        long_keys=LongKeyStrategy(long_keys),
+        single_leaf_size=single_leaf,
+    )
+    table = RootTable(layout, k=root_k) if root_k else None
+    return layout, table
+
+
+@lru_cache(maxsize=12)
+def get_grt(kind: str, n: int, key_len: int) -> GrtLayout:
+    """Map (or fetch) the GRT baseline layout for one workload."""
+    bundle = get_tree(kind, n, key_len)
+    return GrtLayout(bundle.tree)
+
+
+# ---------------------------------------------------------------------------
+# representative-batch kernel runs
+# ---------------------------------------------------------------------------
+
+
+def _query_batch(bundle: TreeBundle, batch_size: int, seed: int = 7):
+    rng = make_rng(seed)
+    idx = rng.integers(0, bundle.n, size=batch_size)
+    keys = [bundle.keys[i] for i in idx]
+    width = max(len(k) for k in keys)
+    return keys_to_matrix(keys, width=width)
+
+
+def cuart_lookup_log(
+    kind: str,
+    n: int,
+    key_len: int,
+    batch_size: int,
+    *,
+    root_k: int | None = 2,
+    single_leaf: int | None = None,
+    seed: int = 7,
+) -> TransactionLog:
+    """Run one representative CuART lookup batch; return its log."""
+    bundle = get_tree(kind, n, key_len)
+    layout, table = get_cuart(kind, n, key_len, root_k, single_leaf)
+    mat, lens = _query_batch(bundle, batch_size, seed)
+    return lookup_batch(layout, mat, lens, root_table=table).log
+
+
+def grt_lookup_log(
+    kind: str, n: int, key_len: int, batch_size: int, *, seed: int = 7
+) -> TransactionLog:
+    """Run one representative GRT lookup batch; return its log."""
+    bundle = get_tree(kind, n, key_len)
+    layout = get_grt(kind, n, key_len)
+    mat, lens = _query_batch(bundle, batch_size, seed)
+    return grt_lookup_batch(layout, mat, lens).log
+
+
+def cuart_update_run(
+    kind: str,
+    n: int,
+    key_len: int,
+    batch_size: int,
+    hash_slots: int,
+    *,
+    root_k: int | None = 2,
+    seed: int = 11,
+) -> UpdateResult:
+    """Run one representative CuART update batch."""
+    bundle = get_tree(kind, n, key_len)
+    layout, table = get_cuart(kind, n, key_len, root_k)
+    mat, lens = _query_batch(bundle, batch_size, seed)
+    rng = make_rng(seed)
+    values = rng.integers(0, 2**62, size=batch_size).astype(np.uint64)
+    engine = UpdateEngine(layout, root_table=table, hash_slots=hash_slots)
+    return engine.apply(mat, lens, values)
+
+
+def grt_update_run(
+    kind: str, n: int, key_len: int, batch_size: int, *, seed: int = 11
+):
+    """Run one representative GRT update batch."""
+    bundle = get_tree(kind, n, key_len)
+    layout = get_grt(kind, n, key_len)
+    mat, lens = _query_batch(bundle, batch_size, seed)
+    rng = make_rng(seed)
+    values = rng.integers(0, 2**62, size=batch_size).astype(np.uint64)
+    return grt_update_batch(layout, mat, lens, values)
+
+
+def clear_caches() -> None:
+    """Drop all cached workloads (tests use this for isolation)."""
+    get_tree.cache_clear()
+    get_cuart.cache_clear()
+    get_grt.cache_clear()

@@ -1,0 +1,120 @@
+"""Global constants shared across the ART, GRT and CuART implementations.
+
+The node-type codes follow section 3.2.1 of the paper: the packed 64-bit
+node link stores the *next* node's type in the most significant bits and
+the node index within the per-type buffer in the least significant bits.
+Codes 1-4 are the four adaptive inner-node sizes, 5-7 the three fixed-size
+leaf buffers.  We additionally reserve 0 for the empty link and 8 for the
+"long key stored in host memory" signal of section 3.2.3 (option b).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Packed node-link type codes (paper section 3.2.1, figure 2).
+# ---------------------------------------------------------------------------
+LINK_EMPTY = 0
+LINK_N4 = 1
+LINK_N16 = 2
+LINK_N48 = 3
+LINK_N256 = 4
+LINK_LEAF8 = 5
+LINK_LEAF16 = 6
+LINK_LEAF32 = 7
+LINK_HOST = 8  # leaf lives in host memory; the CPU must finish the lookup
+LINK_DYNLEAF = 9  # dynamically-sized device leaf (GRT-style, section 3.2.3c)
+
+NODE_TYPE_CODES = (LINK_N4, LINK_N16, LINK_N48, LINK_N256)
+LEAF_TYPE_CODES = (LINK_LEAF8, LINK_LEAF16, LINK_LEAF32)
+
+#: Number of bits used for the node index inside a packed link.  The type
+#: lives in the top 8 bits which leaves 56 bits of addressable node space,
+#: matching the paper's "packed 64bit integer containing the next node type
+#: in the most significant bits".
+LINK_INDEX_BITS = 56
+LINK_INDEX_MASK = (1 << LINK_INDEX_BITS) - 1
+
+# ---------------------------------------------------------------------------
+# Inner node geometry.
+# ---------------------------------------------------------------------------
+#: Fan-out of each adaptive node type (maximum number of children).
+NODE_CAPACITY = {LINK_N4: 4, LINK_N16: 16, LINK_N48: 48, LINK_N256: 256}
+
+#: Marker inside a Node48 child index array meaning "no child".
+N48_EMPTY_SLOT = 0xFF
+
+#: Stored (truncated) prefix bytes per CuART node header.  The paper frees
+#: the node-type byte from the GRT header and reuses it "for an increased
+#: maximum prefix length"; we keep the stored prefix at 15 bytes (GRT
+#: stores 14, see ``repro.grt.layout``).  Longer compressed paths fall back
+#: to optimistic path compression: the skipped length is stored exactly,
+#: the bytes beyond the stored window are verified at the leaf.
+CUART_MAX_PREFIX = 15
+#: GRT header is 16 bytes: type u8 + child count u8 + prefix_len u16 +
+#: 12 stored prefix bytes.  CuART drops the type byte (it moved into the
+#: link) which is how it affords the longer 15-byte window.
+GRT_MAX_PREFIX = 12
+
+#: Fixed leaf key capacities in bytes (paper: "several leaf objects of
+#: different sizes (8, 16, 32 bytes)").
+LEAF_CAPACITY = {LINK_LEAF8: 8, LINK_LEAF16: 16, LINK_LEAF32: 32}
+
+#: Largest key the fixed-size leaf buffers can hold.  Keys above this need
+#: one of the long-key strategies from section 3.2.3.
+MAX_SHORT_KEY = 32
+
+# ---------------------------------------------------------------------------
+# Values.
+# ---------------------------------------------------------------------------
+#: Sentinel returned by lookups for missing keys and stored by deletions
+#: ("signaling a deletion through setting a nil pointer", section 3.4).
+NIL_VALUE = (1 << 64) - 1
+
+# ---------------------------------------------------------------------------
+# CuART per-node transaction sizes in bytes (figure 2 / section 3.2.1).
+#
+# All CuART node records are padded to a 16-byte-aligned size so a single
+# memory transaction of known size fetches the whole node.
+# ---------------------------------------------------------------------------
+
+
+def _pad16(n: int) -> int:
+    return (n + 15) & ~15
+
+
+#: CuART node record layout: header (prefix_len u16 + count u16 + stored
+#: prefix) followed by the key array and the packed child links.
+CUART_NODE_BYTES = {
+    LINK_N4: _pad16(4 + CUART_MAX_PREFIX + 1 + 4 + 4 * 8),  # 64
+    LINK_N16: _pad16(4 + CUART_MAX_PREFIX + 1 + 16 + 16 * 8),  # 176
+    LINK_N48: _pad16(4 + CUART_MAX_PREFIX + 1 + 256 + 48 * 8),  # 672
+    LINK_N256: _pad16(4 + CUART_MAX_PREFIX + 1 + 256 * 8),  # 2080
+    LINK_LEAF8: 16,  # 8 key bytes + key_len + value
+    LINK_LEAF16: 32,
+    LINK_LEAF32: 48,
+}
+
+#: GRT node sizes: the header must be read *first* (it contains the type),
+#: then the body whose size depends on the type — the two dependent
+#: transactions of section 3.1.  Sizes mirror the paper's "650B for N48 and
+#: 2KB for N256".
+GRT_HEADER_BYTES = 16
+GRT_BODY_BYTES = {
+    LINK_N4: 4 + 4 + 4 * 8,  # 40
+    LINK_N16: 16 + 16 * 8,  # 144
+    LINK_N48: 256 + 48 * 8,  # 640
+    LINK_N256: 256 * 8,  # 2048
+}
+
+# ---------------------------------------------------------------------------
+# Evaluation defaults (section 4.1/4.3).
+# ---------------------------------------------------------------------------
+#: "For the remaining experiments, we chose a batch size of 32768 items."
+DEFAULT_BATCH_SIZE = 32768
+#: "We chose to utilize 8 threads for the remaining experiments."
+DEFAULT_HOST_THREADS = 8
+#: "In our tests, we used a hash table size of 1Mi entries" (section 4.5).
+DEFAULT_UPDATE_HASH_SLOTS = 1 << 20
+#: Compacted upper layers: "we merged the first three layers into a lookup
+#: table ... resulting in 128MB of memory consumption" (section 3.2.2).
+PAPER_ROOT_TABLE_BYTES = 1 << 24 << 3  # 2**24 links * 8 bytes = 128 MiB

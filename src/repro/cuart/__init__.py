@@ -1,0 +1,50 @@
+"""CuART — the paper's contribution.
+
+The populated host :class:`~repro.art.AdaptiveRadixTree` is *mapped* into
+a struct-of-arrays device layout with one buffer per node type and one
+per fixed leaf size (:class:`CuartLayout`), optionally with the compacted
+upper-layer lookup table (:class:`RootTable`).  Batched device kernels
+then run against the buffers:
+
+* :func:`lookup_batch` — exact lookups (section 3.2.1),
+* :func:`range_query` / :func:`prefix_query` — over the ordered leaf
+  buffers (section 3.2.1),
+* :class:`UpdateEngine` — two-stage atomic batched updates & deletions
+  (sections 3.3 / 3.4).
+"""
+
+from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.root_table import RootTable
+from repro.cuart.lookup import lookup_batch, LookupResult
+from repro.cuart.range_query import range_query, prefix_query, RangeResult
+from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.update import UpdateEngine, UpdateResult
+from repro.cuart.delete import delete_batch
+from repro.cuart.insert import InsertEngine, InsertResult
+from repro.cuart.lookup import MissReason
+from repro.cuart.partition import PartitionedIndex
+from repro.cuart.serialize import save_layout, load_layout
+from repro.cuart.approx import approx_lookup, ApproxResult
+
+__all__ = [
+    "CuartLayout",
+    "LongKeyStrategy",
+    "RootTable",
+    "lookup_batch",
+    "LookupResult",
+    "range_query",
+    "prefix_query",
+    "RangeResult",
+    "AtomicMaxHashTable",
+    "UpdateEngine",
+    "UpdateResult",
+    "delete_batch",
+    "InsertEngine",
+    "InsertResult",
+    "MissReason",
+    "PartitionedIndex",
+    "save_layout",
+    "load_layout",
+    "approx_lookup",
+    "ApproxResult",
+]

@@ -1,0 +1,81 @@
+"""CuART's flat layout as a *CPU* lookup engine (section 4.2, figure 7).
+
+"This experiment reveals that our optimizations are generally applicable
+to ART and not only tailored towards a specific GPU architecture. ...
+CuART performs and scales significantly better than the original ART
+because it employs continous pieces of memory."
+
+Two entry points:
+
+* :func:`cpu_lookup_flat` — run the batch kernel on the host buffers
+  (this *is* a CPU execution of the flat layout; pytest-benchmark times
+  it for the measured figure-7 series);
+* :func:`modeled_cpu_throughput` — the structural cache model used for
+  the paper-scale simulated series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.art.stats import TreeStats
+from repro.constants import CUART_NODE_BYTES
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import LookupResult, lookup_batch
+from repro.gpusim.cost_model import cpu_lookup_time
+from repro.gpusim.devices import CpuSpec
+
+
+def cpu_lookup_flat(
+    layout: CuartLayout, keys_mat: np.ndarray, key_lens: np.ndarray
+) -> LookupResult:
+    """Exact lookups on the CPU against the CuART buffers.
+
+    Identical algorithm to the device kernel — the layout is what
+    changes the performance story, not the code.
+    """
+    return lookup_batch(layout, keys_mat, key_lens)
+
+
+def _avg_node_bytes(stats: TreeStats) -> float:
+    """Average CuART record size weighted by how often each node type is
+    visited per lookup."""
+    from repro.art.stats import visit_mix_per_lookup
+
+    mix = visit_mix_per_lookup(stats)
+    total_w = 0.0
+    total_b = 0.0
+    for code, w in mix.items():
+        if code == "long":
+            continue
+        total_w += w
+        total_b += w * CUART_NODE_BYTES[code]
+    return total_b / total_w if total_w else 64.0
+
+
+def modeled_cpu_throughput(
+    stats: TreeStats,
+    cpu: CpuSpec,
+    *,
+    contiguous: bool,
+    threads: int | None = None,
+) -> float:
+    """Modeled CPU lookup throughput in MOps/s for one tree.
+
+    ``contiguous=True`` is the CuART flat layout, ``False`` the classic
+    malloc-spread pointer ART.
+    """
+    avg_levels = stats.avg_leaf_level + 1.0  # inner visits + the leaf read
+    working_set = (
+        stats.cuart_device_bytes() if contiguous else stats.art_host_bytes()
+    )
+    per_lookup = cpu_lookup_time(
+        cpu,
+        avg_levels=avg_levels,
+        node_bytes=_avg_node_bytes(stats),
+        working_set_bytes=working_set,
+        contiguous=contiguous,
+        threads=1,
+    )
+    threads = threads or cpu.threads
+    return min(threads, cpu.threads) / per_lookup / 1e6

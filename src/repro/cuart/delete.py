@@ -1,0 +1,143 @@
+"""Device-side deletions (section 3.3).
+
+"To process a deletion directly on the device, the tree is traversed,
+keeping the last visited offset in local memory.  Once a leaf is reached,
+its contents are cleared and the reference to the leaf is removed from
+the last visited node.  The leaf index is pushed into a list of free
+leaves which can be used for future inserts.  By not modifying the
+structure of the tree (i.e. not collapsing nodes immediately), the
+deletion performance can be increased significantly."
+
+Unlike the nil-value deletes of the update engine (which only blank the
+payload), this kernel also unlinks the leaf from its parent and recycles
+the leaf slot.  Nodes are *not* collapsed or shrunk — the tree structure
+is left as-is, exactly like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    CUART_NODE_BYTES,
+    DEFAULT_UPDATE_HASH_SLOTS,
+    LEAF_TYPE_CODES,
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    N48_EMPTY_SLOT,
+    NIL_VALUE,
+)
+from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.gpusim.transactions import TransactionLog
+from repro.util.packing import link_indices, link_types
+
+
+@dataclass
+class DeleteResult:
+    #: (B,) bool — the key existed and its leaf is now cleared.
+    deleted: np.ndarray
+    #: leaves unlinked from their parent (and pushed onto the free list).
+    unlinked: int
+    #: leaves only cleared because their parent was unknown (dispatched
+    #: straight to a leaf by the root table) — they still read as deleted.
+    cleared_only: int
+    log: TransactionLog
+
+
+def delete_batch(
+    layout: CuartLayout,
+    keys_mat: np.ndarray,
+    key_lens: np.ndarray,
+    *,
+    root_table=None,
+    hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+    log: TransactionLog | None = None,
+) -> DeleteResult:
+    """Delete a batch of keys on the device.
+
+    Duplicate deletions of one key inside the batch are deduplicated with
+    the same atomic-max hash table the update engine uses, so each leaf
+    is cleared and unlinked exactly once.
+    """
+    layout.check_fresh()
+    B = keys_mat.shape[0]
+    if log is None:
+        log = TransactionLog()
+
+    res = lookup_batch(layout, keys_mat, key_lens, root_table=root_table, log=log)
+    locations = res.locations
+    found = locations != np.uint64(0)
+    thread_ids = np.arange(B, dtype=np.int64)
+
+    table = AtomicMaxHashTable(hash_slots, log=log)
+    table.insert_max(locations[found], thread_ids[found])
+    winners = np.zeros(B, dtype=bool)
+    if found.any():
+        winners[found] = thread_ids[found] == table.lookup(locations[found])
+
+    win_rows = np.nonzero(winners)[0]
+    wlocs = locations[win_rows]
+    wcodes = link_types(wlocs)
+    widx = link_indices(wlocs)
+
+    # ---- clear leaf contents + push onto the free list ---------------
+    unlinked = 0
+    cleared_only = 0
+    for code in LEAF_TYPE_CODES:
+        sel = wcodes == code
+        if not sel.any():
+            continue
+        buf = layout.leaves[code]
+        rows = widx[sel]
+        buf.values[rows] = np.uint64(NIL_VALUE)
+        buf.keys[rows] = 0
+        buf.key_lens[rows] = 0
+        log.record(CUART_NODE_BYTES[code], int(sel.sum()))  # clearing store
+
+    # ---- remove the reference from the last visited node -------------
+    pcodes = link_types(res.parent_links[win_rows])
+    pidx = link_indices(res.parent_links[win_rows])
+    pbytes = res.parent_bytes[win_rows].astype(np.int64)
+    have_parent = res.parent_links[win_rows] != np.uint64(0)
+    for i in np.nonzero(have_parent)[0]:
+        code = int(pcodes[i])
+        idx = int(pidx[i])
+        byte = int(pbytes[i])
+        buf = layout.nodes[code]
+        if code in (LINK_N4, LINK_N16):
+            slots = np.nonzero(
+                (buf.keys[idx] == byte)
+                & (np.arange(buf.keys.shape[1]) < int(buf.counts[idx]))
+            )[0]
+            if slots.size:
+                buf.children[idx, slots[0]] = np.uint64(0)
+        elif code == LINK_N48:
+            slot = int(buf.child_index[idx, byte])
+            if slot != N48_EMPTY_SLOT:
+                buf.children[idx, slot] = np.uint64(0)
+        elif code == LINK_N256:
+            buf.children[idx, byte] = np.uint64(0)
+        log.record(16, 1)  # child-link store
+        unlinked += 1
+    cleared_only = int(win_rows.size - unlinked)
+
+    # free-list push: only safely recyclable (unlinked) leaves
+    for i in np.nonzero(have_parent)[0]:
+        code = int(wcodes[i])
+        if code in LEAF_TYPE_CODES:
+            layout.free_leaves[code].append(int(widx[i]))
+
+    deleted = np.zeros(B, dtype=bool)
+    # every thread whose key resolved to a now-cleared location succeeded,
+    # including the dedup losers
+    deleted[found] = True
+    layout.device_mutations += int(win_rows.size)
+    return DeleteResult(
+        deleted=deleted, unlinked=unlinked, cleared_only=cleared_only, log=log
+    )

@@ -1,0 +1,179 @@
+"""GPU-style open-addressing hash table with atomic-max semantics
+(section 3.4, after Farrell's "A Simple GPU Hash Table" [4]).
+
+The update engine uses it to resolve write conflicts inside a batch:
+every thread inserts ``(leaf location → its thread index)`` and the table
+keeps the *maximum* thread index per location ("storing the maximum
+element index that performs an update to a certain leaf").  Collisions
+are "handled by simple linear probing as described in ref. [4]".
+
+The table is simulated deterministically but charges realistic costs: the
+slot each distinct key claims is computed by the same linear-probe race a
+CUDA ``atomicCAS`` loop runs, and every probe is recorded as one memory
+transaction plus one atomic.  The probe statistics are what produce
+figure 15's throughput collapse: "for larger trees and large batches,
+hash table collisions become quite frequent and then the linear probing
+algorithm causes the update throughput to drop".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HashTableFullError, SimulationError
+from repro.gpusim.transactions import TransactionLog
+
+#: Fibonacci multiplicative hash constant (64-bit golden ratio).
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+#: slot record: 8-byte key + 8-byte value, read/written atomically.
+SLOT_BYTES = 16
+#: reserved empty-slot marker (a packed link of 0 is the EMPTY link and
+#: never a leaf location, so 0 is safe).
+EMPTY_KEY = np.uint64(0)
+
+
+class AtomicMaxHashTable:
+    """Fixed-capacity open-addressing table: ``uint64 key → int64 max``."""
+
+    def __init__(self, slots: int, log: TransactionLog | None = None) -> None:
+        if slots <= 0 or slots & (slots - 1):
+            raise SimulationError(
+                f"hash table size must be a power of two, got {slots}"
+            )
+        self.slots = slots
+        self._mask = np.uint64(slots - 1)
+        self.keys = np.full(slots, EMPTY_KEY, dtype=np.uint64)
+        self.values = np.full(slots, -1, dtype=np.int64)
+        self.log = log
+        self.total_probes = 0
+        self.max_probe = 0
+        self.occupied = 0
+
+    # ------------------------------------------------------------------
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        return ((keys.astype(np.uint64) * _HASH_MULT) >> np.uint64(32)) & self._mask
+
+    @property
+    def load_factor(self) -> float:
+        return self.occupied / self.slots
+
+    def reset(self) -> None:
+        """Clear between batches (the real kernel memsets the table)."""
+        self.keys.fill(EMPTY_KEY)
+        self.values.fill(-1)
+        self.occupied = 0
+
+    # ------------------------------------------------------------------
+    def insert_max(self, keys: np.ndarray, priorities: np.ndarray) -> None:
+        """All "threads" insert concurrently; per distinct key the table
+        retains the maximum priority.
+
+        Probe accounting: a thread probes from ``hash(key)`` until it
+        finds its key or claims an empty slot; its probe count is the
+        distance to the key's final slot.  All threads sharing a key pay
+        the same distance (they re-walk the same probe chain), which is
+        exactly the CUDA behaviour.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if keys.size == 0:
+            return
+        if np.any(keys == EMPTY_KEY):
+            raise SimulationError("key 0 is reserved as the empty-slot marker")
+
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        slot_of = self._place(uniq)  # may raise HashTableFullError
+
+        # per-thread probe distance = distance of its key's slot
+        home = self._hash(uniq)
+        dist = (slot_of.astype(np.uint64) - home) & self._mask
+        probes_per_key = dist.astype(np.int64) + 1
+        thread_probes = probes_per_key[inverse]
+        total_probes = int(thread_probes.sum())
+        self.total_probes += total_probes
+        self.max_probe = max(self.max_probe, int(probes_per_key.max()))
+        if self.log is not None:
+            # the table is its own dependent phase with its own working
+            # set: the full slot array competes for L2 (a 1Mi-entry table
+            # is 16 MiB — never resident, which is why collisions hurt)
+            self.log.begin_round(int(keys.size))
+            self.log.record(SLOT_BYTES, total_probes)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+            # every probe step is an atomicCAS attempt; every thread ends
+            # with one atomicMax on its key's slot
+            self.log.record_atomics(total_probes + int(keys.size))
+
+        # atomic max per distinct key
+        np.maximum.at(self.values, slot_of[inverse], priorities)
+
+    def _place(self, uniq: np.ndarray) -> np.ndarray:
+        """Claim one slot per distinct key via the linear-probe race."""
+        n = uniq.size
+        if n > self.slots - self.occupied:
+            raise HashTableFullError(
+                f"{n} distinct keys exceed the {self.slots - self.occupied} "
+                "free slots; increase the table ('simply increasing the "
+                "hash table size promises better results', section 4.5)"
+            )
+        slot_of = np.full(n, -1, dtype=np.int64)
+        pending = np.arange(n)
+        probe = np.zeros(n, dtype=np.uint64)
+        home = self._hash(uniq)
+        for _ in range(self.slots):
+            if pending.size == 0:
+                break
+            cand = ((home[pending] + probe[pending]) & self._mask).astype(np.int64)
+            slot_keys = self.keys[cand]
+            # already claimed by the same key (an earlier insert_max call)
+            same = slot_keys == uniq[pending]
+            # empty slots: the lowest-index contender wins the CAS race
+            # (deterministic stand-in for the hardware arbitration)
+            empty = slot_keys == EMPTY_KEY
+            win = np.zeros(pending.size, dtype=bool)
+            if empty.any():
+                order = np.argsort(cand[empty], kind="stable")
+                cand_empty = cand[empty][order]
+                first = np.ones(cand_empty.size, dtype=bool)
+                first[1:] = cand_empty[1:] != cand_empty[:-1]
+                winners_local = np.nonzero(empty)[0][order][first]
+                win[winners_local] = True
+                claim_slots = cand[winners_local]
+                self.keys[claim_slots] = uniq[pending[winners_local]]
+                self.occupied += winners_local.size
+            done = same | win
+            slot_of[pending[done]] = cand[done]
+            probe[pending[~done & ~same]] += np.uint64(1)
+            pending = pending[~done]
+        if (slot_of < 0).any():  # pragma: no cover - defensive
+            raise HashTableFullError("probe cycle exhausted without placement")
+        return slot_of
+
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Read back the stored maxima (stage-3 read of section 3.4)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.full(keys.size, -1, dtype=np.int64)
+        if keys.size == 0:
+            return out
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        home = self._hash(uniq)
+        found_val = np.full(uniq.size, -1, dtype=np.int64)
+        pending = np.arange(uniq.size)
+        probe = np.zeros(uniq.size, dtype=np.uint64)
+        probes_done = 0
+        for _ in range(self.slots):
+            if pending.size == 0:
+                break
+            cand = ((home[pending] + probe[pending]) & self._mask).astype(np.int64)
+            slot_keys = self.keys[cand]
+            hit = slot_keys == uniq[pending]
+            miss_end = slot_keys == EMPTY_KEY
+            probes_done += pending.size
+            found_val[pending[hit]] = self.values[cand[hit]]
+            pending = pending[~(hit | miss_end)]
+            probe += np.uint64(1)
+        if self.log is not None:
+            self.log.begin_round(int(keys.size))
+            self.log.record(SLOT_BYTES, probes_done)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+        return found_val[inverse]

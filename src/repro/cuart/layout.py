@@ -1,0 +1,481 @@
+"""Mapping the host ART into the CuART struct-of-arrays device layout.
+
+Section 3.2.1: "we map the index structure into several buffers instead
+of just one ... one buffer per node type.  [It] allows the implementation
+to determine the transaction read size before initiating the actual
+memory request ... combined with a guaranteed alignment of at least 16
+bytes".
+
+Buffers (NumPy arrays standing in for device allocations):
+
+===============  =========================================================
+``N4``/``N16``   ``keys (n, cap) u8``, ``children (n, cap) u64`` packed
+                 links, ``counts (n,) u8``
+``N48``          ``child_index (n, 256) u8`` (0xFF = empty),
+                 ``children (n, 48) u64``
+``N256``         ``children (n, 256) u64`` (0 = empty)
+all inner nodes  ``prefix (n, 15) u8`` stored window, ``prefix_len (n,)``
+                 full skipped length (optimistic path compression)
+``leaf8/16/32``  ``keys (n, cap) u8``, ``key_lens (n,) u8``,
+                 ``values (n,) u64`` — *lexicographically ordered*
+===============  =========================================================
+
+Leaf ordering falls out of the in-order mapping traversal and is what
+makes range queries "trivial because it is only required to transmit both
+the start and the end index within the leaf arrays".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.art.nodes import InnerNode, Leaf, Node4, Node16, Node48, Node256
+from repro.art.stats import leaf_type_for_key
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import (
+    CUART_MAX_PREFIX,
+    CUART_NODE_BYTES,
+    LEAF_CAPACITY,
+    LEAF_TYPE_CODES,
+    LINK_DYNLEAF,
+    LINK_EMPTY,
+    LINK_HOST,
+    LINK_LEAF8,
+    LINK_LEAF16,
+    LINK_LEAF32,
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    MAX_SHORT_KEY,
+    N48_EMPTY_SLOT,
+    NIL_VALUE,
+    NODE_TYPE_CODES,
+)
+from repro.errors import KeyTooLongError, StaleLayoutError
+from repro.util.packing import pack_link
+
+
+class LongKeyStrategy(enum.Enum):
+    """How the device layout copes with keys longer than the largest
+    fixed leaf (section 3.2.3)."""
+
+    #: raise :class:`KeyTooLongError` at mapping time — the caller must
+    #: route long keys elsewhere (strategy (a), handled by
+    #: :mod:`repro.host.hybrid`: long keys never reach the device).
+    ERROR = "error"
+    #: strategy (b): keep long leaves in host memory; the device stores a
+    #: ``LINK_HOST`` link and lookups return a "resolve on CPU" signal.
+    HOST_LINK = "host_link"
+    #: strategy (c), what GRT does: a dynamically-sized device leaf heap,
+    #: compared with a variable-length loop on-device.
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class _NodeBuffers:
+    """Per-type SoA arrays for one inner-node type."""
+
+    keys: np.ndarray | None  # (n, cap) u8, only N4/N16
+    children: np.ndarray  # (n, cap|48|256) u64
+    child_index: np.ndarray | None  # (n, 256) u8, only N48
+    counts: np.ndarray  # (n,) int16
+    prefix: np.ndarray  # (n, CUART_MAX_PREFIX) u8
+    prefix_len: np.ndarray  # (n,) int32
+
+
+@dataclass
+class _LeafBuffers:
+    """Per-size SoA arrays for one fixed leaf type."""
+
+    keys: np.ndarray  # (n, cap) u8
+    key_lens: np.ndarray  # (n,) int32
+    values: np.ndarray  # (n,) u64
+
+
+@dataclass
+class _DynLeafHeap:
+    """Device heap for strategy (c): records ``[len u16][value u64][key]``
+    packed back to back, addressed by byte offset."""
+
+    heap: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+    offsets: list[int] = field(default_factory=list)
+
+    HEADER = 10  # 2-byte length + 8-byte value
+
+    def record_size(self, key_len: int) -> int:
+        return self.HEADER + key_len
+
+
+class CuartLayout:
+    """The mapped, device-resident CuART index.
+
+    Build once from a populated host tree (pipeline stage 2 of section
+    4.1); afterwards the kernels in :mod:`repro.cuart.lookup`,
+    :mod:`repro.cuart.update` and :mod:`repro.cuart.delete` operate on the
+    buffers only.  Non-structural mutations (value updates, lazy
+    deletions) happen in place; structural changes require re-mapping —
+    :meth:`check_fresh` guards against using a stale layout.
+    """
+
+    def __init__(
+        self,
+        tree: AdaptiveRadixTree,
+        *,
+        long_keys: LongKeyStrategy = LongKeyStrategy.ERROR,
+        single_leaf_size: int | None = None,
+        spare: float = 0.0,
+        prefix_window: int = CUART_MAX_PREFIX,
+    ) -> None:
+        """``single_leaf_size`` (8, 16 or 32) forces every leaf into one
+        fixed buffer — the paper's *initial* design ("we replaced the
+        dynamically sized leaf buffer by a fixed size leaf, which can
+        store up to 32 byte keys") before it switched to the 8/16/32
+        split; kept as an ablation knob (see benchmarks/ablations).
+
+        ``spare`` over-allocates every buffer by that fraction (plus a
+        small fixed floor) so the device-side insert engine
+        (:mod:`repro.cuart.insert`, the paper's §5.1 "more sophisticated
+        buffer management") has node and leaf slots to allocate from
+        without a host re-map.
+
+        ``prefix_window`` sets the per-node stored-prefix bytes (the
+        paper frees GRT's type byte to reach 15).  Smaller windows
+        shrink node records but push more verification onto optimistic
+        leaf checks; the prefix-window ablation bench sweeps this.
+        """
+        if single_leaf_size is not None and single_leaf_size not in (8, 16, 32):
+            raise KeyTooLongError(
+                f"single_leaf_size must be 8, 16 or 32, got {single_leaf_size}"
+            )
+        if spare < 0:
+            raise StaleLayoutError(f"spare must be non-negative, got {spare}")
+        if not 1 <= prefix_window <= 255:
+            raise KeyTooLongError(
+                f"prefix_window must be 1..255, got {prefix_window}"
+            )
+        self.prefix_window = prefix_window
+        #: per-record transaction sizes for this window (16-byte padded);
+        #: equals :data:`repro.constants.CUART_NODE_BYTES` at the default
+        self.node_record_bytes = _record_bytes(prefix_window)
+        self.single_leaf_size = single_leaf_size
+        self.long_keys = long_keys
+        self.spare = spare
+        self._source_version = tree.version
+        self._source = tree
+        #: device-side mutations (updates/deletes) since mapping.
+        self.device_mutations = 0
+        #: device-side structural inserts since mapping.
+        self.device_inserts = 0
+        #: root tables that must be patched when a node is relocated by
+        #: growth (registered by RootTable).
+        self.attached_tables: list = []
+
+        counts = _count_nodes(tree, long_keys, single_leaf_size)
+        if spare > 0:
+            floor = 8
+            for c in NODE_TYPE_CODES + LEAF_TYPE_CODES:
+                counts[c] = counts[c] + max(int(counts[c] * spare), floor)
+        self._alloc(counts)
+        #: host-node identity -> packed device link, recorded during the
+        #: mapping pass; consumed by the RootTable builder (section 3.2.2)
+        #: and by tests.
+        self.node_links: dict[int, int] = {}
+        #: host-memory leaves for :attr:`LongKeyStrategy.HOST_LINK`.
+        self.host_leaves: list[tuple[bytes, int]] = []
+        #: free leaf slots per leaf type, filled by device-side deletes
+        #: ("the leaf index is pushed into a list of free leaves which can
+        #: be used for future inserts", section 3.3).
+        self.free_leaves: dict[int, list[int]] = {c: [] for c in LEAF_TYPE_CODES}
+        #: node rows recycled by growth (old, smaller node records).
+        self.free_nodes: dict[int, list[int]] = {c: [] for c in NODE_TYPE_CODES}
+        self.root_link = self._map(tree)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _alloc(self, counts: dict) -> None:
+        P = self.prefix_window
+        self.nodes: dict[int, _NodeBuffers] = {}
+        for code, cap in ((LINK_N4, 4), (LINK_N16, 16)):
+            n = counts[code]
+            self.nodes[code] = _NodeBuffers(
+                keys=np.zeros((n, cap), dtype=np.uint8),
+                children=np.zeros((n, cap), dtype=np.uint64),
+                child_index=None,
+                counts=np.zeros(n, dtype=np.int16),
+                prefix=np.zeros((n, P), dtype=np.uint8),
+                prefix_len=np.zeros(n, dtype=np.int32),
+            )
+        n = counts[LINK_N48]
+        self.nodes[LINK_N48] = _NodeBuffers(
+            keys=None,
+            children=np.zeros((n, 48), dtype=np.uint64),
+            child_index=np.full((n, 256), N48_EMPTY_SLOT, dtype=np.uint8),
+            counts=np.zeros(n, dtype=np.int16),
+            prefix=np.zeros((n, P), dtype=np.uint8),
+            prefix_len=np.zeros(n, dtype=np.int32),
+        )
+        n = counts[LINK_N256]
+        self.nodes[LINK_N256] = _NodeBuffers(
+            keys=None,
+            children=np.zeros((n, 256), dtype=np.uint64),
+            child_index=None,
+            counts=np.zeros(n, dtype=np.int16),
+            prefix=np.zeros((n, P), dtype=np.uint8),
+            prefix_len=np.zeros(n, dtype=np.int32),
+        )
+        self.leaves: dict[int, _LeafBuffers] = {}
+        for code in LEAF_TYPE_CODES:
+            n = counts[code]
+            self.leaves[code] = _LeafBuffers(
+                keys=np.zeros((n, LEAF_CAPACITY[code]), dtype=np.uint8),
+                key_lens=np.zeros(n, dtype=np.int32),
+                values=np.zeros(n, dtype=np.uint64),
+            )
+        self.dyn = _DynLeafHeap(
+            heap=np.zeros(counts.get("dyn_bytes", 0), dtype=np.uint8)
+        )
+
+    def _map(self, tree: AdaptiveRadixTree) -> int:
+        """In-order DFS fill; returns the packed root link."""
+        self._next_node = {c: 0 for c in NODE_TYPE_CODES}
+        self._next_leaf = {c: 0 for c in LEAF_TYPE_CODES}
+        self._dyn_cursor = 0
+        #: deepest traversal level (node visits) seen while mapping; used
+        #: by the range-query transaction accounting.
+        self.max_levels = 0
+        if tree.root is None:
+            return pack_link(LINK_EMPTY, 0)
+        return self._map_node(tree.root, 0)
+
+    def _map_node(self, node, level: int = 0) -> int:
+        self.max_levels = max(self.max_levels, level + 1)
+        if isinstance(node, Leaf):
+            link = self._map_leaf(node)
+            self.node_links[id(node)] = link
+            return link
+        code = node.TYPE
+        idx = self._next_node[code]
+        self._next_node[code] += 1
+        buf = self.nodes[code]
+        p = node.prefix
+        stored = p[: self.prefix_window]
+        buf.prefix[idx, : len(stored)] = np.frombuffer(stored, dtype=np.uint8)
+        buf.prefix_len[idx] = len(p)
+        buf.counts[idx] = node.num_children
+        if code in (LINK_N4, LINK_N16):
+            for slot, (byte, child) in enumerate(node.children_items()):
+                buf.keys[idx, slot] = byte
+                buf.children[idx, slot] = self._map_node(child, level + 1)
+        elif code == LINK_N48:
+            for slot, (byte, child) in enumerate(node.children_items()):
+                buf.child_index[idx, byte] = slot
+                buf.children[idx, slot] = self._map_node(child, level + 1)
+        else:  # N256
+            for byte, child in node.children_items():
+                buf.children[idx, byte] = self._map_node(child, level + 1)
+        link = pack_link(code, idx)
+        self.node_links[id(node)] = link
+        return link
+
+    def _map_leaf(self, leaf: Leaf) -> int:
+        klen = len(leaf.key)
+        limit = self.single_leaf_size or MAX_SHORT_KEY
+        if klen > limit:
+            if self.long_keys is LongKeyStrategy.ERROR:
+                raise KeyTooLongError(
+                    f"key of {klen} bytes exceeds the {MAX_SHORT_KEY}-byte "
+                    "fixed-leaf maximum and long_keys=ERROR "
+                    "(see LongKeyStrategy / repro.host.hybrid)"
+                )
+            if self.long_keys is LongKeyStrategy.HOST_LINK:
+                self.host_leaves.append((leaf.key, leaf.value))
+                return pack_link(LINK_HOST, len(self.host_leaves) - 1)
+            return self._map_dyn_leaf(leaf)
+        code = _classify_leaf(klen, self.single_leaf_size)
+        idx = self._next_leaf[code]
+        self._next_leaf[code] += 1
+        buf = self.leaves[code]
+        buf.keys[idx, :klen] = np.frombuffer(leaf.key, dtype=np.uint8)
+        buf.key_lens[idx] = klen
+        buf.values[idx] = leaf.value
+        return pack_link(code, idx)
+
+    def _map_dyn_leaf(self, leaf: Leaf) -> int:
+        off = self._dyn_cursor
+        rec = self.dyn.record_size(len(leaf.key))
+        heap = self.dyn.heap
+        heap[off : off + 2] = np.frombuffer(
+            len(leaf.key).to_bytes(2, "little"), dtype=np.uint8
+        )
+        heap[off + 2 : off + 10] = np.frombuffer(
+            int(leaf.value).to_bytes(8, "little"), dtype=np.uint8
+        )
+        heap[off + 10 : off + 10 + len(leaf.key)] = np.frombuffer(
+            leaf.key, dtype=np.uint8
+        )
+        self.dyn.offsets.append(off)
+        self._dyn_cursor += rec
+        return pack_link(LINK_DYNLEAF, off)
+
+    # ------------------------------------------------------------------
+    # bookkeeping / accounting
+    # ------------------------------------------------------------------
+    def check_fresh(self) -> None:
+        """Raise :class:`StaleLayoutError` if the host tree structurally
+        changed after this layout was mapped."""
+        if self._source.version != self._source_version:
+            raise StaleLayoutError(
+                "host tree changed since mapping; re-map the layout "
+                "(structural inserts cannot be reflected in-place)"
+            )
+
+    # ------------------------------------------------------------------
+    # device-side allocation (insert engine, §5.1 buffer management)
+    # ------------------------------------------------------------------
+    def alloc_leaf(self, code: int) -> int | None:
+        """Claim a leaf slot: recycled free-list entries first ("a list
+        of free leaves which can be used for future inserts", §3.3),
+        then the spare-capacity cursor.  ``None`` when exhausted."""
+        if self.free_leaves[code]:
+            return self.free_leaves[code].pop()
+        nxt = self._next_leaf[code]
+        if nxt < len(self.leaves[code].values):
+            self._next_leaf[code] = nxt + 1
+            return nxt
+        return None
+
+    def alloc_node(self, code: int) -> int | None:
+        """Claim an inner-node slot (growth allocations)."""
+        if self.free_nodes[code]:
+            return self.free_nodes[code].pop()
+        nxt = self._next_node[code]
+        if nxt < len(self.nodes[code].counts):
+            self._next_node[code] = nxt + 1
+            return nxt
+        return None
+
+    def spare_leaf_slots(self, code: int) -> int:
+        return (
+            len(self.leaves[code].values) - self._next_leaf[code]
+            + len(self.free_leaves[code])
+        )
+
+    def relocated(self, old_link: int, new_link: int) -> None:
+        """Patch attached root tables after a node moved (growth)."""
+        for table in self.attached_tables:
+            table.links[table.links == np.uint64(old_link)] = np.uint64(new_link)
+
+    def invalidate_range_cache(self) -> None:
+        """Drop the sorted-leaf snapshot; device inserts append leaves
+        out of lexicographic buffer order, so the next range query must
+        rebuild (and from then on carries a row indirection)."""
+        if hasattr(self, "_range_key_cache"):
+            del self._range_key_cache
+
+    def mark_synced(self) -> None:
+        """Declare the host tree and this layout content-equivalent again.
+
+        The end-to-end engine mirrors every device-side insert, update
+        and delete into the host tree; the mirrored host mutations bump
+        the tree version, which :meth:`check_fresh` would otherwise
+        reject.  Only call when both sides index the same key set.
+        """
+        self._source_version = self._source.version
+
+    def node_count(self, code: int) -> int:
+        if code in NODE_TYPE_CODES:
+            return len(self.nodes[code].counts)
+        return len(self.leaves[code].values)
+
+    def device_bytes(self) -> int:
+        """Total device memory of all buffers (16-byte-aligned records)."""
+        total = 0
+        for code in NODE_TYPE_CODES + LEAF_TYPE_CODES:
+            total += self.node_count(code) * self.node_record_bytes[code]
+        total += self.dyn.heap.nbytes
+        return total
+
+    def leaf_value_location(self, code: int, index: int) -> int:
+        """Stable scalar id of one leaf's value slot (used by the update
+        engine's hash table as the conflict-resolution key)."""
+        return pack_link(code, index)
+
+    # convenience accessors used by kernels -----------------------------
+    @property
+    def n4(self) -> _NodeBuffers:
+        return self.nodes[LINK_N4]
+
+    @property
+    def n16(self) -> _NodeBuffers:
+        return self.nodes[LINK_N16]
+
+    @property
+    def n48(self) -> _NodeBuffers:
+        return self.nodes[LINK_N48]
+
+    @property
+    def n256(self) -> _NodeBuffers:
+        return self.nodes[LINK_N256]
+
+
+def _classify_leaf(key_len: int, single_leaf_size: int | None) -> int:
+    """Leaf type for ``key_len``, honoring the single-leaf ablation."""
+    if single_leaf_size is None:
+        return leaf_type_for_key(key_len)
+    if key_len > single_leaf_size:
+        raise KeyTooLongError(
+            f"key length {key_len} exceeds the forced single leaf size "
+            f"{single_leaf_size}"
+        )
+    return {8: LINK_LEAF8, 16: LINK_LEAF16, 32: LINK_LEAF32}[single_leaf_size]
+
+
+def _count_nodes(
+    tree: AdaptiveRadixTree,
+    long_keys: LongKeyStrategy,
+    single_leaf_size: int | None = None,
+) -> dict:
+    """Pre-pass: how many records of each type the buffers need."""
+    counts: dict = {c: 0 for c in NODE_TYPE_CODES + LEAF_TYPE_CODES}
+    counts["dyn_bytes"] = 0
+    limit = single_leaf_size or MAX_SHORT_KEY
+    stack = [tree.root] if tree.root is not None else []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            klen = len(node.key)
+            if klen > limit:
+                if long_keys is LongKeyStrategy.DYNAMIC:
+                    counts["dyn_bytes"] += _DynLeafHeap.HEADER + klen
+                # HOST_LINK needs no device space; ERROR raises at map time
+                continue
+            counts[_classify_leaf(klen, single_leaf_size)] += 1
+        else:
+            assert isinstance(node, InnerNode)
+            counts[node.TYPE] += 1
+            stack.extend(child for _, child in node.children_items())
+    return counts
+
+
+def _record_bytes(prefix_window: int) -> dict:
+    """Per-type transaction sizes for a given stored-prefix window,
+    padded to 16-byte alignment like :data:`CUART_NODE_BYTES`."""
+
+    def pad16(n: int) -> int:
+        return (n + 15) & ~15
+
+    header = 4 + prefix_window + 1
+    return {
+        LINK_N4: pad16(header + 4 + 4 * 8),
+        LINK_N16: pad16(header + 16 + 16 * 8),
+        LINK_N48: pad16(header + 256 + 48 * 8),
+        LINK_N256: pad16(header + 256 * 8),
+        LINK_LEAF8: CUART_NODE_BYTES[LINK_LEAF8],
+        LINK_LEAF16: CUART_NODE_BYTES[LINK_LEAF16],
+        LINK_LEAF32: CUART_NODE_BYTES[LINK_LEAF32],
+    }

@@ -1,0 +1,284 @@
+"""Out-of-core operation: hot/cold key-space partitioning (§5.1).
+
+"Furthermore, we plan to add a specialized handling for index structures
+larger than the device memory, by migrating rarely used parts of the key
+space into host memory and query them in a hybrid manner with both GPU
+and CPU doing the work."
+
+The key space is partitioned by the first key byte (256 partitions — the
+natural radix-tree split axis: every partition is one subtree below the
+root).  A device-memory budget selects the *hot* partition set; hot
+subtrees are mapped into a CuART layout on the device, cold subtrees stay
+in the host tree.  Lookups are routed per key; per-partition access
+counters feed :meth:`PartitionedIndex.rebalance`, which re-picks the hot
+set by observed heat density (accesses per device byte) and re-maps only
+when the set actually changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.art.nodes import Leaf
+from repro.art.stats import collect_stats
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import NIL_VALUE
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.root_table import RootTable
+from repro.errors import ReproError
+from repro.gpusim.transactions import TransactionLog
+from repro.util.keys import keys_to_matrix
+
+
+@dataclass
+class PartitionStats:
+    """Observable state of the hot/cold split."""
+
+    hot_partitions: int
+    cold_partitions: int
+    device_bytes: int
+    budget_bytes: int
+    #: fraction of all keys resident on the device.
+    hot_key_fraction: float
+    #: queries routed to the device / host since the last rebalance.
+    device_queries: int
+    host_queries: int
+    rebalances: int
+
+
+class PartitionedIndex:
+    """An index larger than device memory, split across device and host.
+
+    >>> idx = PartitionedIndex(device_budget_bytes=1 << 20)
+    >>> idx.populate([(b'ab', 1), (b'zz', 2)])
+    >>> idx.lookup([b'ab', b'zz', b'xx'])
+    [1, 2, None]
+    """
+
+    def __init__(
+        self,
+        *,
+        device_budget_bytes: int,
+        root_table_depth: int | None = None,
+        batch_width: int = 32,
+    ) -> None:
+        if device_budget_bytes <= 0:
+            raise ReproError("device budget must be positive")
+        self.budget = device_budget_bytes
+        self.root_table_depth = root_table_depth
+        self.tree = AdaptiveRadixTree()  # authoritative, holds everything
+        self.hot_set: frozenset[int] = frozenset()
+        self.layout: CuartLayout | None = None
+        self.root_table: RootTable | None = None
+        self._hot_tree: AdaptiveRadixTree | None = None
+        #: per-first-byte access counters since the last rebalance.
+        self.access_counts = np.zeros(256, dtype=np.int64)
+        self.device_queries = 0
+        self.host_queries = 0
+        self.rebalances = 0
+        self.last_log: TransactionLog | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def populate(self, items) -> None:
+        """Insert items into the authoritative host tree and (re)build
+        the device-resident hot set."""
+        for k, v in items:
+            self.tree.insert(k, v)
+        self._choose_hot(self._partition_weights(uniform=True))
+        self._map_hot()
+
+    def _partition_sizes(self) -> np.ndarray:
+        """Device bytes each first-byte partition would occupy."""
+        sizes = np.zeros(256, dtype=np.int64)
+        root = self.tree.root
+        if root is None:
+            return sizes
+        if isinstance(root, Leaf):
+            sizes[root.key[0]] = 64
+            return sizes
+        # account each subtree below the root; the root's compressed
+        # prefix pins every key to one partition
+        prefix = root.prefix
+        if len(prefix) >= 1:
+            stats = collect_stats(root)
+            sizes[prefix[0]] = stats.cuart_device_bytes()
+            return sizes
+        for byte, child in root.children_items():
+            stats = collect_stats(child)
+            sizes[byte] = max(stats.cuart_device_bytes(), 64)
+        return sizes
+
+    def _partition_weights(self, uniform: bool = False) -> np.ndarray:
+        if uniform or self.access_counts.sum() == 0:
+            return np.ones(256, dtype=np.float64)
+        return self.access_counts.astype(np.float64)
+
+    def _choose_hot(self, weights: np.ndarray) -> None:
+        """Greedy knapsack: hottest partitions per byte first.
+
+        The per-subtree size estimates do not see the root structure the
+        re-mapped hot tree adds, nor node-type shifts from re-insertion,
+        so a root reserve plus a 5% safety factor keeps the mapped
+        layout inside the budget.
+        """
+        sizes = self._partition_sizes()
+        effective = (self.budget - 4096) / 1.05
+        density = np.where(sizes > 0, weights / np.maximum(sizes, 1), 0.0)
+        order = np.argsort(-density, kind="stable")
+        chosen: set[int] = set()
+        used = 0
+        for b in order:
+            if sizes[b] == 0:
+                continue
+            if used + sizes[b] > effective:
+                continue
+            chosen.add(int(b))
+            used += int(sizes[b])
+        self.hot_set = frozenset(chosen)
+
+    def _map_hot(self) -> None:
+        """Build the device layout holding only the hot partitions."""
+        hot_tree = AdaptiveRadixTree()
+        for k, v in self.tree.items():
+            if k[0] in self.hot_set:
+                hot_tree.insert(k, v)
+        self._hot_tree = hot_tree
+        self.layout = CuartLayout(hot_tree)
+        self.root_table = (
+            RootTable(self.layout, k=self.root_table_depth)
+            if self.root_table_depth
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(self, keys) -> list[int | None]:
+        """Route each key to the device (hot) or the host tree (cold)."""
+        if self.layout is None:
+            raise ReproError("populate() first")
+        out: list[int | None] = [None] * len(keys)
+        hot_rows, hot_keys = [], []
+        log = TransactionLog()
+        for i, k in enumerate(keys):
+            self.access_counts[k[0]] += 1
+            if k[0] in self.hot_set:
+                hot_rows.append(i)
+                hot_keys.append(k)
+            else:
+                out[i] = self.tree.search(k)
+                self.host_queries += 1
+        if hot_keys:
+            mat, lens = keys_to_matrix(hot_keys)
+            res = lookup_batch(
+                self.layout, mat, lens, root_table=self.root_table, log=log
+            )
+            for j, i in enumerate(hot_rows):
+                v = int(res.values[j])
+                out[i] = None if v == NIL_VALUE else v
+            self.device_queries += len(hot_keys)
+        self.last_log = log
+        return out
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def rebalance(self) -> bool:
+        """Re-pick the hot set from the observed access counters
+        ("migrating rarely used parts of the key space into host
+        memory"); returns True when the device content changed."""
+        old = self.hot_set
+        self._choose_hot(self._partition_weights())
+        self.rebalances += 1
+        self.access_counts[:] = 0
+        if self.hot_set != old:
+            self._map_hot()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PartitionStats:
+        sizes = self._partition_sizes()
+        populated = int((sizes > 0).sum())
+        hot_keys = len(self._hot_tree) if self._hot_tree else 0
+        return PartitionStats(
+            hot_partitions=len(self.hot_set),
+            cold_partitions=populated - len(self.hot_set & set(np.nonzero(sizes)[0].tolist())),
+            device_bytes=self.layout.device_bytes() if self.layout else 0,
+            budget_bytes=self.budget,
+            hot_key_fraction=hot_keys / max(len(self.tree), 1),
+            device_queries=self.device_queries,
+            host_queries=self.host_queries,
+            rebalances=self.rebalances,
+        )
+
+
+    # ------------------------------------------------------------------
+    # writes (routed like reads: hot -> device engines, cold -> host)
+    # ------------------------------------------------------------------
+    def update(self, items) -> list[bool]:
+        """Value updates routed per key; the authoritative host tree
+        mirrors every applied write (hot-set migrations re-map from it)."""
+        if self.layout is None:
+            raise ReproError("populate() first")
+        from repro.cuart.update import UpdateEngine
+
+        found = [False] * len(items)
+        hot_rows, hot_items = [], []
+        for i, (k, v) in enumerate(items):
+            self.access_counts[k[0]] += 1
+            if k[0] in self.hot_set:
+                hot_rows.append(i)
+                hot_items.append((k, v))
+            elif self.tree.search(k) is not None:
+                self.tree.insert(k, v)
+                found[i] = True
+                self.host_queries += 1
+        if hot_items:
+            mat, lens = keys_to_matrix([k for k, _ in hot_items])
+            values = np.array([v for _, v in hot_items], dtype=np.uint64)
+            engine = UpdateEngine(self.layout, root_table=self.root_table)
+            res = engine.apply(mat, lens, values)
+            for j, i in enumerate(hot_rows):
+                found[i] = bool(res.found[j])
+            # mirror applied hot writes into the authoritative tree
+            for (k, v), hit in zip(hot_items, res.found):
+                if hit:
+                    self.tree.insert(k, v)
+            self.layout.mark_synced()
+            self.device_queries += len(hot_items)
+        return found
+
+    def delete(self, keys) -> list[bool]:
+        """Deletions routed per key, mirrored into the host tree."""
+        if self.layout is None:
+            raise ReproError("populate() first")
+        from repro.cuart.delete import delete_batch
+
+        out = [False] * len(keys)
+        hot_rows, hot_keys = [], []
+        for i, k in enumerate(keys):
+            self.access_counts[k[0]] += 1
+            if k[0] in self.hot_set:
+                hot_rows.append(i)
+                hot_keys.append(k)
+            else:
+                out[i] = self.tree.delete(k)
+                self.host_queries += 1
+        if hot_keys:
+            mat, lens = keys_to_matrix(hot_keys)
+            res = delete_batch(self.layout, mat, lens,
+                               root_table=self.root_table)
+            for j, i in enumerate(hot_rows):
+                out[i] = bool(res.deleted[j])
+            for k, hit in zip(hot_keys, res.deleted):
+                if hit:
+                    self.tree.delete(k)
+            self.layout.mark_synced()
+            self.device_queries += len(hot_keys)
+        return out

@@ -1,0 +1,166 @@
+"""Two-stage batched update engine (section 3.4).
+
+"Update operations replace the value stored for certain keys. ... We
+utilize a one-dimensional grid of threads in CUDA, which means that the
+update operation priority increases along with the thread ID."
+
+Stage 1 — every thread runs a lookup that returns the *memory location*
+of its leaf instead of the value.
+
+Stage 2 — duplicate writers to the same location are eliminated through
+the atomic-max hash table: each thread publishes its thread index for its
+location, a grid synchronization follows, then every thread reads the
+maximum back and only the thread whose index equals it performs the
+write.  "As updates and nonstructural modifying deletes are quite similar
+in their functionality, we use the same implementation for both,
+signaling a deletion through setting a nil pointer."
+
+The engine is *atomic* in the paper's sense: within a batch, concurrent
+writes to one key resolve to the highest-priority writer and readers
+never observe a torn value (values are single 64-bit words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_UPDATE_HASH_SLOTS,
+    LEAF_TYPE_CODES,
+    NIL_VALUE,
+)
+from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.errors import SimulationError
+from repro.gpusim.transactions import TransactionLog
+from repro.util.packing import link_indices, link_types
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one batched update/delete kernel."""
+
+    #: (B,) bool — the key was found (stage 1 hit).
+    found: np.ndarray
+    #: (B,) bool — this thread won conflict resolution and performed the
+    #: write (at most one winner per distinct key).
+    winners: np.ndarray
+    #: number of leaf values actually written.
+    writes: int
+    #: number of write conflicts eliminated (threads that lost).
+    conflicts_eliminated: int
+    #: hash-table probe statistics of this batch.
+    total_probes: int
+    max_probe: int
+    load_factor: float
+    log: TransactionLog
+
+
+class UpdateEngine:
+    """Reusable batched updater bound to one mapped layout."""
+
+    def __init__(
+        self,
+        layout: CuartLayout,
+        *,
+        root_table=None,
+        hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+    ) -> None:
+        self.layout = layout
+        self.root_table = root_table
+        self.hash_slots = hash_slots
+
+    def apply(
+        self,
+        keys_mat: np.ndarray,
+        key_lens: np.ndarray,
+        new_values: np.ndarray,
+        *,
+        deletes: np.ndarray | None = None,
+        log: TransactionLog | None = None,
+    ) -> UpdateResult:
+        """Apply one update batch; thread ``i`` writes ``new_values[i]``
+        (or a nil pointer where ``deletes[i]``) to ``keys_mat[i]``.
+
+        Updates to keys not present in the index are skipped (found=False)
+        — structural inserts need a host re-map (section 5.1 leaves full
+        device-side management to future work).
+        """
+        layout = self.layout
+        layout.check_fresh()
+        B = keys_mat.shape[0]
+        if log is None:
+            log = TransactionLog()
+        new_values = np.asarray(new_values, dtype=np.uint64)
+        if new_values.shape != (B,):
+            raise SimulationError("new_values must be one value per query")
+        if deletes is None:
+            deletes = np.zeros(B, dtype=bool)
+        if np.any((new_values == np.uint64(NIL_VALUE)) & ~deletes):
+            raise SimulationError(
+                "NIL_VALUE is the deletion signal; pass deletes=... instead"
+            )
+
+        # ---- stage 1: locate the leaves -----------------------------
+        res = lookup_batch(
+            layout, keys_mat, key_lens, root_table=self.root_table, log=log
+        )
+        locations = res.locations
+        found = locations != np.uint64(0)
+        thread_ids = np.arange(B, dtype=np.int64)
+
+        # ---- stage 2: conflict resolution via atomic-max table ------
+        table = AtomicMaxHashTable(self.hash_slots, log=log)
+        table.insert_max(locations[found], thread_ids[found])
+        # __syncthreads() / grid sync happens here
+        winners = np.zeros(B, dtype=bool)
+        max_ids = table.lookup(locations[found])
+        winners[found] = thread_ids[found] == max_ids
+
+        # ---- stage 3: winners write ----------------------------------
+        writes = 0
+        win_rows = np.nonzero(winners)[0]
+        wlocs = locations[win_rows]
+        wcodes = link_types(wlocs)
+        widx = link_indices(wlocs)
+        for code in LEAF_TYPE_CODES:
+            sel = wcodes == code
+            if not sel.any():
+                continue
+            buf = layout.leaves[code]
+            vals = np.where(
+                deletes[win_rows[sel]], np.uint64(NIL_VALUE), new_values[win_rows[sel]]
+            )
+            buf.values[widx[sel]] = vals
+            # one 16-byte store per winner (value word, write-combined)
+            log.record(16, int(sel.sum()))
+            writes += int(sel.sum())
+        # dynamic leaves: patch the value field inside the heap record
+        from repro.constants import LINK_DYNLEAF
+
+        sel = wcodes == LINK_DYNLEAF
+        if sel.any():
+            heap = layout.dyn.heap
+            for row, off in zip(win_rows[sel], widx[sel]):
+                val = NIL_VALUE if deletes[row] else int(new_values[row])
+                heap[off + 2 : off + 10] = np.frombuffer(
+                    val.to_bytes(8, "little"), dtype=np.uint8
+                )
+            log.record(16, int(sel.sum()), aligned=False)
+            writes += int(sel.sum())
+
+        layout.device_mutations += writes
+        conflicts = int(found.sum()) - int(winners.sum())
+        return UpdateResult(
+            found=found,
+            winners=winners,
+            writes=writes,
+            conflicts_eliminated=conflicts,
+            total_probes=table.total_probes,
+            max_probe=table.max_probe,
+            load_factor=table.load_factor,
+            log=log,
+        )

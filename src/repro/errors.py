@@ -1,0 +1,47 @@
+"""Exception hierarchy for the CuART reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class KeyEncodingError(ReproError, ValueError):
+    """A key could not be encoded into binary-comparable bytes."""
+
+
+class KeyPrefixError(ReproError, ValueError):
+    """A key that is a proper prefix of an existing key (or vice versa)
+    was inserted.
+
+    Radix trees index binary-comparable keys; a key that is a proper
+    prefix of another cannot be distinguished from the traversal that
+    passes *through* it.  The standard remedy (Leis et al. 2013, sec. IV)
+    is to append a terminator byte — :func:`repro.util.keys.encode_str`
+    does exactly that.
+    """
+
+
+class KeyTooLongError(ReproError, ValueError):
+    """A key exceeds the compile-time maximum leaf size and no long-key
+    strategy is configured (section 3.2.3)."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A fixed-capacity device buffer (node buffer, hash table, free list)
+    ran out of space."""
+
+
+class HashTableFullError(CapacityError):
+    """The update-engine hash table could not place an entry even after a
+    full linear-probe cycle (section 3.4/4.5)."""
+
+
+class StaleLayoutError(ReproError, RuntimeError):
+    """A device layout was used after the host-side tree changed in a way
+    the layout cannot reflect (structural insert without re-mapping)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The GPU simulation was configured inconsistently."""

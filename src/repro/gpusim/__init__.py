@@ -1,0 +1,49 @@
+"""Simulated GPU substrate.
+
+The paper's kernels are memory-transaction-bound (section 3.1: ~20 compute
+cycles per node vs ≥50-cycle global loads), so this reproduction replaces
+the CUDA runtime by
+
+* NumPy-vectorized batch kernels that compute the *actual* results
+  (``repro.cuart.lookup``, ``repro.grt.kernel``, ...), and
+* a transaction-level performance model: every simulated global-memory
+  access is recorded into a :class:`TransactionLog` and converted into
+  simulated kernel time by :class:`CostModel` given a device description
+  (channels, command clock, transaction atom, bandwidth, latency).
+
+This package defines the model; the kernels live with their data layouts.
+"""
+
+from repro.gpusim.transactions import TransactionLog
+from repro.gpusim.memory import MemoryArchitecture
+from repro.gpusim.devices import (
+    DeviceSpec,
+    A100,
+    RTX3090,
+    GTX1070,
+    SERVER_CPU,
+    WORKSTATION_CPU,
+    DEVICES,
+)
+from repro.gpusim.cost_model import CostModel, KernelTiming
+from repro.gpusim.pcie import PcieLink, PCIE3_X16, PCIE4_X16
+from repro.gpusim.simt import warp_efficiency, occupancy_limit
+
+__all__ = [
+    "TransactionLog",
+    "MemoryArchitecture",
+    "DeviceSpec",
+    "A100",
+    "RTX3090",
+    "GTX1070",
+    "SERVER_CPU",
+    "WORKSTATION_CPU",
+    "DEVICES",
+    "CostModel",
+    "KernelTiming",
+    "PcieLink",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "warp_efficiency",
+    "occupancy_limit",
+]

@@ -1,0 +1,242 @@
+"""Transaction log → simulated kernel time.
+
+Roofline-style model with three bounds (section 3.1 motivates all three):
+
+* **command bound** — every transaction occupies a memory channel for a
+  size- and alignment-dependent number of command cycles
+  (:meth:`MemoryArchitecture.service_time`);
+* **latency bound** — each traversal is a chain of dependent loads; with
+  ``R`` rounds, random latency ``L`` and at most ``I`` resident threads,
+  a batch of ``B`` threads cannot finish before ``R × L × max(1, B/I)``;
+* **compute bound** — ~20 cycles of pointer arithmetic per node, almost
+  never binding (that is the paper's point).
+
+Kernel time is the max of the bounds plus the launch overhead.  An L2
+correction discounts traffic to the hot upper tree levels: the compacted
+root table and the first levels below it are touched by *every* query in
+a batch and therefore hit in L2 after the first access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.devices import CpuSpec, DeviceSpec
+from repro.gpusim.simt import warp_efficiency
+from repro.gpusim.transactions import TransactionLog
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one simulated kernel execution."""
+
+    command_bound_s: float
+    bandwidth_included: bool
+    latency_bound_s: float
+    compute_bound_s: float
+    launch_overhead_s: float
+    warp_efficiency: float
+    total_s: float
+
+    @property
+    def binding_constraint(self) -> str:
+        bounds = {
+            "memory-command": self.command_bound_s,
+            "latency-chain": self.latency_bound_s,
+            "compute": self.compute_bound_s,
+        }
+        return max(bounds, key=bounds.get)  # type: ignore[arg-type]
+
+
+@dataclass
+class CostModel:
+    """Evaluates transaction logs against a device description."""
+
+    device: DeviceSpec
+    #: fraction of per-query traffic assumed L2-resident (hot upper
+    #: levels).  The traversal kernels set this per-log via
+    #: ``log.l2_fraction`` when they can estimate it; this is the default.
+    default_l2_fraction: float = 0.15
+    #: scales the simulated L2 capacity.  Experiments that shrink the
+    #: paper's trees by ``1/factor`` must shrink the caches alike, or a
+    #: scaled-down 16M-key tree would suddenly fit in L2 and flip the
+    #: cache-residency regime the paper measured (see bench.runner.Scale).
+    l2_scale: float = 1.0
+
+    def l2_fraction(self, log: TransactionLog) -> float:
+        """Fraction of the log's traffic served from L2.
+
+        Rounds are sorted by distinct footprint and greedily marked
+        L2-resident until the device's L2 is full; a round whose distinct
+        working set fits is assumed hot after the first few queries of a
+        saturated pipeline touch it.  Falls back to
+        :attr:`default_l2_fraction` when the log carries no footprints.
+        """
+        rounds = [r for r in log.rounds if r.transactions > 0]
+        if not rounds or all(r.distinct_bytes == 0 for r in rounds):
+            return self.default_l2_fraction
+        budget = self.device.l2_bytes * self.l2_scale
+        resident_tx = 0
+        total_tx = 0
+        for r in sorted(rounds, key=lambda r: r.distinct_bytes):
+            total_tx += r.transactions
+            if r.distinct_bytes <= budget:
+                budget -= r.distinct_bytes
+                resident_tx += r.transactions
+        if total_tx == 0:
+            return self.default_l2_fraction
+        return resident_tx / total_tx
+
+    def kernel_time(self, log: TransactionLog) -> KernelTiming:
+        device = self.device
+        mem = device.memory
+        l2_fraction = min(max(self.l2_fraction(log), 0.0), 0.95)
+
+        # --- command/bandwidth bound --------------------------------
+        dram_classes = {
+            cls: cnt * (1.0 - l2_fraction) for cls, cnt in log.by_class.items()
+        }
+        command_bound = mem.service_time(dram_classes)
+        # atomics serialize on L2 slices; charge a per-op cost
+        command_bound += log.atomic_ops * 2.0e-9 / max(mem.channels / 8, 1)
+
+        # --- latency bound -------------------------------------------
+        batch = max(log.launched_threads, 1)
+        resident = min(batch, device.max_resident_threads)
+        wavefronts = max(1.0, batch / device.max_resident_threads)
+        eff = warp_efficiency(
+            [r.active_threads for r in log.rounds], log.launched_threads
+        )
+        # each dependent round costs one memory round trip for the wave;
+        # L2-resident accesses are much faster
+        round_latency = (
+            (1.0 - l2_fraction) * mem.random_latency_s
+            + l2_fraction * device.l2_hit_latency_s
+        )
+        latency_bound = log.dependent_rounds * round_latency * wavefronts
+
+        # --- compute bound -------------------------------------------
+        issue_rate = device.sm_count * device.core_clock_hz * device.ipc_per_sm
+        compute_bound = log.compute_cycles / issue_rate / eff
+
+        total = (
+            device.launch_overhead_s
+            + max(command_bound, latency_bound, compute_bound)
+            + log.serial_stall_s
+        )
+        return KernelTiming(
+            command_bound_s=command_bound,
+            bandwidth_included=True,
+            latency_bound_s=latency_bound,
+            compute_bound_s=compute_bound,
+            launch_overhead_s=device.launch_overhead_s,
+            warp_efficiency=eff,
+            total_s=total,
+        )
+
+    def throughput_mops(self, log: TransactionLog, queries: int) -> float:
+        """Simulated kernel-only throughput in MOps/s."""
+        t = self.kernel_time(log).total_s
+        return queries / t / 1e6
+
+
+# ---------------------------------------------------------------------------
+# CPU lookup model (figures 7, 13, 14, 17)
+# ---------------------------------------------------------------------------
+
+
+def cpu_lookup_time(
+    cpu: CpuSpec,
+    avg_levels: float,
+    node_bytes: float,
+    working_set_bytes: int,
+    *,
+    contiguous: bool,
+    threads: int | None = None,
+) -> float:
+    """Average seconds per lookup on the host CPU.
+
+    ``contiguous`` distinguishes the CuART flat layout from the
+    malloc-spread classic ART (section 4.2: "CuART performs and scales
+    significantly better than the original ART because it employs
+    continous pieces of memory. The traditional ART implementation is
+    spread across the main memory.").
+
+    The cache model is a capacity argument: a working set that fits a
+    cache level hits there.  The contiguous layout (a) needs fewer
+    distinct cache lines per node because node records are packed and
+    aligned, (b) keeps hot upper levels dense so the effective resident
+    fraction of the working set is larger, and (c) profits from the
+    hardware prefetcher on the final leaf-array access.
+    """
+    threads = threads or cpu.threads
+    lines_per_node = max(node_bytes / 64.0, 1.0)
+    if not contiguous:
+        # malloc spread: header and children land on separate lines and
+        # allocator metadata pollutes the cache
+        lines_per_node *= 1.6
+        working_set_bytes = int(working_set_bytes * 1.5)
+
+    # capacity-based hit fractions per level of the hierarchy
+    def resident_fraction(cache_bytes: int) -> float:
+        if working_set_bytes <= 0:
+            return 1.0
+        frac = cache_bytes / working_set_bytes
+        return min(1.0, frac)
+
+    # hot upper levels are resident first: contiguous layouts pack them
+    # into ~10x fewer lines, which shows up as a residency bonus
+    bonus = 3.0 if contiguous else 1.0
+    f1 = resident_fraction(int(cpu.l1_bytes * bonus))
+    f2 = resident_fraction(int(cpu.l2_bytes * bonus))
+    f3 = resident_fraction(int(cpu.l3_bytes * bonus))
+
+    t_line = (
+        f1 * cpu.l1_latency_s
+        + (f2 - f1) * cpu.l2_latency_s
+        + (f3 - f2) * cpu.l3_latency_s
+        + (1.0 - f3) * cpu.dram_latency_s()
+    )
+    if contiguous:
+        # known-size aligned record: the second and further lines of a
+        # node stream behind the first (hardware prefetch)
+        t_node = t_line + (lines_per_node - 1.0) * cpu.l1_latency_s
+    else:
+        t_node = lines_per_node * t_line
+    t_compute = cpu.node_compute_cycles / cpu.clock_hz
+    per_lookup = avg_levels * (t_node + t_compute)
+    return per_lookup / max(threads, 1)
+
+
+#: cache-line ownership transfer + fence of one globally-visible atomic
+#: update on the host (figure 17's CPU baseline plateaus near 2.5 MOps/s:
+#: every writer serializes on line ownership and memory ordering).
+CPU_ATOMIC_RMW_S = 3.2e-7
+
+
+def cpu_update_time(
+    cpu: CpuSpec,
+    avg_levels: float,
+    node_bytes: float,
+    working_set_bytes: int,
+    *,
+    contiguous: bool,
+    threads: int | None = None,
+) -> float:
+    """Average seconds per *atomic* update on the host CPU.
+
+    An update is a lookup plus an atomic read-modify-write with global
+    visibility; the RMWs of different threads serialize on the memory
+    ordering point, so adding threads stops helping almost immediately —
+    the effect that makes figure 17's CPU bar flat and low.
+    """
+    lookup = cpu_lookup_time(
+        cpu,
+        avg_levels,
+        node_bytes,
+        working_set_bytes,
+        contiguous=contiguous,
+        threads=threads,
+    )
+    # the serialized RMW does not parallelize across threads
+    return lookup + CPU_ATOMIC_RMW_S

@@ -1,0 +1,164 @@
+"""Device descriptions for the paper's three benchmark machines
+(section 4.1):
+
+* **Server** — 2× AMD Epyc 7752, 2× NVIDIA A100 40GB (HBM2), DDR4-2933
+* **Workstation** — AMD Ryzen 5800X, NVIDIA RTX3090 (GDDR6X), DDR4-3200
+* **Notebook** — Intel i7-8750H, NVIDIA GTX1070 (GDDR5), DDR4-2666
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.memory import (
+    DDR4_SERVER,
+    DDR4_WORKSTATION,
+    GDDR5_GTX1070,
+    GDDR6X_RTX3090,
+    HBM2_A100,
+    MemoryArchitecture,
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One GPU: compute array + memory subsystem + launch costs."""
+
+    name: str
+    memory: MemoryArchitecture
+    sm_count: int
+    core_clock_hz: float
+    #: maximum resident threads across the device (occupancy limit);
+    #: bounds how much memory latency can be hidden.
+    max_resident_threads: int
+    #: fixed kernel launch + driver overhead in seconds.
+    launch_overhead_s: float = 5e-6
+    #: sustained scalar-int instructions per SM per cycle for this
+    #: traversal workload (issue-limited, not FLOP-limited).
+    ipc_per_sm: float = 2.0
+    #: L2 cache size in bytes — upper tree levels (and the compacted root
+    #: table's hot entries) hit in L2.
+    l2_bytes: int = 4 * 1024 * 1024
+    #: fraction of node reads served by L2 for the *upper* levels.
+    l2_hit_latency_s: float = 2.2e-7
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.memory.name}]"
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One host CPU: cores + cache hierarchy + memory subsystem.
+
+    Used for the classic-ART baseline, the CuART CPU layout (figure 7)
+    and the hybrid long-key path (figures 13/14).
+    """
+
+    name: str
+    cores: int
+    smt: int
+    clock_hz: float
+    memory: MemoryArchitecture
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    l1_latency_s: float = 1.2e-9
+    l2_latency_s: float = 4.0e-9
+    l3_latency_s: float = 1.2e-8
+    #: per-node traversal compute (≈20 cycles, section 3.1).
+    node_compute_cycles: float = 20.0
+
+    @property
+    def threads(self) -> int:
+        return self.cores * self.smt
+
+    def dram_latency_s(self) -> float:
+        return self.memory.random_latency_s
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.cores}c/{self.threads}t)"
+
+
+# ---------------------------------------------------------------------------
+# GPUs (public spec sheets; memory subsystems in gpusim.memory).
+# ---------------------------------------------------------------------------
+A100 = DeviceSpec(
+    name="NVIDIA A100 40GB",
+    memory=HBM2_A100,
+    sm_count=108,
+    core_clock_hz=1.41e9,
+    max_resident_threads=108 * 2048,
+    l2_bytes=40 * 1024 * 1024,
+)
+
+RTX3090 = DeviceSpec(
+    name="NVIDIA RTX3090",
+    memory=GDDR6X_RTX3090,
+    sm_count=82,
+    core_clock_hz=1.70e9,
+    max_resident_threads=82 * 1536,
+    l2_bytes=6 * 1024 * 1024,
+)
+
+GTX1070 = DeviceSpec(
+    name="NVIDIA GTX1070",
+    memory=GDDR5_GTX1070,
+    sm_count=15,
+    core_clock_hz=1.68e9,
+    max_resident_threads=15 * 2048,
+    l2_bytes=2 * 1024 * 1024,
+)
+
+# ---------------------------------------------------------------------------
+# Host CPUs.
+# ---------------------------------------------------------------------------
+SERVER_CPU = CpuSpec(
+    name="2x AMD Epyc 7752",
+    cores=96,
+    smt=2,
+    clock_hz=2.45e9,
+    memory=DDR4_SERVER,
+    l1_bytes=96 * 32 * 1024,
+    l2_bytes=96 * 512 * 1024,
+    l3_bytes=2 * 256 * 1024 * 1024,
+)
+
+WORKSTATION_CPU = CpuSpec(
+    name="AMD Ryzen 5800X",
+    cores=8,
+    smt=2,
+    clock_hz=4.5e9,
+    memory=DDR4_WORKSTATION,
+    l1_bytes=8 * 32 * 1024,
+    l2_bytes=8 * 512 * 1024,
+    l3_bytes=32 * 1024 * 1024,
+)
+
+NOTEBOOK_CPU = CpuSpec(
+    name="Intel i7-8750H",
+    cores=6,
+    smt=2,
+    clock_hz=3.9e9,
+    memory=MemoryArchitecture(
+        name="DDR4-2666 (notebook)",
+        channels=2,
+        command_clock_hz=1.333e9,
+        atom_bytes=64,
+        overhead_commands=12.0,
+        peak_bandwidth=42.6e9,
+        random_latency_s=9.0e-8,
+    ),
+    l1_bytes=6 * 32 * 1024,
+    l2_bytes=6 * 256 * 1024,
+    l3_bytes=9 * 1024 * 1024,
+)
+
+#: The three machines of section 4.1 as (gpu, cpu) pairs.
+MACHINES = {
+    "server": (A100, SERVER_CPU),
+    "workstation": (RTX3090, WORKSTATION_CPU),
+    "notebook": (GTX1070, NOTEBOOK_CPU),
+}
+
+#: All GPUs by short name (figure 18 sweeps these).
+DEVICES = {"a100": A100, "rtx3090": RTX3090, "gtx1070": GTX1070}

@@ -1,0 +1,164 @@
+"""Device memory-architecture model (paper section 4.6).
+
+The paper attributes the RTX3090's (GDDR6X) lookup advantage over the
+A100 (HBM2) to command-rate limits, not bandwidth: "the GDDR6X memory
+interface is more suitable due to its higher command clock frequency and
+therefore more commands. ... its [HBM2] memory interface is 128bits per
+channel which means that a typical transaction (i.e. reading a node
+header) is finished within one single clock cycle, which causes increased
+command overhead."
+
+We model a channel as a command bus clocked at ``command_clock_hz``.
+Serving one random read of ``size`` bytes occupies the channel for
+
+    overhead_commands + ceil(size / atom_bytes)            [command cycles]
+
+where ``atom_bytes`` is the per-command data atom (channel width × burst)
+and ``overhead_commands`` covers row activate / column select / precharge
+for a random row.  Unaligned transactions (GRT's packed buffer) touch up
+to one extra atom.  A device's random-read service rate is then
+
+    channels × command_clock_hz / cycles_per_transaction
+
+while large sequential traffic is bounded by ``peak_bandwidth``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MemoryArchitecture:
+    """Parameters of one memory subsystem."""
+
+    name: str
+    #: independent channels (A100: 8 per HBM2 stack × 5 stacks = 40;
+    #: RTX3090: 2 per GDDR6X chip × 12 = 24 — section 4.6).
+    channels: int
+    #: command/address clock per channel in Hz.
+    command_clock_hz: float
+    #: data bytes transferred by one read command (width × burst length).
+    atom_bytes: int
+    #: command cycles of fixed overhead per random transaction.
+    overhead_commands: float
+    #: peak sequential bandwidth in bytes/second.
+    peak_bandwidth: float
+    #: average latency of a random read in seconds (bank miss).
+    random_latency_s: float
+    #: fraction of the nominal command rate a fully *scattered* access
+    #: stream sustains (bank conflicts, row-buffer misses, imperfect
+    #: channel balance).  Calibrated against the paper's absolute
+    #: end-to-end magnitudes (~150-200 MOps/s lookup plateaus).
+    scatter_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.atom_bytes <= 0:
+            raise SimulationError(f"invalid memory architecture {self.name}")
+
+    # ------------------------------------------------------------------
+    def transaction_cycles(self, size_bytes: int, aligned: bool = True) -> float:
+        """Command cycles one transaction of ``size_bytes`` occupies its
+        channel."""
+        atoms = math.ceil(size_bytes / self.atom_bytes)
+        if not aligned:
+            # an arbitrary byte offset can straddle one extra atom and
+            # defeats write/read coalescing in the memory controller
+            atoms += 1
+        return self.overhead_commands + atoms
+
+    def transaction_time(self, size_bytes: int, aligned: bool = True) -> float:
+        """Seconds one transaction occupies its channel."""
+        effective_clock = self.command_clock_hz * self.scatter_efficiency
+        return self.transaction_cycles(size_bytes, aligned) / effective_clock
+
+    def random_read_rate(self, size_bytes: int, aligned: bool = True) -> float:
+        """Aggregate random reads/second across all channels."""
+        return self.channels / self.transaction_time(size_bytes, aligned)
+
+    def service_time(self, transactions: dict) -> float:
+        """Seconds to serve a multiset of transactions, assuming perfect
+        channel load balancing (random address hashing).
+
+        ``transactions`` maps ``(size_bytes, aligned)`` to a count.
+        Returns the max of the command-occupancy bound and the raw
+        bandwidth bound.
+        """
+        busy = 0.0
+        total_bytes = 0
+        for (size, aligned), count in transactions.items():
+            busy += count * self.transaction_time(size, aligned)
+            total_bytes += size * count
+        command_bound = busy / self.channels
+        bandwidth_bound = total_bytes / self.peak_bandwidth
+        return max(command_bound, bandwidth_bound)
+
+
+# ---------------------------------------------------------------------------
+# Concrete memory subsystems (parameters from section 4.6 plus public specs)
+# ---------------------------------------------------------------------------
+
+#: A100 40GB: 5 HBM2 stacks, 8 channels each, 128-bit channels @1215 MHz,
+#: 1555 GB/s.  Atom = 128 bit × burst 4 = 64 B, so even a 16-byte header
+#: read burns a full atom (the paper's "finished within one single clock
+#: cycle ... increased command overhead").
+HBM2_A100 = MemoryArchitecture(
+    name="HBM2 (A100)",
+    channels=40,
+    command_clock_hz=1.215e9,
+    atom_bytes=64,
+    overhead_commands=4.0,
+    peak_bandwidth=1555e9,
+    random_latency_s=4.7e-7,
+    scatter_efficiency=0.3,
+)
+
+#: RTX3090: 24 GDDR6X channels (2 per chip) × 16 bit @2500 MHz command
+#: clock, 936 GB/s.  Atom = 16 bit × burst 16 = 32 B.
+GDDR6X_RTX3090 = MemoryArchitecture(
+    name="GDDR6X (RTX3090)",
+    channels=24,
+    command_clock_hz=2.5e9,
+    atom_bytes=32,
+    overhead_commands=4.0,
+    peak_bandwidth=936e9,
+    random_latency_s=4.2e-7,
+    scatter_efficiency=0.3,
+)
+
+#: GTX1070: 8 GDDR5 chips × 32 bit @2002 MHz, 256 GB/s.
+#: Atom = 32 bit × burst 8 = 32 B.
+GDDR5_GTX1070 = MemoryArchitecture(
+    name="GDDR5 (GTX1070)",
+    channels=8,
+    command_clock_hz=2.002e9,
+    atom_bytes=32,
+    overhead_commands=4.0,
+    peak_bandwidth=256e9,
+    random_latency_s=5.0e-7,
+    scatter_efficiency=0.3,
+)
+
+#: Host DDR4 (server: 8-channel DDR4-2933; workstation: 2-channel 3200).
+DDR4_SERVER = MemoryArchitecture(
+    name="DDR4-2933 (server)",
+    channels=16,  # 2 sockets x 8 channels
+    command_clock_hz=1.4665e9,
+    atom_bytes=64,
+    overhead_commands=12.0,
+    peak_bandwidth=375e9,
+    random_latency_s=9.0e-8,
+)
+
+DDR4_WORKSTATION = MemoryArchitecture(
+    name="DDR4-3200 (workstation)",
+    channels=2,
+    command_clock_hz=1.6e9,
+    atom_bytes=64,
+    overhead_commands=12.0,
+    peak_bandwidth=51.2e9,
+    random_latency_s=8.0e-8,
+)

@@ -1,0 +1,50 @@
+"""SIMT execution-shape helpers.
+
+The traversal kernels are modeled as lockstep rounds (one tree level per
+round).  Threads whose query already terminated (hit a leaf / missed)
+idle inside their warp; this module quantifies how much of the launched
+machine that wastes and how many threads can actually be resident.
+"""
+
+from __future__ import annotations
+
+import math
+
+WARP_SIZE = 32
+
+
+def warps_for(threads: int) -> int:
+    """Number of warps needed to host ``threads`` threads."""
+    return math.ceil(threads / WARP_SIZE)
+
+
+def warp_efficiency(active_per_round: list[int], launched: int) -> float:
+    """Fraction of scheduled lanes doing useful work across the kernel.
+
+    With queries assigned to threads in arrival order and uncorrelated
+    termination depths, active threads stay uniformly spread over the
+    launched warps, so a round with ``a`` active threads still occupies
+    ``min(warps(launched), warps needed if perfectly compacted … )`` —
+    in the worst (uncompacted) case all launched warps stay scheduled
+    until the last thread finishes.  We model that worst case, which is
+    what a straightforward CUDA traversal loop does.
+    """
+    if launched <= 0 or not active_per_round:
+        return 1.0
+    lanes_scheduled = warps_for(launched) * WARP_SIZE * len(active_per_round)
+    lanes_useful = sum(min(a, launched) for a in active_per_round)
+    if lanes_scheduled == 0:
+        return 1.0
+    return max(min(lanes_useful / lanes_scheduled, 1.0), 1e-6)
+
+
+def occupancy_limit(batch_size: int, max_resident_threads: int) -> int:
+    """Threads simultaneously resident for a launch of ``batch_size``."""
+    return min(batch_size, max_resident_threads)
+
+
+def waves(batch_size: int, max_resident_threads: int) -> float:
+    """How many back-to-back thread waves the launch needs."""
+    if batch_size <= 0:
+        return 0.0
+    return max(1.0, batch_size / max_resident_threads)

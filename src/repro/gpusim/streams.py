@@ -1,0 +1,67 @@
+"""Stream / pipeline overlap model (sections 4.1 and 4.3).
+
+The host code "utilizes a variable amount of command streams for both
+CuART and GRT, decoupling the GPU dispatch from a specific number of host
+threads".  A steady stream of batches flows through three pipeline
+stages — host preparation, PCIe transfer, kernel — and the sustained
+rate is set by the slowest stage, not the sum:
+
+    batch_rate = 1 / max(t_host / host_parallelism,
+                         t_pcie / pcie_overlap,
+                         t_kernel / kernel_overlap)
+
+``kernel_overlap`` > 1 models concurrent kernels from independent streams
+filling the device when a single batch cannot; CuART's fully asynchronous
+CUDA streams overlap better than GRT's synchronous OpenCL-style dispatch
+(section 4.3: "CuART is much more thread agnostic ... inherent
+asynchronousity of the CUDA API").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    name: str
+    seconds_per_batch: float
+    parallelism: float = 1.0
+
+    @property
+    def effective_s(self) -> float:
+        return self.seconds_per_batch / max(self.parallelism, 1e-9)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    stages: tuple[PipelineStage, ...]
+    batch_size: int
+
+    @property
+    def bottleneck(self) -> PipelineStage:
+        return max(self.stages, key=lambda s: s.effective_s)
+
+    @property
+    def seconds_per_batch(self) -> float:
+        return self.bottleneck.effective_s
+
+    @property
+    def throughput_ops(self) -> float:
+        """Sustained queries/second of the saturated pipeline."""
+        t = self.seconds_per_batch
+        return self.batch_size / t if t > 0 else 0.0
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.throughput_ops / 1e6
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency of one batch (stages traversed serially)."""
+        return sum(s.seconds_per_batch for s in self.stages)
+
+
+def pipeline(stages: list[PipelineStage], batch_size: int) -> PipelineResult:
+    """Steady-state throughput of a saturated batch pipeline."""
+    return PipelineResult(stages=tuple(stages), batch_size=batch_size)

@@ -1,0 +1,103 @@
+"""Human-readable kernel traces: where did the time go?
+
+Turns a :class:`TransactionLog` + :class:`CostModel` evaluation into the
+per-round / per-size-class breakdown a profiler would show — useful when
+debugging why a kernel is command- vs latency-bound, and used by the
+ablation benches to print their evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.report import format_table
+from repro.gpusim.cost_model import CostModel, KernelTiming
+from repro.gpusim.transactions import TransactionLog
+
+
+@dataclass
+class TraceReport:
+    """One kernel's profile."""
+
+    timing: KernelTiming
+    l2_fraction: float
+    rows_by_class: list[tuple]
+    rows_by_round: list[tuple]
+    queries: int
+
+    def __str__(self) -> str:
+        t = self.timing
+        lines = [
+            f"kernel total {t.total_s * 1e6:9.2f} us   "
+            f"(bound by {t.binding_constraint})",
+            f"  command {t.command_bound_s * 1e6:9.2f} us | "
+            f"latency {t.latency_bound_s * 1e6:7.2f} us | "
+            f"compute {t.compute_bound_s * 1e6:7.2f} us | "
+            f"launch {t.launch_overhead_s * 1e6:5.1f} us",
+            f"  L2-resident traffic: {100 * self.l2_fraction:.1f}%   "
+            f"warp efficiency: {100 * t.warp_efficiency:.1f}%",
+            "",
+            "by transaction class:",
+            format_table(
+                ["size B", "aligned", "count", "count/query"],
+                self.rows_by_class,
+            ),
+            "",
+            "by dependent round:",
+            format_table(
+                ["round", "active", "transactions", "distinct KiB"],
+                self.rows_by_round,
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def trace_kernel(
+    log: TransactionLog, model: CostModel, queries: int | None = None
+) -> TraceReport:
+    """Profile one transaction log against a device."""
+    queries = queries or max(log.launched_threads, 1)
+    timing = model.kernel_time(log)
+    by_class = sorted(
+        (
+            (size, "yes" if aligned else "no", count, count / queries)
+            for (size, aligned), count in log.by_class.items()
+        ),
+        key=lambda r: -r[2],
+    )
+    by_round = [
+        (i, r.active_threads, r.transactions, round(r.distinct_bytes / 1024, 1))
+        for i, r in enumerate(log.rounds)
+    ]
+    return TraceReport(
+        timing=timing,
+        l2_fraction=model.l2_fraction(log),
+        rows_by_class=by_class,
+        rows_by_round=by_round,
+        queries=queries,
+    )
+
+
+def compare_kernels(
+    logs: dict[str, TransactionLog], model: CostModel, queries: int
+) -> str:
+    """Side-by-side summary of several kernels on one device."""
+    rows = []
+    for name, log in logs.items():
+        t = model.kernel_time(log)
+        rows.append(
+            (
+                name,
+                log.total_transactions / queries,
+                round(log.total_bytes / queries, 1),
+                log.dependent_rounds,
+                round(t.total_s * 1e6, 2),
+                round(queries / t.total_s / 1e6, 1),
+                t.binding_constraint,
+            )
+        )
+    return format_table(
+        ["kernel", "tx/query", "B/query", "rounds", "us", "sim MOps/s",
+         "bound"],
+        rows,
+    )

@@ -1,0 +1,30 @@
+"""GRT — the GPU Radix Tree baseline (Alam, Yoginath, Perumalla 2016).
+
+The starting point of the paper: the host ART is flattened into a
+*single* tightly-packed byte buffer via an in-order traversal and nodes
+are addressed by 64-bit byte offsets.  Because the node type is encoded
+inside the node itself, every node visit costs two dependent memory
+transactions — read the header to learn the type, then read a body whose
+size depends on it (section 3.1, figure 2).  Leaves are dynamically
+sized.
+
+CuART's evaluation compares against both a CUDA and an OpenCL build of
+GRT; in this reproduction the two differ only in their host-pipeline
+parameters (the OpenCL dispatch overlaps worse, section 4.3), selected in
+:mod:`repro.host.dispatcher`.
+"""
+
+from repro.grt.layout import GrtLayout
+from repro.grt.kernel import grt_lookup_batch, GrtLookupResult
+from repro.grt.update import grt_update_batch, GrtUpdateResult
+from repro.grt.range import grt_range_query, GrtRangeResult
+
+__all__ = [
+    "GrtLayout",
+    "grt_lookup_batch",
+    "GrtLookupResult",
+    "grt_update_batch",
+    "GrtUpdateResult",
+    "grt_range_query",
+    "GrtRangeResult",
+]

@@ -1,0 +1,209 @@
+"""Batched GRT lookup kernel over the single packed buffer.
+
+The defining cost difference to CuART (section 3.1): "the node type is
+encoded within the node structure itself ... This leads to at least two
+memory accesses/transactions towards the local or global memory, because
+the correct size to read depends on the node type, which is encoded
+within the header."  Every traversal level therefore contributes *two*
+dependent rounds (header, then body) of unaligned transactions, and leaf
+comparisons run byte-oriented (section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    GRT_BODY_BYTES,
+    GRT_HEADER_BYTES,
+    GRT_MAX_PREFIX,
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    N48_EMPTY_SLOT,
+    NIL_VALUE,
+)
+from repro.grt.layout import GRT_LEAF_TYPE, GrtLayout
+from repro.gpusim.transactions import TransactionLog
+
+#: per-node traversal compute (same algorithm as ART, section 3.1).
+NODE_COMPUTE_CYCLES = 20
+
+
+@dataclass
+class GrtLookupResult:
+    """Outcome of one batched GRT lookup."""
+
+    values: np.ndarray  # (B,) u64, NIL_VALUE on miss
+    #: byte offset of the matched leaf record (0 on miss) — the GRT
+    #: update path writes through this.
+    locations: np.ndarray  # (B,) i64
+    log: TransactionLog
+
+    @property
+    def hits(self) -> np.ndarray:
+        return self.values != np.uint64(NIL_VALUE)
+
+
+def grt_lookup_batch(
+    layout: GrtLayout,
+    keys_mat: np.ndarray,
+    key_lens: np.ndarray,
+    *,
+    log: TransactionLog | None = None,
+) -> GrtLookupResult:
+    """Exact lookups against the packed GRT buffer."""
+    layout.check_fresh()
+    B, W = keys_mat.shape
+    if log is None:
+        log = TransactionLog()
+    log.launched_threads = max(log.launched_threads, B)
+
+    buf = layout.buffer
+    offsets = np.full(B, layout.root_offset, dtype=np.int64)
+    depth = np.zeros(B, dtype=np.int64)
+    values = np.full(B, np.uint64(NIL_VALUE), dtype=np.uint64)
+    locations = np.zeros(B, dtype=np.int64)
+    active = np.ones(B, dtype=bool)
+    if layout.root_offset == 0:
+        active[:] = False
+
+    for _ in range(W + 2):
+        rows = np.nonzero(active)[0]
+        if rows.size == 0:
+            break
+        off = offsets[rows]
+
+        # ---- dependent round 1: header (type unknown until read) -----
+        log.begin_round(rows.size)
+        log.record(GRT_HEADER_BYTES, rows.size, aligned=False)
+        hdr = buf[off[:, None] + np.arange(GRT_HEADER_BYTES, dtype=np.int64)]
+        types = hdr[:, 0].astype(np.int64)
+        counts = hdr[:, 1].astype(np.int64)
+        plen = hdr[:, 2].astype(np.int64) | (hdr[:, 3].astype(np.int64) << 8)
+        stored_prefix = hdr[:, 4 : 4 + GRT_MAX_PREFIX]
+        log.rounds[-1].distinct_bytes = int(np.unique(off).size) * GRT_HEADER_BYTES
+
+        # ---- dependent round 2: body (size now known) -----------------
+        log.begin_round(rows.size)
+        distinct = 0
+        for code in np.unique(types):
+            sel = types == code
+            grp = rows[sel]
+            goff = off[sel]
+            if code == GRT_LEAF_TYPE:
+                distinct += _step_leaf(
+                    layout, grp, goff, plen[sel], keys_mat, key_lens,
+                    values, locations, active, log,
+                )
+            elif code in (LINK_N4, LINK_N16, LINK_N48, LINK_N256):
+                distinct += _step_node(
+                    layout, int(code), grp, goff, counts[sel], plen[sel],
+                    stored_prefix[sel], keys_mat, key_lens, offsets, depth,
+                    active, log,
+                )
+            else:  # corrupted link / sentinel
+                active[grp] = False
+        log.rounds[-1].distinct_bytes = distinct
+    return GrtLookupResult(values=values, locations=locations, log=log)
+
+
+#: bytes GRT actually gathers from a node body after the header decode.
+#: Small bodies (N4/N16) stream in one read; N48 needs the child-index
+#: region *then* the selected offset (a second dependent access — charged
+#: in the same round, latency slightly undercounted); N256 fetches just
+#: the addressed offset.  GRT never streams the full 650B/2KB records —
+#: it cannot afford to without knowing alignment — which is exactly why
+#: its accesses stay small, scattered and dependent (section 3.1), while
+#: CuART deliberately "trades memory bandwidth for access latency" and
+#: pulls whole known-size records.
+_GRT_BODY_READS = {
+    LINK_N4: (GRT_BODY_BYTES[LINK_N4],),  # 40 B: keys + offsets
+    LINK_N16: (GRT_BODY_BYTES[LINK_N16],),  # 144 B: keys + offsets
+    LINK_N48: (256, 8),  # child index region, then the offset
+    LINK_N256: (8,),  # the addressed offset only
+}
+
+
+def _step_node(
+    layout, code, rows, off, counts, plen, stored_prefix, keys_mat, key_lens,
+    offsets, depth, active, log,
+) -> int:
+    buf = layout.buffer
+    body_reads = _GRT_BODY_READS[code]
+    body_bytes = sum(body_reads)
+    for nbytes in body_reads:
+        log.record(nbytes, rows.size, aligned=False)
+    log.record_compute(NODE_COMPUTE_CYCLES * rows.size)
+    W = keys_mat.shape[1]
+
+    # optimistic prefix check over the 12 stored bytes
+    ok = depth[rows] + plen < key_lens[rows]
+    stored = np.minimum(plen, GRT_MAX_PREFIX)
+    if stored.max(initial=0) > 0:
+        P = GRT_MAX_PREFIX
+        pos = depth[rows, None] + np.arange(P, dtype=np.int64)[None, :]
+        gathered = keys_mat[rows[:, None], np.minimum(pos, W - 1)]
+        valid = np.arange(P, dtype=np.int64)[None, :] < stored[:, None]
+        ok &= ~((gathered != stored_prefix) & valid).any(axis=1)
+
+    ndepth = depth[rows] + plen
+    byte = keys_mat[rows, np.minimum(ndepth, W - 1)].astype(np.int64)
+    body = off + GRT_HEADER_BYTES
+    if code in (LINK_N4, LINK_N16):
+        cap = 4 if code == LINK_N4 else 16
+        keys_area = buf[body[:, None] + np.arange(cap, dtype=np.int64)[None, :]]
+        slot_valid = np.arange(cap, dtype=np.int64)[None, :] < counts[:, None]
+        eq = (keys_area == byte[:, None].astype(np.uint8)) & slot_valid
+        found = eq.any(axis=1)
+        slot = eq.argmax(axis=1)
+        off_area = body + (8 if code == LINK_N4 else cap)
+        child = layout.read_u64(off_area + slot * 8).astype(np.int64)
+    elif code == LINK_N48:
+        slot = buf[body + byte].astype(np.int64)
+        found = slot != N48_EMPTY_SLOT
+        child = layout.read_u64(body + 256 + np.minimum(slot, 47) * 8).astype(
+            np.int64
+        )
+    else:  # N256
+        child = layout.read_u64(body + byte * 8).astype(np.int64)
+        found = child != 0
+    ok &= found
+    ok &= child > 0
+    active[rows[~ok]] = False
+    go = rows[ok]
+    offsets[go] = child[ok]
+    depth[go] = ndepth[ok] + 1
+    return int(np.unique(off).size) * body_bytes
+
+
+def _step_leaf(
+    layout, rows, off, key_len_field, keys_mat, key_lens, values, locations,
+    active, log,
+) -> int:
+    """Dynamically-sized leaf: read the key bytes (second transaction on
+    top of the header) and compare byte-by-byte."""
+    buf = layout.buffer
+    stored_len = key_len_field  # from the header's key_len field
+    value = layout.read_u64(off + 8)
+    W = keys_mat.shape[1]
+    L = int(min(max(int(stored_len.max(initial=0)), 1), W))
+    pos = off[:, None] + GRT_HEADER_BYTES + np.arange(L, dtype=np.int64)[None, :]
+    stored = buf[np.minimum(pos, buf.size - 1)]
+    valid = np.arange(L, dtype=np.int64)[None, :] < stored_len[:, None]
+    mismatch = ((stored != keys_mat[rows, :L]) & valid).any(axis=1)
+    match = (stored_len == key_lens[rows]) & ~mismatch
+
+    padded = ((stored_len + 7) & ~7).astype(np.int64)
+    log.record(8, int((padded // 8).sum()), aligned=False)
+    # byte-oriented compare loop (section 4.4): one cycle per key byte
+    log.record_compute(int(stored_len.sum()))
+
+    values[rows[match]] = value[match]
+    locations[rows[match]] = off[match]
+    active[rows] = False
+    uniq_first = np.unique(off, return_index=True)[1]
+    return int((GRT_HEADER_BYTES + padded[uniq_first]).sum())

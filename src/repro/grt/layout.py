@@ -1,0 +1,183 @@
+"""GRT single-buffer layout (figure 1, lower half; figure 2, left).
+
+Record formats inside the packed buffer (all little-endian, *no*
+alignment guarantees — records are packed back to back, which is exactly
+the property CuART fixes):
+
+Inner node::
+
+    header (16 B): [type u8][num_children u8][prefix_len u16][prefix 12 B]
+    body by type:
+        N4   : keys 4 B  + pad 4 B + offsets 4×8 B   =   40 B
+        N16  : keys 16 B           + offsets 16×8 B  =  144 B
+        N48  : child_index 256 B   + offsets 48×8 B  =  640 B
+        N256 :                       offsets 256×8 B = 2048 B
+
+(640 + 16 ≈ the paper's "650B for N48", 2048 + 16 ≈ its "2KB for N256".)
+
+Leaf (dynamically sized)::
+
+    header (16 B): [type u8][pad u8][key_len u16][pad u32][value u64]
+    key bytes (key_len, padded to the next 8-byte boundary)
+
+Child offsets are absolute byte offsets of the target record; offset 0 is
+the null reference (the buffer starts with a 16-byte sentinel, so no real
+record lives at 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.art.nodes import InnerNode, Leaf
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import (
+    GRT_BODY_BYTES,
+    GRT_HEADER_BYTES,
+    GRT_MAX_PREFIX,
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    N48_EMPTY_SLOT,
+)
+from repro.errors import StaleLayoutError
+
+#: type tag of a GRT leaf record inside the buffer.
+GRT_LEAF_TYPE = 5
+
+_SENTINEL = 16  # bytes reserved at offset 0 so that 0 can mean "null"
+
+
+def _leaf_record_size(key_len: int) -> int:
+    return GRT_HEADER_BYTES + ((key_len + 7) & ~7)
+
+
+def _node_record_size(type_code: int) -> int:
+    return GRT_HEADER_BYTES + GRT_BODY_BYTES[type_code]
+
+
+class GrtLayout:
+    """The mapped single-buffer GRT index."""
+
+    def __init__(self, tree: AdaptiveRadixTree) -> None:
+        self._source = tree
+        self._source_version = tree.version
+        size = _SENTINEL + _total_size(tree)
+        self.buffer = np.zeros(size, dtype=np.uint8)
+        self._cursor = _SENTINEL
+        self.root_offset = 0 if tree.root is None else self._map(tree.root)
+        #: deepest traversal level, for query cost accounting.
+        self.max_levels = _depth(tree.root)
+        self.num_keys = len(tree)
+
+    # ------------------------------------------------------------------
+    def check_fresh(self) -> None:
+        if self._source.version != self._source_version:
+            raise StaleLayoutError(
+                "host tree changed since mapping; re-map the GRT buffer"
+            )
+
+    @property
+    def device_bytes(self) -> int:
+        return self.buffer.nbytes
+
+    # ------------------------------------------------------------------
+    def _map(self, node) -> int:
+        """DFS in-order serialization; returns the record's byte offset."""
+        if isinstance(node, Leaf):
+            return self._map_leaf(node)
+        code = node.TYPE
+        off = self._cursor
+        self._cursor += _node_record_size(code)
+        buf = self.buffer
+        buf[off] = code
+        # the count byte is only consumed for N4/N16 slot masking; a full
+        # N256 (256 children) saturates the u8 harmlessly
+        buf[off + 1] = min(node.num_children, 255)
+        plen = len(node.prefix)
+        buf[off + 2 : off + 4] = np.frombuffer(
+            plen.to_bytes(2, "little"), dtype=np.uint8
+        )
+        stored = node.prefix[:GRT_MAX_PREFIX]
+        if stored:
+            buf[off + 4 : off + 4 + len(stored)] = np.frombuffer(
+                stored, dtype=np.uint8
+            )
+        body = off + GRT_HEADER_BYTES
+        if code in (LINK_N4, LINK_N16):
+            cap = 4 if code == LINK_N4 else 16
+            key_area = body
+            # N4 pads its 4 key bytes to 8 so the offsets start uniformly
+            off_area = body + (8 if code == LINK_N4 else cap)
+            for slot, (byte, child) in enumerate(node.children_items()):
+                buf[key_area + slot] = byte
+                self._write_offset(off_area + slot * 8, self._map(child))
+        elif code == LINK_N48:
+            buf[body : body + 256] = N48_EMPTY_SLOT
+            off_area = body + 256
+            for slot, (byte, child) in enumerate(node.children_items()):
+                buf[body + byte] = slot
+                self._write_offset(off_area + slot * 8, self._map(child))
+        else:  # N256
+            for byte, child in node.children_items():
+                self._write_offset(body + byte * 8, self._map(child))
+        return off
+
+    def _map_leaf(self, leaf: Leaf) -> int:
+        off = self._cursor
+        self._cursor += _leaf_record_size(len(leaf.key))
+        buf = self.buffer
+        buf[off] = GRT_LEAF_TYPE
+        buf[off + 2 : off + 4] = np.frombuffer(
+            len(leaf.key).to_bytes(2, "little"), dtype=np.uint8
+        )
+        buf[off + 8 : off + 16] = np.frombuffer(
+            int(leaf.value).to_bytes(8, "little"), dtype=np.uint8
+        )
+        buf[off + 16 : off + 16 + len(leaf.key)] = np.frombuffer(
+            leaf.key, dtype=np.uint8
+        )
+        return off
+
+    def _write_offset(self, at: int, offset: int) -> None:
+        self.buffer[at : at + 8] = np.frombuffer(
+            int(offset).to_bytes(8, "little"), dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------
+    # helpers shared with the kernel
+    # ------------------------------------------------------------------
+    def read_u64(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized little-endian u64 gather at arbitrary byte offsets."""
+        out = np.zeros(offsets.size, dtype=np.uint64)
+        for b in range(8):
+            out |= self.buffer[offsets + b].astype(np.uint64) << np.uint64(8 * b)
+        return out
+
+
+def _total_size(tree: AdaptiveRadixTree) -> int:
+    total = 0
+    stack = [tree.root] if tree.root is not None else []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            total += _leaf_record_size(len(node.key))
+        else:
+            assert isinstance(node, InnerNode)
+            total += _node_record_size(node.TYPE)
+            stack.extend(c for _, c in node.children_items())
+    return total
+
+
+def _depth(root) -> int:
+    if root is None:
+        return 0
+    best = 0
+    stack = [(root, 1)]
+    while stack:
+        node, d = stack.pop()
+        best = max(best, d)
+        if not isinstance(node, Leaf):
+            stack.extend((c, d + 1) for _, c in node.children_items())
+    return best

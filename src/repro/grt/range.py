@@ -1,0 +1,176 @@
+"""GRT range queries over the single in-order buffer.
+
+The GRT paper (Alam et al. 2016) evaluates *point and range* queries:
+because the mapping serializes the tree depth-first in byte order, leaf
+records appear in the packed buffer in lexicographic key order.  A range
+query therefore finds the first leaf ≥ lo and the last leaf ≤ hi and
+scans the records in between — but unlike CuART's per-size leaf arrays
+(where the answer is a pair of *indices*, section 3.2.1), the GRT scan
+must decode every record header on the way because inner-node records of
+arbitrary sizes are interleaved with the leaves.  That decode-as-you-go
+scan is exactly the cost CuART's split leaf buffers delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    GRT_BODY_BYTES,
+    GRT_HEADER_BYTES,
+    NIL_VALUE,
+)
+from repro.grt.layout import (
+    GRT_LEAF_TYPE,
+    GrtLayout,
+    _leaf_record_size,
+    _node_record_size,
+)
+from repro.gpusim.transactions import TransactionLog
+
+
+@dataclass
+class GrtRangeResult:
+    """One GRT range query's outcome."""
+
+    keys: list
+    values: np.ndarray
+    #: records decoded during the scan (leaves + interleaved nodes).
+    records_scanned: int
+    log: TransactionLog
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def grt_range_query(
+    layout: GrtLayout,
+    lo: bytes,
+    hi: bytes,
+    *,
+    log: TransactionLog | None = None,
+) -> GrtRangeResult:
+    """All ``(key, value)`` pairs with ``lo <= key <= hi``.
+
+    Implemented as the in-order buffer scan described above; every
+    decoded record charges its header (and, for leaves in range, its key
+    bytes) as unaligned transactions.
+    """
+    layout.check_fresh()
+    if log is None:
+        log = TransactionLog()
+    buf = layout.buffer
+    out_keys: list[bytes] = []
+    out_vals: list[int] = []
+    scanned = 0
+
+    # Locate the start: descend for `lo` and begin the scan at the record
+    # where the descent stopped.  The mapping serializes every node
+    # *before* its subtree, and subtrees left of the descent path hold
+    # only keys smaller than `lo`, so nothing qualifying precedes this
+    # offset; keys below it that are still < lo are filtered by the scan.
+    log.begin_round(2)
+    log.record(GRT_HEADER_BYTES, 2 * max(layout.max_levels, 1), aligned=False)
+    start = _descent_offset(layout, lo)
+
+    off = start if start else 16  # empty tree: scan nothing past sentinel
+    end = layout.buffer.size if start else 16
+    log.begin_round(1)
+    past_hi = False
+    while off < end and not past_hi:
+        rtype = int(buf[off])
+        if rtype == 0:
+            break  # trailing padding
+        scanned += 1
+        if rtype == GRT_LEAF_TYPE:
+            key_len = int(buf[off + 2]) | (int(buf[off + 3]) << 8)
+            log.record(GRT_HEADER_BYTES, 1, aligned=False)
+            key = bytes(buf[off + 16 : off + 16 + key_len])
+            if key > hi:
+                past_hi = True  # in-order: nothing later can qualify
+            elif key >= lo:
+                log.record(((key_len + 7) & ~7) + 8, 1, aligned=False)
+                value = layout.read_u64(np.array([off + 8], dtype=np.int64))
+                v = int(value[0])
+                if v != NIL_VALUE:
+                    out_keys.append(key)
+                    out_vals.append(v)
+            off += _leaf_record_size(key_len)
+        else:
+            # inner record: decode the header to learn how far to skip
+            log.record(GRT_HEADER_BYTES, 1, aligned=False)
+            off += _node_record_size(rtype)
+    log.rounds[-1].distinct_bytes = min(end - 16, scanned * 64)
+
+    return GrtRangeResult(
+        keys=out_keys,
+        values=np.array(out_vals, dtype=np.uint64),
+        records_scanned=scanned,
+        log=log,
+    )
+
+
+def _descent_offset(layout: GrtLayout, key: bytes) -> int | None:
+    """Offset of the record where a traversal for ``key`` stops (the
+    scan's start position); ``None`` for an empty tree."""
+    from repro.constants import (
+        GRT_MAX_PREFIX,
+        LINK_N4,
+        LINK_N16,
+        LINK_N48,
+        LINK_N256,
+        N48_EMPTY_SLOT,
+    )
+
+    if layout.root_offset == 0:
+        return None
+    buf = layout.buffer
+    off = layout.root_offset
+    depth = 0
+    while True:
+        rtype = int(buf[off])
+        if rtype == GRT_LEAF_TYPE or rtype not in (
+            LINK_N4, LINK_N16, LINK_N48, LINK_N256,
+        ):
+            return off
+        plen = int(buf[off + 2]) | (int(buf[off + 3]) << 8)
+        stored = bytes(buf[off + 4 : off + 4 + min(plen, GRT_MAX_PREFIX)])
+        window = key[depth : depth + len(stored)]
+        if window != stored[: len(window)]:
+            return off
+        depth += plen
+        if depth >= len(key):
+            return off
+        b = key[depth]
+        body = off + GRT_HEADER_BYTES
+        child = 0
+        if rtype in (LINK_N4, LINK_N16):
+            cap = 4 if rtype == LINK_N4 else 16
+            count = int(buf[off + 1])
+            off_area = body + (8 if rtype == LINK_N4 else cap)
+            for slot in range(min(count, cap)):
+                if int(buf[body + slot]) == b:
+                    child = int(
+                        layout.read_u64(
+                            np.array([off_area + slot * 8], dtype=np.int64)
+                        )[0]
+                    )
+                    break
+        elif rtype == LINK_N48:
+            slot = int(buf[body + b])
+            if slot != N48_EMPTY_SLOT:
+                child = int(
+                    layout.read_u64(
+                        np.array([body + 256 + slot * 8], dtype=np.int64)
+                    )[0]
+                )
+        else:  # N256
+            child = int(
+                layout.read_u64(np.array([body + b * 8], dtype=np.int64))[0]
+            )
+        if child == 0:
+            return off
+        off = child
+        depth += 1

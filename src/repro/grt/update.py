@@ -1,0 +1,99 @@
+"""GRT batched update path — the baseline of figure 17.
+
+GRT has no conflict-elimination stage: every thread that located its leaf
+performs a *globally visible atomic* read-modify-write on the value word,
+ordered by thread id so the batch semantics stay deterministic
+(last-writer-wins, like CuART).  Correctness is identical to CuART's
+result; the cost is not: conflicting writers serialize on the same
+address, every write pays a global-visibility fence, and the L2 cannot
+coalesce the traffic.  Figure 17 shows the consequence — GRT updates
+plateau around 13 MOps/s regardless of tree size ("the throughput of GRT
+remains almost constant in GRT, which indicates memory conflicts") while
+CuART sustains ~120 MOps/s.
+
+The stall model: each atomic RMW occupies its target cache line for a
+full memory round trip; the device can only keep a small number of such
+fenced atomics in flight (``ATOMIC_CONCURRENCY``), so a batch of ``n``
+writes self-inflicts ``n / concurrency × latency`` of serialization on
+top of the traversal cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import NIL_VALUE
+from repro.grt.kernel import grt_lookup_batch
+from repro.grt.layout import GrtLayout
+from repro.gpusim.transactions import TransactionLog
+
+#: fenced atomic RMWs a GPU keeps in flight to *conflux-free* addresses;
+#: globally-visible atomics with store ordering are far more restricted
+#: than plain loads (tens, not tens of thousands).
+ATOMIC_CONCURRENCY = 8
+#: full global round trip of one fenced atomic (read + own + write back).
+ATOMIC_RMW_LATENCY_S = 6.0e-7
+
+
+@dataclass
+class GrtUpdateResult:
+    found: np.ndarray  # (B,) bool
+    writes: int
+    #: writes that hit an address another thread also wrote (serialized).
+    conflicting_writes: int
+    log: TransactionLog
+
+
+def grt_update_batch(
+    layout: GrtLayout,
+    keys_mat: np.ndarray,
+    key_lens: np.ndarray,
+    new_values: np.ndarray,
+    *,
+    deletes: np.ndarray | None = None,
+    log: TransactionLog | None = None,
+) -> GrtUpdateResult:
+    """Apply one update batch with GRT's direct-atomic strategy."""
+    layout.check_fresh()
+    B = keys_mat.shape[0]
+    if log is None:
+        log = TransactionLog()
+    new_values = np.asarray(new_values, dtype=np.uint64)
+    if deletes is None:
+        deletes = np.zeros(B, dtype=bool)
+
+    res = grt_lookup_batch(layout, keys_mat, key_lens, log=log)
+    found = res.locations != 0
+    rows = np.nonzero(found)[0]
+
+    # deterministic last-writer-wins: apply in thread order (ascending
+    # thread id = ascending priority), every write really executes
+    vals = np.where(deletes, np.uint64(NIL_VALUE), new_values)
+    for r in rows:
+        off = int(res.locations[r]) + 8  # value word inside the leaf header
+        layout.buffer[off : off + 8] = np.frombuffer(
+            int(vals[r]).to_bytes(8, "little"), dtype=np.uint8
+        )
+
+    # cost: every located thread performs a fenced atomic RMW
+    n_writes = int(rows.size)
+    uniq, counts = np.unique(res.locations[rows], return_counts=True)
+    conflicting = int(counts[counts > 1].sum())
+    log.record(16, n_writes, aligned=False)  # RMW traffic
+    log.record_atomics(n_writes)
+    # serialized stall: conflicts queue behind each other on one line;
+    # non-conflicting atomics still fence but pipeline up to the
+    # concurrency limit
+    serial_chains = counts.max(initial=0)  # deepest same-address queue
+    pipelined = n_writes / ATOMIC_CONCURRENCY
+    log.serial_stall_s += (
+        max(pipelined, float(serial_chains)) * ATOMIC_RMW_LATENCY_S
+    )
+    return GrtUpdateResult(
+        found=found,
+        writes=n_writes,
+        conflicting_writes=conflicting,
+        log=log,
+    )

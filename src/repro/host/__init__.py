@@ -1,0 +1,41 @@
+"""Host-side machinery: query coalescing, the multi-threaded dispatch
+pipeline model, the hybrid CPU/GPU long-key split and the end-to-end
+engine implementing the paper's three benchmark stages (section 4.1):
+
+1. populating the ART index,
+2. mapping the CPU ART into the device buffer structure,
+3. running the actual queries, measuring throughput end to end.
+"""
+
+from repro.host.batching import QueryBatcher, coalesce
+from repro.host.dispatcher import (
+    DispatchConfig,
+    HostCostParameters,
+    pipeline_throughput,
+)
+from repro.host.hybrid import HybridConfig, hybrid_throughput, split_queries
+from repro.host.engine import CuartEngine, GrtEngine, EngineReport
+from repro.host.mixed import MixedWorkloadExecutor, MixedReport
+from repro.host.autotune import autotune_dispatch, TuneResult
+from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_curve
+
+__all__ = [
+    "QueryBatcher",
+    "coalesce",
+    "DispatchConfig",
+    "HostCostParameters",
+    "pipeline_throughput",
+    "HybridConfig",
+    "hybrid_throughput",
+    "split_queries",
+    "CuartEngine",
+    "GrtEngine",
+    "EngineReport",
+    "MixedWorkloadExecutor",
+    "MixedReport",
+    "autotune_dispatch",
+    "TuneResult",
+    "MultiGpuConfig",
+    "multi_gpu_throughput",
+    "scaling_curve",
+]

@@ -1,0 +1,94 @@
+"""Dispatch-configuration auto-tuning.
+
+Section 4.3 performs a manual design-space exploration over host threads
+and batch size (figures 8/9) and settles on 32Ki × 8 threads.  With the
+pipeline model in code, that exploration is a function: measure one
+representative kernel per candidate batch size, sweep the model, pick
+the sustained-throughput maximizer (ties broken toward fewer threads and
+smaller batches — same resources, less latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import CpuSpec, DeviceSpec
+from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+from repro.util.keys import keys_to_matrix
+from repro.util.rng import make_rng
+
+#: power-of-two batch sizes the paper's exploration covers (figure 8).
+DEFAULT_BATCH_GRID = tuple(1 << p for p in range(11, 18))  # 2Ki .. 128Ki
+DEFAULT_THREAD_GRID = (1, 2, 4, 8, 12, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one auto-tuning sweep."""
+
+    config: DispatchConfig
+    throughput_mops: float
+    #: full sweep surface: (batch, threads) -> MOps/s.
+    surface: dict
+    #: queries measured per probed batch size.
+    probes: int
+
+    def describe(self) -> str:
+        return (
+            f"batch={self.config.batch_size} threads="
+            f"{self.config.host_threads} -> "
+            f"{self.throughput_mops:.1f} MOps/s (modeled)"
+        )
+
+
+def autotune_dispatch(
+    layout: CuartLayout,
+    keys,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    *,
+    root_table=None,
+    batch_grid=DEFAULT_BATCH_GRID,
+    thread_grid=DEFAULT_THREAD_GRID,
+    l2_scale: float = 1.0,
+    seed=None,
+) -> TuneResult:
+    """Pick (batch size, host threads) maximizing modeled end-to-end
+    lookup throughput for this layout on this machine.
+
+    One representative batch per candidate size runs through the real
+    kernel (its transaction profile varies with batch size via cache
+    footprints); the pipeline model then sweeps the thread grid.
+    """
+    rng = make_rng(seed)
+    model = CostModel(device, l2_scale=l2_scale)
+    width = max(len(k) for k in keys)
+    surface: dict = {}
+    best = None
+    for batch in batch_grid:
+        idx = rng.integers(0, len(keys), size=batch)
+        mat, lens = keys_to_matrix([keys[int(i)] for i in idx], width=width)
+        res = lookup_batch(layout, mat, lens, root_table=root_table)
+        timing = model.kernel_time(res.log)
+        for threads in thread_grid:
+            cfg = DispatchConfig(
+                batch_size=batch, host_threads=threads, key_bytes=width
+            )
+            rate = pipeline_throughput(timing, cfg, device, cpu).throughput_mops
+            surface[(batch, threads)] = rate
+            # prefer strictly better rates; on ~ties (within 1%), prefer
+            # fewer threads, then smaller batches (lower latency)
+            if best is None or rate > best[0] * 1.01:
+                best = (rate, cfg)
+    assert best is not None
+    return TuneResult(
+        config=best[1],
+        throughput_mops=best[0],
+        surface=surface,
+        probes=len(batch_grid),
+    )

@@ -1,0 +1,101 @@
+"""Query coalescing (section 4.1).
+
+"Queries are coalesced into batches in order to reduce the compute
+overhead, typically with a power-of-two size to ease up scheduling and
+optimal load on the GPUs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.keys import keys_to_matrix
+from repro.util.validation import require_power_of_two
+
+
+@dataclass
+class QueryBatch:
+    """One coalesced batch ready for device dispatch."""
+
+    keys_mat: np.ndarray
+    key_lens: np.ndarray
+    #: positions of these queries in the original stream (results are
+    #: scattered back through this).
+    origin: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.keys_mat.shape[0]
+
+
+def coalesce(
+    keys: Sequence[bytes], batch_size: int, *, width: int | None = None
+) -> list[QueryBatch]:
+    """Split a query stream into power-of-two batches (the final batch
+    may be short — the device pads the launch, the model charges the full
+    grid)."""
+    require_power_of_two(batch_size, "batch_size")
+    if width is None:
+        width = max((len(k) for k in keys), default=1)
+    out = []
+    for start in range(0, len(keys), batch_size):
+        chunk = keys[start : start + batch_size]
+        mat, lens = keys_to_matrix(chunk, width=width)
+        out.append(
+            QueryBatch(
+                keys_mat=mat,
+                key_lens=lens,
+                origin=np.arange(start, start + len(chunk), dtype=np.int64),
+            )
+        )
+    return out
+
+
+class QueryBatcher:
+    """Streaming variant: accumulates queries and emits full batches.
+
+    Mirrors the paper's host threads which pull queries from the workload
+    generator and ship power-of-two batches to their stream.
+    """
+
+    def __init__(self, batch_size: int, *, width: int) -> None:
+        require_power_of_two(batch_size, "batch_size")
+        if width <= 0:
+            raise ReproError(f"width must be positive, got {width}")
+        self.batch_size = batch_size
+        self.width = width
+        self._pending: list[bytes] = []
+        self._next_origin = 0
+
+    def add(self, key: bytes) -> QueryBatch | None:
+        """Queue one query; returns a full batch when one completes."""
+        self._pending.append(key)
+        if len(self._pending) >= self.batch_size:
+            return self._emit()
+        return None
+
+    def add_many(self, keys: Sequence[bytes]) -> Iterator[QueryBatch]:
+        for k in keys:
+            batch = self.add(k)
+            if batch is not None:
+                yield batch
+
+    def flush(self) -> QueryBatch | None:
+        """Emit the final partial batch, if any."""
+        if self._pending:
+            return self._emit()
+        return None
+
+    def _emit(self) -> QueryBatch:
+        chunk = self._pending
+        self._pending = []
+        mat, lens = keys_to_matrix(chunk, width=self.width)
+        origin = np.arange(
+            self._next_origin, self._next_origin + len(chunk), dtype=np.int64
+        )
+        self._next_origin += len(chunk)
+        return QueryBatch(keys_mat=mat, key_lens=lens, origin=origin)

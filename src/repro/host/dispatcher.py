@@ -1,0 +1,135 @@
+"""End-to-end dispatch pipeline model (sections 4.1 and 4.3).
+
+Three stages process every batch: host preparation (coalescing + result
+post-processing), PCIe transfer, and the device kernel.  Their overlap
+depends on the dispatch style:
+
+* ``cuda`` (CuART): fully asynchronous streams — the three stages
+  pipeline freely, so the sustained rate is set by the slowest stage.
+  Small batches under-fill the device; concurrent kernels from other
+  streams make up for it (modeled by the kernel-overlap factor).
+* ``sync`` (GRT, both its CUDA and OpenCL builds): each host thread
+  submits, waits, and post-processes before sending the next batch, so a
+  thread's cycle is the *sum* of the stages; parallelism comes only from
+  running T such cycles side by side, and the device still serializes
+  the kernels.  This is why "CuART is much more thread agnostic" in
+  figure 9.
+
+The host constants are calibrated against the paper's end-to-end
+magnitudes (~150–200 MOps/s lookup plateau with 8 threads on the server,
+figures 8/9); see EXPERIMENTS.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.gpusim.devices import CpuSpec, DeviceSpec
+from repro.gpusim.pcie import PcieLink, link_for_device
+from repro.gpusim.streams import PipelineResult, PipelineStage, pipeline
+
+
+@dataclass(frozen=True)
+class HostCostParameters:
+    """Calibrated host-side per-query and per-batch costs."""
+
+    #: seconds one host core spends producing one query and digesting its
+    #: result (batch copy, result scatter, bookkeeping).
+    per_query_s: float = 1.2e-8
+    #: fixed per-batch submission cost (stream launch, descriptors).
+    per_batch_s: float = 1.0e-5
+    #: extra per-batch cost of a synchronous dispatch style (blocking
+    #: waits, event polling) — charged to GRT.
+    sync_extra_per_batch_s: float = 1.5e-5
+
+
+@dataclass(frozen=True)
+class DispatchConfig:
+    """One experiment's pipeline settings."""
+
+    batch_size: int = 32768
+    host_threads: int = 8
+    #: bytes shipped per query key (padded key width).
+    key_bytes: int = 32
+    #: bytes returned per query (the 64-bit value / leaf index).
+    result_bytes: int = 8
+    #: ``"cuda"`` for CuART-style async streams, ``"sync"`` for GRT-style
+    #: blocking dispatch (the paper's OpenCL variant adds extra overhead
+    #: via :attr:`HostCostParameters.sync_extra_per_batch_s`).
+    api: str = "cuda"
+    host_costs: HostCostParameters = field(default_factory=HostCostParameters)
+
+    def __post_init__(self) -> None:
+        if self.api not in ("cuda", "sync"):
+            raise SimulationError(f"unknown dispatch api {self.api!r}")
+        if self.batch_size <= 0 or self.host_threads <= 0:
+            raise SimulationError("batch_size and host_threads must be positive")
+
+
+def pipeline_throughput(
+    kernel: "float | KernelTiming",
+    config: DispatchConfig,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    pcie: PcieLink | None = None,
+) -> PipelineResult:
+    """Sustained end-to-end throughput for one kernel-per-batch time.
+
+    ``kernel`` comes from the cost model
+    (:meth:`repro.gpusim.cost_model.CostModel.kernel_time`) evaluated on a
+    representative batch's transaction log.  Passing the full
+    :class:`~repro.gpusim.cost_model.KernelTiming` (rather than its
+    ``total_s``) lets concurrent streams overlap the *latency* component
+    of neighbouring kernels — memory-channel command throughput is a
+    shared resource and never multiplies.
+    """
+    if pcie is None:
+        pcie = link_for_device(device.name)
+    B = config.batch_size
+    hc = config.host_costs
+    threads = min(config.host_threads, cpu.threads)
+
+    t_host = hc.per_batch_s + B * hc.per_query_s
+    if config.api == "sync":
+        t_host += hc.sync_extra_per_batch_s
+    t_up = pcie.transfer_time(B * config.key_bytes)
+    t_down = pcie.transfer_time(B * config.result_bytes)
+    # PCIe is full duplex: up and down overlap across batches
+    t_pcie = max(t_up, t_down)
+
+    kernel_s = kernel if isinstance(kernel, float) else kernel.total_s
+
+    if config.api == "cuda":
+        # async streams: stages overlap; concurrent kernels from other
+        # streams hide each other's dependent-load latency, but the
+        # memory channels (command bound) are shared and do not multiply
+        overlap = min(
+            float(threads),
+            max(1.0, device.max_resident_threads / max(B, 1)),
+        )
+        if isinstance(kernel, float):
+            effective_kernel = kernel_s  # no breakdown: be conservative
+        else:
+            effective_kernel = max(
+                kernel.command_bound_s,
+                kernel.latency_bound_s / overlap,
+                kernel.compute_bound_s / overlap,
+            ) + kernel.launch_overhead_s / overlap
+        stages = [
+            PipelineStage("host", t_host, parallelism=threads),
+            PipelineStage("pcie", t_pcie),
+            PipelineStage("kernel", effective_kernel),
+        ]
+        return pipeline(stages, B)
+
+    # synchronous dispatch: a thread's full cycle is serial; T cycles run
+    # side by side but kernels still serialize on the device and the
+    # PCIe link is shared
+    cycle = t_host + t_up + t_down + kernel_s
+    stages = [
+        PipelineStage("thread-cycle", cycle, parallelism=threads),
+        PipelineStage("pcie", t_pcie),
+        PipelineStage("kernel", kernel_s),
+    ]
+    return pipeline(stages, B)

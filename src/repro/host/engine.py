@@ -1,0 +1,444 @@
+"""End-to-end engines — the public facade of the reproduction.
+
+A :class:`CuartEngine` (or the baseline :class:`GrtEngine`) executes the
+paper's three benchmark stages (section 4.1): it populates a host ART,
+maps it into the device layout, and then serves batched queries.  Every
+query batch runs the *real* vectorized kernels (results are exact) while
+its transaction log flows through the simulated device's cost model and
+the host pipeline model, producing the end-to-end throughput estimates
+reported by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_HOST_THREADS,
+    DEFAULT_UPDATE_HASH_SLOTS,
+    MAX_SHORT_KEY,
+    NIL_VALUE,
+)
+from repro.cuart.delete import delete_batch
+from repro.cuart.insert import InsertEngine
+from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.range_query import prefix_query, range_query
+from repro.cuart.root_table import RootTable
+from repro.cuart.update import UpdateEngine
+from repro.errors import ReproError
+from repro.grt.kernel import grt_lookup_batch
+from repro.grt.layout import GrtLayout
+from repro.grt.update import grt_update_batch
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import (
+    CpuSpec,
+    DeviceSpec,
+    RTX3090,
+    WORKSTATION_CPU,
+)
+from repro.gpusim.transactions import TransactionLog
+from repro.host.batching import coalesce
+from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+
+
+@dataclass
+class EngineReport:
+    """Simulated performance of the last operation."""
+
+    operation: str
+    queries: int
+    batches: int
+    #: average simulated kernel seconds per batch.
+    kernel_s_per_batch: float
+    #: simulated kernel-only throughput.
+    kernel_mops: float
+    #: simulated end-to-end throughput through the host pipeline.
+    end_to_end_mops: float
+    #: which roofline bound the kernel hit.
+    binding_constraint: str
+    #: which pipeline stage bound the end-to-end rate.
+    pipeline_bottleneck: str
+    transactions_per_query: float
+    bytes_per_query: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.operation}: {self.end_to_end_mops:8.1f} MOps/s end-to-end "
+            f"({self.kernel_mops:8.1f} kernel-only, "
+            f"{self.transactions_per_query:.2f} tx/query, "
+            f"bound by {self.binding_constraint}/{self.pipeline_bottleneck})"
+        )
+
+
+class _EngineBase:
+    """Shared pipeline bookkeeping for both engines."""
+
+    def __init__(
+        self,
+        *,
+        device: DeviceSpec = RTX3090,
+        cpu: CpuSpec = WORKSTATION_CPU,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        host_threads: int = DEFAULT_HOST_THREADS,
+        api: str = "cuda",
+    ) -> None:
+        self.device = device
+        self.cpu = cpu
+        self.batch_size = batch_size
+        self.host_threads = host_threads
+        self.api = api
+        self.tree = AdaptiveRadixTree()
+        self.cost_model = CostModel(device)
+        self.last_report: Optional[EngineReport] = None
+
+    # -- stage 1: populate ------------------------------------------------
+    def populate(self, items: Iterable[tuple[bytes, int]]) -> None:
+        """Insert ``(key, value)`` pairs into the host ART (stage 1)."""
+        for k, v in items:
+            self.tree.insert(k, v)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    # -- reporting ---------------------------------------------------------
+    def _report(
+        self, operation: str, queries: int, batches: int, logs: list[TransactionLog],
+        key_bytes: int,
+    ) -> EngineReport:
+        total_tx = sum(log.total_transactions for log in logs)
+        total_bytes = sum(log.total_bytes for log in logs)
+        timings = [self.cost_model.kernel_time(log) for log in logs]
+        if timings:
+            kernel_s = float(np.mean([t.total_s for t in timings]))
+        else:  # empty operation: charge the bare launch overhead
+            kernel_s = self.device.launch_overhead_s
+        per_batch_q = max(queries // max(batches, 1), 1)
+        kernel_mops = per_batch_q / kernel_s / 1e6
+        cfg = DispatchConfig(
+            batch_size=self.batch_size,
+            host_threads=self.host_threads,
+            key_bytes=key_bytes,
+            api=self.api,
+        )
+        pipe = pipeline_throughput(kernel_s, cfg, self.device, self.cpu)
+        report = EngineReport(
+            operation=operation,
+            queries=queries,
+            batches=batches,
+            kernel_s_per_batch=kernel_s,
+            kernel_mops=kernel_mops,
+            end_to_end_mops=pipe.throughput_mops,
+            binding_constraint=timings[0].binding_constraint if timings else "-",
+            pipeline_bottleneck=pipe.bottleneck.name,
+            transactions_per_query=total_tx / max(queries, 1),
+            bytes_per_query=total_bytes / max(queries, 1),
+        )
+        self.last_report = report
+        return report
+
+
+class CuartEngine(_EngineBase):
+    """The paper's system: CuART layout + kernels + async CUDA pipeline.
+
+    >>> eng = CuartEngine()
+    >>> eng.populate([(b'key-a\\x00', 1), (b'key-b\\x00', 2)])
+    >>> eng.map_to_device()
+    >>> eng.lookup([b'key-a\\x00', b'missing\\x00'])
+    [1, None]
+    """
+
+    def __init__(
+        self,
+        *,
+        device: DeviceSpec = RTX3090,
+        cpu: CpuSpec = WORKSTATION_CPU,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        host_threads: int = DEFAULT_HOST_THREADS,
+        root_table_depth: Optional[int] = None,
+        long_keys: LongKeyStrategy = LongKeyStrategy.ERROR,
+        hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+        spare: float = 0.25,
+    ) -> None:
+        """``spare`` over-allocates the device buffers so
+        :meth:`insert` can place new keys without an immediate re-map
+        (the §5.1 device-side insert path)."""
+        super().__init__(
+            device=device, cpu=cpu, batch_size=batch_size,
+            host_threads=host_threads, api="cuda",
+        )
+        self.root_table_depth = root_table_depth
+        self.long_keys = long_keys
+        self.hash_slots = hash_slots
+        self.spare = spare
+        self.layout: Optional[CuartLayout] = None
+        self.root_table: Optional[RootTable] = None
+
+    # -- stage 2: map -------------------------------------------------------
+    def map_to_device(self) -> None:
+        """Map the populated host tree into the device buffers (stage 2),
+        rebuilding the compacted root table if configured."""
+        self.layout = CuartLayout(
+            self.tree, long_keys=self.long_keys, spare=self.spare
+        )
+        if self.root_table_depth is not None:
+            self.root_table = RootTable(self.layout, k=self.root_table_depth)
+        else:
+            self.root_table = None
+
+    def _require_layout(self) -> CuartLayout:
+        if self.layout is None:
+            raise ReproError("call map_to_device() after populating")
+        return self.layout
+
+    # -- stage 3: queries ----------------------------------------------------
+    def lookup(self, keys: Sequence[bytes]) -> list[Optional[int]]:
+        """Batched exact lookups; returns values (``None`` for misses).
+
+        Long keys stored via :attr:`LongKeyStrategy.HOST_LINK` come back
+        after the CPU resolves the device's host-leaf signals.
+        """
+        layout = self._require_layout()
+        width = max(max((len(k) for k in keys), default=1), 1)
+        out: list[Optional[int]] = [None] * len(keys)
+        logs = []
+        batches = coalesce(list(keys), self.batch_size, width=width)
+        for batch in batches:
+            res = lookup_batch(
+                layout, batch.keys_mat, batch.key_lens,
+                root_table=self.root_table,
+            )
+            logs.append(res.log)
+            vals = res.values
+            for j, pos in enumerate(batch.origin):
+                ref = int(res.host_refs[j])
+                if ref >= 0:
+                    hk, hv = layout.host_leaves[ref]
+                    out[pos] = hv if hk == keys[pos] else None
+                else:
+                    v = int(vals[j])
+                    out[pos] = None if v == NIL_VALUE else v
+        self._report("lookup", len(keys), len(batches), logs, width)
+        return out
+
+    def update(
+        self, items: Sequence[tuple[bytes, int]]
+    ) -> list[bool]:
+        """Batched value updates (section 3.4); returns found-flags.
+
+        Within a batch, later items win conflicts on the same key (the
+        paper's thread-index priority).  The host tree mirrors every
+        applied value so a future re-map cannot resurrect stale data.
+        """
+        layout = self._require_layout()
+        keys = [k for k, _ in items]
+        width = max(max((len(k) for k in keys), default=1), 1)
+        found = [False] * len(items)
+        engine = UpdateEngine(
+            layout, root_table=self.root_table, hash_slots=self.hash_slots
+        )
+        logs = []
+        batches = coalesce(keys, self.batch_size, width=width)
+        values = np.array([v for _, v in items], dtype=np.uint64)
+        for batch in batches:
+            res = engine.apply(
+                batch.keys_mat, batch.key_lens, values[batch.origin]
+            )
+            logs.append(res.log)
+            for j, pos in enumerate(batch.origin):
+                found[pos] = bool(res.found[j])
+        # mirror into the host tree (sequential order == thread order)
+        for (k, v), hit in zip(items, found):
+            if hit:
+                self.tree.insert(k, v)
+        layout.mark_synced()
+        self._report("update", len(items), len(batches), logs, width)
+        return found
+
+    def insert(
+        self, items: Sequence[tuple[bytes, int]], *, remap_on_defer: bool = True
+    ) -> dict:
+        """Batched inserts: device-side where the buffers allow it
+        (section 5.1 path via :class:`repro.cuart.insert.InsertEngine`),
+        host re-map for the structurally hard remainder.
+
+        Returns ``{"device_inserted", "updated", "deferred", "remapped"}``.
+        All items land in the host tree either way, so the engine's
+        content stays authoritative.
+        """
+        layout = self._require_layout()
+        keys = [k for k, _ in items]
+        width = max(max((len(k) for k in keys), default=1), 1)
+        engine = InsertEngine(
+            layout, root_table=self.root_table, hash_slots=self.hash_slots
+        )
+        values = np.array([v for _, v in items], dtype=np.uint64)
+        logs = []
+        n_ins = n_upd = n_def = 0
+        for batch in coalesce(keys, self.batch_size, width=width):
+            res = engine.apply(batch.keys_mat, batch.key_lens,
+                               values[batch.origin])
+            logs.append(res.log)
+            n_ins += res.n_inserted
+            n_upd += res.n_updated
+            n_def += res.n_deferred
+        # the host tree mirrors everything (duplicates: last one wins,
+        # matching the device's thread-priority rule)
+        for k, v in items:
+            self.tree.insert(k, v)
+        remapped = False
+        if n_def and remap_on_defer:
+            self.map_to_device()
+            remapped = True
+        else:
+            layout.mark_synced()
+        self._report("insert", len(items), max(len(logs), 1), logs, width)
+        return {
+            "device_inserted": n_ins,
+            "updated": n_upd,
+            "deferred": n_def,
+            "remapped": remapped,
+        }
+
+    def delete(self, keys: Sequence[bytes]) -> list[bool]:
+        """Batched device-side deletions (section 3.3).
+
+        Mirrored into the host tree so a future re-map cannot resurrect
+        the deleted keys."""
+        layout = self._require_layout()
+        width = max(max((len(k) for k in keys), default=1), 1)
+        out = [False] * len(keys)
+        logs = []
+        batches = coalesce(list(keys), self.batch_size, width=width)
+        for batch in batches:
+            res = delete_batch(
+                layout, batch.keys_mat, batch.key_lens,
+                root_table=self.root_table, hash_slots=self.hash_slots,
+            )
+            logs.append(res.log)
+            for j, pos in enumerate(batch.origin):
+                out[pos] = bool(res.deleted[j])
+        for k, hit in zip(keys, out):
+            if hit:
+                self.tree.delete(k)
+        layout.mark_synced()
+        self._report("delete", len(keys), len(batches), logs, width)
+        return out
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the mapped device buffers (``.npz``); see
+        :mod:`repro.cuart.serialize`."""
+        from repro.cuart.serialize import save_layout
+
+        save_layout(self._require_layout(), path)
+
+    @classmethod
+    def load(cls, path, **engine_kwargs) -> "CuartEngine":
+        """Rebuild an engine from a saved layout.
+
+        The device buffers load directly (no mapping pass); the
+        authoritative host tree is reconstructed from the complete keys
+        the leaf buffers carry.  The compacted root table is *not*
+        persisted — pass ``root_table_depth`` and call
+        :meth:`map_to_device` to regain one (a fresh map), or run
+        without a table.
+        """
+        from repro.cuart.serialize import iter_layout_items, load_layout
+
+        layout = load_layout(path)
+        engine = cls(long_keys=layout.long_keys, **engine_kwargs)
+        engine.populate(iter_layout_items(layout))
+        layout._source = engine.tree
+        layout._source_version = engine.tree.version
+        engine.layout = layout
+        engine.root_table = None
+        return engine
+
+    def range(self, lo: bytes, hi: bytes) -> list[tuple[bytes, int]]:
+        """Inclusive range query over the ordered leaf buffers."""
+        layout = self._require_layout()
+        res = range_query(layout, lo, hi)
+        self._report("range", max(len(res), 1), 1, [res.log], MAX_SHORT_KEY)
+        return list(zip(res.keys, (int(v) for v in res.values)))
+
+    def prefix(self, prefix: bytes) -> list[tuple[bytes, int]]:
+        """Prefix query over the ordered leaf buffers."""
+        layout = self._require_layout()
+        res = prefix_query(layout, prefix)
+        self._report("prefix", max(len(res), 1), 1, [res.log], MAX_SHORT_KEY)
+        return list(zip(res.keys, (int(v) for v in res.values)))
+
+
+class GrtEngine(_EngineBase):
+    """The baseline: GRT single-buffer layout with synchronous dispatch."""
+
+    def __init__(
+        self,
+        *,
+        device: DeviceSpec = RTX3090,
+        cpu: CpuSpec = WORKSTATION_CPU,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        host_threads: int = DEFAULT_HOST_THREADS,
+    ) -> None:
+        super().__init__(
+            device=device, cpu=cpu, batch_size=batch_size,
+            host_threads=host_threads, api="sync",
+        )
+        self.layout: Optional[GrtLayout] = None
+
+    def map_to_device(self) -> None:
+        self.layout = GrtLayout(self.tree)
+
+    def _require_layout(self) -> GrtLayout:
+        if self.layout is None:
+            raise ReproError("call map_to_device() after populating")
+        return self.layout
+
+    def lookup(self, keys: Sequence[bytes]) -> list[Optional[int]]:
+        layout = self._require_layout()
+        width = max(max((len(k) for k in keys), default=1), 1)
+        out: list[Optional[int]] = [None] * len(keys)
+        logs = []
+        batches = coalesce(list(keys), self.batch_size, width=width)
+        for batch in batches:
+            res = grt_lookup_batch(layout, batch.keys_mat, batch.key_lens)
+            logs.append(res.log)
+            for j, pos in enumerate(batch.origin):
+                v = int(res.values[j])
+                out[pos] = None if v == NIL_VALUE else v
+        self._report("lookup", len(keys), len(batches), logs, width)
+        return out
+
+    def update(self, items: Sequence[tuple[bytes, int]]) -> list[bool]:
+        layout = self._require_layout()
+        keys = [k for k, _ in items]
+        width = max(max((len(k) for k in keys), default=1), 1)
+        found = [False] * len(items)
+        logs = []
+        batches = coalesce(keys, self.batch_size, width=width)
+        values = np.array([v for _, v in items], dtype=np.uint64)
+        for batch in batches:
+            res = grt_update_batch(
+                layout, batch.keys_mat, batch.key_lens, values[batch.origin]
+            )
+            logs.append(res.log)
+            for j, pos in enumerate(batch.origin):
+                found[pos] = bool(res.found[j])
+        self._report("update", len(items), len(batches), logs, width)
+        return found
+
+    def range(self, lo: bytes, hi: bytes) -> list[tuple[bytes, int]]:
+        """Inclusive range via the in-order buffer scan (the GRT paper's
+        point-and-range evaluation)."""
+        from repro.grt.range import grt_range_query
+
+        layout = self._require_layout()
+        res = grt_range_query(layout, lo, hi)
+        self._report("range", max(len(res), 1), 1, [res.log], MAX_SHORT_KEY)
+        return list(zip(res.keys, (int(v) for v in res.values)))

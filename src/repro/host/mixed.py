@@ -1,0 +1,106 @@
+"""Mixed OLTP read/write execution (section 3.1's motivating scenario).
+
+"Another problem arises when running mixed read/write workloads such as
+typical OLTP benchmarks."  The executor consumes an interleaved stream
+of lookups, updates and deletes (from
+:func:`repro.workloads.queries.mixed_queries`) against a
+:class:`~repro.host.engine.CuartEngine`, coalescing *runs of the same
+operation type* into device batches while preserving the stream's
+cross-type ordering — a read issued after a write to the same key
+observes the write, exactly like a serial client would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.engine import CuartEngine
+
+
+@dataclass
+class MixedReport:
+    """Counts and outcomes of one executed stream."""
+
+    lookups: int = 0
+    updates: int = 0
+    deletes: int = 0
+    inserts: int = 0
+    scans: int = 0
+    hits: int = 0
+    misses: int = 0
+    update_misses: int = 0
+    delete_misses: int = 0
+    inserts_deferred: int = 0
+    records_scanned: int = 0
+    #: device batches dispatched (one per same-op run per batch size).
+    batches: int = 0
+    #: end-to-end simulated MOps/s per op type (last batch of each).
+    simulated_mops: dict = field(default_factory=dict)
+
+    @property
+    def operations(self) -> int:
+        return (self.lookups + self.updates + self.deletes
+                + self.inserts + self.scans)
+
+
+class MixedWorkloadExecutor:
+    """Run interleaved ``lookup`` / ``update`` / ``delete`` / ``insert`` /
+    ``scan`` streams (the YCSB-profile op set,
+    :mod:`repro.workloads.ycsb`)."""
+
+    def __init__(self, engine: CuartEngine) -> None:
+        self.engine = engine
+
+    def run(self, stream) -> tuple[list, MixedReport]:
+        """Execute the stream; returns (lookup results in stream order,
+        report).  Lookup results align with the stream's lookup ops."""
+        report = MixedReport()
+        results: list = []
+        run_kind: str | None = None
+        pending: list = []
+
+        def flush() -> None:
+            nonlocal run_kind, pending
+            if not pending:
+                return
+            if run_kind == "lookup":
+                values = self.engine.lookup(pending)
+                results.extend(values)
+                report.lookups += len(pending)
+                report.hits += sum(1 for v in values if v is not None)
+                report.misses += sum(1 for v in values if v is None)
+            elif run_kind == "update":
+                found = self.engine.update(pending)
+                report.updates += len(pending)
+                report.update_misses += sum(1 for f in found if not f)
+            elif run_kind == "insert":
+                out = self.engine.insert(pending)
+                report.inserts += len(pending)
+                report.inserts_deferred += out["deferred"]
+            elif run_kind == "scan":
+                for lo, hi in pending:
+                    rows = self.engine.range(lo, hi)
+                    report.records_scanned += len(rows)
+                report.scans += len(pending)
+            else:  # delete
+                found = self.engine.delete(pending)
+                report.deletes += len(pending)
+                report.delete_misses += sum(1 for f in found if not f)
+            report.batches += 1
+            if self.engine.last_report is not None:
+                report.simulated_mops[run_kind] = (
+                    self.engine.last_report.end_to_end_mops
+                )
+            pending = []
+
+        for kind, payload in stream:
+            if kind not in ("lookup", "update", "delete", "insert", "scan"):
+                raise ValueError(f"unknown operation {kind!r}")
+            if kind != run_kind:
+                flush()
+                run_kind = kind
+            pending.append(payload)
+            if len(pending) >= self.engine.batch_size:
+                flush()
+        flush()
+        return results, report

@@ -1,0 +1,112 @@
+"""Multi-GPU scale-out model.
+
+The paper's server carries **two** A100s (§4.1) but the evaluation
+drives one; this module models the natural scale-out: the index is
+replicated on every device (lookups are stateless, so any replica
+serves any batch) and host threads round-robin their batches across
+per-device streams.  Each device brings its own PCIe link and memory
+channels; the host preparation stage is the shared resource — which is
+exactly where the pipeline saturates, making the speedup sub-linear
+beyond a few devices (the same host-bound ceiling figure 9 shows for
+threads).
+
+Updates on replicated indexes must be applied to every replica; the
+model charges the update kernel on all devices (no speedup for the
+device stage) while reads scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpusim.cost_model import KernelTiming
+from repro.gpusim.devices import CpuSpec, DeviceSpec
+from repro.gpusim.pcie import PcieLink, link_for_device
+from repro.gpusim.streams import PipelineResult, PipelineStage, pipeline
+from repro.host.dispatcher import DispatchConfig
+
+
+@dataclass(frozen=True)
+class MultiGpuConfig:
+    """Scale-out settings."""
+
+    n_devices: int = 2
+    #: replicated index (reads scale, writes broadcast).  Partitioned
+    #: placement is modeled by :mod:`repro.cuart.partition` instead.
+    workload: str = "lookup"  # "lookup" | "update"
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise SimulationError("n_devices must be >= 1")
+        if self.workload not in ("lookup", "update"):
+            raise SimulationError(f"unknown workload {self.workload!r}")
+
+
+def multi_gpu_throughput(
+    kernel: KernelTiming,
+    dispatch: DispatchConfig,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    config: MultiGpuConfig,
+    pcie: PcieLink | None = None,
+) -> PipelineResult:
+    """Sustained end-to-end rate with ``n_devices`` replicas.
+
+    Reads: PCIe and kernel stages parallelize across replicas (each has
+    its own link and memory); the host stage is shared.  Updates: every
+    replica must apply every write, so the device stages do not scale —
+    only the host-side coalescing overlap remains.
+    """
+    if pcie is None:
+        pcie = link_for_device(device.name)
+    B = dispatch.batch_size
+    hc = dispatch.host_costs
+    threads = min(dispatch.host_threads, cpu.threads)
+    n = config.n_devices
+
+    t_host = hc.per_batch_s + B * hc.per_query_s
+    t_up = pcie.transfer_time(B * dispatch.key_bytes)
+    t_down = pcie.transfer_time(B * dispatch.result_bytes)
+    t_pcie = max(t_up, t_down)
+
+    overlap = min(
+        float(threads), max(1.0, device.max_resident_threads / max(B, 1))
+    )
+    effective_kernel = max(
+        kernel.command_bound_s,
+        kernel.latency_bound_s / overlap,
+        kernel.compute_bound_s / overlap,
+    ) + kernel.launch_overhead_s / overlap
+
+    if config.workload == "lookup":
+        device_scale = float(n)
+    else:
+        # broadcast writes: n replicas each run the full update batch; no
+        # read scaling is bought and PCIe must carry n copies
+        device_scale = 1.0
+    stages = [
+        PipelineStage("host", t_host, parallelism=threads),
+        PipelineStage("pcie", t_pcie, parallelism=device_scale),
+        PipelineStage("kernel", effective_kernel, parallelism=device_scale),
+    ]
+    return pipeline(stages, B)
+
+
+def scaling_curve(
+    kernel: KernelTiming,
+    dispatch: DispatchConfig,
+    device: DeviceSpec,
+    cpu: CpuSpec,
+    max_devices: int = 8,
+    workload: str = "lookup",
+) -> list[tuple[int, float]]:
+    """(devices, MOps/s) series — where does the host bound flatten it?"""
+    out = []
+    for n in range(1, max_devices + 1):
+        rate = multi_gpu_throughput(
+            kernel, dispatch, device, cpu,
+            MultiGpuConfig(n_devices=n, workload=workload),
+        ).throughput_mops
+        out.append((n, rate))
+    return out

@@ -1,0 +1,45 @@
+"""Shared utilities: key encoding, link packing, RNG and validation."""
+
+from repro.util.keys import (
+    encode_int,
+    encode_str,
+    encode_uuid_like,
+    encode_signed_int,
+    encode_float,
+    encode_composite,
+    decode_int,
+    decode_signed_int,
+    decode_float,
+    common_prefix_len,
+    keys_to_matrix,
+)
+from repro.util.packing import (
+    pack_link,
+    unpack_link,
+    link_type,
+    link_index,
+    pack_links,
+    link_types,
+    link_indices,
+)
+
+__all__ = [
+    "encode_int",
+    "encode_str",
+    "encode_uuid_like",
+    "encode_signed_int",
+    "encode_float",
+    "encode_composite",
+    "decode_int",
+    "decode_signed_int",
+    "decode_float",
+    "common_prefix_len",
+    "keys_to_matrix",
+    "pack_link",
+    "unpack_link",
+    "link_type",
+    "link_index",
+    "pack_links",
+    "link_types",
+    "link_indices",
+]

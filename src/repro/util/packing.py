@@ -1,0 +1,85 @@
+"""Packed 64-bit node links (paper section 3.2.1, figure 2).
+
+GRT addresses nodes by a byte offset into its single buffer; knowing
+*where* to read therefore does not tell the kernel *how much* to read.
+CuART replaces the offset by a packed 64-bit value: node type in the top
+8 bits, node index within the per-type buffer in the low 56 bits.  The
+type is known before the load is issued, so the transaction size and
+alignment are too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    LINK_EMPTY,
+    LINK_HOST,
+    LINK_INDEX_BITS,
+    LINK_INDEX_MASK,
+)
+from repro.errors import ReproError
+
+_MAX_TYPE = 0xFF
+
+#: uint64 dtype used for all link buffers.
+LINK_DTYPE = np.uint64
+
+
+def pack_link(type_code: int, index: int) -> int:
+    """Pack ``(type_code, index)`` into a 64-bit link value."""
+    if not 0 <= type_code <= _MAX_TYPE:
+        raise ReproError(f"link type out of range: {type_code}")
+    if not 0 <= index <= LINK_INDEX_MASK:
+        raise ReproError(f"link index out of range: {index}")
+    return (type_code << LINK_INDEX_BITS) | index
+
+
+def unpack_link(link: int) -> tuple[int, int]:
+    """Split a 64-bit link into ``(type_code, index)``."""
+    link = int(link)
+    return link >> LINK_INDEX_BITS, link & LINK_INDEX_MASK
+
+
+def link_type(link: int) -> int:
+    """Type code stored in the top 8 bits of ``link``."""
+    return int(link) >> LINK_INDEX_BITS
+
+
+def link_index(link: int) -> int:
+    """Node index stored in the low 56 bits of ``link``."""
+    return int(link) & LINK_INDEX_MASK
+
+
+def is_empty(link: int) -> bool:
+    return link_type(link) == LINK_EMPTY
+
+
+def is_host(link: int) -> bool:
+    return link_type(link) == LINK_HOST
+
+
+# ---------------------------------------------------------------------------
+# Vectorized variants used by the batch kernels.
+# ---------------------------------------------------------------------------
+
+
+def pack_links(type_codes: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`pack_link` over uint64 arrays."""
+    t = np.asarray(type_codes, dtype=np.uint64)
+    i = np.asarray(indices, dtype=np.uint64)
+    return (t << np.uint64(LINK_INDEX_BITS)) | (i & np.uint64(LINK_INDEX_MASK))
+
+
+def link_types(links: np.ndarray) -> np.ndarray:
+    """Vectorized type extraction (top 8 bits)."""
+    return (np.asarray(links, dtype=np.uint64) >> np.uint64(LINK_INDEX_BITS)).astype(
+        np.int64
+    )
+
+
+def link_indices(links: np.ndarray) -> np.ndarray:
+    """Vectorized index extraction (low 56 bits)."""
+    return (np.asarray(links, dtype=np.uint64) & np.uint64(LINK_INDEX_MASK)).astype(
+        np.int64
+    )

@@ -1,0 +1,32 @@
+"""Small argument-validation helpers used across the public API."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ReproError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ReproError(message)
+
+
+def require_positive(value: int | float, name: str) -> None:
+    if value <= 0:
+        raise ReproError(f"{name} must be positive, got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """The paper coalesces queries into power-of-two batches "to ease up
+    scheduling and optimal load on the GPUs" (section 4.1)."""
+    if value <= 0 or value & (value - 1):
+        raise ReproError(f"{name} must be a power of two, got {value!r}")
+
+
+def require_type(value: Any, types: type | tuple[type, ...], name: str) -> None:
+    if not isinstance(value, types):
+        raise ReproError(
+            f"{name} must be {types!r}, got {type(value).__name__}"
+        )

@@ -1,0 +1,53 @@
+"""Workload generators (section 4.1).
+
+"We build a framework that is capable of generating reproducible trees
+with data of different characteristics and afterwards generate update,
+delete, range and exact lookup queries.  ... We tested against synthetic
+random test data as well as real world test data from the publicly
+available BTC dataset."
+
+The BTC-2019 dataset itself is not redistributable here;
+:mod:`repro.workloads.btc` generates RDF-IRI-like keys with the same
+structural property the paper leans on (long duplicate prefixes → deeper
+trees) — see DESIGN.md for the substitution notes.
+"""
+
+from repro.workloads.synthetic import (
+    random_int_keys,
+    random_keys,
+    dense_keys,
+    mixed_length_keys,
+    build_tree,
+)
+from repro.workloads.btc import btc_like_keys
+from repro.workloads.queries import (
+    QueryMix,
+    lookup_queries,
+    update_queries,
+    delete_queries,
+    range_queries,
+    mixed_queries,
+)
+from repro.workloads.distributions import zipf_indices, uniform_indices
+from repro.workloads.ycsb import PROFILES, YcsbProfile, ycsb_keyspace, ycsb_stream
+
+__all__ = [
+    "random_int_keys",
+    "random_keys",
+    "dense_keys",
+    "mixed_length_keys",
+    "build_tree",
+    "btc_like_keys",
+    "QueryMix",
+    "lookup_queries",
+    "update_queries",
+    "delete_queries",
+    "range_queries",
+    "mixed_queries",
+    "zipf_indices",
+    "uniform_indices",
+    "PROFILES",
+    "YcsbProfile",
+    "ycsb_keyspace",
+    "ycsb_stream",
+]

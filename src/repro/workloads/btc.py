@@ -1,0 +1,74 @@
+"""BTC-like key generator — substitution for the BTC-2019 dataset.
+
+The paper extracts "all keys of 32byte length from the BTC dataset"
+(Billion Triple Challenge 2019: RDF triples, i.e. IRIs) and observes that
+"long duplicate segments are quite common, which adds computational
+overhead during prefix compression and increases the overall tree depth"
+(figure 12).  The generator below reproduces those structural properties
+without the (multi-hundred-GB, not redistributable) original:
+
+* keys start with an ``http(s)://<host>/`` namespace drawn from a
+  Zipf-distributed catalog (a few namespaces dominate, as in real RDF),
+* within a namespace, entities share path segments (``/resource/``,
+  ``/ontology/`` …) producing second-level duplicate prefixes,
+* keys are truncated/padded to exactly 32 bytes like the paper's
+  extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+_HOSTS = [
+    b"http://dbpedia.org/",
+    b"http://www.wikidata.org/",
+    b"http://xmlns.com/foaf/0.1/",
+    b"http://purl.org/dc/terms/",
+    b"http://schema.org/",
+    b"http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    b"http://yago-knowledge.org/",
+    b"http://rdf.freebase.com/ns/",
+    b"http://data.nytimes.com/",
+    b"http://sws.geonames.org/",
+    b"http://linkedgeodata.org/",
+    b"http://www.opengis.net/ont/",
+]
+
+_SEGMENTS = [b"resource/", b"ontology/", b"property/", b"page/", b"entity/Q", b"class/"]
+
+_ALNUM = np.frombuffer(
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+    dtype=np.uint8,
+)
+
+#: key length of the paper's BTC extraction.
+BTC_KEY_LEN = 32
+
+
+def btc_like_keys(
+    n: int, *, key_len: int = BTC_KEY_LEN, zipf_a: float = 1.4, seed=None
+) -> list[bytes]:
+    """``n`` distinct RDF-IRI-like keys of exactly ``key_len`` bytes."""
+    rng = make_rng(seed)
+    hosts = sorted(_HOSTS, key=len)  # stable order for reproducibility
+    out: set[bytes] = set()
+    while len(out) < n:
+        need = n - len(out)
+        host_idx = np.minimum(
+            rng.zipf(zipf_a, size=need + 32) - 1, len(hosts) - 1
+        ).astype(np.int64)
+        seg_idx = rng.integers(0, len(_SEGMENTS), size=need + 32)
+        for hi, si in zip(host_idx, seg_idx):
+            stem = hosts[hi] + _SEGMENTS[si]
+            fill = key_len - len(stem)
+            if fill <= 0:
+                key = stem[:key_len]
+            else:
+                tail = _ALNUM[rng.integers(0, _ALNUM.size, size=fill)].tobytes()
+                key = stem + tail
+            out.add(key)
+            if len(out) == n:
+                break
+    return sorted(out)

@@ -1,0 +1,31 @@
+"""Key-popularity samplers for query streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+
+def uniform_indices(n_keys: int, n_queries: int, *, seed=None) -> np.ndarray:
+    """Uniform-random positions into a key list (the paper's "random
+    lookup operations against this tree")."""
+    if n_keys <= 0:
+        raise ReproError("n_keys must be positive")
+    rng = make_rng(seed)
+    return rng.integers(0, n_keys, size=n_queries, dtype=np.int64)
+
+
+def zipf_indices(
+    n_keys: int, n_queries: int, *, a: float = 1.2, seed=None
+) -> np.ndarray:
+    """Zipf-skewed positions (hot keys dominate — the OLTP-ish case that
+    stresses the update engine's conflict resolution)."""
+    if n_keys <= 0:
+        raise ReproError("n_keys must be positive")
+    if a <= 1.0:
+        raise ReproError(f"zipf exponent must be > 1, got {a}")
+    rng = make_rng(seed)
+    raw = rng.zipf(a, size=n_queries)
+    return np.minimum(raw - 1, n_keys - 1).astype(np.int64)

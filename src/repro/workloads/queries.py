@@ -1,0 +1,125 @@
+"""Query-stream generators (section 4.1: "generate update, delete, range
+and exact lookup queries")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+from repro.workloads.distributions import uniform_indices, zipf_indices
+
+
+def lookup_queries(
+    keys, n_queries: int, *, hit_rate: float = 1.0, skew: float | None = None,
+    seed=None,
+) -> list[bytes]:
+    """Exact-lookup stream drawn from ``keys``.
+
+    ``hit_rate`` < 1 mixes in misses (random keys of the same length);
+    ``skew`` switches from uniform to Zipf popularity.
+    """
+    rng = make_rng(seed)
+    if skew is None:
+        idx = uniform_indices(len(keys), n_queries, seed=rng)
+    else:
+        idx = zipf_indices(len(keys), n_queries, a=skew, seed=rng)
+    out = [keys[i] for i in idx]
+    n_miss = int(round((1.0 - hit_rate) * n_queries))
+    if n_miss:
+        key_len = len(keys[0])
+        positions = rng.choice(n_queries, size=n_miss, replace=False)
+        for p in positions:
+            out[p] = rng.integers(0, 256, size=key_len, dtype=np.int64).astype(
+                np.uint8
+            ).tobytes()
+    return out
+
+
+def update_queries(
+    keys, n_queries: int, *, skew: float | None = None, seed=None
+) -> list[tuple[bytes, int]]:
+    """Value-replacement stream over existing keys."""
+    rng = make_rng(seed)
+    if skew is None:
+        idx = uniform_indices(len(keys), n_queries, seed=rng)
+    else:
+        idx = zipf_indices(len(keys), n_queries, a=skew, seed=rng)
+    values = rng.integers(0, 2**62, size=n_queries, dtype=np.int64)
+    return [(keys[i], int(v)) for i, v in zip(idx, values)]
+
+
+def delete_queries(keys, n_queries: int, *, seed=None) -> list[bytes]:
+    """Deletion stream of *distinct* keys (sampled without replacement)."""
+    if n_queries > len(keys):
+        raise ReproError(
+            f"cannot delete {n_queries} distinct keys out of {len(keys)}"
+        )
+    rng = make_rng(seed)
+    picked = rng.choice(len(keys), size=n_queries, replace=False)
+    return [keys[i] for i in picked]
+
+
+def range_queries(
+    keys, n_queries: int, *, span: int = 100, seed=None
+) -> list[tuple[bytes, bytes]]:
+    """Range-query bounds covering about ``span`` consecutive keys each;
+    ``keys`` must be sorted."""
+    rng = make_rng(seed)
+    out = []
+    hi_limit = max(len(keys) - span - 1, 1)
+    for start in rng.integers(0, hi_limit, size=n_queries):
+        lo = keys[int(start)]
+        hi = keys[min(int(start) + span, len(keys) - 1)]
+        out.append((lo, hi))
+    return out
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """An OLTP-style mixed read/write stream (section 3.1 motivates the
+    split: reads go to the GPU, writes stay on the CPU or run batched)."""
+
+    lookups: float = 0.8
+    updates: float = 0.15
+    deletes: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = self.lookups + self.updates + self.deletes
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"mix fractions must sum to 1, got {total}")
+
+
+def mixed_queries(
+    keys, n_queries: int, mix: QueryMix, *, seed=None
+) -> list[tuple[str, object]]:
+    """Interleaved stream of ``("lookup", key)``, ``("update", (key, v))``
+    and ``("delete", key)`` operations, delete targets distinct."""
+    rng = make_rng(seed)
+    ops = rng.choice(
+        3, size=n_queries, p=[mix.lookups, mix.updates, mix.deletes]
+    )
+    n_del = int((ops == 2).sum())
+    del_keys = iter(delete_queries(keys, min(n_del, len(keys)), seed=rng))
+    out: list[tuple[str, object]] = []
+    for op in ops:
+        if op == 0:
+            out.append(("lookup", keys[int(rng.integers(0, len(keys)))]))
+        elif op == 1:
+            out.append(
+                (
+                    "update",
+                    (
+                        keys[int(rng.integers(0, len(keys)))],
+                        int(rng.integers(0, 2**62)),
+                    ),
+                )
+            )
+        else:
+            try:
+                out.append(("delete", next(del_keys)))
+            except StopIteration:
+                out.append(("lookup", keys[int(rng.integers(0, len(keys)))]))
+    return out

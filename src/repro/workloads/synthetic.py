@@ -1,0 +1,104 @@
+"""Reproducible synthetic key sets.
+
+The evaluation varies tree size (64k–144M), key length (4–32 bytes) and
+key-space density; all generators here are pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+
+def random_keys(
+    n: int, key_len: int, *, seed=None, density: float = 0.0
+) -> list[bytes]:
+    """``n`` distinct uniform-random keys of exactly ``key_len`` bytes.
+
+    ``density`` > 0 confines keys to the bottom ``density`` fraction of
+    the key space, producing the denser trees (more large nodes) the
+    paper associates with bigger indexes (figure 10 discussion).
+    """
+    if n <= 0:
+        raise ReproError(f"n must be positive, got {n}")
+    if key_len <= 0:
+        raise ReproError(f"key_len must be positive, got {key_len}")
+    rng = make_rng(seed)
+    out: set[bytes] = set()
+    # cap the leading bytes when a density is requested
+    fixed_zero = 0
+    if density > 0:
+        import math
+
+        space_bytes = max(math.ceil(math.log(n / density, 256)), 1)
+        fixed_zero = max(key_len - space_bytes, 0)
+    while len(out) < n:
+        need = n - len(out)
+        block = rng.integers(0, 256, size=(need + 16, key_len), dtype=np.int64)
+        if fixed_zero:
+            block[:, :fixed_zero] = 0
+        for row in block.astype(np.uint8):
+            out.add(row.tobytes())
+            if len(out) == n:
+                break
+    return sorted(out)
+
+
+def random_int_keys(n: int, *, width: int = 8, seed=None) -> list[bytes]:
+    """``n`` distinct big-endian integer keys of ``width`` bytes."""
+    rng = make_rng(seed)
+    limit = min(2**63 - 1, 2 ** (8 * width) - 1)
+    vals: set[int] = set()
+    while len(vals) < n:
+        chunk = rng.integers(0, limit, size=n - len(vals) + 16, dtype=np.int64)
+        vals.update(int(v) for v in chunk)
+    picked = sorted(vals)[:n]
+    return [int(v).to_bytes(width, "big") for v in picked]
+
+
+def dense_keys(n: int, *, width: int = 8, start: int = 0) -> list[bytes]:
+    """``n`` consecutive integer keys — the fully dense case (an index on
+    an auto-increment primary key)."""
+    return [int(start + i).to_bytes(width, "big") for i in range(n)]
+
+
+def mixed_length_keys(
+    n: int,
+    *,
+    long_fraction: float,
+    short_len: int = 16,
+    long_len: int = 48,
+    seed=None,
+) -> list[bytes]:
+    """Key set with a controlled share of over-limit keys (figure 13:
+    "we generate a tree with a controlled percentage of long keys")."""
+    rng = make_rng(seed)
+    n_long = int(round(n * long_fraction))
+    short = random_keys(n - n_long, short_len, seed=rng)
+    long_ = random_keys(n_long, long_len, seed=rng) if n_long else []
+    return short + long_
+
+
+def build_tree(keys, *, values=None, bulk: bool = True) -> AdaptiveRadixTree:
+    """Populate a host ART from a key list (stage 1 of section 4.1).
+
+    Values default to each key's position in the list.  ``bulk=True``
+    (default) builds bottom-up from the sorted keys
+    (:func:`repro.art.bulk.bulk_load` — same tree, no growth churn);
+    ``bulk=False`` exercises the incremental insert path.
+    """
+    if bulk:
+        from repro.art.bulk import bulk_load
+
+        return bulk_load(list(keys), list(values) if values is not None else None)
+    tree = AdaptiveRadixTree()
+    if values is None:
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+    else:
+        for k, v in zip(keys, values):
+            tree.insert(k, v)
+    return tree

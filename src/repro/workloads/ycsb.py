@@ -1,0 +1,130 @@
+"""YCSB-style workload profiles.
+
+Section 3.1 motivates the update engine with "mixed read/write workloads
+such as typical OLTP benchmarks"; the de-facto standard for those is the
+Yahoo! Cloud Serving Benchmark.  This module generates op streams shaped
+like the six core YCSB workloads, consumable by
+:class:`repro.host.mixed.MixedWorkloadExecutor`:
+
+========  =========================================  ==================
+profile   mix                                        request skew
+========  =========================================  ==================
+A         50% read / 50% update                      zipfian
+B         95% read / 5% update                       zipfian
+C         100% read                                  zipfian
+D         95% read / 5% insert (read-latest)         latest-biased
+E         95% scan / 5% insert                       zipfian
+F         50% read / 50% read-modify-write           zipfian
+========  =========================================  ==================
+
+Inserts draw fresh keys from an open key sequence (YCSB's growing
+keyspace); "latest" bias reads preferentially near the insertion
+frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.keys import encode_int
+from repro.util.rng import make_rng
+from repro.workloads.distributions import zipf_indices
+
+
+@dataclass(frozen=True)
+class YcsbProfile:
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0  # read-modify-write
+    latest: bool = False  # latest-biased request distribution
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"profile {self.name}: mix sums to {total}")
+
+
+PROFILES: dict[str, YcsbProfile] = {
+    "A": YcsbProfile("A", read=0.5, update=0.5),
+    "B": YcsbProfile("B", read=0.95, update=0.05),
+    "C": YcsbProfile("C", read=1.0),
+    "D": YcsbProfile("D", read=0.95, insert=0.05, latest=True),
+    "E": YcsbProfile("E", scan=0.95, insert=0.05),
+    "F": YcsbProfile("F", read=0.5, rmw=0.5),
+}
+
+#: key width of the generated record ids.
+KEY_WIDTH = 8
+#: scan length (records) drawn per scan op, YCSB's default max is 100.
+SCAN_SPAN = 50
+
+
+def ycsb_keyspace(n: int) -> list[bytes]:
+    """The initial record ids 0..n-1 (load phase)."""
+    return [encode_int(i, KEY_WIDTH) for i in range(n)]
+
+
+def ycsb_stream(
+    profile: str | YcsbProfile,
+    n_records: int,
+    n_ops: int,
+    *,
+    zipf_a: float = 1.2,
+    seed=None,
+) -> list[tuple[str, object]]:
+    """Generate ``n_ops`` operations over an ``n_records`` table.
+
+    Returns ops for :class:`MixedWorkloadExecutor`:
+    ``("lookup", key)``, ``("update", (key, value))``,
+    ``("insert", (key, value))`` and ``("scan", (lo, hi))``.
+    Read-modify-write expands into a lookup followed by an update.
+    """
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    if n_records <= 0:
+        raise ReproError("n_records must be positive")
+    rng = make_rng(seed)
+    frontier = n_records  # next fresh record id (insert sequence)
+    ops: list[tuple[str, object]] = []
+    kinds = rng.choice(
+        5, size=n_ops,
+        p=[prof.read, prof.update, prof.insert, prof.scan, prof.rmw],
+    )
+    # pre-draw a zipf stream for request popularity
+    zipf = zipf_indices(max(n_records, 1), n_ops, a=zipf_a, seed=rng)
+
+    def pick(i: int) -> int:
+        if prof.latest:
+            # cluster near the insertion frontier: newest records hottest
+            return max(frontier - 1 - int(zipf[i]), 0)
+        return int(zipf[i])
+
+    for i, kind in enumerate(kinds):
+        if kind == 0:  # read
+            ops.append(("lookup", encode_int(pick(i), KEY_WIDTH)))
+        elif kind == 1:  # update
+            ops.append(
+                ("update",
+                 (encode_int(pick(i), KEY_WIDTH), int(rng.integers(0, 2**62))))
+            )
+        elif kind == 2:  # insert
+            ops.append(
+                ("insert",
+                 (encode_int(frontier, KEY_WIDTH), int(rng.integers(0, 2**62))))
+            )
+            frontier += 1
+        elif kind == 3:  # scan
+            start = pick(i)
+            lo = encode_int(start, KEY_WIDTH)
+            hi = encode_int(min(start + SCAN_SPAN, 2**62), KEY_WIDTH)
+            ops.append(("scan", (lo, hi)))
+        else:  # read-modify-write
+            key = encode_int(pick(i), KEY_WIDTH)
+            ops.append(("lookup", key))
+            ops.append(("update", (key, int(rng.integers(0, 2**62)))))
+    return ops

@@ -1,0 +1,83 @@
+"""Unit + property tests: bulk loading equals incremental insertion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.art.bulk import bulk_load
+from repro.art.verify import verify_tree
+from repro.errors import KeyPrefixError, ReproError
+from repro.util.keys import encode_int
+from repro.workloads import random_keys
+
+from tests.conftest import make_tree
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        t = bulk_load([])
+        assert len(t) == 0
+
+    def test_single(self):
+        t = bulk_load([b"only"], [7])
+        assert t.search(b"only") == 7
+
+    def test_values_default_to_input_positions(self):
+        t = bulk_load([b"beta", b"alpha"])  # unsorted input order kept
+        assert t.search(b"beta") == 0
+        assert t.search(b"alpha") == 1
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ReproError):
+            bulk_load([b"x", b"x"])
+
+    def test_prefix_key_rejected(self):
+        with pytest.raises(KeyPrefixError):
+            bulk_load([b"ab", b"abc"])
+
+    def test_large_random_set(self):
+        keys = random_keys(5000, 8, seed=151)
+        t = bulk_load(keys)
+        assert len(t) == 5000
+        assert verify_tree(t) == []
+        for i in (0, 777, 4999):
+            assert t.search(keys[i]) == i
+
+    def test_node_types_adapt(self):
+        from repro.art.nodes import Node256
+
+        keys = [bytes([b, 1]) for b in range(200)]
+        t = bulk_load(keys)
+        assert isinstance(t.root, Node256)
+
+    def test_compressed_prefixes_built(self):
+        t = bulk_load([b"commonA", b"commonB"])
+        assert t.root.prefix == b"common"
+
+    def test_device_mapping_identical_to_incremental(self):
+        from repro.cuart.layout import CuartLayout
+
+        keys = random_keys(800, 8, seed=152)
+        bulk = CuartLayout(bulk_load(keys))
+        incr = CuartLayout(make_tree((k, i) for i, k in enumerate(keys)))
+        # identical structure -> identical buffers
+        for code in (1, 2, 3, 4):
+            assert bulk.node_count(code) == incr.node_count(code)
+            assert (bulk.nodes[code].children == incr.nodes[code].children).all()
+        for code in (5, 6, 7):
+            assert (bulk.leaves[code].keys == incr.leaves[code].keys).all()
+            assert (bulk.leaves[code].values == incr.leaves[code].values).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(st.binary(min_size=3, max_size=3), st.integers(0, 2**40),
+                    max_size=200)
+)
+def test_bulk_equals_incremental_property(pairs):
+    keys = list(pairs)
+    incremental = make_tree(pairs.items())
+    bulk = bulk_load(keys, [pairs[k] for k in keys])
+    assert len(bulk) == len(incremental)
+    assert verify_tree(bulk) == []
+    assert list(bulk.items()) == list(incremental.items())

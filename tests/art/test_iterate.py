@@ -1,0 +1,70 @@
+"""Unit tests for ordered traversal helpers."""
+
+import pytest
+
+from repro.art.iterate import (
+    iter_leaves,
+    iter_range,
+    maximum_leaf,
+    minimum_leaf,
+)
+from repro.util.keys import encode_int
+
+from tests.conftest import make_tree
+
+
+class TestLeafIteration:
+    def test_empty(self):
+        assert list(iter_leaves(None)) == []
+
+    def test_single(self):
+        t = make_tree([(b"x", 1)])
+        leaves = list(iter_leaves(t.root))
+        assert [l.key for l in leaves] == [b"x"]
+
+    def test_order_across_node_types(self):
+        keys = [bytes([b, 7]) for b in range(0, 250, 5)]  # 50 keys: Node256
+        t = make_tree([(k, i) for i, k in enumerate(keys)])
+        got = [l.key for l in iter_leaves(t.root)]
+        assert got == sorted(keys)
+
+    def test_order_with_mixed_depths(self):
+        keys = [b"a\x00\x01", b"a\x00\x02", b"b12", b"c\xff\xff"]
+        t = make_tree([(k, i) for i, k in enumerate(keys)])
+        got = [l.key for l in iter_leaves(t.root)]
+        assert got == sorted(keys)
+
+
+class TestMinMax:
+    def test_none(self):
+        assert minimum_leaf(None) is None
+        assert maximum_leaf(None) is None
+
+    def test_deep(self):
+        keys = [encode_int(v, 4) for v in (9, 1, 200, 255, 256, 65535)]
+        t = make_tree([(k, i) for i, k in enumerate(keys)])
+        assert minimum_leaf(t.root).key == encode_int(1, 4)
+        assert maximum_leaf(t.root).key == encode_int(65535, 4)
+
+
+class TestRangePruning:
+    def test_range_prunes_but_stays_correct(self):
+        keys = [encode_int(v, 2) for v in range(0, 5000, 13) if v < 65536]
+        t = make_tree([(k, i) for i, k in enumerate(keys)])
+        lo, hi = encode_int(100, 2), encode_int(200, 2)
+        got = [k for k, _ in iter_range(t, lo, hi)]
+        assert got == [k for k in sorted(keys) if lo <= k <= hi]
+
+    def test_inverted_range_empty(self):
+        t = make_tree([(b"m", 1)])
+        assert list(iter_range(t, b"z", b"a")) == []
+
+    def test_range_bounds_shorter_than_keys(self):
+        t = make_tree([(b"abc", 1), (b"abd", 2), (b"b", 3)])
+        got = [k for k, _ in iter_range(t, b"a", b"b")]
+        assert got == [b"abc", b"abd", b"b"]
+
+    def test_range_bounds_longer_than_keys(self):
+        t = make_tree([(b"ab", 1), (b"cd", 2)])
+        got = [k for k, _ in iter_range(t, b"abX", b"cdX")]
+        assert got == [b"cd"]

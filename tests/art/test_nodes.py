@@ -1,0 +1,141 @@
+"""Unit tests for the four adaptive node types."""
+
+import pytest
+
+from repro.art.nodes import (
+    Leaf,
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+    grown_copy,
+    maybe_shrunk_copy,
+    node_type_code,
+)
+from repro.constants import LINK_N4, LINK_N16, LINK_N48, LINK_N256
+
+ALL_NODE_CLASSES = [Node4, Node16, Node48, Node256]
+
+
+def _fill(node, n):
+    for b in range(n):
+        node.set_child(b, Leaf(bytes([b]), b))
+    return node
+
+
+@pytest.mark.parametrize("cls", ALL_NODE_CLASSES)
+class TestCommonBehaviour:
+    def test_empty(self, cls):
+        node = cls()
+        assert node.num_children == 0
+        assert node.find_child(0) is None
+
+    def test_set_and_find(self, cls):
+        node = cls()
+        leaf = Leaf(b"k", 1)
+        node.set_child(42, leaf)
+        assert node.find_child(42) is leaf
+        assert node.find_child(43) is None
+        assert node.num_children == 1
+
+    def test_replace_does_not_grow_count(self, cls):
+        node = cls()
+        node.set_child(7, Leaf(b"a", 1))
+        node.set_child(7, Leaf(b"b", 2))
+        assert node.num_children == 1
+        assert node.find_child(7).key == b"b"
+
+    def test_remove(self, cls):
+        node = cls()
+        node.set_child(9, Leaf(b"x", 1))
+        node.remove_child(9)
+        assert node.num_children == 0
+        assert node.find_child(9) is None
+
+    def test_remove_missing_raises(self, cls):
+        with pytest.raises(KeyError):
+            cls().remove_child(3)
+
+    def test_children_items_sorted(self, cls):
+        node = cls()
+        for b in (200, 3, 150, 77):
+            node.set_child(b, Leaf(bytes([b]), b))
+        bytes_out = [b for b, _ in node.children_items()]
+        assert bytes_out == sorted(bytes_out) == [3, 77, 150, 200]
+
+    def test_fill_to_capacity(self, cls):
+        node = _fill(cls(), cls.CAPACITY)
+        assert node.is_full
+        assert node.num_children == cls.CAPACITY
+        for b in range(cls.CAPACITY):
+            assert node.find_child(b).value == b
+
+    def test_prefix_stored(self, cls):
+        node = cls(prefix=b"abc")
+        assert node.prefix == b"abc"
+
+
+class TestGrow:
+    @pytest.mark.parametrize(
+        "cls,target", [(Node4, Node16), (Node16, Node48), (Node48, Node256)]
+    )
+    def test_grow_preserves_children_and_prefix(self, cls, target):
+        node = _fill(cls(prefix=b"pp"), cls.CAPACITY)
+        bigger = grown_copy(node)
+        assert type(bigger) is target
+        assert bigger.prefix == b"pp"
+        assert bigger.num_children == cls.CAPACITY
+        for b in range(cls.CAPACITY):
+            assert bigger.find_child(b).value == b
+
+    def test_node256_cannot_grow(self):
+        with pytest.raises(KeyError):
+            grown_copy(Node256())
+
+
+class TestShrink:
+    @pytest.mark.parametrize(
+        "cls,target,threshold",
+        [(Node16, Node4, 4), (Node48, Node16, 16), (Node256, Node48, 48)],
+    )
+    def test_shrinks_at_threshold(self, cls, target, threshold):
+        node = _fill(cls(prefix=b"q"), threshold)
+        smaller = maybe_shrunk_copy(node)
+        assert type(smaller) is target
+        assert smaller.prefix == b"q"
+        assert smaller.num_children == threshold
+
+    @pytest.mark.parametrize(
+        "cls,threshold", [(Node16, 4), (Node48, 16), (Node256, 48)]
+    )
+    def test_does_not_shrink_above_threshold(self, cls, threshold):
+        node = _fill(cls(), threshold + 1)
+        assert maybe_shrunk_copy(node) is node
+
+    def test_node4_never_shrinks(self):
+        node = _fill(Node4(), 1)
+        assert maybe_shrunk_copy(node) is node
+
+
+class TestTypeCodes:
+    def test_codes(self):
+        assert node_type_code(Node4()) == LINK_N4
+        assert node_type_code(Node16()) == LINK_N16
+        assert node_type_code(Node48()) == LINK_N48
+        assert node_type_code(Node256()) == LINK_N256
+
+    def test_leaf_has_no_code(self):
+        with pytest.raises(TypeError):
+            node_type_code(Leaf(b"k", 0))
+
+
+class TestNode48Internals:
+    def test_slot_reuse_after_remove(self):
+        node = Node48()
+        for b in range(48):
+            node.set_child(b, Leaf(bytes([b]), b))
+        node.remove_child(10)
+        node.set_child(99, Leaf(b"c", 99))  # must reuse the freed slot
+        assert node.num_children == 48
+        assert node.find_child(99).value == 99
+        assert node.find_child(10) is None

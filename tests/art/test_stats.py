@@ -1,0 +1,99 @@
+"""Unit tests for tree statistics and memory models."""
+
+import pytest
+
+from repro.art.stats import (
+    TreeStats,
+    collect_stats,
+    leaf_type_for_key,
+    visit_mix_per_lookup,
+)
+from repro.constants import LINK_LEAF8, LINK_LEAF16, LINK_LEAF32, LINK_N4
+from repro.errors import KeyTooLongError
+from repro.util.keys import encode_int
+
+from tests.conftest import make_tree
+
+
+class TestLeafClassification:
+    @pytest.mark.parametrize(
+        "klen,code",
+        [(1, LINK_LEAF8), (8, LINK_LEAF8), (9, LINK_LEAF16), (16, LINK_LEAF16),
+         (17, LINK_LEAF32), (32, LINK_LEAF32)],
+    )
+    def test_boundaries(self, klen, code):
+        assert leaf_type_for_key(klen) == code
+
+    def test_too_long(self):
+        with pytest.raises(KeyTooLongError):
+            leaf_type_for_key(33)
+
+
+class TestCollectStats:
+    def test_empty(self):
+        s = collect_stats(None)
+        assert s.num_keys == 0
+        assert s.avg_leaf_level == 0.0
+
+    def test_single_leaf(self):
+        t = make_tree([(b"abcd", 1)])
+        s = collect_stats(t.root)
+        assert s.num_keys == 1
+        assert s.leaf_counts[LINK_LEAF8] == 1
+        assert s.leaf_level_histogram == {0: 1}
+
+    def test_counts_and_levels(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2), (b"b" * 10, 3)])
+        s = collect_stats(t.root)
+        assert s.num_keys == 3
+        assert s.node_counts[LINK_N4] == 2  # root + inner split
+        assert s.leaf_counts[LINK_LEAF8] == 2
+        assert s.leaf_counts[LINK_LEAF16] == 1
+        assert s.max_key_len == 10
+        assert s.avg_key_len == pytest.approx(14 / 3)
+
+    def test_compressed_bytes(self):
+        t = make_tree([(b"pppppX", 1), (b"pppppY", 2)])
+        s = collect_stats(t.root)
+        assert s.compressed_bytes == 5
+
+    def test_visit_mix_weighting(self):
+        # root Node4 visited by every lookup; its weight must be 1.0
+        t = make_tree([(encode_int(v, 4), v) for v in (1, 2, 3, 600)])
+        s = collect_stats(t.root)
+        mix = visit_mix_per_lookup(s)
+        assert mix[LINK_N4] >= 1.0
+        assert mix[LINK_LEAF8] == pytest.approx(1.0)
+
+    def test_level_type_mix_recorded(self, medium_tree):
+        s = collect_stats(medium_tree.root)
+        assert len(s.level_type_mix) >= 2
+        assert sum(s.leaf_level_histogram.values()) == s.num_keys
+
+
+class TestMemoryModels:
+    def test_ordering_of_footprints(self, medium_tree):
+        s = collect_stats(medium_tree.root)
+        art = s.art_host_bytes()
+        grt = s.grt_device_bytes()
+        cu = s.cuart_device_bytes()
+        assert art > 0 and grt > 0 and cu > 0
+        # the three footprint models must be of comparable magnitude —
+        # they describe the same tree in three layouts
+        sizes = [art, grt, cu]
+        assert max(sizes) / min(sizes) < 3.0
+        # 8-byte keys: CuART's leaf8 records undercut GRT's 24-byte
+        # dynamic leaves, so the split-buffer layout is smaller here
+        assert cu < grt
+
+    def test_root_table_adds_bytes(self, medium_tree):
+        s = collect_stats(medium_tree.root)
+        assert (
+            s.cuart_device_bytes(root_table_entries=256**2)
+            == s.cuart_device_bytes() + 256**2 * 8
+        )
+
+    def test_avg_leaf_level_weighted(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2)])
+        s = collect_stats(t.root)
+        assert s.avg_leaf_level == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Unit + property tests for the tree invariant checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.art.nodes import Leaf, Node4
+from repro.art.tree import AdaptiveRadixTree
+from repro.art.verify import verify_tree
+from repro.util.keys import encode_int
+
+from tests.conftest import make_tree
+
+
+class TestHealthyTrees:
+    def test_empty(self):
+        assert verify_tree(AdaptiveRadixTree()) == []
+
+    def test_single_leaf(self):
+        assert verify_tree(make_tree([(b"k", 1)])) == []
+
+    def test_after_growth(self):
+        t = make_tree([(bytes([b, 1]), b) for b in range(256)])
+        assert verify_tree(t) == []
+
+    def test_after_delete_storm(self):
+        keys = [encode_int(i * 31, 4) for i in range(400)]
+        t = make_tree([(k, i) for i, k in enumerate(keys)])
+        for k in keys[::2]:
+            t.delete(k)
+        assert verify_tree(t) == []
+
+
+class TestDetectsCorruption:
+    def test_size_mismatch(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2)])
+        t._size = 5
+        assert any("size mismatch" in p for p in verify_tree(t))
+
+    def test_single_child_node4(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2), (b"b1", 3)])
+        # manually break path compression: leave a 1-child Node4
+        inner = t.root.find_child(ord("a"))
+        assert isinstance(inner, Node4)
+        inner.remove_child(ord("b"))
+        t._size -= 1
+        assert any("should have been collapsed" in p for p in verify_tree(t))
+
+    def test_unsorted_keys(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2)])
+        t.root.keys.reverse()
+        t.root.children.reverse()
+        probs = verify_tree(t)
+        assert any("unsorted" in p or "byte order" in p for p in probs)
+
+    def test_wrong_leaf_path(self):
+        t = make_tree([(b"aa", 1), (b"ab", 2)])
+        t.root.children[0] = Leaf(b"zz", 9)
+        assert any("does not extend its path" in p for p in verify_tree(t))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(st.binary(min_size=3, max_size=3), st.integers(0, 99),
+                    max_size=150),
+    st.data(),
+)
+def test_mutation_storm_preserves_invariants(pairs, data):
+    t = make_tree(pairs.items())
+    keys = sorted(pairs)
+    if keys:
+        doomed = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        for k in doomed:
+            t.delete(k)
+    assert verify_tree(t) == []

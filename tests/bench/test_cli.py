@@ -1,0 +1,33 @@
+"""Unit tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.figures == ["all"]
+
+    def test_scale(self):
+        args = build_parser().parse_args(["fig07", "--scale", "128"])
+        assert args.scale == 128 and args.figures == ["fig07"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig18" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_single_figure_runs(self, capsys):
+        # fig18 at heavy downscale: fast enough for a unit test
+        assert main(["fig18", "--scale", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 18" in out
+        assert "PASS" in out

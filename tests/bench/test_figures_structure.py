@@ -1,0 +1,40 @@
+"""Structural tests for the figure generators (fast, heavily downscaled).
+
+The qualitative *claims* are asserted inside the benchmark suite at the
+default scale; at the unit-test scale (1/8192) some claims lose their
+regime, so these tests pin the structure: every figure produces rows,
+params, a paper claim, and checks — and the cheap figures' checks hold
+even here.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES, fig13, fig14, fig17, fig18
+from repro.bench.report import FigureResult
+from repro.bench.runner import Scale
+
+TINY = Scale(factor=8192)
+
+#: figures whose claims are scale-free enough to assert at unit scale.
+ROBUST = {"fig13": fig13, "fig14": fig14, "fig17": fig17, "fig18": fig18}
+
+
+def test_inventory_covers_the_whole_evaluation():
+    assert list(ALL_FIGURES) == [f"fig{n:02d}" for n in range(7, 19)]
+
+
+@pytest.mark.parametrize("name", ["fig13", "fig14", "fig17", "fig18"])
+def test_robust_figures_pass_at_tiny_scale(name):
+    result = ROBUST[name](TINY)
+    assert isinstance(result, FigureResult)
+    assert result.rows
+    assert result.paper_claim
+    assert result.checks
+    assert result.all_checks_pass, [d for d, ok in result.checks if not ok]
+
+
+def test_figure_result_fields_structured():
+    r = fig18(TINY)
+    assert r.figure == "Figure 18"
+    assert len(r.columns) == len(r.rows[0])
+    assert "scale" in r.params

@@ -1,0 +1,94 @@
+"""Unit tests for the bench harness plumbing."""
+
+import pytest
+
+from repro.bench.report import FigureResult, format_table
+from repro.bench.runner import (
+    Scale,
+    clear_caches,
+    cuart_lookup_log,
+    cuart_update_run,
+    get_cuart,
+    get_grt,
+    get_tree,
+    grt_lookup_log,
+    grt_update_run,
+)
+
+
+class TestScale:
+    def test_size_divides(self):
+        assert Scale(factor=256).size(1 << 20) == 4096
+
+    def test_size_floor(self):
+        assert Scale(factor=256).size(1024) == 256
+
+    def test_hash_slots_power_of_two_preserved(self):
+        slots = Scale(factor=256).hash_slots(1 << 20)
+        assert slots == 4096
+        assert slots & (slots - 1) == 0
+
+
+class TestWorkloadCache:
+    def test_tree_cached(self):
+        a = get_tree("random", 512, 8)
+        b = get_tree("random", 512, 8)
+        assert a is b
+
+    def test_kinds(self):
+        assert get_tree("btc", 300, 32).n == 300
+        mixed = get_tree("mixed:10", 300, 16)
+        long_count = sum(1 for k in mixed.keys if len(k) > 32)
+        assert long_count == 30
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            get_tree("nope", 10, 8)
+
+    def test_layouts_built(self):
+        layout, table = get_cuart("random", 512, 8, root_k=2)
+        assert table is not None and table.k == 2
+        grt = get_grt("random", 512, 8)
+        assert grt.num_keys == 512
+
+    def test_clear_caches(self):
+        a = get_tree("random", 512, 8)
+        clear_caches()
+        b = get_tree("random", 512, 8)
+        assert a is not b
+
+
+class TestKernelRuns:
+    def test_lookup_logs(self):
+        cu = cuart_lookup_log("random", 512, 8, 256)
+        gr = grt_lookup_log("random", 512, 8, 256)
+        assert cu.launched_threads == 256
+        assert gr.total_transactions > cu.total_transactions
+
+    def test_update_runs(self):
+        res = cuart_update_run("random", 512, 8, 128, 1 << 10)
+        assert res.writes > 0
+        g = grt_update_run("random", 512, 8, 128)
+        assert g.writes > 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (100, 0.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_figure_result_checks(self):
+        r = FigureResult(
+            figure="F", title="t", params={}, columns=["x"], rows=[(1,)]
+        )
+        r.check("yes", True)
+        r.check("no", False)
+        assert not r.all_checks_pass
+        text = str(r)
+        assert "[PASS] yes" in text and "[MISS] no" in text
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out

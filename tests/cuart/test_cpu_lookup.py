@@ -1,0 +1,56 @@
+"""Unit tests for the CPU-side CuART layout engine (figure 7)."""
+
+import pytest
+
+from repro.art.stats import collect_stats
+from repro.cuart.cpu_lookup import cpu_lookup_flat, modeled_cpu_throughput
+from repro.cuart.layout import CuartLayout
+from repro.gpusim.devices import WORKSTATION_CPU
+from repro.workloads import build_tree, random_keys
+
+from tests.conftest import batch_of
+
+
+@pytest.fixture(scope="module")
+def stats_pair():
+    small = collect_stats(build_tree(random_keys(512, 16, seed=1)).root)
+    large = collect_stats(build_tree(random_keys(16384, 16, seed=1)).root)
+    return small, large
+
+
+class TestFlatCpuLookup:
+    def test_results_correct(self):
+        keys = random_keys(400, 16, seed=2)
+        lay = CuartLayout(build_tree(keys))
+        mat, lens = batch_of(keys)
+        res = cpu_lookup_flat(lay, mat, lens)
+        assert res.hits.all()
+        assert res.values.tolist() == list(range(400))
+
+
+class TestModeledThroughput:
+    def test_flat_layout_faster(self, stats_pair):
+        _, large = stats_pair
+        art = modeled_cpu_throughput(large, WORKSTATION_CPU, contiguous=False)
+        flat = modeled_cpu_throughput(large, WORKSTATION_CPU, contiguous=True)
+        assert flat > art
+
+    def test_speedup_grows_with_tree_size(self, stats_pair):
+        small, large = stats_pair
+
+        def speedup(s):
+            return modeled_cpu_throughput(
+                s, WORKSTATION_CPU, contiguous=True
+            ) / modeled_cpu_throughput(s, WORKSTATION_CPU, contiguous=False)
+
+        assert speedup(large) > speedup(small)
+
+    def test_threads_scale(self, stats_pair):
+        _, large = stats_pair
+        one = modeled_cpu_throughput(
+            large, WORKSTATION_CPU, contiguous=True, threads=1
+        )
+        twelve = modeled_cpu_throughput(
+            large, WORKSTATION_CPU, contiguous=True, threads=12
+        )
+        assert twelve == pytest.approx(12 * one, rel=0.01)

@@ -1,0 +1,134 @@
+"""Unit tests for device-side deletions (section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import LEAF_TYPE_CODES, NIL_VALUE
+from repro.cuart.delete import delete_batch
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.root_table import RootTable
+from repro.util.keys import keys_to_matrix
+from repro.util.packing import link_indices, link_types
+
+from tests.conftest import batch_of, make_tree
+
+
+def read_values(layout, keys, table=None):
+    mat, lens = batch_of(keys)
+    return lookup_batch(layout, mat, lens, root_table=table).values
+
+
+class TestDeleteBatch:
+    def test_delete_makes_key_unfindable(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:4])
+        res = delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        assert res.deleted.all()
+        vals = read_values(lay, medium_keys[:6])
+        assert [int(v) for v in vals[:4]] == [NIL_VALUE] * 4
+        assert int(vals[4]) == 4  # untouched neighbours survive
+
+    def test_duplicate_deletes_deduplicated(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        k = medium_keys[10]
+        mat, lens = batch_of([k, k, k])
+        res = delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        assert res.deleted.all()
+        assert res.unlinked + res.cleared_only == 1  # one winner only
+
+    def test_delete_missing_key(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        mat, lens = batch_of([b"\xef" * 8])
+        res = delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        assert not res.deleted.any()
+        assert res.unlinked == 0
+
+    def test_leaf_contents_cleared(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:1])
+        loc = lookup_batch(lay, mat, lens).locations
+        code = int(link_types(loc)[0])
+        idx = int(link_indices(loc)[0])
+        delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        buf = lay.leaves[code]
+        assert int(buf.values[idx]) == NIL_VALUE
+        assert int(buf.key_lens[idx]) == 0
+        assert not buf.keys[idx].any()
+
+    def test_free_list_populated(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:5])
+        res = delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        freed = sum(len(v) for v in lay.free_leaves.values())
+        assert freed == res.unlinked
+
+    def test_unlink_removes_parent_reference(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:1])
+        before = lookup_batch(lay, mat, lens)
+        assert before.hits.all()
+        res = delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        if res.unlinked:
+            # the traversal must now dead-end before reaching any leaf
+            after = lookup_batch(lay, mat, lens)
+            assert (after.locations == 0).all()
+
+    def test_structure_not_collapsed(self, medium_tree, medium_keys):
+        """Section 3.3: nodes are NOT merged/shrunk by device deletes."""
+        lay = CuartLayout(medium_tree)
+        counts_before = {c: lay.node_count(c) for c in (1, 2, 3, 4)}
+        mat, lens = batch_of(medium_keys[:50])
+        delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        counts_after = {c: lay.node_count(c) for c in (1, 2, 3, 4)}
+        assert counts_before == counts_after
+
+    def test_delete_with_root_table(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        table = RootTable(lay, k=2)
+        mat, lens = batch_of(medium_keys[:3])
+        res = delete_batch(lay, mat, lens, root_table=table, hash_slots=1 << 10)
+        assert res.deleted.all()
+        vals = read_values(lay, medium_keys[:3], table=table)
+        assert [int(v) for v in vals] == [NIL_VALUE] * 3
+
+    def test_range_queries_skip_deleted(self, medium_tree, medium_keys):
+        from repro.cuart.range_query import range_query
+
+        lay = CuartLayout(medium_tree)
+        ordered = sorted(medium_keys)
+        victim = ordered[50]
+        mat, lens = batch_of([victim])
+        delete_batch(lay, mat, lens, hash_slots=1 << 10)
+        res = range_query(lay, ordered[45], ordered[55])
+        assert victim not in res.keys
+        assert len(res) == 10  # 11 keys in range minus the victim
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=3, max_size=3), st.integers(0, 2**30), min_size=2,
+        max_size=100,
+    ),
+    st.data(),
+)
+def test_delete_batch_equals_set_model(pairs, data):
+    keys = sorted(pairs)
+    doomed = data.draw(
+        st.lists(st.sampled_from(keys), min_size=1, max_size=len(keys))
+    )
+    tree = make_tree(pairs.items())
+    lay = CuartLayout(tree)
+    mat, lens = keys_to_matrix(doomed)
+    res = delete_batch(lay, mat, lens, hash_slots=1 << 8)
+    assert res.deleted.all()
+    survivors = [k for k in keys if k not in set(doomed)]
+    got = read_values(lay, keys)
+    for k, v in zip(keys, got):
+        if k in set(doomed):
+            assert int(v) == NIL_VALUE
+        else:
+            assert int(v) == pairs[k]

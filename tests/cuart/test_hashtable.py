@@ -1,0 +1,127 @@
+"""Unit + property tests for the atomic-max hash table (section 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.errors import HashTableFullError, SimulationError
+from repro.gpusim.transactions import TransactionLog
+
+
+def table(slots=256, log=None):
+    return AtomicMaxHashTable(slots, log=log)
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        t = table()
+        t.insert_max(np.array([10, 20, 30], dtype=np.uint64),
+                     np.array([1, 2, 3]))
+        assert t.lookup(np.array([10, 20, 30], dtype=np.uint64)).tolist() == [1, 2, 3]
+
+    def test_max_semantics(self):
+        t = table()
+        keys = np.array([42, 42, 42, 7], dtype=np.uint64)
+        prios = np.array([5, 99, 23, 1])
+        t.insert_max(keys, prios)
+        assert t.lookup(np.array([42, 7], dtype=np.uint64)).tolist() == [99, 1]
+
+    def test_missing_key_returns_minus_one(self):
+        t = table()
+        t.insert_max(np.array([1], dtype=np.uint64), np.array([0]))
+        assert t.lookup(np.array([999], dtype=np.uint64)).tolist() == [-1]
+
+    def test_successive_batches_accumulate_max(self):
+        t = table()
+        t.insert_max(np.array([5], dtype=np.uint64), np.array([10]))
+        t.insert_max(np.array([5], dtype=np.uint64), np.array([3]))
+        assert t.lookup(np.array([5], dtype=np.uint64)).tolist() == [10]
+
+    def test_reset(self):
+        t = table()
+        t.insert_max(np.array([5], dtype=np.uint64), np.array([10]))
+        t.reset()
+        assert t.occupied == 0
+        assert t.lookup(np.array([5], dtype=np.uint64)).tolist() == [-1]
+
+    def test_empty_insert_noop(self):
+        t = table()
+        t.insert_max(np.array([], dtype=np.uint64), np.array([], dtype=np.int64))
+        assert t.occupied == 0
+
+    def test_zero_key_rejected(self):
+        with pytest.raises(SimulationError):
+            table().insert_max(np.array([0], dtype=np.uint64), np.array([1]))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SimulationError):
+            table(slots=100)
+
+
+class TestCollisions:
+    def test_full_table_raises(self):
+        t = table(slots=8)
+        keys = np.arange(1, 10, dtype=np.uint64)  # 9 distinct > 8 slots
+        with pytest.raises(HashTableFullError):
+            t.insert_max(keys, np.arange(9))
+
+    def test_exactly_full_is_fine(self):
+        t = table(slots=8)
+        keys = np.arange(1, 9, dtype=np.uint64)
+        t.insert_max(keys, np.arange(8))
+        assert t.occupied == 8
+        assert t.load_factor == 1.0
+        assert t.lookup(keys).tolist() == list(range(8))
+
+    def test_probe_counts_grow_with_load(self):
+        low = table(slots=1 << 12)
+        high = table(slots=1 << 12)
+        rng = np.random.default_rng(5)
+        few = rng.choice(2**40, size=200, replace=False).astype(np.uint64) + 1
+        many = rng.choice(2**40, size=3500, replace=False).astype(np.uint64) + 1
+        low.insert_max(few, np.arange(few.size))
+        high.insert_max(many, np.arange(many.size))
+        assert high.total_probes / many.size > low.total_probes / few.size
+
+    def test_transaction_log_records_probes_and_atomics(self):
+        log = TransactionLog()
+        t = table(slots=64, log=log)
+        keys = np.arange(1, 33, dtype=np.uint64)
+        t.insert_max(keys, np.arange(32))
+        assert log.total_transactions >= 32
+        assert log.atomic_ops >= 64  # one CAS probe + one max per thread
+        t.lookup(keys)
+        assert log.total_transactions >= 64
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 2**50), st.integers(0, 10**6)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_matches_dict_max_model(items):
+    t = table(slots=256)
+    keys = np.array([k for k, _ in items], dtype=np.uint64)
+    prios = np.array([p for _, p in items], dtype=np.int64)
+    t.insert_max(keys, prios)
+    model = {}
+    for k, p in items:
+        model[k] = max(model.get(k, -1), p)
+    uniq = np.array(sorted(model), dtype=np.uint64)
+    assert t.lookup(uniq).tolist() == [model[int(k)] for k in uniq]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 200), st.integers(0, 2**31))
+def test_never_loses_keys_below_capacity(n, seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(2**40, size=n, replace=False).astype(np.uint64) + 1
+    t = table(slots=256)
+    t.insert_max(keys, np.arange(n))
+    assert (t.lookup(keys) >= 0).all()
+    assert t.occupied == n

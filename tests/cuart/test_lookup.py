@@ -1,0 +1,256 @@
+"""Unit + property tests for the batched CuART lookup kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NIL_VALUE
+from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.root_table import RootTable
+from repro.util.keys import keys_to_matrix
+
+from tests.conftest import batch_of, make_tree
+
+
+def lookup_one(layout, key, **kw):
+    mat, lens = keys_to_matrix([key])
+    res = lookup_batch(layout, mat, lens, **kw)
+    v = int(res.values[0])
+    return None if v == NIL_VALUE else v
+
+
+class TestExactLookups:
+    def test_all_present_keys_hit(self, medium_tree, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys)
+        res = lookup_batch(medium_layout, mat, lens)
+        assert res.hits.all()
+        assert res.values.tolist() == list(range(len(medium_keys)))
+
+    def test_misses_return_nil(self, medium_layout):
+        missing = [bytes([0xEE] * 8), bytes([1] * 8)]
+        mat, lens = batch_of(missing)
+        res = lookup_batch(medium_layout, mat, lens)
+        assert (~res.hits).all()
+
+    def test_mixed_hits_and_misses(self, medium_layout, medium_keys):
+        queries = [medium_keys[0], b"\xde\xad\xbe\xef\x00\x00\x00\x01", medium_keys[5]]
+        mat, lens = batch_of(queries)
+        res = lookup_batch(medium_layout, mat, lens)
+        assert res.hits.tolist() == [True, False, True]
+        assert int(res.values[0]) == 0 and int(res.values[2]) == 5
+
+    def test_locations_are_leaf_links(self, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys[:10])
+        res = lookup_batch(medium_layout, mat, lens)
+        assert (res.locations != 0).all()
+        # looking the location's leaf value must equal the result
+        from repro.util.packing import link_indices, link_types
+
+        codes = link_types(res.locations)
+        idx = link_indices(res.locations)
+        for j in range(10):
+            buf = medium_layout.leaves[int(codes[j])]
+            assert int(buf.values[idx[j]]) == int(res.values[j])
+
+    def test_parent_links_point_at_real_parents(self, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys[:50])
+        res = lookup_batch(medium_layout, mat, lens)
+        from repro.util.packing import link_indices, link_types
+        from repro.constants import NODE_TYPE_CODES
+
+        pcodes = link_types(res.parent_links)
+        pidx = link_indices(res.parent_links)
+        for j in range(50):
+            code = int(pcodes[j])
+            assert code in NODE_TYPE_CODES
+            buf = medium_layout.nodes[code]
+            byte = int(res.parent_bytes[j])
+            # the parent's child slot for that byte is the found leaf
+            if code in (1, 2):
+                slots = np.nonzero(buf.keys[pidx[j]] == byte)[0]
+                child = int(buf.children[pidx[j], slots[0]])
+            elif code == 3:
+                slot = int(buf.child_index[pidx[j], byte])
+                child = int(buf.children[pidx[j], slot])
+            else:
+                child = int(buf.children[pidx[j], byte])
+            assert child == int(res.locations[j])
+
+    def test_shorter_query_than_tree_path_misses(self):
+        t = make_tree([(b"abcdef", 1), (b"abcxyz", 2)])
+        lay = CuartLayout(t)
+        assert lookup_one(lay, b"abc") is None
+        assert lookup_one(lay, b"ab") is None
+
+    def test_query_longer_than_keys_misses(self):
+        t = make_tree([(b"abcd", 1)])
+        lay = CuartLayout(t)
+        assert lookup_one(lay, b"abcdX") is None
+
+    def test_mismatch_beyond_stored_prefix_window(self):
+        # 20-byte compressed prefix exceeds the 15-byte stored window;
+        # optimistic traversal must still reject via the leaf compare
+        p = b"q" * 20
+        t = make_tree([(p + b"aT", 1), (p + b"bT", 2)])
+        lay = CuartLayout(t)
+        wrong = b"q" * 16 + b"XXXX" + b"aT"  # diverges at byte 16 (unstored)
+        assert lookup_one(lay, wrong) is None
+        assert lookup_one(lay, p + b"aT") == 1
+
+    def test_empty_tree_lookup(self):
+        from repro.art.tree import AdaptiveRadixTree
+
+        lay = CuartLayout(AdaptiveRadixTree())
+        mat, lens = batch_of([b"anything"])
+        res = lookup_batch(lay, mat, lens)
+        assert not res.hits.any()
+
+    def test_all_node_types_on_path(self):
+        # craft a tree with N4, N16, N48 and N256 on the same root path
+        pairs = []
+        for b0 in range(100):  # root N256
+            pairs.append((bytes([b0, 0, 0, 9]), b0))
+        for b1 in range(20):  # N48 under 0
+            pairs.append((bytes([0, b1, 0, 8]), 200 + b1))
+        for b2 in range(8):  # N16 under (0,0)
+            pairs.append((bytes([0, 0, b2, 7]), 400 + b2))
+        t = make_tree(pairs)
+        lay = CuartLayout(t)
+        mat, lens = batch_of([k for k, _ in pairs])
+        res = lookup_batch(lay, mat, lens)
+        assert res.hits.all()
+        assert res.values.tolist() == [v for _, v in pairs]
+
+
+class TestWithRootTable:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_results_identical_with_table(self, medium_tree, medium_keys, k):
+        lay = CuartLayout(medium_tree)
+        table = RootTable(lay, k=k)
+        queries = medium_keys[:300] + [bytes([7] * 8), bytes([0xAB] * 8)]
+        mat, lens = batch_of(queries)
+        plain = lookup_batch(lay, mat, lens)
+        dispatched = lookup_batch(lay, mat, lens, root_table=table)
+        assert (plain.values == dispatched.values).all()
+
+    def test_table_skips_rounds(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        table = RootTable(lay, k=3)
+        mat, lens = batch_of(medium_keys[:256])
+        plain = lookup_batch(lay, mat, lens)
+        fast = lookup_batch(lay, mat, lens, root_table=table)
+        # dispatch replaces the upper levels: fewer traversal transactions
+        # on nodes (the table read itself is one 8-byte access)
+        assert fast.log.total_bytes < plain.log.total_bytes
+
+    def test_short_keys_fall_back_to_root(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        table = RootTable(lay, k=3)
+        t2 = make_tree([(b"ab", 5), (b"cd", 6)])
+        lay2 = CuartLayout(t2)
+        table2 = RootTable(lay2, k=3)
+        mat, lens = batch_of([b"ab", b"cd", b"zz"])
+        res = lookup_batch(lay2, mat, lens, root_table=table2)
+        assert res.values.tolist()[:2] == [5, 6]
+        assert int(res.values[2]) == NIL_VALUE
+
+
+class TestTransactionAccounting:
+    def test_rounds_and_transactions_recorded(self, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys[:128])
+        res = lookup_batch(medium_layout, mat, lens)
+        log = res.log
+        assert log.launched_threads == 128
+        assert log.dependent_rounds >= 2
+        assert log.total_transactions >= 128 * 2  # at least node+leaf each
+        assert log.total_bytes > 0
+        assert log.unaligned_transactions == 0  # CuART is aligned
+
+    def test_distinct_bytes_monotone_levels(self, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys[:512])
+        res = lookup_batch(medium_layout, mat, lens)
+        per_round = [r.distinct_bytes for r in res.log.rounds]
+        # the root round touches one node; the widest middle round fans
+        # out across many distinct nodes
+        assert per_round[0] <= max(per_round)
+        assert all(d > 0 for d in per_round)
+
+    def test_compute_cycles_charged(self, medium_layout, medium_keys):
+        mat, lens = batch_of(medium_keys[:64])
+        res = lookup_batch(medium_layout, mat, lens)
+        assert res.log.compute_cycles > 0
+
+
+class TestLongKeyLookups:
+    LONG = b"Z" * 40
+
+    def test_host_link_signal(self):
+        t = make_tree([(self.LONG, 77), (b"short!", 1)])
+        lay = CuartLayout(t, long_keys=LongKeyStrategy.HOST_LINK)
+        mat, lens = batch_of([self.LONG, b"short!"])
+        res = lookup_batch(lay, mat, lens)
+        assert int(res.host_refs[0]) == 0  # resolve host_leaves[0] on CPU
+        assert int(res.host_refs[1]) == -1
+        assert int(res.values[1]) == 1
+        key, val = lay.host_leaves[int(res.host_refs[0])]
+        assert key == self.LONG and val == 77
+
+    def test_dynamic_leaf_lookup(self):
+        t = make_tree([(self.LONG, 123456), (self.LONG[:39] + b"!", 2), (b"sh", 3)])
+        lay = CuartLayout(t, long_keys=LongKeyStrategy.DYNAMIC)
+        mat, lens = batch_of([self.LONG, self.LONG[:39] + b"!", b"sh", b"Z" * 39])
+        res = lookup_batch(lay, mat, lens)
+        assert res.values.tolist()[:3] == [123456, 2, 3]
+        assert int(res.values[3]) == NIL_VALUE
+
+    def test_dynamic_leaf_charges_unaligned(self):
+        t = make_tree([(self.LONG, 1), (self.LONG[:39] + b"!", 2)])
+        lay = CuartLayout(t, long_keys=LongKeyStrategy.DYNAMIC)
+        mat, lens = batch_of([self.LONG])
+        res = lookup_batch(lay, mat, lens)
+        assert res.log.unaligned_transactions > 0
+
+
+# ---------------------------------------------------------------------------
+# property-based: batched device lookups == host tree search
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=3, max_size=3), st.integers(0, 2**40), min_size=1,
+        max_size=150,
+    ),
+    st.lists(st.binary(min_size=1, max_size=5), min_size=1, max_size=60),
+)
+def test_lookup_matches_host_tree(pairs, probes):
+    t = make_tree(pairs.items())
+    lay = CuartLayout(t)
+    queries = list(pairs.keys()) + probes
+    mat, lens = keys_to_matrix(queries)
+    res = lookup_batch(lay, mat, lens)
+    for q, v in zip(queries, res.values):
+        expect = t.search(q)
+        got = None if int(v) == NIL_VALUE else int(v)
+        assert got == expect, q
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=4, max_size=4), st.integers(0, 2**40), min_size=1,
+        max_size=200,
+    ),
+    st.integers(1, 3),
+)
+def test_lookup_matches_with_root_table(pairs, k):
+    t = make_tree(pairs.items())
+    lay = CuartLayout(t)
+    table = RootTable(lay, k=k)
+    queries = list(pairs.keys())
+    mat, lens = keys_to_matrix(queries)
+    res = lookup_batch(lay, mat, lens, root_table=table)
+    assert res.values.tolist() == [pairs[q] for q in queries]

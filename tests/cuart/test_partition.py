@@ -1,0 +1,168 @@
+"""Unit tests for out-of-core hot/cold partitioning (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cuart.partition import PartitionedIndex
+from repro.errors import ReproError
+from repro.workloads import random_keys
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    keys = random_keys(3000, 8, seed=51)
+    return keys, {k: i for i, k in enumerate(keys)}
+
+
+class TestBuild:
+    def test_budget_respected(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=64 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        st = idx.stats()
+        assert st.device_bytes <= st.budget_bytes
+        assert 0 < st.hot_key_fraction < 1.0
+
+    def test_huge_budget_everything_hot(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=1 << 30)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        assert idx.stats().hot_key_fraction == pytest.approx(1.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ReproError):
+            PartitionedIndex(device_budget_bytes=0)
+
+    def test_lookup_before_populate(self):
+        idx = PartitionedIndex(device_budget_bytes=1024)
+        with pytest.raises(ReproError):
+            idx.lookup([b"xx"])
+
+
+class TestRouting:
+    def test_all_lookups_correct_regardless_of_placement(self, corpus):
+        keys, oracle = corpus
+        idx = PartitionedIndex(device_budget_bytes=96 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        probes = keys[::3] + [b"\xfe" * 8, b"\x00" * 8]
+        got = idx.lookup(probes)
+        assert got == [oracle.get(k) for k in probes]
+
+    def test_queries_split_between_device_and_host(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=96 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        idx.lookup(keys[:500])
+        assert idx.device_queries > 0
+        assert idx.host_queries > 0
+
+    def test_device_log_produced(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=1 << 30)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        idx.lookup(keys[:64])
+        assert idx.last_log.total_transactions > 0
+
+
+class TestRebalance:
+    def test_skewed_access_migrates_hot_partitions(self, corpus):
+        keys, oracle = corpus
+        idx = PartitionedIndex(device_budget_bytes=48 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        # hammer the currently-cold partitions
+        cold_keys = [k for k in keys if k[0] not in idx.hot_set]
+        assert cold_keys, "need cold keys for the scenario"
+        for _ in range(3):
+            idx.lookup(cold_keys[:400])
+        before = set(idx.hot_set)
+        changed = idx.rebalance()
+        assert changed
+        after = set(idx.hot_set)
+        # at least one hammered partition was promoted
+        hammered = {k[0] for k in cold_keys[:400]}
+        assert hammered & after
+        assert before != after
+        # correctness preserved after the migration
+        probes = keys[::5]
+        assert idx.lookup(probes) == [oracle[k] for k in probes]
+
+    def test_rebalance_without_change_is_cheap(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=1 << 30)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        idx.lookup(keys[:100])
+        assert not idx.rebalance()  # everything already hot
+
+    def test_counters_reset_after_rebalance(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=48 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        idx.lookup(keys[:100])
+        idx.rebalance()
+        assert idx.access_counts.sum() == 0
+        assert idx.stats().rebalances == 1
+
+
+class TestEdgeCases:
+    def test_single_leaf_tree(self):
+        idx = PartitionedIndex(device_budget_bytes=1024)
+        idx.populate([(b"only", 1)])
+        assert idx.lookup([b"only", b"other"]) == [1, None]
+
+    def test_shared_root_prefix_single_partition(self):
+        idx = PartitionedIndex(device_budget_bytes=1 << 20)
+        idx.populate([(b"ppA", 1), (b"ppB", 2)])
+        assert idx.lookup([b"ppA", b"ppB"]) == [1, 2]
+        assert len(idx.hot_set) == 1
+
+    def test_root_table_depth(self):
+        keys = random_keys(500, 8, seed=52)
+        idx = PartitionedIndex(device_budget_bytes=1 << 30, root_table_depth=2)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        assert idx.lookup(keys[:50]) == list(range(50))
+
+
+class TestPartitionedWrites:
+    def test_updates_route_both_ways(self, corpus):
+        keys, oracle = corpus
+        idx = PartitionedIndex(device_budget_bytes=96 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        hot = [k for k in keys if k[0] in idx.hot_set][:10]
+        cold = [k for k in keys if k[0] not in idx.hot_set][:10]
+        assert hot and cold
+        items = [(k, 50_000 + j) for j, k in enumerate(hot + cold)]
+        found = idx.update(items)
+        assert all(found)
+        got = idx.lookup(hot + cold)
+        assert got == [50_000 + j for j in range(len(items))]
+
+    def test_update_missing_key(self, corpus):
+        keys, _ = corpus
+        idx = PartitionedIndex(device_budget_bytes=96 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        assert idx.update([(b"\xed" * 8, 1)]) == [False]
+
+    def test_deletes_route_both_ways(self, corpus):
+        keys, oracle = corpus
+        idx = PartitionedIndex(device_budget_bytes=96 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        hot = [k for k in keys if k[0] in idx.hot_set][:5]
+        cold = [k for k in keys if k[0] not in idx.hot_set][:5]
+        out = idx.delete(hot + cold)
+        assert all(out)
+        assert idx.lookup(hot + cold) == [None] * 10
+
+    def test_writes_survive_rebalance(self, corpus):
+        keys, oracle = corpus
+        idx = PartitionedIndex(device_budget_bytes=64 * 1024)
+        idx.populate((k, i) for i, k in enumerate(keys))
+        victim, target = keys[3], keys[4]
+        idx.update([(target, 777)])
+        idx.delete([victim])
+        # skew accesses, force a migration, then verify the writes held
+        cold_keys = [k for k in keys if k[0] not in idx.hot_set][:300]
+        for _ in range(3):
+            idx.lookup(cold_keys)
+        idx.rebalance()
+        got = idx.lookup([victim, target])
+        assert got == [None, 777]

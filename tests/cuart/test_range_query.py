@@ -1,0 +1,179 @@
+"""Unit + property tests for range/prefix queries over the ordered leaf
+buffers (section 3.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuart.layout import CuartLayout
+from repro.cuart.range_query import prefix_query, range_query
+from repro.util.keys import encode_int
+
+from tests.conftest import make_tree
+
+
+@pytest.fixture(scope="module")
+def mixed_size_layout():
+    """Keys spanning all three leaf buffers."""
+    pairs = []
+    for i in range(60):
+        pairs.append((encode_int(i * 3, 4), i))  # leaf8
+    for i in range(60):
+        pairs.append((b"M" + encode_int(i * 5, 11), 1000 + i))  # leaf16
+    for i in range(60):
+        pairs.append((b"Z" * 17 + encode_int(i * 7, 8), 2000 + i))  # leaf32
+    tree = make_tree(pairs)
+    return CuartLayout(tree), dict(pairs)
+
+
+class TestRangeQuery:
+    def test_full_range_returns_everything(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        res = range_query(lay, b"\x00", b"\xff" * 32)
+        assert len(res) == len(oracle)
+        assert res.keys == sorted(oracle)
+
+    def test_slices_reported_per_buffer(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        res = range_query(lay, b"\x00", b"\xff" * 32)
+        for code, (start, end) in res.slices.items():
+            assert 0 <= start <= end <= lay.node_count(code)
+        assert sum(e - s for s, e in res.slices.values()) == len(oracle)
+
+    def test_interval_bounds_inclusive(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        keys = sorted(oracle)
+        res = range_query(lay, keys[10], keys[20])
+        assert res.keys == keys[10:21]
+        assert res.values.tolist() == [oracle[k] for k in keys[10:21]]
+
+    def test_empty_interval(self, mixed_size_layout):
+        lay, _ = mixed_size_layout
+        res = range_query(lay, b"\xfe", b"\xfd")
+        assert len(res) == 0
+
+    def test_interval_between_keys(self, mixed_size_layout):
+        lay, _ = mixed_size_layout
+        res = range_query(lay, encode_int(1, 4), encode_int(2, 4))
+        assert len(res) == 0
+
+    def test_bound_longer_than_leaf_width(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        # lo longer than the 4-byte keys: the 4-byte prefix-equal key is
+        # a proper prefix of lo and must be excluded
+        lo = encode_int(0, 4) + b"\x01"
+        res = range_query(lay, lo, b"\xff" * 32)
+        assert encode_int(0, 4) not in res.keys
+
+    def test_transactions_charged(self, mixed_size_layout):
+        lay, _ = mixed_size_layout
+        res = range_query(lay, b"\x00", b"\xff" * 32)
+        assert res.log.total_transactions > 0
+
+
+class TestPrefixQuery:
+    def test_prefix_hits_only_matching(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        res = prefix_query(lay, b"M")
+        expect = sorted(k for k in oracle if k.startswith(b"M"))
+        assert res.keys == expect
+
+    def test_empty_prefix_returns_all(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        res = prefix_query(lay, b"")
+        assert len(res) == len(oracle)
+
+    def test_prefix_longer_than_any_key(self, mixed_size_layout):
+        lay, _ = mixed_size_layout
+        res = prefix_query(lay, b"Z" * 40)
+        assert len(res) == 0
+
+    def test_exact_key_as_prefix(self, mixed_size_layout):
+        lay, oracle = mixed_size_layout
+        k = sorted(oracle)[0]
+        res = prefix_query(lay, k)
+        assert res.keys == [k]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=2, max_size=6), st.integers(0, 2**30), min_size=1,
+        max_size=120,
+    ),
+    st.binary(min_size=0, max_size=7),
+    st.binary(min_size=0, max_size=7),
+)
+def test_range_matches_sorted_model(pairs, a, b):
+    # prune to a prefix-free set (radix-tree precondition)
+    pruned = {}
+    for k in sorted(pairs):
+        if not any(k != o and k.startswith(o) for o in pruned):
+            pruned[k] = pairs[k]
+    lo, hi = (a, b) if a <= b else (b, a)
+    if not lo:
+        lo = b"\x00"
+    lay = CuartLayout(make_tree(pruned.items()))
+    res = range_query(lay, lo, hi)
+    expect = sorted(k for k in pruned if lo <= k <= hi)
+    assert res.keys == expect
+    assert [int(v) for v in res.values] == [pruned[k] for k in expect]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=2, max_size=6), st.integers(0, 2**30), min_size=1,
+        max_size=100,
+    ),
+    st.binary(min_size=0, max_size=4),
+)
+def test_prefix_matches_model(pairs, prefix):
+    pruned = {}
+    for k in sorted(pairs):
+        if not any(k != o and k.startswith(o) for o in pruned):
+            pruned[k] = pairs[k]
+    lay = CuartLayout(make_tree(pruned.items()))
+    res = prefix_query(lay, prefix)
+    expect = sorted(k for k in pruned if k.startswith(prefix))
+    assert res.keys == expect
+
+
+class TestCountRange:
+    def test_count_matches_materialized(self, mixed_size_layout):
+        from repro.cuart.range_query import count_range
+
+        lay, oracle = mixed_size_layout
+        keys = sorted(oracle)
+        lo, hi = keys[20], keys[120]
+        assert count_range(lay, lo, hi) == len(range_query(lay, lo, hi))
+
+    def test_count_excludes_deleted(self):
+        from repro.cuart.delete import delete_batch
+        from repro.cuart.range_query import count_range
+        from repro.util.keys import keys_to_matrix
+
+        keys = [encode_int(v, 4) for v in range(50)]
+        lay = CuartLayout(make_tree((k, i) for i, k in enumerate(keys)))
+        mat, lens = keys_to_matrix(keys[10:15])
+        delete_batch(lay, mat, lens, hash_slots=256)
+        assert count_range(lay, keys[0], keys[-1]) == 45
+
+    def test_count_cheaper_than_materialize(self, mixed_size_layout):
+        from repro.cuart.range_query import count_range
+        from repro.gpusim.transactions import TransactionLog
+
+        lay, oracle = mixed_size_layout
+        keys = sorted(oracle)
+        log_c = TransactionLog()
+        count_range(lay, keys[0], keys[-1], log=log_c)
+        log_m = TransactionLog()
+        range_query(lay, keys[0], keys[-1], log=log_m)
+        assert log_c.total_bytes < log_m.total_bytes
+
+    def test_empty_window(self, mixed_size_layout):
+        from repro.cuart.range_query import count_range
+
+        lay, _ = mixed_size_layout
+        assert count_range(lay, b"\xfe", b"\xfd") == 0

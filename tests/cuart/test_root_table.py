@@ -1,0 +1,91 @@
+"""Unit tests for the compacted upper-layer table (section 3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import LINK_EMPTY, PAPER_ROOT_TABLE_BYTES
+from repro.cuart.layout import CuartLayout
+from repro.cuart.root_table import RootTable
+from repro.errors import SimulationError
+from repro.gpusim.transactions import TransactionLog
+from repro.util.keys import keys_to_matrix
+from repro.util.packing import link_type
+
+from tests.conftest import make_tree
+
+
+class TestConstruction:
+    def test_table_size(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        t = RootTable(lay, k=2)
+        assert t.links.size == 256**2
+        assert t.nbytes == 256**2 * 8
+
+    def test_paper_scale_constant(self):
+        # 2^24 links x 8 bytes = the paper's "128MB of memory consumption"
+        assert PAPER_ROOT_TABLE_BYTES == 128 * 1024 * 1024
+
+    def test_invalid_depth(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        with pytest.raises(SimulationError):
+            RootTable(lay, k=0)
+        with pytest.raises(SimulationError):
+            RootTable(lay, k=4)
+
+    def test_empty_tree_table_is_empty(self):
+        from repro.art.tree import AdaptiveRadixTree
+
+        lay = CuartLayout(AdaptiveRadixTree())
+        t = RootTable(lay, k=1)
+        assert (t.links == np.uint64(0)).all()
+
+    def test_whole_table_covered_for_nonempty_tree(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        t = RootTable(lay, k=1)
+        # every entry points somewhere (at worst the root at depth 0)
+        assert (t.links != np.uint64(0)).all() or link_type(lay.root_link) != LINK_EMPTY
+
+    def test_depths_bounded_by_k(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        for k in (1, 2, 3):
+            t = RootTable(lay, k=k)
+            assert int(t.depths.max()) <= k
+
+
+class TestDispatch:
+    def test_entries_refine_with_depth(self):
+        # two-level tree: byte-0 fans out, so at k=2 the table should
+        # dispatch past the root for covered prefixes
+        pairs = [(bytes([b, b2, 7]), b * 256 + b2) for b in range(8) for b2 in (1, 9)]
+        lay = CuartLayout(make_tree(pairs))
+        t = RootTable(lay, k=2)
+        mat, lens = keys_to_matrix([pairs[0][0]])
+        links, depths, covered = t.start_links(mat, lens)
+        assert covered.all()
+        assert int(depths[0]) == 2  # skipped two levels
+
+    def test_uncovered_short_keys(self):
+        pairs = [(bytes([1, 2, 3, 4]), 1)]
+        lay = CuartLayout(make_tree(pairs))
+        t = RootTable(lay, k=3)
+        mat, lens = keys_to_matrix([bytes([1, 2])], width=4)
+        links, depths, covered = t.start_links(mat, lens)
+        assert not covered[0]
+
+    def test_log_accounting(self, medium_tree, medium_keys):
+        lay = CuartLayout(medium_tree)
+        t = RootTable(lay, k=2)
+        log = TransactionLog()
+        mat, lens = keys_to_matrix(medium_keys[:64])
+        t.start_links(mat, lens, log)
+        assert log.total_transactions == 64
+        assert log.rounds[-1].distinct_bytes > 0
+
+    def test_stale_layout_rejected(self, medium_tree):
+        lay = CuartLayout(medium_tree)
+        medium_tree.insert(b"\x01\x02\x03\x04\x05\x06\x07\x99", 1)
+        from repro.errors import StaleLayoutError
+
+        with pytest.raises(StaleLayoutError):
+            RootTable(lay, k=2)
+        medium_tree.delete(b"\x01\x02\x03\x04\x05\x06\x07\x99")

@@ -1,0 +1,117 @@
+"""Unit tests for layout persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.serialize import FORMAT_VERSION, load_layout, save_layout
+from repro.errors import ReproError
+from repro.util.keys import keys_to_matrix
+from repro.workloads import build_tree, random_keys
+
+from tests.conftest import batch_of, make_tree
+
+
+@pytest.fixture()
+def saved(tmp_path, medium_tree):
+    layout = CuartLayout(medium_tree)
+    path = tmp_path / "index.npz"
+    save_layout(layout, path)
+    return path, layout
+
+
+class TestRoundtrip:
+    def test_lookups_identical(self, saved, medium_keys):
+        path, original = saved
+        loaded = load_layout(path)
+        mat, lens = batch_of(medium_keys[:300] + [b"\xee" * 8])
+        a = lookup_batch(original, mat, lens)
+        b = lookup_batch(loaded, mat, lens)
+        assert (a.values == b.values).all()
+
+    def test_loaded_layout_metadata(self, saved):
+        path, original = saved
+        loaded = load_layout(path)
+        assert loaded.root_link == original.root_link
+        assert loaded.max_levels == original.max_levels
+        for code in (1, 2, 3, 4, 5, 6, 7):
+            assert loaded.node_count(code) == original.node_count(code)
+
+    def test_loaded_supports_updates(self, saved, medium_keys):
+        from repro.cuart.update import UpdateEngine
+
+        path, _ = saved
+        loaded = load_layout(path)
+        mat, lens = batch_of(medium_keys[:4])
+        eng = UpdateEngine(loaded, hash_slots=1 << 10)
+        res = eng.apply(mat, lens, np.arange(4).astype(np.uint64))
+        assert res.found.all()
+        after = lookup_batch(loaded, mat, lens)
+        assert after.values.tolist() == [0, 1, 2, 3]
+
+    def test_loaded_supports_range_queries(self, saved, medium_keys):
+        from repro.cuart.range_query import range_query
+
+        path, _ = saved
+        loaded = load_layout(path)
+        ordered = sorted(medium_keys)
+        res = range_query(loaded, ordered[5], ordered[15])
+        assert res.keys == ordered[5:16]
+
+    def test_loaded_supports_device_inserts(self, tmp_path):
+        from repro.cuart.insert import InsertEngine
+
+        tree = build_tree(random_keys(300, 8, seed=61))
+        layout = CuartLayout(tree, spare=0.5)
+        path = tmp_path / "spare.npz"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        eng = InsertEngine(loaded, hash_slots=1 << 9)
+        mat, lens = keys_to_matrix([b"\xfd" * 8])
+        res = eng.apply(mat, lens, np.array([42], dtype=np.uint64))
+        assert res.n_inserted == 1
+        assert lookup_batch(loaded, mat, lens).values.tolist() == [42]
+
+    def test_long_key_strategies_survive(self, tmp_path):
+        long_key = b"L" * 40
+        tree = make_tree([(long_key, 7), (b"short", 1)])
+        layout = CuartLayout(tree, long_keys=LongKeyStrategy.HOST_LINK)
+        path = tmp_path / "hostlink.npz"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        assert loaded.host_leaves == [(long_key, 7)]
+        assert loaded.long_keys is LongKeyStrategy.HOST_LINK
+
+    def test_free_lists_survive(self, tmp_path, medium_tree, medium_keys):
+        from repro.cuart.delete import delete_batch
+
+        layout = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:3])
+        delete_batch(layout, mat, lens, hash_slots=1 << 9)
+        path = tmp_path / "deleted.npz"
+        save_layout(layout, path)
+        loaded = load_layout(path)
+        assert loaded.free_leaves == layout.free_leaves
+
+
+class TestFormatGuards:
+    def test_version_rejected(self, saved, tmp_path):
+        import json
+
+        path, _ = saved
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        meta["format"] = FORMAT_VERSION + 1
+        data["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **data)
+        with pytest.raises(ReproError):
+            load_layout(bad)
+
+    def test_loaded_layout_is_fresh(self, saved):
+        path, _ = saved
+        loaded = load_layout(path)
+        loaded.check_fresh()  # placeholder tree: never stale

@@ -1,0 +1,153 @@
+"""Unit + property tests for the two-stage update engine (section 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NIL_VALUE
+from repro.cuart.layout import CuartLayout
+from repro.cuart.lookup import lookup_batch
+from repro.cuart.root_table import RootTable
+from repro.cuart.update import UpdateEngine
+from repro.errors import SimulationError
+from repro.util.keys import keys_to_matrix
+
+from tests.conftest import batch_of, make_tree
+
+
+def fresh_layout(medium_tree):
+    return CuartLayout(medium_tree)
+
+
+def read_values(layout, keys):
+    mat, lens = batch_of(keys)
+    return lookup_batch(layout, mat, lens).values
+
+
+class TestUpdates:
+    def test_simple_update(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:4])
+        res = eng.apply(mat, lens, np.array([100, 101, 102, 103], dtype=np.uint64))
+        assert res.found.all()
+        assert res.winners.all()
+        assert res.writes == 4
+        assert read_values(lay, medium_keys[:4]).tolist() == [100, 101, 102, 103]
+
+    def test_last_writer_wins(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        k = medium_keys[0]
+        mat, lens = batch_of([k, k, k, k])
+        res = eng.apply(mat, lens, np.array([10, 20, 30, 40], dtype=np.uint64))
+        assert res.winners.tolist() == [False, False, False, True]
+        assert res.conflicts_eliminated == 3
+        assert res.writes == 1
+        assert int(read_values(lay, [k])[0]) == 40
+
+    def test_update_missing_key_skipped(self, medium_tree):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of([b"\xee" * 8])
+        res = eng.apply(mat, lens, np.array([1], dtype=np.uint64))
+        assert not res.found.any()
+        assert res.writes == 0
+
+    def test_nil_value_rejected_without_delete_flag(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:1])
+        with pytest.raises(SimulationError):
+            eng.apply(mat, lens, np.array([NIL_VALUE], dtype=np.uint64))
+
+    def test_wrong_value_shape_rejected(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:2])
+        with pytest.raises(SimulationError):
+            eng.apply(mat, lens, np.array([1], dtype=np.uint64))
+
+    def test_delete_via_nil_signal(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:3])
+        deletes = np.array([False, True, False])
+        res = eng.apply(
+            mat, lens, np.array([7, 0, 9], dtype=np.uint64), deletes=deletes
+        )
+        assert res.writes == 3
+        vals = read_values(lay, medium_keys[:3])
+        assert int(vals[0]) == 7
+        assert int(vals[1]) == NIL_VALUE  # nil pointer: reads as missing
+        assert int(vals[2]) == 9
+
+    def test_update_with_root_table(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        table = RootTable(lay, k=2)
+        eng = UpdateEngine(lay, root_table=table, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:8])
+        res = eng.apply(mat, lens, np.arange(300, 308).astype(np.uint64))
+        assert res.found.all()
+        assert read_values(lay, medium_keys[:8]).tolist() == list(range(300, 308))
+
+    def test_probe_stats_reported(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:100])
+        res = eng.apply(mat, lens, np.arange(100).astype(np.uint64))
+        assert res.total_probes >= 100
+        assert res.max_probe >= 1
+        assert 0 < res.load_factor <= 100 / 1024
+
+    def test_device_mutations_counted(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:5])
+        eng.apply(mat, lens, np.arange(5).astype(np.uint64))
+        assert lay.device_mutations == 5
+
+    def test_log_contains_atomics_and_stores(self, medium_tree, medium_keys):
+        lay = fresh_layout(medium_tree)
+        eng = UpdateEngine(lay, hash_slots=1 << 10)
+        mat, lens = batch_of(medium_keys[:16])
+        res = eng.apply(mat, lens, np.arange(16).astype(np.uint64))
+        assert res.log.atomic_ops >= 32
+        assert res.log.total_transactions > 16
+
+
+# ---------------------------------------------------------------------------
+# property: batch update == sequential dict update in thread order
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=3, max_size=3), st.integers(0, 2**30), min_size=1,
+        max_size=80,
+    ),
+    st.data(),
+)
+def test_update_batch_equals_sequential_model(pairs, data):
+    keys = sorted(pairs)
+    tree = make_tree(pairs.items())
+    lay = CuartLayout(tree)
+    eng = UpdateEngine(lay, hash_slots=1 << 8)
+    batch = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(keys), st.integers(0, 2**30)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    mat, lens = keys_to_matrix([k for k, _ in batch])
+    values = np.array([v for _, v in batch], dtype=np.uint64)
+    eng.apply(mat, lens, values)
+    # sequential model: apply in thread (list) order
+    model = dict(pairs)
+    for k, v in batch:
+        model[k] = v
+    got = read_values(lay, keys)
+    assert [int(v) for v in got] == [model[k] for k in keys]

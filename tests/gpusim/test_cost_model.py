@@ -1,0 +1,144 @@
+"""Unit tests for the roofline cost model."""
+
+import pytest
+
+from repro.gpusim.cost_model import (
+    CostModel,
+    cpu_lookup_time,
+    cpu_update_time,
+)
+from repro.gpusim.devices import A100, RTX3090, GTX1070, WORKSTATION_CPU
+from repro.gpusim.transactions import TransactionLog
+
+
+def make_log(tx=1000, size=64, rounds=4, threads=1024, distinct=1 << 20):
+    log = TransactionLog()
+    log.launched_threads = threads
+    per_round = tx // rounds
+    for _ in range(rounds):
+        log.begin_round(threads)
+        log.record(size, per_round)
+        log.rounds[-1].distinct_bytes = distinct
+    return log
+
+
+class TestKernelTime:
+    def test_positive_and_bounded_below_by_launch(self):
+        t = CostModel(RTX3090).kernel_time(make_log())
+        assert t.total_s >= RTX3090.launch_overhead_s
+
+    def test_more_transactions_cost_more(self):
+        cm = CostModel(RTX3090, l2_scale=1e-6)  # force DRAM
+        small = cm.kernel_time(make_log(tx=10_000))
+        big = cm.kernel_time(make_log(tx=1_000_000))
+        assert big.total_s > small.total_s
+
+    def test_binding_constraint_label(self):
+        cm = CostModel(RTX3090, l2_scale=1e-6)
+        t = cm.kernel_time(make_log(tx=2_000_000))
+        assert t.binding_constraint in ("memory-command", "latency-chain", "compute")
+
+    def test_serial_stall_added(self):
+        log = make_log()
+        base = CostModel(RTX3090).kernel_time(log).total_s
+        log.serial_stall_s = 1e-3
+        stalled = CostModel(RTX3090).kernel_time(log).total_s
+        assert stalled == pytest.approx(base + 1e-3)
+
+    def test_latency_bound_grows_with_rounds(self):
+        cm = CostModel(RTX3090, l2_scale=1e-6)
+        few = cm.kernel_time(make_log(tx=100, rounds=2, threads=64))
+        many = cm.kernel_time(make_log(tx=100, rounds=20, threads=64))
+        assert many.latency_bound_s > few.latency_bound_s
+
+    def test_throughput_mops(self):
+        cm = CostModel(RTX3090)
+        log = make_log(threads=32768)
+        mops = cm.throughput_mops(log, 32768)
+        assert mops > 0
+
+
+class TestL2Fraction:
+    def test_tiny_footprint_fully_resident(self):
+        cm = CostModel(RTX3090)
+        log = make_log(distinct=1024)
+        assert cm.l2_fraction(log) == 1.0
+
+    def test_huge_footprint_not_resident(self):
+        cm = CostModel(RTX3090)
+        log = make_log(distinct=1 << 30)
+        assert cm.l2_fraction(log) == 0.0
+
+    def test_partial_residency(self):
+        cm = CostModel(RTX3090)
+        log = TransactionLog()
+        log.launched_threads = 100
+        log.begin_round(100)
+        log.record(64, 100)
+        log.rounds[-1].distinct_bytes = 1024  # resident
+        log.begin_round(100)
+        log.record(64, 100)
+        log.rounds[-1].distinct_bytes = 1 << 30  # not resident
+        assert cm.l2_fraction(log) == pytest.approx(0.5)
+
+    def test_l2_scale_shrinks_cache(self):
+        log = make_log(rounds=1, distinct=RTX3090.l2_bytes // 2)
+        assert CostModel(RTX3090).l2_fraction(log) == 1.0
+        assert CostModel(RTX3090, l2_scale=0.25).l2_fraction(log) == 0.0
+
+    def test_no_footprints_uses_default(self):
+        log = TransactionLog()
+        log.begin_round(10)
+        log.record(64, 10)
+        cm = CostModel(RTX3090, default_l2_fraction=0.37)
+        assert cm.l2_fraction(log) == 0.37
+
+
+class TestDeviceOrdering:
+    def test_rtx3090_beats_a100_on_scattered_small_reads(self):
+        log = make_log(tx=500_000, size=64, distinct=1 << 30, threads=32768)
+        t3090 = CostModel(RTX3090, l2_scale=1e-6).kernel_time(log)
+        ta100 = CostModel(A100, l2_scale=1e-6).kernel_time(log)
+        assert t3090.total_s < ta100.total_s
+
+    def test_gtx1070_is_slowest(self):
+        log = make_log(tx=500_000, size=64, distinct=1 << 30, threads=32768)
+        times = {
+            dev.name: CostModel(dev, l2_scale=1e-6).kernel_time(log).total_s
+            for dev in (A100, RTX3090, GTX1070)
+        }
+        assert times[GTX1070.name] == max(times.values())
+
+
+class TestCpuModels:
+    def test_contiguous_layout_faster(self):
+        ws = 1 << 28
+        t_art = cpu_lookup_time(
+            WORKSTATION_CPU, 6.0, 176.0, ws, contiguous=False, threads=1
+        )
+        t_flat = cpu_lookup_time(
+            WORKSTATION_CPU, 6.0, 176.0, ws, contiguous=True, threads=1
+        )
+        assert t_flat < t_art
+
+    def test_speedup_grows_with_working_set(self):
+        def speedup(ws):
+            a = cpu_lookup_time(WORKSTATION_CPU, 6.0, 176.0, ws, contiguous=False)
+            c = cpu_lookup_time(WORKSTATION_CPU, 6.0, 176.0, ws, contiguous=True)
+            return a / c
+
+        assert speedup(1 << 30) > speedup(1 << 20)
+
+    def test_threads_divide_lookup_time(self):
+        t1 = cpu_lookup_time(WORKSTATION_CPU, 6.0, 176.0, 1 << 28,
+                             contiguous=False, threads=1)
+        t8 = cpu_lookup_time(WORKSTATION_CPU, 6.0, 176.0, 1 << 28,
+                             contiguous=False, threads=8)
+        assert t8 == pytest.approx(t1 / 8)
+
+    def test_update_slower_than_lookup(self):
+        lk = cpu_lookup_time(WORKSTATION_CPU, 6.0, 176.0, 1 << 28,
+                             contiguous=False)
+        up = cpu_update_time(WORKSTATION_CPU, 6.0, 176.0, 1 << 28,
+                             contiguous=False)
+        assert up > lk

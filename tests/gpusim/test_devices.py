@@ -1,0 +1,82 @@
+"""Unit tests for device/CPU specs — the §4.1 machine table in code."""
+
+import pytest
+
+from repro.gpusim.devices import (
+    A100,
+    DEVICES,
+    GTX1070,
+    MACHINES,
+    NOTEBOOK_CPU,
+    RTX3090,
+    SERVER_CPU,
+    WORKSTATION_CPU,
+)
+
+
+class TestMachineTable:
+    """Section 4.1 lists three benchmark machines; encode them exactly."""
+
+    def test_three_machines(self):
+        assert set(MACHINES) == {"server", "workstation", "notebook"}
+
+    def test_server_pairs_a100_with_epyc(self):
+        gpu, cpu = MACHINES["server"]
+        assert gpu is A100
+        assert "Epyc" in cpu.name
+        assert cpu.cores == 96  # 2x 48-core (7752)
+
+    def test_workstation_pairs_3090_with_ryzen(self):
+        gpu, cpu = MACHINES["workstation"]
+        assert gpu is RTX3090
+        assert "5800X" in cpu.name
+
+    def test_notebook_pairs_1070(self):
+        gpu, cpu = MACHINES["notebook"]
+        assert gpu is GTX1070
+        assert "8750H" in cpu.name
+
+    def test_devices_registry(self):
+        assert set(DEVICES) == {"a100", "rtx3090", "gtx1070"}
+
+
+class TestGpuSpecs:
+    def test_memory_subsystems_attached(self):
+        assert "HBM2" in A100.memory.name
+        assert "GDDR6X" in RTX3090.memory.name
+        assert "GDDR5" in GTX1070.memory.name
+
+    def test_resident_thread_capacity_ordering(self):
+        # A100 (108 SMs) > 3090 (82) > 1070 (15)
+        assert (
+            A100.max_resident_threads
+            > RTX3090.max_resident_threads
+            > GTX1070.max_resident_threads
+        )
+
+    def test_l2_sizes(self):
+        assert A100.l2_bytes == 40 * 1024 * 1024
+        assert A100.l2_bytes > RTX3090.l2_bytes > GTX1070.l2_bytes
+
+    def test_describe(self):
+        assert "HBM2" in A100.describe()
+
+
+class TestCpuSpecs:
+    def test_thread_counts(self):
+        assert SERVER_CPU.threads == 192
+        assert WORKSTATION_CPU.threads == 16
+        assert NOTEBOOK_CPU.threads == 12
+
+    def test_cache_hierarchy_monotone(self):
+        for cpu in (SERVER_CPU, WORKSTATION_CPU, NOTEBOOK_CPU):
+            assert cpu.l1_bytes < cpu.l2_bytes < cpu.l3_bytes
+            assert cpu.l1_latency_s < cpu.l2_latency_s < cpu.l3_latency_s
+            assert cpu.l3_latency_s < cpu.dram_latency_s()
+
+    def test_node_compute_cycles_from_paper(self):
+        # "at around 20 clock cycles per node" (section 3.1)
+        assert WORKSTATION_CPU.node_compute_cycles == 20.0
+
+    def test_describe(self):
+        assert "96c/192t" in SERVER_CPU.describe()

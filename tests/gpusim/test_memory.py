@@ -1,0 +1,91 @@
+"""Unit tests for the memory-architecture model (section 4.6)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.memory import (
+    DDR4_SERVER,
+    GDDR5_GTX1070,
+    GDDR6X_RTX3090,
+    HBM2_A100,
+    MemoryArchitecture,
+)
+
+
+class TestTransactionCycles:
+    def test_single_atom(self):
+        arch = GDDR6X_RTX3090
+        assert arch.transaction_cycles(32) == arch.overhead_commands + 1
+
+    def test_multi_atom(self):
+        arch = GDDR6X_RTX3090  # 32-byte atoms
+        assert arch.transaction_cycles(176) == arch.overhead_commands + 6
+
+    def test_unaligned_penalty(self):
+        arch = GDDR6X_RTX3090
+        assert (
+            arch.transaction_cycles(32, aligned=False)
+            == arch.transaction_cycles(32) + 1
+        )
+
+    def test_small_read_wastes_wide_atom(self):
+        # the paper's HBM2 problem: a 16-byte header still burns a 64-byte
+        # atom, so the fixed command overhead dominates
+        assert HBM2_A100.transaction_cycles(16) == HBM2_A100.transaction_cycles(64)
+
+
+class TestServiceTime:
+    def test_empty(self):
+        assert HBM2_A100.service_time({}) == 0.0
+
+    def test_command_bound_scales_with_count(self):
+        t1 = HBM2_A100.service_time({(64, True): 1000})
+        t2 = HBM2_A100.service_time({(64, True): 2000})
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_bandwidth_bound_kicks_in_for_huge_transfers(self):
+        arch = MemoryArchitecture(
+            name="t", channels=2, command_clock_hz=1e9, atom_bytes=64,
+            overhead_commands=0.0, peak_bandwidth=1e9, random_latency_s=1e-7,
+        )
+        # 1 GB of traffic at 1 GB/s: bandwidth bound = 1s > command bound
+        t = arch.service_time({(1 << 20, True): 1024})
+        assert t == pytest.approx((1 << 30) / 1e9)
+
+
+class TestPaperOrdering:
+    """The section-4.6 claims the model must encode."""
+
+    def test_rtx3090_higher_random_read_rate_than_a100(self):
+        for size in (16, 32, 64):
+            assert GDDR6X_RTX3090.random_read_rate(size) > HBM2_A100.random_read_rate(
+                size
+            )
+
+    def test_a100_higher_bandwidth(self):
+        assert HBM2_A100.peak_bandwidth > GDDR6X_RTX3090.peak_bandwidth
+
+    def test_gtx1070_slowest(self):
+        assert GDDR5_GTX1070.random_read_rate(64) < min(
+            HBM2_A100.random_read_rate(64), GDDR6X_RTX3090.random_read_rate(64)
+        )
+
+    def test_channel_counts_from_paper(self):
+        assert HBM2_A100.channels == 40  # "40 independent memory channels"
+        assert GDDR6X_RTX3090.channels == 24  # "only 24 channels"
+
+    def test_command_clocks_from_paper(self):
+        assert HBM2_A100.command_clock_hz == pytest.approx(1.215e9)
+        assert GDDR6X_RTX3090.command_clock_hz == pytest.approx(2.5e9)
+
+
+def test_invalid_architecture_rejected():
+    with pytest.raises(SimulationError):
+        MemoryArchitecture(
+            name="bad", channels=0, command_clock_hz=1e9, atom_bytes=64,
+            overhead_commands=1, peak_bandwidth=1e9, random_latency_s=1e-7,
+        )
+
+
+def test_cpu_memories_have_no_scatter_derating():
+    assert DDR4_SERVER.scatter_efficiency == 1.0

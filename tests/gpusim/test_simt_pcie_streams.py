@@ -1,0 +1,78 @@
+"""Unit tests for the SIMT helpers, PCIe model and pipeline algebra."""
+
+import pytest
+
+from repro.gpusim.pcie import PCIE3_X16, PCIE4_X16, link_for_device
+from repro.gpusim.simt import occupancy_limit, warp_efficiency, warps_for, waves
+from repro.gpusim.streams import PipelineStage, pipeline
+
+
+class TestSimt:
+    def test_warps_for(self):
+        assert warps_for(1) == 1
+        assert warps_for(32) == 1
+        assert warps_for(33) == 2
+
+    def test_full_efficiency(self):
+        assert warp_efficiency([64, 64], 64) == pytest.approx(1.0)
+
+    def test_tail_divergence(self):
+        # half the threads finish after round 1
+        eff = warp_efficiency([64, 32], 64)
+        assert eff == pytest.approx(0.75)
+
+    def test_empty_rounds(self):
+        assert warp_efficiency([], 128) == 1.0
+
+    def test_occupancy_limit(self):
+        assert occupancy_limit(10_000, 2048) == 2048
+        assert occupancy_limit(100, 2048) == 100
+
+    def test_waves(self):
+        assert waves(4096, 2048) == 2.0
+        assert waves(100, 2048) == 1.0
+        assert waves(0, 2048) == 0.0
+
+
+class TestPcie:
+    def test_transfer_time_zero(self):
+        assert PCIE4_X16.transfer_time(0) == 0.0
+
+    def test_transfer_includes_latency(self):
+        assert PCIE4_X16.transfer_time(1) == pytest.approx(
+            PCIE4_X16.latency_s + 1 / PCIE4_X16.bandwidth
+        )
+
+    def test_gen4_faster_than_gen3(self):
+        n = 1 << 20
+        assert PCIE4_X16.transfer_time(n) < PCIE3_X16.transfer_time(n)
+
+    def test_link_selection(self):
+        assert link_for_device("NVIDIA GTX1070") is PCIE3_X16
+        assert link_for_device("NVIDIA A100 40GB") is PCIE4_X16
+
+
+class TestPipeline:
+    def test_bottleneck_selection(self):
+        stages = [
+            PipelineStage("a", 1e-3),
+            PipelineStage("b", 5e-3),
+            PipelineStage("c", 2e-3),
+        ]
+        res = pipeline(stages, 1000)
+        assert res.bottleneck.name == "b"
+        assert res.seconds_per_batch == 5e-3
+        assert res.throughput_ops == pytest.approx(1000 / 5e-3)
+
+    def test_parallelism_discounts_stage(self):
+        stages = [PipelineStage("a", 8e-3, parallelism=8), PipelineStage("b", 2e-3)]
+        res = pipeline(stages, 100)
+        assert res.bottleneck.name == "b"
+
+    def test_latency_is_sum(self):
+        stages = [PipelineStage("a", 1e-3), PipelineStage("b", 2e-3)]
+        assert pipeline(stages, 1).latency_s == pytest.approx(3e-3)
+
+    def test_throughput_mops(self):
+        res = pipeline([PipelineStage("a", 1e-3)], 10_000)
+        assert res.throughput_mops == pytest.approx(10.0)

@@ -1,0 +1,55 @@
+"""Unit tests for kernel trace reports."""
+
+import pytest
+
+from repro.bench.runner import cuart_lookup_log, grt_lookup_log
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import RTX3090
+from repro.gpusim.trace import compare_kernels, trace_kernel
+
+
+@pytest.fixture(scope="module")
+def logs():
+    return (
+        cuart_lookup_log("random", 2048, 8, 512),
+        grt_lookup_log("random", 2048, 8, 512),
+    )
+
+
+class TestTraceKernel:
+    def test_report_fields(self, logs):
+        cu, _ = logs
+        rep = trace_kernel(cu, CostModel(RTX3090))
+        assert rep.queries == 512
+        assert 0.0 <= rep.l2_fraction <= 1.0
+        assert rep.timing.total_s > 0
+        assert rep.rows_by_class
+        assert rep.rows_by_round
+
+    def test_class_rows_sorted_by_count(self, logs):
+        cu, _ = logs
+        rep = trace_kernel(cu, CostModel(RTX3090))
+        counts = [r[2] for r in rep.rows_by_class]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render(self, logs):
+        cu, _ = logs
+        text = str(trace_kernel(cu, CostModel(RTX3090)))
+        assert "kernel total" in text
+        assert "by dependent round" in text
+        assert "L2-resident" in text
+
+    def test_round_count_matches_log(self, logs):
+        cu, _ = logs
+        rep = trace_kernel(cu, CostModel(RTX3090))
+        assert len(rep.rows_by_round) == cu.dependent_rounds
+
+
+class TestCompareKernels:
+    def test_side_by_side(self, logs):
+        cu, gr = logs
+        text = compare_kernels(
+            {"CuART": cu, "GRT": gr}, CostModel(RTX3090), 512
+        )
+        assert "CuART" in text and "GRT" in text
+        assert "tx/query" in text

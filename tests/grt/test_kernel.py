@@ -1,0 +1,135 @@
+"""Unit + property tests for the GRT lookup kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import NIL_VALUE
+from repro.grt.kernel import grt_lookup_batch
+from repro.grt.layout import GrtLayout
+from repro.util.keys import keys_to_matrix
+
+from tests.conftest import batch_of, make_tree
+
+
+class TestGrtLookup:
+    def test_all_hits(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys)
+        res = grt_lookup_batch(lay, mat, lens)
+        assert res.hits.all()
+        assert res.values.tolist() == list(range(len(medium_keys)))
+
+    def test_misses(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of([b"\xee" * 8])
+        res = grt_lookup_batch(lay, mat, lens)
+        assert not res.hits.any()
+
+    def test_locations_point_at_leaf_records(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:20])
+        res = grt_lookup_batch(lay, mat, lens)
+        from repro.grt.layout import GRT_LEAF_TYPE
+
+        for off in res.locations:
+            assert lay.buffer[int(off)] == GRT_LEAF_TYPE
+
+    def test_empty_tree(self):
+        from repro.art.tree import AdaptiveRadixTree
+
+        lay = GrtLayout(AdaptiveRadixTree())
+        mat, lens = batch_of([b"x"])
+        res = grt_lookup_batch(lay, mat, lens)
+        assert not res.hits.any()
+
+    def test_two_dependent_rounds_per_level(self, medium_tree, medium_keys):
+        cu_lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:64])
+        res = grt_lookup_batch(cu_lay, mat, lens)
+        # header + body per level: rounds must be even and >= 2x levels-1
+        assert res.log.dependent_rounds % 2 == 0
+        assert res.log.dependent_rounds >= 4
+
+    def test_all_transactions_unaligned(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:64])
+        res = grt_lookup_batch(lay, mat, lens)
+        assert res.log.unaligned_transactions == res.log.total_transactions
+
+    def test_grt_needs_more_transactions_than_cuart(
+        self, medium_tree, medium_keys
+    ):
+        from repro.cuart.layout import CuartLayout
+        from repro.cuart.lookup import lookup_batch
+
+        g_lay = GrtLayout(medium_tree)
+        c_lay = CuartLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:256])
+        g = grt_lookup_batch(g_lay, mat, lens)
+        c = lookup_batch(c_lay, mat, lens)
+        assert g.log.total_transactions > c.log.total_transactions
+        assert g.log.dependent_rounds > c.log.dependent_rounds
+
+    def test_long_prefix_optimistic_check(self):
+        p = b"w" * 20  # exceeds GRT's 12-byte stored window
+        t = make_tree([(p + b"aQ", 1), (p + b"bQ", 2)])
+        lay = GrtLayout(t)
+        mat, lens = batch_of([p + b"aQ", b"w" * 13 + b"XXXXXXX" + b"aQ"])
+        res = grt_lookup_batch(lay, mat, lens)
+        assert int(res.values[0]) == 1
+        assert int(res.values[1]) == NIL_VALUE
+
+    def test_variable_length_keys(self):
+        t = make_tree([(b"ab", 1), (b"cdef", 2), (b"ghijklmnop", 3)])
+        lay = GrtLayout(t)
+        mat, lens = batch_of([b"ab", b"cdef", b"ghijklmnop", b"cd"])
+        res = grt_lookup_batch(lay, mat, lens)
+        assert res.values.tolist()[:3] == [1, 2, 3]
+        assert int(res.values[3]) == NIL_VALUE
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=3, max_size=3), st.integers(0, 2**40), min_size=1,
+        max_size=120,
+    ),
+    st.lists(st.binary(min_size=1, max_size=5), max_size=40),
+)
+def test_grt_matches_host_tree(pairs, probes):
+    t = make_tree(pairs.items())
+    lay = GrtLayout(t)
+    queries = list(pairs.keys()) + probes
+    mat, lens = keys_to_matrix(queries)
+    res = grt_lookup_batch(lay, mat, lens)
+    for q, v in zip(queries, res.values):
+        expect = t.search(q)
+        got = None if int(v) == NIL_VALUE else int(v)
+        assert got == expect
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=2, max_size=8), st.integers(0, 2**40), min_size=1,
+        max_size=80,
+    )
+)
+def test_grt_and_cuart_agree(pairs):
+    from repro.cuart.layout import CuartLayout
+    from repro.cuart.lookup import lookup_batch
+
+    pruned = {}
+    for k in sorted(pairs):
+        if not any(k != o and k.startswith(o) for o in pruned):
+            pruned[k] = pairs[k]
+    t = make_tree(pruned.items())
+    g_lay = GrtLayout(t)
+    c_lay = CuartLayout(t)
+    queries = sorted(pruned)
+    mat, lens = keys_to_matrix(queries)
+    g = grt_lookup_batch(g_lay, mat, lens)
+    c = lookup_batch(c_lay, mat, lens)
+    assert (g.values == c.values).all()

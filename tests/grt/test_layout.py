@@ -1,0 +1,80 @@
+"""Unit tests for the GRT single-buffer layout."""
+
+import numpy as np
+import pytest
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import GRT_HEADER_BYTES, LINK_N4, LINK_N256
+from repro.errors import StaleLayoutError
+from repro.grt.layout import GRT_LEAF_TYPE, GrtLayout, _leaf_record_size
+
+from tests.conftest import make_tree
+
+
+class TestSerialization:
+    def test_empty_tree(self):
+        lay = GrtLayout(AdaptiveRadixTree())
+        assert lay.root_offset == 0
+        assert lay.max_levels == 0
+
+    def test_single_leaf(self):
+        lay = GrtLayout(make_tree([(b"hello!", 42)]))
+        off = lay.root_offset
+        assert off == 16  # right after the sentinel
+        buf = lay.buffer
+        assert buf[off] == GRT_LEAF_TYPE
+        key_len = int(buf[off + 2]) | (int(buf[off + 3]) << 8)
+        assert key_len == 6
+        value = int.from_bytes(bytes(buf[off + 8 : off + 16]), "little")
+        assert value == 42
+        assert bytes(buf[off + 16 : off + 22]) == b"hello!"
+
+    def test_offset_zero_is_null(self):
+        lay = GrtLayout(make_tree([(b"ab", 1), (b"cd", 2)]))
+        # sentinel region stays zero
+        assert not lay.buffer[:16].any()
+
+    def test_node_header_fields(self):
+        t = make_tree([(b"pp-a", 1), (b"pp-b", 2)])
+        lay = GrtLayout(t)
+        off = lay.root_offset
+        assert lay.buffer[off] == LINK_N4
+        assert lay.buffer[off + 1] == 2  # two children
+        plen = int(lay.buffer[off + 2]) | (int(lay.buffer[off + 3]) << 8)
+        assert plen == 3
+        assert bytes(lay.buffer[off + 4 : off + 7]) == b"pp-"
+
+    def test_n256_count_saturates(self):
+        t = make_tree([(bytes([b, 1]), b) for b in range(256)])
+        lay = GrtLayout(t)
+        assert lay.buffer[lay.root_offset] == LINK_N256
+        assert lay.buffer[lay.root_offset + 1] == 255  # saturated u8
+
+    def test_buffer_is_tightly_packed(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        # cursor consumed the whole allocation
+        assert lay._cursor == lay.buffer.size
+
+    def test_leaf_record_size_padded_to_8(self):
+        assert _leaf_record_size(1) == GRT_HEADER_BYTES + 8
+        assert _leaf_record_size(8) == GRT_HEADER_BYTES + 8
+        assert _leaf_record_size(9) == GRT_HEADER_BYTES + 16
+
+    def test_device_bytes(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        assert lay.device_bytes == lay.buffer.nbytes
+        assert lay.num_keys == len(medium_tree)
+
+    def test_staleness_guard(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        medium_tree.insert(b"\x07\x07\x07\x07\x07\x07\x07\x07", 5)
+        with pytest.raises(StaleLayoutError):
+            lay.check_fresh()
+        medium_tree.delete(b"\x07\x07\x07\x07\x07\x07\x07\x07")
+
+    def test_read_u64_vectorized(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        offs = np.array([16], dtype=np.int64)  # root record
+        got = lay.read_u64(offs)
+        expect = int.from_bytes(bytes(lay.buffer[16:24]), "little")
+        assert int(got[0]) == expect

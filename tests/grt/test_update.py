@@ -1,0 +1,69 @@
+"""Unit tests for the GRT direct-atomic update path."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NIL_VALUE
+from repro.grt.kernel import grt_lookup_batch
+from repro.grt.layout import GrtLayout
+from repro.grt.update import grt_update_batch
+
+from tests.conftest import batch_of
+
+
+class TestGrtUpdate:
+    def test_values_replaced(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:3])
+        res = grt_update_batch(lay, mat, lens, np.array([9, 8, 7], dtype=np.uint64))
+        assert res.found.all()
+        assert res.writes == 3
+        after = grt_lookup_batch(lay, mat, lens)
+        assert after.values.tolist() == [9, 8, 7]
+
+    def test_last_writer_wins(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        k = medium_keys[0]
+        mat, lens = batch_of([k, k])
+        res = grt_update_batch(lay, mat, lens, np.array([5, 6], dtype=np.uint64))
+        assert res.conflicting_writes == 2  # both writes hit one address
+        after = grt_lookup_batch(lay, *batch_of([k]))
+        assert int(after.values[0]) == 6
+
+    def test_missing_keys_skipped(self, medium_tree):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of([b"\xcc" * 8])
+        res = grt_update_batch(lay, mat, lens, np.array([1], dtype=np.uint64))
+        assert not res.found.any()
+        assert res.writes == 0
+        assert res.log.serial_stall_s == 0.0
+
+    def test_delete_via_nil(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        mat, lens = batch_of(medium_keys[:2])
+        res = grt_update_batch(
+            lay, mat, lens, np.array([0, 0], dtype=np.uint64),
+            deletes=np.array([True, False]),
+        )
+        after = grt_lookup_batch(lay, mat, lens)
+        assert int(after.values[0]) == NIL_VALUE
+        assert int(after.values[1]) == 0
+
+    def test_stall_grows_with_batch(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        small = grt_update_batch(
+            lay, *batch_of(medium_keys[:8]),
+            np.arange(8).astype(np.uint64),
+        )
+        big = grt_update_batch(
+            lay, *batch_of(medium_keys[:512]),
+            np.arange(512).astype(np.uint64),
+        )
+        assert big.log.serial_stall_s > small.log.serial_stall_s
+
+    def test_atomics_charged_per_write(self, medium_tree, medium_keys):
+        lay = GrtLayout(medium_tree)
+        res = grt_update_batch(
+            lay, *batch_of(medium_keys[:32]), np.arange(32).astype(np.uint64)
+        )
+        assert res.log.atomic_ops >= 32

@@ -1,0 +1,53 @@
+"""Unit tests for the dispatch auto-tuner (the fig-8/9 exploration as a
+function)."""
+
+import pytest
+
+from repro.cuart.layout import CuartLayout
+from repro.cuart.root_table import RootTable
+from repro.gpusim.devices import A100, SERVER_CPU
+from repro.host.autotune import autotune_dispatch
+from repro.workloads import build_tree, random_keys
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    keys = random_keys(4000, 16, seed=131)
+    layout = CuartLayout(build_tree(keys))
+    table = RootTable(layout, k=2)
+    result = autotune_dispatch(
+        layout, keys, A100, SERVER_CPU,
+        root_table=table,
+        batch_grid=(2048, 8192, 32768),
+        thread_grid=(1, 4, 8, 16),
+        l2_scale=1 / 256,
+        seed=5,
+    )
+    return result
+
+
+class TestAutotune:
+    def test_recommends_from_the_grids(self, tuned):
+        assert tuned.config.batch_size in (2048, 8192, 32768)
+        assert tuned.config.host_threads in (1, 4, 8, 16)
+
+    def test_recommendation_is_the_surface_max(self, tuned):
+        best_rate = max(tuned.surface.values())
+        assert tuned.throughput_mops >= 0.99 * best_rate
+
+    def test_surface_complete(self, tuned):
+        assert len(tuned.surface) == 3 * 4
+        assert all(v > 0 for v in tuned.surface.values())
+
+    def test_more_threads_never_hurt_in_model(self, tuned):
+        for batch in (2048, 8192, 32768):
+            rates = [tuned.surface[(batch, t)] for t in (1, 4, 8, 16)]
+            assert rates == sorted(rates)
+
+    def test_prefers_the_papers_regime(self, tuned):
+        # the paper found batches >= 8Ki necessary for good load (§4.3)
+        assert tuned.config.batch_size >= 8192
+
+    def test_describe(self, tuned):
+        text = tuned.describe()
+        assert "batch=" in text and "MOps/s" in text

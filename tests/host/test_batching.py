@@ -1,0 +1,65 @@
+"""Unit tests for query coalescing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.host.batching import QueryBatcher, coalesce
+from repro.util.keys import encode_int
+
+
+KEYS = [encode_int(i, 4) for i in range(10)]
+
+
+class TestCoalesce:
+    def test_splits_into_batches(self):
+        batches = coalesce(KEYS, 4)
+        assert [b.size for b in batches] == [4, 4, 2]
+
+    def test_origin_positions(self):
+        batches = coalesce(KEYS, 4)
+        assert batches[1].origin.tolist() == [4, 5, 6, 7]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ReproError):
+            coalesce(KEYS, 3)
+
+    def test_roundtrip_contents(self):
+        batches = coalesce(KEYS, 8)
+        seen = {}
+        for b in batches:
+            for j, pos in enumerate(b.origin):
+                seen[int(pos)] = b.keys_mat[j, : b.key_lens[j]].tobytes()
+        assert [seen[i] for i in range(10)] == KEYS
+
+    def test_empty(self):
+        assert coalesce([], 4) == []
+
+
+class TestQueryBatcher:
+    def test_emits_full_batches(self):
+        qb = QueryBatcher(4, width=4)
+        emitted = list(qb.add_many(KEYS))
+        assert len(emitted) == 2
+        assert all(b.size == 4 for b in emitted)
+
+    def test_flush_partial(self):
+        qb = QueryBatcher(4, width=4)
+        list(qb.add_many(KEYS))
+        tail = qb.flush()
+        assert tail is not None and tail.size == 2
+        assert qb.flush() is None
+
+    def test_origin_continuity(self):
+        qb = QueryBatcher(4, width=4)
+        batches = list(qb.add_many(KEYS)) + [qb.flush()]
+        origins = [int(p) for b in batches for p in b.origin]
+        assert origins == list(range(10))
+
+    def test_invalid_width(self):
+        with pytest.raises(ReproError):
+            QueryBatcher(4, width=0)
+
+    def test_add_returns_none_until_full(self):
+        qb = QueryBatcher(2, width=4)
+        assert qb.add(KEYS[0]) is None
+        assert qb.add(KEYS[1]) is not None

@@ -1,0 +1,99 @@
+"""Unit tests for the dispatch pipeline model (sections 4.1/4.3)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import A100, SERVER_CPU
+from repro.gpusim.transactions import TransactionLog
+from repro.host.dispatcher import (
+    DispatchConfig,
+    HostCostParameters,
+    pipeline_throughput,
+)
+
+
+def kernel_timing(tx=100_000, threads=32768):
+    log = TransactionLog()
+    log.launched_threads = threads
+    log.begin_round(threads)
+    log.record(64, tx)
+    log.rounds[-1].distinct_bytes = 1 << 30
+    return CostModel(A100, l2_scale=1e-6).kernel_time(log)
+
+
+class TestDispatchConfig:
+    def test_defaults_match_paper(self):
+        cfg = DispatchConfig()
+        assert cfg.batch_size == 32768  # section 4.3
+        assert cfg.host_threads == 8
+
+    def test_invalid_api(self):
+        with pytest.raises(SimulationError):
+            DispatchConfig(api="vulkan")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(SimulationError):
+            DispatchConfig(batch_size=0)
+
+
+class TestPipelineThroughput:
+    def test_async_beats_sync_for_same_kernel(self):
+        k = kernel_timing()
+        a = pipeline_throughput(k, DispatchConfig(api="cuda"), A100, SERVER_CPU)
+        s = pipeline_throughput(
+            k.total_s, DispatchConfig(api="sync"), A100, SERVER_CPU
+        )
+        assert a.throughput_mops > s.throughput_mops
+
+    def test_threads_help_until_other_stage_binds(self):
+        k = kernel_timing()
+        rates = [
+            pipeline_throughput(
+                k, DispatchConfig(host_threads=t), A100, SERVER_CPU
+            ).throughput_mops
+            for t in (1, 2, 4, 8, 64)
+        ]
+        assert rates == sorted(rates)
+        assert rates[-1] == pytest.approx(rates[-2], rel=0.5)  # saturation
+
+    def test_float_kernel_accepted(self):
+        r = pipeline_throughput(1e-4, DispatchConfig(), A100, SERVER_CPU)
+        assert r.throughput_mops > 0
+
+    def test_bigger_keys_slow_pcie(self):
+        k = kernel_timing()
+        small = pipeline_throughput(
+            k, DispatchConfig(key_bytes=8, host_threads=64), A100, SERVER_CPU
+        )
+        big = pipeline_throughput(
+            k, DispatchConfig(key_bytes=64, host_threads=64), A100, SERVER_CPU
+        )
+        assert small.throughput_mops >= big.throughput_mops
+
+    def test_sync_extra_cost_charged(self):
+        k = kernel_timing()
+        cheap = pipeline_throughput(
+            k.total_s,
+            DispatchConfig(api="sync", host_threads=1),
+            A100, SERVER_CPU,
+        )
+        costly = pipeline_throughput(
+            k.total_s,
+            DispatchConfig(
+                api="sync", host_threads=1,
+                host_costs=HostCostParameters(sync_extra_per_batch_s=5e-3),
+            ),
+            A100, SERVER_CPU,
+        )
+        assert costly.throughput_mops < cheap.throughput_mops
+
+    def test_thread_count_capped_by_cpu(self):
+        k = kernel_timing()
+        a = pipeline_throughput(
+            k, DispatchConfig(host_threads=10_000), A100, SERVER_CPU
+        )
+        b = pipeline_throughput(
+            k, DispatchConfig(host_threads=SERVER_CPU.threads), A100, SERVER_CPU
+        )
+        assert a.throughput_mops == pytest.approx(b.throughput_mops)

@@ -1,0 +1,75 @@
+"""Unit tests for the hybrid CPU/GPU split (figures 13/14)."""
+
+import pytest
+
+from repro.gpusim.devices import SERVER_CPU
+from repro.gpusim.streams import PipelineStage, pipeline
+from repro.host.hybrid import (
+    HybridConfig,
+    cpu_path_rate,
+    hybrid_throughput,
+    split_queries,
+)
+
+
+def gpu_pipe(rate_mops=500.0, batch=32768):
+    return pipeline([PipelineStage("kernel", batch / (rate_mops * 1e6))], batch)
+
+
+class TestSplitQueries:
+    def test_partition(self):
+        keys = [b"short", b"L" * 40, b"tiny", b"X" * 33]
+        (short, spos), (long_, lpos) = split_queries(keys, 32)
+        assert short == [b"short", b"tiny"] and spos == [0, 2]
+        assert long_ == [b"L" * 40, b"X" * 33] and lpos == [1, 3]
+
+    def test_boundary_inclusive(self):
+        (short, _), (long_, _) = split_queries([b"x" * 32], 32)
+        assert short and not long_
+
+
+class TestHybridThroughput:
+    def test_zero_fraction_is_gpu_rate(self):
+        out = hybrid_throughput(gpu_pipe(), HybridConfig(cpu_fraction=0.0),
+                                SERVER_CPU)
+        assert out["total_mops"] == pytest.approx(500.0, rel=0.01)
+        assert out["bottleneck"] == "gpu"
+
+    def test_large_fraction_cpu_bound(self):
+        out = hybrid_throughput(gpu_pipe(), HybridConfig(cpu_fraction=0.5),
+                                SERVER_CPU)
+        assert out["bottleneck"] == "cpu"
+        assert out["total_mops"] < 100.0
+
+    def test_monotone_beyond_knee(self):
+        rates = [
+            hybrid_throughput(gpu_pipe(), HybridConfig(cpu_fraction=f),
+                              SERVER_CPU)["total_mops"]
+            for f in (0.05, 0.1, 0.2, 0.4)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_contiguous_cpu_layout_helps(self):
+        slow = cpu_path_rate(
+            HybridConfig(cpu_fraction=0.1, contiguous_layout=False,
+                         working_set_bytes=1 << 30),
+            SERVER_CPU,
+        )
+        fast = cpu_path_rate(
+            HybridConfig(cpu_fraction=0.1, contiguous_layout=True,
+                         working_set_bytes=1 << 30),
+            SERVER_CPU,
+        )
+        assert fast > slow
+
+    def test_more_cpu_threads_help(self):
+        few = cpu_path_rate(HybridConfig(cpu_fraction=0.1, cpu_threads=8),
+                            SERVER_CPU)
+        many = cpu_path_rate(HybridConfig(cpu_fraction=0.1, cpu_threads=56),
+                             SERVER_CPU)
+        assert many > few
+
+    def test_fraction_clamped(self):
+        out = hybrid_throughput(gpu_pipe(), HybridConfig(cpu_fraction=1.5),
+                                SERVER_CPU)
+        assert out["cpu_fraction"] == 1.0

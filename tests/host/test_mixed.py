@@ -1,0 +1,77 @@
+"""Unit + model tests for the mixed OLTP executor."""
+
+import pytest
+
+from repro.host.engine import CuartEngine
+from repro.host.mixed import MixedReport, MixedWorkloadExecutor
+from repro.workloads import QueryMix, mixed_queries, random_keys
+
+
+@pytest.fixture()
+def engine():
+    keys = random_keys(600, 8, seed=71)
+    eng = CuartEngine(batch_size=256, spare=0.25)
+    eng.populate((k, i) for i, k in enumerate(keys))
+    eng.map_to_device()
+    return eng, keys
+
+
+class TestExecutor:
+    def test_pure_lookup_stream(self, engine):
+        eng, keys = engine
+        stream = [("lookup", k) for k in keys[:50]]
+        results, report = MixedWorkloadExecutor(eng).run(stream)
+        assert results == list(range(50))
+        assert report.lookups == 50 and report.hits == 50
+
+    def test_read_after_write_in_stream_order(self, engine):
+        eng, keys = engine
+        stream = [
+            ("lookup", keys[0]),
+            ("update", (keys[0], 999)),
+            ("lookup", keys[0]),
+        ]
+        results, report = MixedWorkloadExecutor(eng).run(stream)
+        assert results == [0, 999]
+        assert report.updates == 1
+
+    def test_read_after_delete(self, engine):
+        eng, keys = engine
+        stream = [
+            ("delete", keys[5]),
+            ("lookup", keys[5]),
+            ("lookup", keys[6]),
+        ]
+        results, report = MixedWorkloadExecutor(eng).run(stream)
+        assert results == [None, 6]
+        assert report.deletes == 1 and report.misses == 1
+
+    def test_generated_mixed_stream(self, engine):
+        eng, keys = engine
+        stream = mixed_queries(keys, 400, QueryMix(), seed=3)
+        results, report = MixedWorkloadExecutor(eng).run(stream)
+        assert report.operations == 400
+        assert report.batches >= 3
+        assert len(results) == report.lookups
+        # deletions can race lookups in the stream, but an op count
+        # conservation law always holds
+        assert report.hits + report.misses == report.lookups
+
+    def test_unknown_operation_rejected(self, engine):
+        eng, _ = engine
+        with pytest.raises(ValueError):
+            MixedWorkloadExecutor(eng).run([("scan", b"x")])
+
+    def test_simulated_rates_recorded(self, engine):
+        eng, keys = engine
+        stream = [("lookup", keys[0]), ("update", (keys[1], 5))]
+        _, report = MixedWorkloadExecutor(eng).run(stream)
+        assert "lookup" in report.simulated_mops
+        assert "update" in report.simulated_mops
+        assert all(v > 0 for v in report.simulated_mops.values())
+
+    def test_batch_size_splits_runs(self, engine):
+        eng, keys = engine
+        stream = [("lookup", keys[i % len(keys)]) for i in range(600)]
+        _, report = MixedWorkloadExecutor(eng).run(stream)
+        assert report.batches >= 3  # 600 lookups / 256 batch size

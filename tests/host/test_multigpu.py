@@ -1,0 +1,75 @@
+"""Unit tests for the multi-GPU scale-out model."""
+
+import pytest
+
+from repro.bench.runner import cuart_lookup_log
+from repro.errors import SimulationError
+from repro.gpusim.cost_model import CostModel
+from repro.gpusim.devices import A100, SERVER_CPU
+from repro.host.dispatcher import DispatchConfig
+from repro.host.multigpu import (
+    MultiGpuConfig,
+    multi_gpu_throughput,
+    scaling_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    log = cuart_lookup_log("random", 65536, 32, 32768)
+    return CostModel(A100, l2_scale=1 / 256).kernel_time(log)
+
+
+CFG = DispatchConfig(batch_size=32768, host_threads=8, key_bytes=32)
+
+
+class TestScaling:
+    def test_one_device_matches_single_pipeline(self, kernel):
+        from repro.host.dispatcher import pipeline_throughput
+
+        single = pipeline_throughput(kernel, CFG, A100, SERVER_CPU)
+        multi = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(n_devices=1)
+        )
+        assert multi.throughput_mops == pytest.approx(
+            single.throughput_mops, rel=0.01
+        )
+
+    def test_two_devices_never_slower_never_superlinear(self, kernel):
+        one = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(1)
+        ).throughput_mops
+        two = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(2)
+        ).throughput_mops
+        assert one <= two <= 2.01 * one
+
+    def test_host_bound_flattens_the_curve(self, kernel):
+        curve = scaling_curve(kernel, CFG, A100, SERVER_CPU, max_devices=8)
+        rates = [r for _, r in curve]
+        assert rates == sorted(rates)  # monotone
+        # marginal gain shrinks: the 8th device buys less than the 2nd
+        gain_2 = rates[1] - rates[0]
+        gain_8 = rates[7] - rates[6]
+        assert gain_8 <= gain_2
+        # and the curve is bounded by the shared host stage
+        assert rates[-1] < 8 * rates[0]
+
+    def test_updates_do_not_scale(self, kernel):
+        lookup2 = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(2, "lookup")
+        ).throughput_mops
+        update1 = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(1, "update")
+        ).throughput_mops
+        update2 = multi_gpu_throughput(
+            kernel, CFG, A100, SERVER_CPU, MultiGpuConfig(2, "update")
+        ).throughput_mops
+        assert update2 == pytest.approx(update1, rel=0.01)  # broadcast writes
+        assert lookup2 >= update2
+
+    def test_validation(self, kernel):
+        with pytest.raises(SimulationError):
+            MultiGpuConfig(n_devices=0)
+        with pytest.raises(SimulationError):
+            MultiGpuConfig(2, "scan")

@@ -1,0 +1,101 @@
+"""Cross-cutting error-path tests: every device operation must refuse a
+stale layout, and documented doctest examples must hold."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+from repro.cuart.layout import CuartLayout
+from repro.errors import StaleLayoutError
+from repro.util.keys import keys_to_matrix
+from repro.workloads import build_tree, random_keys
+
+
+@pytest.fixture()
+def stale_layout():
+    keys = random_keys(200, 8, seed=171)
+    tree = build_tree(keys)
+    layout = CuartLayout(tree, spare=0.25)
+    tree.insert(b"\xef" * 8, 1)  # structural change after mapping
+    return layout, keys
+
+
+class TestStaleLayoutRefusal:
+    def test_lookup_refuses(self, stale_layout):
+        from repro.cuart.lookup import lookup_batch
+
+        layout, keys = stale_layout
+        mat, lens = keys_to_matrix(keys[:4])
+        with pytest.raises(StaleLayoutError):
+            lookup_batch(layout, mat, lens)
+
+    def test_update_refuses(self, stale_layout):
+        from repro.cuart.update import UpdateEngine
+
+        layout, keys = stale_layout
+        mat, lens = keys_to_matrix(keys[:4])
+        with pytest.raises(StaleLayoutError):
+            UpdateEngine(layout, hash_slots=256).apply(
+                mat, lens, np.arange(4).astype(np.uint64)
+            )
+
+    def test_delete_refuses(self, stale_layout):
+        from repro.cuart.delete import delete_batch
+
+        layout, keys = stale_layout
+        mat, lens = keys_to_matrix(keys[:4])
+        with pytest.raises(StaleLayoutError):
+            delete_batch(layout, mat, lens, hash_slots=256)
+
+    def test_insert_refuses(self, stale_layout):
+        from repro.cuart.insert import InsertEngine
+
+        layout, keys = stale_layout
+        mat, lens = keys_to_matrix([b"\xee" * 8])
+        with pytest.raises(StaleLayoutError):
+            InsertEngine(layout, hash_slots=256).apply(
+                mat, lens, np.array([1], dtype=np.uint64)
+            )
+
+    def test_range_refuses(self, stale_layout):
+        from repro.cuart.range_query import count_range, range_query
+
+        layout, keys = stale_layout
+        with pytest.raises(StaleLayoutError):
+            range_query(layout, keys[0], keys[1])
+        with pytest.raises(StaleLayoutError):
+            count_range(layout, keys[0], keys[1])
+
+    def test_approx_refuses(self, stale_layout):
+        from repro.cuart.approx import approx_lookup
+
+        layout, keys = stale_layout
+        with pytest.raises(StaleLayoutError):
+            approx_lookup(layout, keys[0], 1)
+
+    def test_save_refuses(self, stale_layout, tmp_path):
+        from repro.cuart.serialize import save_layout
+
+        layout, _ = stale_layout
+        with pytest.raises(StaleLayoutError):
+            save_layout(layout, tmp_path / "stale.npz")
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.util.keys",
+        "repro.art.bulk",
+        "repro.cuart.partition",
+        "repro.host.engine",
+    ],
+)
+def test_docstring_examples_hold(module_name):
+    """The usage examples embedded in docstrings must stay runnable."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest example"

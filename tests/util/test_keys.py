@@ -1,0 +1,234 @@
+"""Unit tests for binary-comparable key encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import KeyEncodingError
+from repro.util.keys import (
+    common_prefix_len,
+    decode_int,
+    encode_int,
+    encode_str,
+    encode_uuid_like,
+    keys_to_matrix,
+    matrix_to_keys,
+    sort_keys,
+)
+
+
+class TestEncodeInt:
+    def test_big_endian(self):
+        assert encode_int(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_default_width_is_8(self):
+        assert len(encode_int(42)) == 8
+
+    def test_roundtrip(self):
+        for v in (0, 1, 255, 256, 2**32, 2**64 - 1):
+            assert decode_int(encode_int(v, 8)) == v
+
+    def test_order_preserving(self):
+        values = [0, 1, 2, 255, 256, 1000, 2**31, 2**63]
+        encoded = [encode_int(v, 8) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_overflow_raises(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int(256, 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int(-1, 8)
+
+    def test_zero_width_raises(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int(0, 0)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_order_preserving_property(self, a, b):
+        assert (a < b) == (encode_int(a, 8) < encode_int(b, 8))
+
+
+class TestEncodeStr:
+    def test_appends_terminator(self):
+        assert encode_str("ab") == b"ab\x00"
+
+    def test_prefix_free(self):
+        # "a" would be a prefix of "ab" without the terminator
+        assert not encode_str("ab").startswith(encode_str("a"))
+
+    def test_rejects_nul(self):
+        with pytest.raises(KeyEncodingError):
+            encode_str("a\x00b")
+
+    @given(st.text(min_size=0, max_size=20), st.text(min_size=0, max_size=20))
+    def test_encoding_is_injective(self, a, b):
+        if "\x00" in a or "\x00" in b:
+            return
+        assert (a == b) == (encode_str(a) == encode_str(b))
+
+
+class TestUuidLike:
+    def test_width(self):
+        assert len(encode_uuid_like(1, 2)) == 16
+
+    def test_order(self):
+        assert encode_uuid_like(0, 5) < encode_uuid_like(1, 0)
+
+
+class TestCommonPrefixLen:
+    @pytest.mark.parametrize(
+        "a,b,expect",
+        [
+            (b"", b"", 0),
+            (b"abc", b"abc", 3),
+            (b"abc", b"abd", 2),
+            (b"abc", b"xyz", 0),
+            (b"ab", b"abc", 2),
+        ],
+    )
+    def test_cases(self, a, b, expect):
+        assert common_prefix_len(a, b) == expect
+
+    @given(st.binary(max_size=30), st.binary(max_size=30))
+    def test_symmetry_and_bound(self, a, b):
+        n = common_prefix_len(a, b)
+        assert n == common_prefix_len(b, a)
+        assert a[:n] == b[:n]
+        if n < min(len(a), len(b)):
+            assert a[n] != b[n]
+
+
+class TestKeyMatrix:
+    def test_roundtrip(self):
+        keys = [b"a", b"abc", b"zz"]
+        mat, lens = keys_to_matrix(keys, width=4)
+        assert mat.shape == (3, 4)
+        assert matrix_to_keys(mat, lens) == keys
+
+    def test_auto_width(self):
+        mat, _ = keys_to_matrix([b"abcd", b"x"])
+        assert mat.shape[1] == 4
+
+    def test_padding_is_zero(self):
+        mat, _ = keys_to_matrix([b"\xff"], width=3)
+        assert mat[0, 1] == 0 and mat[0, 2] == 0
+
+    def test_too_long_raises(self):
+        with pytest.raises(KeyEncodingError):
+            keys_to_matrix([b"abcdef"], width=2)
+
+    def test_empty_key_raises(self):
+        with pytest.raises(KeyEncodingError):
+            keys_to_matrix([b""])
+
+    def test_dtype(self):
+        mat, lens = keys_to_matrix([b"ab"])
+        assert mat.dtype == np.uint8
+        assert lens.dtype == np.int64
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=20))
+    def test_roundtrip_property(self, keys):
+        mat, lens = keys_to_matrix(keys, width=16)
+        assert matrix_to_keys(mat, lens) == keys
+
+
+def test_sort_keys_is_lexicographic():
+    keys = [b"b", b"a", b"ab", b"\xff", b"\x00"]
+    assert sort_keys(keys) == [b"\x00", b"a", b"ab", b"b", b"\xff"]
+
+
+class TestSignedIntEncoding:
+    def test_roundtrip(self):
+        from repro.util.keys import decode_signed_int, encode_signed_int
+
+        for v in (-(2**63), -1000, -1, 0, 1, 1000, 2**63 - 1):
+            assert decode_signed_int(encode_signed_int(v)) == v
+
+    def test_order_preserving(self):
+        from repro.util.keys import encode_signed_int
+
+        values = [-(2**63), -65536, -256, -2, -1, 0, 1, 255, 2**62]
+        encoded = [encode_signed_int(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_out_of_range(self):
+        from repro.util.keys import encode_signed_int
+
+        with pytest.raises(KeyEncodingError):
+            encode_signed_int(2**63)
+        with pytest.raises(KeyEncodingError):
+            encode_signed_int(200, width=1)
+
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+    def test_order_property(self, a, b):
+        from repro.util.keys import encode_signed_int
+
+        assert (a < b) == (encode_signed_int(a) < encode_signed_int(b))
+
+
+class TestFloatEncoding:
+    def test_roundtrip(self):
+        from repro.util.keys import decode_float, encode_float
+
+        for v in (-1e300, -1.5, -0.0, 0.0, 1e-300, 3.14, 1e300,
+                  float("inf"), float("-inf")):
+            assert decode_float(encode_float(v)) == v
+
+    def test_order(self):
+        from repro.util.keys import encode_float
+
+        values = [float("-inf"), -1e10, -1.0, -1e-10, 0.0, 1e-10, 1.0,
+                  1e10, float("inf")]
+        encoded = [encode_float(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_nan_rejected(self):
+        from repro.util.keys import encode_float
+
+        with pytest.raises(KeyEncodingError):
+            encode_float(float("nan"))
+
+    def test_negative_zero_is_a_distinct_key(self):
+        # -0.0 == 0.0 numerically but their bit patterns differ; the
+        # encoding keeps them distinct (and adjacent) keys
+        from repro.util.keys import encode_float
+
+        assert encode_float(-0.0) < encode_float(0.0)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=True),
+        st.floats(allow_nan=False, allow_infinity=True),
+    )
+    def test_order_property(self, a, b):
+        from repro.util.keys import encode_float
+
+        if a < b:
+            assert encode_float(a) < encode_float(b)
+        elif a == b and str(a) == str(b):  # excludes the -0.0/0.0 pair
+            assert encode_float(a) == encode_float(b)
+
+
+class TestCompositeKeys:
+    def test_concatenates(self):
+        from repro.util.keys import encode_composite
+
+        k = encode_composite(encode_int(1, 4), encode_str("x"))
+        assert k == encode_int(1, 4) + encode_str("x")
+
+    def test_sorts_by_leading_column_first(self):
+        from repro.util.keys import encode_composite
+
+        a = encode_composite(encode_int(1, 4), encode_str("zzz"))
+        b = encode_composite(encode_int(2, 4), encode_str("aaa"))
+        assert a < b
+
+    def test_empty_rejected(self):
+        from repro.util.keys import encode_composite
+
+        with pytest.raises(KeyEncodingError):
+            encode_composite()
+        with pytest.raises(KeyEncodingError):
+            encode_composite(b"")

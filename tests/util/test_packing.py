@@ -1,0 +1,98 @@
+"""Unit tests for packed 64-bit node links."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constants import (
+    LINK_EMPTY,
+    LINK_HOST,
+    LINK_INDEX_MASK,
+    LINK_LEAF32,
+    LINK_N4,
+    LINK_N256,
+)
+from repro.errors import ReproError
+from repro.util.packing import (
+    is_empty,
+    is_host,
+    link_index,
+    link_indices,
+    link_type,
+    link_types,
+    pack_link,
+    pack_links,
+    unpack_link,
+)
+
+
+class TestScalarPacking:
+    def test_roundtrip(self):
+        link = pack_link(LINK_N4, 1234)
+        assert unpack_link(link) == (LINK_N4, 1234)
+
+    def test_type_in_msb(self):
+        assert pack_link(LINK_N256, 0) == LINK_N256 << 56
+
+    def test_empty_is_zero(self):
+        assert pack_link(LINK_EMPTY, 0) == 0
+        assert is_empty(0)
+
+    def test_host_flag(self):
+        assert is_host(pack_link(LINK_HOST, 7))
+        assert not is_host(pack_link(LINK_N4, 7))
+
+    def test_max_index(self):
+        link = pack_link(LINK_LEAF32, LINK_INDEX_MASK)
+        assert link_index(link) == LINK_INDEX_MASK
+        assert link_type(link) == LINK_LEAF32
+
+    def test_index_overflow_raises(self):
+        with pytest.raises(ReproError):
+            pack_link(LINK_N4, LINK_INDEX_MASK + 1)
+
+    def test_type_overflow_raises(self):
+        with pytest.raises(ReproError):
+            pack_link(256, 0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ReproError):
+            pack_link(LINK_N4, -1)
+
+    @given(st.integers(0, 255), st.integers(0, LINK_INDEX_MASK))
+    def test_roundtrip_property(self, t, i):
+        assert unpack_link(pack_link(t, i)) == (t, i)
+
+
+class TestVectorPacking:
+    def test_matches_scalar(self):
+        types = np.array([1, 4, 7], dtype=np.uint64)
+        idx = np.array([0, 10, LINK_INDEX_MASK], dtype=np.uint64)
+        links = pack_links(types, idx)
+        for j in range(3):
+            assert int(links[j]) == pack_link(int(types[j]), int(idx[j]))
+
+    def test_extract(self):
+        links = pack_links(np.array([2, 5]), np.array([3, 9]))
+        assert link_types(links).tolist() == [2, 5]
+        assert link_indices(links).tolist() == [3, 9]
+
+    def test_dtypes(self):
+        links = pack_links(np.array([1]), np.array([1]))
+        assert links.dtype == np.uint64
+        assert link_types(links).dtype == np.int64
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, LINK_INDEX_MASK)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_vector_roundtrip_property(self, pairs):
+        t = np.array([p[0] for p in pairs], dtype=np.uint64)
+        i = np.array([p[1] for p in pairs], dtype=np.uint64)
+        links = pack_links(t, i)
+        assert link_types(links).tolist() == [p[0] for p in pairs]
+        assert link_indices(links).tolist() == [p[1] for p in pairs]

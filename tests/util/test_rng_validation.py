@@ -1,0 +1,104 @@
+"""Unit tests for RNG helpers, validation helpers and constants."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ReproError
+from repro.util.rng import DEFAULT_SEED, derive_rng, make_rng
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+
+class TestRng:
+    def test_default_seed_reproducible(self):
+        a = make_rng(None).integers(0, 1000, 10)
+        b = make_rng(None).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_explicit_seed(self):
+        a = make_rng(7).integers(0, 1000, 10)
+        b = make_rng(7).integers(0, 1000, 10)
+        c = make_rng(8).integers(0, 1000, 10)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_derive_streams_differ(self):
+        base = make_rng(5)
+        a = derive_rng(base, 0).integers(0, 10**9)
+        base2 = make_rng(5)
+        b = derive_rng(base2, 1).integers(0, 10**9)
+        assert a != b
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ReproError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        for bad in (0, -1, -0.5):
+            with pytest.raises(ReproError):
+                require_positive(bad, "x")
+
+    @pytest.mark.parametrize("ok", [1, 2, 4, 1024, 1 << 20])
+    def test_power_of_two_accepts(self, ok):
+        require_power_of_two(ok, "n")
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 100, -4])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ReproError):
+            require_power_of_two(bad, "n")
+
+    def test_require_type(self):
+        require_type(5, int, "v")
+        with pytest.raises(ReproError):
+            require_type("s", int, "v")
+
+
+class TestConstants:
+    def test_link_codes_disjoint_and_ordered(self):
+        codes = [
+            constants.LINK_EMPTY, constants.LINK_N4, constants.LINK_N16,
+            constants.LINK_N48, constants.LINK_N256, constants.LINK_LEAF8,
+            constants.LINK_LEAF16, constants.LINK_LEAF32, constants.LINK_HOST,
+            constants.LINK_DYNLEAF,
+        ]
+        assert codes == list(range(10))  # paper's 1..7 plus 0/8/9
+
+    def test_node_records_16_byte_aligned(self):
+        for code, size in constants.CUART_NODE_BYTES.items():
+            assert size % 16 == 0, code
+
+    def test_grt_sizes_match_paper_quotes(self):
+        # "650B for N48 and 2KB for N256" (section 3.1)
+        n48 = constants.GRT_HEADER_BYTES + constants.GRT_BODY_BYTES[3]
+        n256 = constants.GRT_HEADER_BYTES + constants.GRT_BODY_BYTES[4]
+        assert 640 <= n48 <= 672
+        assert 2048 <= n256 <= 2080
+
+    def test_leaf_capacities(self):
+        assert list(constants.LEAF_CAPACITY.values()) == [8, 16, 32]
+        assert constants.MAX_SHORT_KEY == 32
+
+    def test_eval_defaults_match_section_4_3(self):
+        assert constants.DEFAULT_BATCH_SIZE == 32768
+        assert constants.DEFAULT_HOST_THREADS == 8
+        assert constants.DEFAULT_UPDATE_HASH_SLOTS == 1 << 20
+
+    def test_nil_value_is_max_u64(self):
+        assert constants.NIL_VALUE == 2**64 - 1
+
+    def test_link_index_space(self):
+        assert constants.LINK_INDEX_BITS == 56
+        assert constants.LINK_INDEX_MASK == (1 << 56) - 1

@@ -1,0 +1,158 @@
+"""Unit tests for the workload generators (section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.btc import BTC_KEY_LEN, btc_like_keys
+from repro.workloads.distributions import uniform_indices, zipf_indices
+from repro.workloads.queries import (
+    QueryMix,
+    delete_queries,
+    lookup_queries,
+    mixed_queries,
+    range_queries,
+    update_queries,
+)
+from repro.workloads.synthetic import (
+    build_tree,
+    dense_keys,
+    mixed_length_keys,
+    random_int_keys,
+    random_keys,
+)
+
+
+class TestSyntheticKeys:
+    def test_count_length_distinct(self):
+        keys = random_keys(500, 16, seed=1)
+        assert len(keys) == 500
+        assert len(set(keys)) == 500
+        assert all(len(k) == 16 for k in keys)
+
+    def test_reproducible(self):
+        assert random_keys(100, 8, seed=9) == random_keys(100, 8, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert random_keys(100, 8, seed=1) != random_keys(100, 8, seed=2)
+
+    def test_density_confines_key_space(self):
+        keys = random_keys(256, 8, seed=3, density=0.9)
+        # high density forces the leading bytes to zero
+        assert all(k[0] == 0 for k in keys)
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            random_keys(0, 8)
+        with pytest.raises(ReproError):
+            random_keys(10, 0)
+
+    def test_random_int_keys(self):
+        keys = random_int_keys(200, seed=4)
+        assert len(set(keys)) == 200
+        assert all(len(k) == 8 for k in keys)
+
+    def test_dense_keys_consecutive(self):
+        keys = dense_keys(10, width=4, start=5)
+        assert keys[0] == (5).to_bytes(4, "big")
+        assert keys == sorted(keys)
+
+    def test_mixed_length_fraction(self):
+        keys = mixed_length_keys(200, long_fraction=0.25, seed=5)
+        long_count = sum(1 for k in keys if len(k) > 32)
+        assert long_count == 50
+
+    def test_build_tree(self):
+        keys = random_keys(50, 8, seed=6)
+        t = build_tree(keys)
+        assert len(t) == 50
+        assert t.search(keys[0]) == 0
+
+    def test_build_tree_custom_values(self):
+        keys = random_keys(5, 8, seed=6)
+        t = build_tree(keys, values=[10, 20, 30, 40, 50])
+        assert t.search(keys[2]) == 30
+
+
+class TestBtcKeys:
+    def test_shape(self):
+        keys = btc_like_keys(300, seed=1)
+        assert len(keys) == 300
+        assert len(set(keys)) == 300
+        assert all(len(k) == BTC_KEY_LEN for k in keys)
+
+    def test_iri_like(self):
+        keys = btc_like_keys(100, seed=2)
+        assert all(k.startswith(b"http") for k in keys)
+
+    def test_deeper_trees_than_uniform(self):
+        from repro.art.stats import collect_stats
+
+        n = 800
+        uni = build_tree(random_keys(n, 32, seed=3))
+        btc = build_tree(btc_like_keys(n, seed=3))
+        s_uni = collect_stats(uni.root)
+        s_btc = collect_stats(btc.root)
+        # the paper: long duplicate segments increase overall tree depth
+        assert s_btc.avg_leaf_level > s_uni.avg_leaf_level
+
+    def test_reproducible(self):
+        assert btc_like_keys(50, seed=7) == btc_like_keys(50, seed=7)
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        idx = uniform_indices(100, 1000, seed=1)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_zipf_skew(self):
+        idx = zipf_indices(1000, 5000, a=1.2, seed=1)
+        # the most popular key dominates
+        top_share = np.bincount(idx).max() / idx.size
+        assert top_share > 0.2
+
+    def test_zipf_validation(self):
+        with pytest.raises(ReproError):
+            zipf_indices(10, 10, a=1.0)
+        with pytest.raises(ReproError):
+            uniform_indices(0, 10)
+
+
+class TestQueryGenerators:
+    KEYS = random_keys(300, 8, seed=11)
+
+    def test_lookup_hit_rate(self):
+        q = lookup_queries(self.KEYS, 1000, hit_rate=0.5, seed=2)
+        present = set(self.KEYS)
+        hits = sum(1 for k in q if k in present)
+        assert 400 <= hits <= 600
+
+    def test_lookup_all_hits(self):
+        q = lookup_queries(self.KEYS, 200, seed=3)
+        assert all(k in set(self.KEYS) for k in q)
+
+    def test_update_values_in_range(self):
+        ups = update_queries(self.KEYS, 100, seed=4)
+        assert all(0 <= v < 2**62 for _, v in ups)
+
+    def test_delete_distinct(self):
+        dels = delete_queries(self.KEYS, 50, seed=5)
+        assert len(set(dels)) == 50
+
+    def test_delete_too_many(self):
+        with pytest.raises(ReproError):
+            delete_queries(self.KEYS, 301)
+
+    def test_range_bounds_ordered(self):
+        ranges = range_queries(sorted(self.KEYS), 20, span=10, seed=6)
+        assert all(lo <= hi for lo, hi in ranges)
+
+    def test_mix_validation(self):
+        with pytest.raises(ReproError):
+            QueryMix(lookups=0.5, updates=0.2, deletes=0.2)
+
+    def test_mixed_stream_composition(self):
+        ops = mixed_queries(self.KEYS, 500, QueryMix(), seed=7)
+        kinds = {k for k, _ in ops}
+        assert kinds <= {"lookup", "update", "delete"}
+        assert len(ops) == 500

@@ -1,0 +1,106 @@
+"""Unit tests for YCSB-style workload profiles."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.host.engine import CuartEngine
+from repro.host.mixed import MixedWorkloadExecutor
+from repro.workloads.ycsb import (
+    KEY_WIDTH,
+    PROFILES,
+    YcsbProfile,
+    ycsb_keyspace,
+    ycsb_stream,
+)
+
+
+class TestProfiles:
+    def test_all_six_core_profiles(self):
+        assert set(PROFILES) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_mixes_sum_to_one(self):
+        for p in PROFILES.values():
+            assert abs(p.read + p.update + p.insert + p.scan + p.rmw - 1) < 1e-9
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ReproError):
+            YcsbProfile("X", read=0.5, update=0.4)
+
+    def test_keyspace(self):
+        ks = ycsb_keyspace(5)
+        assert len(ks) == 5
+        assert all(len(k) == KEY_WIDTH for k in ks)
+        assert ks == sorted(ks)
+
+
+class TestStreams:
+    def test_workload_c_is_read_only(self):
+        ops = ycsb_stream("C", 1000, 500, seed=1)
+        assert all(kind == "lookup" for kind, _ in ops)
+        assert len(ops) == 500
+
+    def test_workload_a_mix(self):
+        ops = ycsb_stream("A", 1000, 2000, seed=2)
+        kinds = [k for k, _ in ops]
+        reads = kinds.count("lookup")
+        updates = kinds.count("update")
+        assert 0.4 < reads / len(ops) < 0.6
+        assert reads + updates == len(ops)
+
+    def test_workload_f_rmw_pairs(self):
+        ops = ycsb_stream("F", 1000, 1000, seed=3)
+        # every update in F immediately follows a lookup of the same key
+        for i, (kind, payload) in enumerate(ops):
+            if kind == "update":
+                prev_kind, prev_key = ops[i - 1]
+                assert prev_kind == "lookup"
+                assert prev_key == payload[0]
+
+    def test_workload_d_inserts_fresh_keys(self):
+        ops = ycsb_stream("D", 100, 1000, seed=4)
+        inserted = [p[0] for k, p in ops if k == "insert"]
+        assert inserted  # 5% of 1000
+        assert len(set(inserted)) == len(inserted)  # strictly fresh
+        base = set(ycsb_keyspace(100))
+        assert not (set(inserted) & base)
+
+    def test_workload_e_scans(self):
+        ops = ycsb_stream("E", 1000, 400, seed=5)
+        scans = [(lo, hi) for k, (lo, hi) in
+                 ((k, p) for k, p in ops if k == "scan")]
+        assert len(scans) > 300
+        assert all(lo <= hi for lo, hi in scans)
+
+    def test_zipf_skews_requests(self):
+        ops = ycsb_stream("C", 10_000, 5000, seed=6)
+        from collections import Counter
+
+        top = Counter(p for _, p in ops).most_common(1)[0][1]
+        assert top > 500  # hottest record dominates under zipf
+
+    def test_reproducible(self):
+        assert ycsb_stream("A", 500, 300, seed=9) == ycsb_stream(
+            "A", 500, 300, seed=9
+        )
+
+    def test_invalid_records(self):
+        with pytest.raises(ReproError):
+            ycsb_stream("A", 0, 10)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("profile", ["A", "B", "D", "E", "F"])
+    def test_profiles_execute_on_the_engine(self, profile):
+        n = 400
+        eng = CuartEngine(batch_size=128, spare=0.5)
+        eng.populate((k, i) for i, k in enumerate(ycsb_keyspace(n)))
+        eng.map_to_device()
+        stream = ycsb_stream(profile, n, 300, seed=10)
+        results, report = MixedWorkloadExecutor(eng).run(stream)
+        assert report.operations == len(stream)
+        # reads of loaded records always hit (D reads may target records
+        # newer than the frontier snapshot; allow those misses)
+        if profile in ("A", "B", "F"):
+            assert report.misses == 0
+        if profile == "E":
+            assert report.records_scanned > 0
