@@ -1,0 +1,200 @@
+"""Serving-path performance smoke harness (host wall-clock, not simulated).
+
+Times the real Python/NumPy host pipeline end to end at a fixed seed and
+scale — populate + map ("build the servable index"), uniform and
+Zipf-skewed lookup serving, batched updates, and a mixed OLTP stream —
+and writes one JSON file per run (see EXPERIMENTS.md for the schema).
+Pass a previous run with ``--baseline`` to get speedup factors; the
+committed ``BENCH_seed.json`` / ``BENCH_pr1.json`` pair is the
+regression reference for the vectorized serving path.
+
+The harness deliberately sticks to the oldest engine API surface
+(``--baseline`` runs execute this same file against older checkouts), so
+newer engine features are feature-detected, never required.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_pr1.json \
+        --baseline BENCH_seed.json --scale 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.host.engine import CuartEngine
+from repro.host.mixed import MixedWorkloadExecutor
+from repro.workloads.distributions import uniform_indices, zipf_indices
+from repro.workloads.queries import QueryMix, mixed_queries
+from repro.workloads.synthetic import random_keys
+
+PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
+KEY_LEN = 12
+SEED = 7
+BATCH_SIZE = 8192
+ZIPF_A = 1.2
+CACHE_SIZE = 65536
+
+
+def _engine(**kwargs) -> CuartEngine:
+    """Build an engine, dropping kwargs older engines don't know."""
+    try:
+        return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
+    except TypeError:
+        kwargs.pop("cache_size", None)
+        return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
+
+
+def _op(wall_s: float, n: int) -> dict:
+    return {
+        "wall_s": round(wall_s, 6),
+        "keys_per_sec": round(n / wall_s, 1) if wall_s > 0 else None,
+        "batch_size": BATCH_SIZE,
+        "n": n,
+    }
+
+
+def run(scale: int, label: str) -> dict:
+    n = max(PAPER_KEYS // scale, 1024)
+    keys = random_keys(n, KEY_LEN, seed=SEED)
+    items = [(k, i) for i, k in enumerate(keys)]
+    oracle = dict(items)
+    ops: dict = {}
+
+    # -- populate + map: build the servable index -----------------------
+    eng = _engine()
+    t0 = time.perf_counter()
+    eng.populate(items)
+    t1 = time.perf_counter()
+    eng.map_to_device()
+    t2 = time.perf_counter()
+    ops["populate"] = _op(t2 - t0, n)
+    ops["populate"]["sub"] = {
+        "populate_s": round(t1 - t0, 6),
+        "map_to_device_s": round(t2 - t1, 6),
+    }
+
+    # -- uniform lookups (every query pays the full kernel path) --------
+    uni = [keys[i] for i in uniform_indices(n, n, seed=9)]
+    t0 = time.perf_counter()
+    got = eng.lookup(uni)
+    ops["lookup_uniform"] = _op(time.perf_counter() - t0, len(uni))
+    sample = np.random.default_rng(5).integers(0, len(uni), size=512)
+    for i in sample:
+        assert got[int(i)] == oracle[uni[int(i)]], "lookup diverged from oracle"
+
+    # -- Zipf serving phase (hot keys; cache-enabled when available) ----
+    zpf = [keys[i] for i in zipf_indices(n, 4 * n, a=ZIPF_A, seed=11)]
+    serving = _engine(cache_size=CACHE_SIZE)
+    serving.tree = eng.tree  # share the built index: no second populate
+    serving.layout = eng.layout
+    t0 = time.perf_counter()
+    got = serving.lookup(zpf)
+    ops["lookup_zipf"] = _op(time.perf_counter() - t0, len(zpf))
+    for i in sample:
+        assert got[int(i)] == oracle[zpf[int(i)]], "zipf lookup diverged"
+    cache = getattr(serving, "cache", None)
+    if cache is not None:
+        ops["lookup_zipf"]["cache"] = {
+            "capacity": cache.capacity,
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "hit_rate": round(cache.stats.hit_rate, 4),
+        }
+
+    # -- batched updates -------------------------------------------------
+    upd_keys = [keys[i] for i in zipf_indices(n, n // 4, a=ZIPF_A, seed=13)]
+    upd = [(k, 1_000_000 + j) for j, k in enumerate(upd_keys)]
+    t0 = time.perf_counter()
+    found = eng.update(upd)
+    ops["update"] = _op(time.perf_counter() - t0, len(upd))
+    assert all(found), "updates must hit resident keys"
+
+    # -- mixed OLTP stream (lookup/update/delete interleaved); capped —
+    # the interleaving forces tiny per-run batches, so cost is per-op
+    # dispatch overhead, not throughput, and 16Ki ops measure it fine
+    mix = QueryMix(lookups=0.70, updates=0.25, deletes=0.05)
+    stream = mixed_queries(keys, min(n // 4, 16384), mix, seed=17)
+    t0 = time.perf_counter()
+    _, report = MixedWorkloadExecutor(eng).run(stream)
+    ops["mixed"] = _op(time.perf_counter() - t0, report.operations)
+    ops["mixed"]["batches"] = report.batches
+
+    headline_s = ops["populate"]["wall_s"] + ops["lookup_zipf"]["wall_s"]
+    return {
+        "meta": {
+            "label": label,
+            "scale_denominator": scale,
+            "n_keys": n,
+            "key_len": KEY_LEN,
+            "batch_size": BATCH_SIZE,
+            "seed": SEED,
+            "zipf_a": ZIPF_A,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "ops": ops,
+        "headline": {
+            "populate_plus_lookup_wall_s": round(headline_s, 6),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_pr1.json", help="output JSON path")
+    ap.add_argument("--scale", type=int, default=64,
+                    help="scale denominator: n_keys = 16Mi / SCALE")
+    ap.add_argument("--baseline", default=None,
+                    help="previous run's JSON; adds speedup factors")
+    ap.add_argument("--label", default="local", help="free-form run label")
+    args = ap.parse_args(argv)
+    if args.scale < 1:
+        ap.error(f"--scale must be >= 1, got {args.scale}")
+    if args.baseline and not os.path.exists(args.baseline):
+        ap.error(f"--baseline file not found: {args.baseline}")
+
+    result = run(args.scale, args.label)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        speedups = {}
+        for op, cur in result["ops"].items():
+            ref = base.get("ops", {}).get(op)
+            if ref and ref.get("wall_s") and cur.get("wall_s"):
+                speedups[op] = round(ref["wall_s"] / cur["wall_s"], 2)
+        head = base.get("headline", {}).get("populate_plus_lookup_wall_s")
+        if head:
+            result["headline"]["speedup_vs_baseline"] = round(
+                head / result["headline"]["populate_plus_lookup_wall_s"], 2
+            )
+            result["headline"]["baseline_label"] = base.get("meta", {}).get(
+                "label"
+            )
+        result["headline"]["op_speedups"] = speedups
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    print(f"wrote {args.out}")
+    for op, rec in result["ops"].items():
+        rate = rec["keys_per_sec"]
+        print(f"  {op:16s} {rec['wall_s']:8.3f}s  "
+              f"{rate / 1e3 if rate else 0:10.1f} kops/s  (n={rec['n']})")
+    if "speedup_vs_baseline" in result["headline"]:
+        print(f"  headline populate+lookup speedup: "
+              f"{result['headline']['speedup_vs_baseline']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

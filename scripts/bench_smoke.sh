@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Serving-path performance smoke: wall-clock the populate / lookup /
+# update / mixed pipeline and compare against the committed baseline.
+#
+#   ./scripts/bench_smoke.sh                    # 1/64 scale, vs BENCH_seed.json
+#   SCALE=16 ./scripts/bench_smoke.sh           # bigger tree
+#   OUT=/tmp/b.json BASELINE= ./scripts/bench_smoke.sh   # no comparison
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-64}"
+OUT="${OUT:-BENCH_pr1.json}"
+LABEL="${LABEL:-local}"
+# default baseline: the committed seed measurement, when present
+if [ "${BASELINE+set}" != "set" ] && [ -f BENCH_seed.json ]; then
+    BASELINE=BENCH_seed.json
+fi
+
+args=(--scale "$SCALE" --out "$OUT" --label "$LABEL")
+if [ -n "${BASELINE:-}" ]; then
+    args+=(--baseline "$BASELINE")
+fi
+
+PYTHONPATH=src python benchmarks/perf_smoke.py "${args[@]}"

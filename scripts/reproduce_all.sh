@@ -21,6 +21,9 @@ else
     pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 fi
 
+echo "== serving-path perf smoke (vs committed baseline) =="
+SCALE=64 OUT=/tmp/bench_smoke.json LABEL=reproduce ./scripts/bench_smoke.sh
+
 echo "== rendered figure report =="
 python -m repro.bench all --scale "$SCALE"
 

@@ -7,18 +7,85 @@ directly: find the common prefix (the node's compressed path), partition
 by the next byte (the node's children), recurse — every node is
 allocated exactly once at its final size, with no growth churn.
 
-The result is byte-for-byte the same logical tree the incremental path
-produces (property-tested), just built in O(total key bytes).
+This implementation is array-native: the whole key set is bulk-encoded
+into one padded matrix (:func:`repro.util.keys.encode_key_batch`),
+sorted and validated with whole-array comparisons, and the tree levels
+are discovered by a breadth-first frontier sweep whose per-level work is
+a handful of NumPy operations — Python-object cost is paid only once per
+actually-created node.  The result is byte-for-byte the same logical
+tree the incremental path produces (property-tested).
+
+As a by-product the sweep emits a :class:`BulkPlan` — a structural
+snapshot of the freshly built tree as parallel arrays.  The device
+mapper (:class:`repro.cuart.layout.CuartLayout`) consumes a still-fresh
+plan to fill its SoA buffers with batched array writes instead of
+walking the tree node by node; the plan is tied to the exact tree
+version it describes, so any later mutation silently disables it.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from repro.art.nodes import Child, Leaf, Node4, Node16, Node48, Node256
+import numpy as np
+
+from repro.art.nodes import Leaf, Node4, Node16, Node48, Node256
 from repro.art.tree import AdaptiveRadixTree
+from repro.constants import (
+    LINK_N4,
+    LINK_N16,
+    LINK_N48,
+    LINK_N256,
+    NIL_VALUE,
+)
 from repro.errors import KeyPrefixError, ReproError
-from repro.util.keys import common_prefix_len
+from repro.util.keys import encode_key_batch
+
+
+@dataclass
+class PlanLevel:
+    """One tree level of a :class:`BulkPlan`: all inner nodes at the same
+    distance from the root, as parallel arrays over the node groups and
+    their child edges (edges sorted by ``(parent, byte)`` — children of
+    one node are a contiguous ascending run)."""
+
+    lo: np.ndarray  # (G,) first sorted key row of each node's range
+    depth: np.ndarray  # (G,) key bytes consumed above the node
+    split: np.ndarray  # (G,) branch column; prefix spans [depth, split)
+    fanout: np.ndarray  # (G,)
+    type_code: np.ndarray  # (G,) packed-link node type (by fanout)
+    nodes: Optional[np.ndarray]  # (G,) object — the built host nodes
+    child_byte: np.ndarray  # (C,) branch byte
+    child_parent: np.ndarray  # (C,) owning group index in this level
+    child_is_leaf: np.ndarray  # (C,) bool
+    child_ref: np.ndarray  # (C,) sorted key row (leaf) / next-level group
+    child_slot: np.ndarray  # (C,) slot within the parent node
+
+
+@dataclass
+class BulkPlan:
+    """Structural snapshot emitted by :func:`bulk_load`.
+
+    ``version`` ties the plan to the exact tree state it describes; the
+    device mapper only trusts a plan whose version still matches the
+    tree (any insert/delete after the bulk load invalidates it).
+    """
+
+    version: int
+    mat: np.ndarray  # (n, W) sorted, zero-padded key matrix
+    lens: np.ndarray  # (n,) key lengths, sorted-row order
+    values: np.ndarray  # (n,) uint64 values, sorted-row order
+    leaf_objs: np.ndarray  # (n,) object — host leaves in sorted order
+    levels: list[PlanLevel]
+
+    @property
+    def n(self) -> int:
+        return self.lens.size
+
+    @property
+    def max_key_len(self) -> int:
+        return int(self.lens.max()) if self.lens.size else 0
 
 
 def bulk_load(
@@ -32,59 +99,259 @@ def bulk_load(
     >>> t.search(b"alpha")
     1
     """
+    keys_list = list(keys)
     if values is None:
-        values = range(len(keys))
-    pairs = sorted(zip(keys, values))
-    for i in range(1, len(pairs)):
-        if pairs[i][0] == pairs[i - 1][0]:
-            raise ReproError(f"duplicate key {pairs[i][0]!r} in bulk load")
-        if pairs[i][0].startswith(pairs[i - 1][0]):
-            raise KeyPrefixError(
-                f"{pairs[i - 1][0]!r} is a proper prefix of {pairs[i][0]!r}"
-            )
+        values_list = list(range(len(keys_list)))
+    else:
+        values_list = list(values)
+    m = min(len(keys_list), len(values_list))
+    keys_list = keys_list[:m]
+    values_list = values_list[:m]
     tree = AdaptiveRadixTree()
-    if pairs:
-        AdaptiveRadixTree._check_key(pairs[0][0])
-        for _, v in pairs:
-            AdaptiveRadixTree._check_value(v)
-        tree.root = _build(pairs, 0)
-        tree._size = len(pairs)
-        tree._version += 1
+    if m == 0:
+        return tree
+    AdaptiveRadixTree._check_key(keys_list[0])
+    vals = _checked_values(values_list)
+    mat, lens = encode_key_batch(keys_list)
+
+    # lexicographic sort of the padded rows: memcmp on the padded bytes,
+    # with the length as tiebreak (padded ties are prefix pairs — shorter
+    # first keeps the classic "prefix precedes extension" order)
+    void = np.ascontiguousarray(mat).view(np.dtype((np.void, mat.shape[1])))[:, 0]
+    order = np.argsort(lens, kind="stable")
+    order = order[np.argsort(void[order], kind="stable")]
+    smat = mat[order]
+    slens = lens[order]
+    svals = vals[order]
+    order_l = order.tolist()
+    skeys = list(map(keys_list.__getitem__, order_l))
+    _validate_sorted(smat, slens, skeys)
+
+    leaf_objs = np.fromiter(
+        map(Leaf, skeys, svals.tolist()), dtype=object, count=m
+    )
+
+    levels = _sweep_levels(smat, m)
+    _build_nodes(levels, leaf_objs, skeys)
+
+    tree.root = levels[0].nodes[0] if levels else leaf_objs[0]
+    tree._size = m
+    tree._version += 1
+    tree._bulk_plan = BulkPlan(
+        version=tree._version,
+        mat=smat,
+        lens=slens,
+        values=svals,
+        leaf_objs=leaf_objs,
+        levels=levels,
+    )
     return tree
 
 
-def _node_for(fanout: int):
-    if fanout <= 4:
-        return Node4()
-    if fanout <= 16:
-        return Node16()
-    if fanout <= 48:
-        return Node48()
-    return Node256()
+def _checked_values(values_list: list) -> np.ndarray:
+    """Vectorized value validation; falls back to the canonical per-item
+    check (same exceptions as the incremental path) on any anomaly."""
+    check = AdaptiveRadixTree._check_value
+    try:
+        vals = np.fromiter(values_list, dtype=np.uint64, count=len(values_list))
+    except (OverflowError, ValueError, TypeError):
+        for v in values_list:
+            check(v)
+        raise  # unreachable: some value must have failed the check
+    ok_types = set(map(type, values_list)) == {int}
+    if not ok_types or bool((vals == np.uint64(NIL_VALUE)).any()):
+        for v in values_list:
+            check(v)
+    return vals
 
 
-def _build(pairs: list[tuple[bytes, int]], depth: int) -> Child:
-    """Build the subtree for sorted ``pairs`` sharing ``depth`` consumed
-    bytes."""
-    if len(pairs) == 1:
-        key, value = pairs[0]
-        return Leaf(key, value)
-    first = pairs[0][0]
-    last = pairs[-1][0]
-    # sorted input: the common prefix of the extremes is the common
-    # prefix of the whole group
-    cpl = common_prefix_len(first[depth:], last[depth:])
-    split = depth + cpl
-    # partition by the byte at `split` (prefix-freeness guarantees every
-    # key is long enough) — single pass over the sorted run
-    groups: list[tuple[int, list[tuple[bytes, int]]]] = []
-    start = 0
-    for i in range(1, len(pairs) + 1):
-        if i == len(pairs) or pairs[i][0][split] != pairs[start][0][split]:
-            groups.append((pairs[start][0][split], pairs[start:i]))
-            start = i
-    node = _node_for(len(groups))
-    node.prefix = first[depth:split]
-    for byte, group in groups:
-        node.set_child(byte, _build(group, split + 1))
-    return node
+def _validate_sorted(
+    smat: np.ndarray, slens: np.ndarray, skeys: list
+) -> None:
+    """Reject duplicates and prefix pairs — both are adjacent after the
+    lexicographic sort, so two whole-array comparisons cover the set."""
+    if slens.size < 2:
+        return
+    W = smat.shape[1]
+    pl = slens[:-1]
+    agree = (smat[1:] == smat[:-1]) | (np.arange(W)[None, :] >= pl[:, None])
+    is_prefix = agree.all(axis=1)
+    dup = is_prefix & (slens[1:] == pl)
+    if dup.any():
+        i = int(np.flatnonzero(dup)[0])
+        raise ReproError(f"duplicate key {skeys[i + 1]!r} in bulk load")
+    pref = is_prefix & (slens[1:] > pl)
+    if pref.any():
+        i = int(np.flatnonzero(pref)[0])
+        raise KeyPrefixError(
+            f"{skeys[i]!r} is a proper prefix of {skeys[i + 1]!r}"
+        )
+
+
+def _sweep_levels(smat: np.ndarray, m: int) -> list[PlanLevel]:
+    """Breadth-first frontier sweep over the sorted key matrix.
+
+    Every frontier group is a run of ≥2 sorted rows sharing ``depth``
+    consumed bytes; its branch column is the first column where the
+    run's extremes differ (sorted input: the extremes bound the group),
+    and the child runs are delimited by value changes in that column.
+    """
+    levels: list[PlanLevel] = []
+    if m < 2:
+        return levels
+    los = np.zeros(1, dtype=np.int64)
+    his = np.full(1, m, dtype=np.int64)
+    deps = np.zeros(1, dtype=np.int64)
+    while los.size:
+        G = los.size
+        split = np.argmax(smat[los] != smat[his - 1], axis=1).astype(np.int64)
+        sizes = his - los
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        total = int(ends[-1])
+        # ragged expansion: all member rows of all groups, in group order
+        row_idx = np.repeat(los - starts, sizes) + np.arange(
+            total, dtype=np.int64
+        )
+        branch = smat[row_idx, np.repeat(split, sizes)]
+        gid = np.repeat(np.arange(G, dtype=np.int64), sizes)
+        startm = np.empty(total, dtype=bool)
+        startm[0] = True
+        startm[1:] = (gid[1:] != gid[:-1]) | (branch[1:] != branch[:-1])
+        cpos = np.flatnonzero(startm)
+        child_lo = row_idx[cpos]
+        child_sizes = np.diff(np.append(cpos, total))
+        child_byte = branch[cpos]
+        child_parent = gid[cpos]
+        fanout = np.bincount(child_parent, minlength=G)
+        is_leaf = child_sizes == 1
+        inner = ~is_leaf
+        child_ref = np.empty(cpos.size, dtype=np.int64)
+        child_ref[is_leaf] = child_lo[is_leaf]
+        child_ref[inner] = np.arange(int(inner.sum()), dtype=np.int64)
+        slot = (
+            np.arange(cpos.size, dtype=np.int64)
+            - (np.cumsum(fanout) - fanout)[child_parent]
+        )
+        tcode = np.where(
+            fanout <= 4,
+            LINK_N4,
+            np.where(
+                fanout <= 16,
+                LINK_N16,
+                np.where(fanout <= 48, LINK_N48, LINK_N256),
+            ),
+        ).astype(np.uint8)
+        levels.append(
+            PlanLevel(
+                lo=los, depth=deps, split=split, fanout=fanout,
+                type_code=tcode, nodes=None, child_byte=child_byte,
+                child_parent=child_parent, child_is_leaf=is_leaf,
+                child_ref=child_ref, child_slot=slot,
+            )
+        )
+        deps = split[child_parent[inner]] + 1
+        los = child_lo[inner]
+        his = los + child_sizes[inner]
+    return levels
+
+
+def _build_nodes(
+    levels: list[PlanLevel], leaf_objs: np.ndarray, skeys: list
+) -> None:
+    """Construct the host node objects bottom-up (children exist before
+    their parent), filling each node's internal arrays directly."""
+    node_arrays: list = [None] * len(levels)
+    for li in range(len(levels) - 1, -1, -1):
+        lv = levels[li]
+        C = lv.child_byte.size
+        child_objs = np.empty(C, dtype=object)
+        leaf_m = lv.child_is_leaf
+        child_objs[leaf_m] = leaf_objs[lv.child_ref[leaf_m]]
+        inner_m = ~leaf_m
+        if inner_m.any():
+            child_objs[inner_m] = node_arrays[li + 1][lv.child_ref[inner_m]]
+        ends_l = np.cumsum(lv.fanout).tolist()
+        cb = lv.child_byte.tolist()
+        co = child_objs.tolist()
+        tc_l = lv.type_code.tolist()
+        G = lv.lo.size
+        cbn = lv.child_byte
+        built: list = []
+        append = built.append
+        new4, new16 = Node4.__new__, Node16.__new__
+        a = 0
+        # bypass __init__ for N4/N16 (the dominant types by far): the
+        # fresh empty lists it builds would be immediately replaced
+        if not (lv.split > lv.depth).any():
+            # no compressed paths anywhere on this level (the common
+            # case for uniform keys): a slimmer loop without the
+            # per-group prefix slicing
+            for t, b in zip(tc_l, ends_l):
+                if t == LINK_N4:
+                    node = new4(Node4)
+                    node.prefix = b""
+                    node.keys = cb[a:b]
+                    node.children = co[a:b]
+                elif t == LINK_N16:
+                    node = new16(Node16)
+                    node.prefix = b""
+                    node.keys = cb[a:b]
+                    node.children = co[a:b]
+                elif t == LINK_N48:
+                    node = Node48(b"")
+                    ci = node.child_index
+                    ch = node.children
+                    for s in range(b - a):
+                        ci[cb[a + s]] = s
+                        ch[s] = co[a + s]
+                    node._count = b - a
+                else:
+                    node = Node256(b"")
+                    ch_arr = np.full(256, None, dtype=object)
+                    ch_arr[cbn[a:b]] = child_objs[a:b]
+                    node.children = ch_arr.tolist()
+                    node._count = b - a
+                append(node)
+                a = b
+            nodes = np.fromiter(built, dtype=object, count=G)
+            lv.nodes = nodes
+            node_arrays[li] = nodes
+            continue
+        lo_l = lv.lo.tolist()
+        dep_l = lv.depth.tolist()
+        spl_l = lv.split.tolist()
+        for lo_g, dep_g, spl_g, t, b in zip(lo_l, dep_l, spl_l, tc_l, ends_l):
+            prefix = skeys[lo_g][dep_g:spl_g] if spl_g > dep_g else b""
+            if t == LINK_N4:
+                node = new4(Node4)
+                node.prefix = prefix
+                node.keys = cb[a:b]
+                node.children = co[a:b]
+            elif t == LINK_N16:
+                node = new16(Node16)
+                node.prefix = prefix
+                node.keys = cb[a:b]
+                node.children = co[a:b]
+            elif t == LINK_N48:
+                node = Node48(prefix)
+                ci = node.child_index
+                ch = node.children
+                for s in range(b - a):
+                    ci[cb[a + s]] = s
+                    ch[s] = co[a + s]
+                node._count = b - a
+            else:
+                # scatter the (byte, child) run with one fancy index
+                # instead of a per-edge Python loop (full nodes carry
+                # up to 256 edges each)
+                node = Node256(prefix)
+                ch_arr = np.full(256, None, dtype=object)
+                ch_arr[cbn[a:b]] = child_objs[a:b]
+                node.children = ch_arr.tolist()
+                node._count = b - a
+            append(node)
+            a = b
+        nodes = np.fromiter(built, dtype=object, count=G)
+        lv.nodes = nodes
+        node_arrays[li] = nodes

@@ -35,7 +35,7 @@ class AdaptiveRadixTree:
     1
     """
 
-    __slots__ = ("root", "_size", "_version")
+    __slots__ = ("root", "_size", "_version", "_bulk_plan")
 
     def __init__(self) -> None:
         self.root: Optional[Child] = None
@@ -43,6 +43,10 @@ class AdaptiveRadixTree:
         #: bumped on every mutation; device layouts snapshot it to detect
         #: staleness (:class:`repro.errors.StaleLayoutError`).
         self._version = 0
+        #: structural snapshot left behind by :func:`repro.art.bulk.bulk_load`
+        #: (a ``BulkPlan``); consumed by the device mapper while fresh,
+        #: dropped on the first mutation.
+        self._bulk_plan = None
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -91,6 +95,8 @@ class AdaptiveRadixTree:
         """
         self._check_key(key)
         self._check_value(value)
+        if self._bulk_plan is not None:
+            self._bulk_plan = None
         if self.root is None:
             self.root = Leaf(key, value)
             self._size += 1
@@ -174,6 +180,8 @@ class AdaptiveRadixTree:
         their child (path compression is restored).
         """
         self._check_key(key)
+        if self._bulk_plan is not None:
+            self._bulk_plan = None
         if self.root is None:
             return False
         if isinstance(self.root, Leaf):

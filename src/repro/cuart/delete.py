@@ -58,12 +58,15 @@ def delete_batch(
     root_table=None,
     hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
     log: TransactionLog | None = None,
+    table: AtomicMaxHashTable | None = None,
 ) -> DeleteResult:
     """Delete a batch of keys on the device.
 
     Duplicate deletions of one key inside the batch are deduplicated with
     the same atomic-max hash table the update engine uses, so each leaf
-    is cleared and unlinked exactly once.
+    is cleared and unlinked exactly once.  Callers issuing many batches
+    can pass a ``table`` to reuse (it is reset here) and skip the
+    per-batch allocation.
     """
     layout.check_fresh()
     B = keys_mat.shape[0]
@@ -75,7 +78,11 @@ def delete_batch(
     found = locations != np.uint64(0)
     thread_ids = np.arange(B, dtype=np.int64)
 
-    table = AtomicMaxHashTable(hash_slots, log=log)
+    if table is None:
+        table = AtomicMaxHashTable(hash_slots)
+    else:
+        table.reset()
+    table.log = log
     table.insert_max(locations[found], thread_ids[found])
     winners = np.zeros(B, dtype=bool)
     if found.any():

@@ -48,6 +48,9 @@ class AtomicMaxHashTable:
         self.total_probes = 0
         self.max_probe = 0
         self.occupied = 0
+        #: slots claimed since the last reset — lets reset() clear only
+        #: what was written instead of memsetting the whole table.
+        self._dirty: list = []
 
     # ------------------------------------------------------------------
     def _hash(self, keys: np.ndarray) -> np.ndarray:
@@ -58,10 +61,24 @@ class AtomicMaxHashTable:
         return self.occupied / self.slots
 
     def reset(self) -> None:
-        """Clear between batches (the real kernel memsets the table)."""
-        self.keys.fill(EMPTY_KEY)
-        self.values.fill(-1)
+        """Clear between batches (the real kernel memsets the table).
+
+        Probe statistics restart too, so a reused table reports the same
+        per-batch numbers a freshly constructed one would.  When only a
+        small fraction of the slots was claimed, just those are cleared —
+        a large, lightly loaded table resets in O(occupied) instead of
+        O(slots)."""
+        if sum(a.size for a in self._dirty) < self.slots // 4:
+            for claimed in self._dirty:
+                self.keys[claimed] = EMPTY_KEY
+                self.values[claimed] = -1
+        else:
+            self.keys.fill(EMPTY_KEY)
+            self.values.fill(-1)
+        self._dirty = []
         self.occupied = 0
+        self.total_probes = 0
+        self.max_probe = 0
 
     # ------------------------------------------------------------------
     def insert_max(self, keys: np.ndarray, priorities: np.ndarray) -> None:
@@ -140,6 +157,7 @@ class AtomicMaxHashTable:
                 claim_slots = cand[winners_local]
                 self.keys[claim_slots] = uniq[pending[winners_local]]
                 self.occupied += winners_local.size
+                self._dirty.append(claim_slots)
             done = same | win
             slot_of[pending[done]] = cand[done]
             probe[pending[~done & ~same]] += np.uint64(1)

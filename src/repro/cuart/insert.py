@@ -117,6 +117,18 @@ class InsertEngine:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        # one reusable conflict table; each claim domain below resets it
+        # rather than paying a fresh multi-MiB allocation per domain
+        self._table: AtomicMaxHashTable | None = None
+
+    def _conflict_table(self, log: TransactionLog) -> AtomicMaxHashTable:
+        table = self._table
+        if table is None:
+            table = self._table = AtomicMaxHashTable(self.hash_slots)
+        else:
+            table.reset()
+        table.log = log
+        return table
 
     # ------------------------------------------------------------------
     def apply(
@@ -160,7 +172,7 @@ class InsertEngine:
         # ---- existing keys: winner-resolved value update ---------------
         hit = reasons == MissReason.HIT
         if hit.any():
-            table = AtomicMaxHashTable(self.hash_slots, log=log)
+            table = self._conflict_table(log)
             table.insert_max(res.locations[hit], thread_ids[hit])
             winners = np.zeros(B, dtype=bool)
             winners[hit] = thread_ids[hit] == table.lookup(res.locations[hit])
@@ -183,7 +195,7 @@ class InsertEngine:
             claim_rows = np.nonzero(insertable)[0]
             claims = _claim_keys(res.stop_links[claim_rows],
                                  res.stop_bytes[claim_rows])
-            table = AtomicMaxHashTable(self.hash_slots, log=log)
+            table = self._conflict_table(log)
             table.insert_max(claims, thread_ids[claim_rows])
             win = thread_ids[claim_rows] == table.lookup(claims)
             # losers raced a sibling insert to the same slot: retry later
@@ -206,7 +218,7 @@ class InsertEngine:
         if split_rows.size:
             # dedup by the leaf being split; leaf-link claims (types 5-7
             # in the top byte) are disjoint from NO_CHILD node claims
-            table = AtomicMaxHashTable(self.hash_slots, log=log)
+            table = self._conflict_table(log)
             table.insert_max(res.stop_links[split_rows],
                              thread_ids[split_rows])
             win = thread_ids[split_rows] == table.lookup(
@@ -225,7 +237,7 @@ class InsertEngine:
             (reasons == MissReason.PREFIX_MISMATCH) & ~too_long
         )[0]
         if pf_rows.size:
-            table = AtomicMaxHashTable(self.hash_slots, log=log)
+            table = self._conflict_table(log)
             table.insert_max(res.stop_links[pf_rows], thread_ids[pf_rows])
             win = thread_ids[pf_rows] == table.lookup(res.stop_links[pf_rows])
             deferred[pf_rows[~win]] = True

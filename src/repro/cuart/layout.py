@@ -56,7 +56,7 @@ from repro.constants import (
     NODE_TYPE_CODES,
 )
 from repro.errors import KeyTooLongError, StaleLayoutError
-from repro.util.packing import pack_link
+from repro.util.packing import pack_link, pack_links
 
 
 class LongKeyStrategy(enum.Enum):
@@ -73,6 +73,75 @@ class LongKeyStrategy(enum.Enum):
     #: strategy (c), what GRT does: a dynamically-sized device leaf heap,
     #: compared with a variable-length loop on-device.
     DYNAMIC = "dynamic"
+
+
+class _LazyLeafLinks(dict):
+    """``id(host node) -> packed link`` with deferred bulk-leaf entries.
+
+    A bulk build knows every leaf's link as one vectorized array, but
+    almost no session ever looks a *leaf* link up individually (the
+    RootTable builder only touches nodes near the root).  Instead of
+    eagerly exploding the array into ~n dict entries, the pair is parked
+    and materialized on the first miss; entries written directly after
+    the deferral win over the parked ones.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending = None
+
+    def defer(self, leaf_objs: np.ndarray, links: np.ndarray) -> None:
+        self._pending = (leaf_objs, links)
+
+    def _materialize(self) -> None:
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        leaf_objs, links = pending
+        merged = dict(zip(map(id, leaf_objs.tolist()), links.tolist()))
+        merged.update(self)  # individually recorded links take precedence
+        self.update(merged)
+
+    def __missing__(self, key: int) -> int:
+        if self._pending is None:
+            raise KeyError(key)
+        self._materialize()
+        return self[key]
+
+    def __contains__(self, key) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        if self._pending is None:
+            return False
+        self._materialize()
+        return dict.__contains__(self, key)
+
+    def get(self, key, default=None):
+        if self._pending is not None and not dict.__contains__(self, key):
+            self._materialize()
+        return dict.get(self, key, default)
+
+    def __len__(self) -> int:
+        self._materialize()
+        return dict.__len__(self)
+
+    def __iter__(self):
+        self._materialize()
+        return dict.__iter__(self)
+
+    def keys(self):
+        self._materialize()
+        return dict.keys(self)
+
+    def items(self):
+        self._materialize()
+        return dict.items(self)
+
+    def values(self):
+        self._materialize()
+        return dict.values(self)
 
 
 @dataclass
@@ -174,7 +243,19 @@ class CuartLayout:
         #: growth (registered by RootTable).
         self.attached_tables: list = []
 
-        counts = _count_nodes(tree, long_keys, single_leaf_size)
+        # a fresh bulk-load plan lets the whole build run as batched
+        # array writes; anything it cannot express (stale plan, long
+        # keys) falls back to the generic per-node traversal
+        plan = getattr(tree, "_bulk_plan", None)
+        limit = single_leaf_size or MAX_SHORT_KEY
+        if plan is None or plan.version != tree.version or plan.n == 0 or (
+            plan.max_key_len > limit
+        ):
+            plan = None
+        if plan is not None:
+            counts = _plan_counts(plan, single_leaf_size)
+        else:
+            counts = _count_nodes(tree, long_keys, single_leaf_size)
         if spare > 0:
             floor = 8
             for c in NODE_TYPE_CODES + LEAF_TYPE_CODES:
@@ -183,7 +264,7 @@ class CuartLayout:
         #: host-node identity -> packed device link, recorded during the
         #: mapping pass; consumed by the RootTable builder (section 3.2.2)
         #: and by tests.
-        self.node_links: dict[int, int] = {}
+        self.node_links: dict[int, int] = _LazyLeafLinks()
         #: host-memory leaves for :attr:`LongKeyStrategy.HOST_LINK`.
         self.host_leaves: list[tuple[bytes, int]] = []
         #: free leaf slots per leaf type, filled by device-side deletes
@@ -192,7 +273,16 @@ class CuartLayout:
         self.free_leaves: dict[int, list[int]] = {c: [] for c in LEAF_TYPE_CODES}
         #: node rows recycled by growth (old, smaller node records).
         self.free_nodes: dict[int, list[int]] = {c: [] for c in NODE_TYPE_CODES}
-        self.root_link = self._map(tree)
+        self._next_node = {c: 0 for c in NODE_TYPE_CODES}
+        self._next_leaf = {c: 0 for c in LEAF_TYPE_CODES}
+        self._dyn_cursor = 0
+        #: deepest traversal level (node visits) seen while mapping; used
+        #: by the range-query transaction accounting.
+        self.max_levels = 0
+        if plan is not None:
+            self.root_link = self._build_from_plan(plan)
+        else:
+            self.root_link = self._map(tree)
 
     # ------------------------------------------------------------------
     # construction
@@ -241,46 +331,177 @@ class CuartLayout:
         )
 
     def _map(self, tree: AdaptiveRadixTree) -> int:
-        """In-order DFS fill; returns the packed root link."""
-        self._next_node = {c: 0 for c in NODE_TYPE_CODES}
-        self._next_leaf = {c: 0 for c in LEAF_TYPE_CODES}
-        self._dyn_cursor = 0
-        #: deepest traversal level (node visits) seen while mapping; used
-        #: by the range-query transaction accounting.
-        self.max_levels = 0
+        """In-order fill via an explicit-stack pre-order DFS; returns the
+        packed root link.
+
+        Children are pushed in reverse byte order so pops visit them
+        ascending — leaves land in their buffers lexicographically
+        sorted, exactly like the original recursive mapping, without the
+        Python recursion depth/overhead.
+        """
         if tree.root is None:
             return pack_link(LINK_EMPTY, 0)
-        return self._map_node(tree.root, 0)
+        root_link = 0
+        # stack entries carry the parent cell to patch once the child's
+        # link exists: (node, level, parent_code, parent_row, parent_col)
+        # where parent_col is the child slot (N4/16/48) or byte (N256)
+        stack = [(tree.root, 0, -1, 0, 0)]
+        node_links = self.node_links
+        while stack:
+            node, level, pcode, prow, pcol = stack.pop()
+            if level >= self.max_levels:
+                self.max_levels = level + 1
+            if isinstance(node, Leaf):
+                link = self._map_leaf(node)
+            else:
+                code = node.TYPE
+                idx = self._next_node[code]
+                self._next_node[code] += 1
+                buf = self.nodes[code]
+                p = node.prefix
+                stored = p[: self.prefix_window]
+                buf.prefix[idx, : len(stored)] = np.frombuffer(
+                    stored, dtype=np.uint8
+                )
+                buf.prefix_len[idx] = len(p)
+                buf.counts[idx] = node.num_children
+                children = list(node.children_items())
+                if code in (LINK_N4, LINK_N16):
+                    for slot in range(len(children) - 1, -1, -1):
+                        byte, child = children[slot]
+                        buf.keys[idx, slot] = byte
+                        stack.append((child, level + 1, code, idx, slot))
+                elif code == LINK_N48:
+                    for slot in range(len(children) - 1, -1, -1):
+                        byte, child = children[slot]
+                        buf.child_index[idx, byte] = slot
+                        stack.append((child, level + 1, code, idx, slot))
+                else:  # N256: the child array is byte-addressed
+                    for byte, child in reversed(children):
+                        stack.append((child, level + 1, code, idx, byte))
+                link = pack_link(code, idx)
+            node_links[id(node)] = link
+            if pcode < 0:
+                root_link = link
+            else:
+                self.nodes[pcode].children[prow, pcol] = link
+        return root_link
 
-    def _map_node(self, node, level: int = 0) -> int:
-        self.max_levels = max(self.max_levels, level + 1)
-        if isinstance(node, Leaf):
-            link = self._map_leaf(node)
-            self.node_links[id(node)] = link
-            return link
-        code = node.TYPE
-        idx = self._next_node[code]
-        self._next_node[code] += 1
-        buf = self.nodes[code]
-        p = node.prefix
-        stored = p[: self.prefix_window]
-        buf.prefix[idx, : len(stored)] = np.frombuffer(stored, dtype=np.uint8)
-        buf.prefix_len[idx] = len(p)
-        buf.counts[idx] = node.num_children
-        if code in (LINK_N4, LINK_N16):
-            for slot, (byte, child) in enumerate(node.children_items()):
-                buf.keys[idx, slot] = byte
-                buf.children[idx, slot] = self._map_node(child, level + 1)
-        elif code == LINK_N48:
-            for slot, (byte, child) in enumerate(node.children_items()):
-                buf.child_index[idx, byte] = slot
-                buf.children[idx, slot] = self._map_node(child, level + 1)
-        else:  # N256
-            for byte, child in node.children_items():
-                buf.children[idx, byte] = self._map_node(child, level + 1)
-        link = pack_link(code, idx)
-        self.node_links[id(node)] = link
-        return link
+    def _build_from_plan(self, plan) -> int:
+        """Batched build from a fresh :class:`repro.art.bulk.BulkPlan`.
+
+        Every buffer is filled with whole-array writes: leaves straight
+        from the plan's sorted key matrix (per-type cumulative position =
+        the in-order index, so the leaf buffers come out lexicographically
+        sorted), inner nodes per level and type with fancy-index scatters.
+        Node indices are assigned in pre-order — sorting the groups by
+        ``(lo, depth)`` — so the result is byte-identical to :meth:`_map`
+        on the same tree.
+        """
+        mat = plan.mat
+        lens = plan.lens
+        n = plan.n
+        W = mat.shape[1]
+        # -- leaves ----------------------------------------------------
+        if self.single_leaf_size is None:
+            lcode = np.where(
+                lens <= 8,
+                LINK_LEAF8,
+                np.where(lens <= 16, LINK_LEAF16, LINK_LEAF32),
+            ).astype(np.uint8)
+        else:
+            forced = {8: LINK_LEAF8, 16: LINK_LEAF16, 32: LINK_LEAF32}[
+                self.single_leaf_size
+            ]
+            lcode = np.full(n, forced, dtype=np.uint8)
+        leaf_idx = np.empty(n, dtype=np.int64)
+        for code in LEAF_TYPE_CODES:
+            sel = lcode == code
+            cnt = int(sel.sum())
+            leaf_idx[sel] = np.arange(cnt, dtype=np.int64)
+            self._next_leaf[code] = cnt
+            if cnt:
+                buf = self.leaves[code]
+                w = min(W, LEAF_CAPACITY[code])
+                buf.keys[:cnt, :w] = mat[sel, :w]
+                buf.key_lens[:cnt] = lens[sel]
+                buf.values[:cnt] = plan.values[sel]
+        leaf_links = pack_links(lcode, leaf_idx)
+        node_links = self.node_links
+        defer = getattr(node_links, "defer", None)
+        if defer is not None:
+            defer(plan.leaf_objs, leaf_links)
+        else:  # plain dict (e.g. a deserialized layout): eager fill
+            node_links.update(
+                zip(map(id, plan.leaf_objs.tolist()), leaf_links.tolist())
+            )
+        levels = plan.levels
+        if not levels:  # single-key tree: the root is that leaf
+            self.max_levels = 1
+            return int(leaf_links[0])
+        # -- pre-order node index assignment ---------------------------
+        all_lo = np.concatenate([lv.lo for lv in levels])
+        all_dep = np.concatenate([lv.depth for lv in levels])
+        all_tc = np.concatenate([lv.type_code for lv in levels])
+        order = np.lexsort((all_dep, all_lo))
+        pre_idx = np.empty(all_tc.size, dtype=np.int64)
+        pre_tc = all_tc[order]
+        for code in NODE_TYPE_CODES:
+            sel = pre_tc == code
+            cnt = int(sel.sum())
+            pre_idx[sel] = np.arange(cnt, dtype=np.int64)
+            self._next_node[code] = cnt
+        gidx = np.empty(all_tc.size, dtype=np.int64)
+        gidx[order] = pre_idx
+        bounds = np.cumsum([lv.lo.size for lv in levels])[:-1]
+        level_idx = np.split(gidx, bounds)
+        level_links = [
+            pack_links(lv.type_code, li)
+            for lv, li in zip(levels, level_idx)
+        ]
+        # -- per-level, per-type batched fills --------------------------
+        P = self.prefix_window
+        colsP = np.arange(P, dtype=np.int64)
+        for li, lv in enumerate(levels):
+            idx = level_idx[li]
+            clink = np.empty(lv.child_byte.size, dtype=np.uint64)
+            lm = lv.child_is_leaf
+            clink[lm] = leaf_links[lv.child_ref[lm]]
+            im = ~lm
+            if im.any():
+                clink[im] = level_links[li + 1][lv.child_ref[im]]
+            cols = lv.depth[:, None] + colsP[None, :]
+            valid = cols < lv.split[:, None]
+            pref = mat[lv.lo[:, None], np.minimum(cols, W - 1)]
+            pref[~valid] = 0
+            plen = lv.split - lv.depth
+            pidx = idx[lv.child_parent]
+            for code in NODE_TYPE_CODES:
+                gsel = lv.type_code == code
+                if not gsel.any():
+                    continue
+                buf = self.nodes[code]
+                rows = idx[gsel]
+                buf.prefix[rows] = pref[gsel]
+                buf.prefix_len[rows] = plen[gsel]
+                buf.counts[rows] = lv.fanout[gsel]
+                csel = gsel[lv.child_parent]
+                prow = pidx[csel]
+                cbyte = lv.child_byte[csel]
+                cslot = lv.child_slot[csel]
+                if code in (LINK_N4, LINK_N16):
+                    buf.keys[prow, cslot] = cbyte
+                    buf.children[prow, cslot] = clink[csel]
+                elif code == LINK_N48:
+                    buf.child_index[prow, cbyte] = cslot
+                    buf.children[prow, cslot] = clink[csel]
+                else:  # N256
+                    buf.children[prow, cbyte] = clink[csel]
+            node_links.update(
+                zip(map(id, lv.nodes.tolist()), level_links[li].tolist())
+            )
+        self.max_levels = len(levels) + 1
+        return int(level_links[0][0])
 
     def _map_leaf(self, leaf: Leaf) -> int:
         klen = len(leaf.key)
@@ -459,6 +680,29 @@ def _count_nodes(
             assert isinstance(node, InnerNode)
             counts[node.TYPE] += 1
             stack.extend(child for _, child in node.children_items())
+    return counts
+
+
+def _plan_counts(plan, single_leaf_size: int | None) -> dict:
+    """Per-type record counts straight from a bulk plan's arrays (the
+    vectorized equivalent of the :func:`_count_nodes` pre-pass; the plan
+    never carries long keys, so the dyn heap stays empty)."""
+    counts: dict = {c: 0 for c in NODE_TYPE_CODES + LEAF_TYPE_CODES}
+    counts["dyn_bytes"] = 0
+    for lv in plan.levels:
+        bc = np.bincount(lv.type_code, minlength=8)
+        for c in NODE_TYPE_CODES:
+            counts[c] += int(bc[c])
+    lens = plan.lens
+    if single_leaf_size is None:
+        counts[LINK_LEAF8] += int((lens <= 8).sum())
+        counts[LINK_LEAF16] += int(((lens > 8) & (lens <= 16)).sum())
+        counts[LINK_LEAF32] += int((lens > 16).sum())
+    else:
+        forced = {8: LINK_LEAF8, 16: LINK_LEAF16, 32: LINK_LEAF32}[
+            single_leaf_size
+        ]
+        counts[forced] += plan.n
     return counts
 
 

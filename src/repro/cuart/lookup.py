@@ -295,6 +295,14 @@ def _settle(
     st.depth[go] = new_depth[ok] + 1
 
 
+def _distinct_rows(idx: np.ndarray, n_rows: int) -> int:
+    """Number of distinct buffer rows in ``idx`` via a bitmask scatter —
+    O(rows) instead of the sort an ``np.unique`` would pay per step."""
+    seen = np.zeros(n_rows, dtype=bool)
+    seen[idx] = True
+    return int(np.count_nonzero(seen))
+
+
 def _step_small_node(
     layout, code, rows, keys_mat, key_lens, st: _TraversalState, log
 ) -> int:
@@ -317,7 +325,7 @@ def _step_small_node(
     # a slot whose child link was cleared by a device delete is absent
     found &= child != np.uint64(0)
     _settle(rows, prefix_ok, has_byte, found, child, ndepth, byte, st)
-    return int(np.unique(idx).size) * layout.node_record_bytes[code]
+    return _distinct_rows(idx, buf.counts.size) * layout.node_record_bytes[code]
 
 
 def _step_n48(layout, rows, keys_mat, key_lens, st: _TraversalState, log) -> int:
@@ -335,7 +343,7 @@ def _step_n48(layout, rows, keys_mat, key_lens, st: _TraversalState, log) -> int
     child = buf.children[idx, np.minimum(slot, 47)]
     found &= child != np.uint64(0)
     _settle(rows, prefix_ok, has_byte, found, child, ndepth, byte, st)
-    return int(np.unique(idx).size) * layout.node_record_bytes[LINK_N48]
+    return _distinct_rows(idx, buf.counts.size) * layout.node_record_bytes[LINK_N48]
 
 
 def _step_n256(layout, rows, keys_mat, key_lens, st: _TraversalState, log) -> int:
@@ -358,7 +366,7 @@ def _step_n256(layout, rows, keys_mat, key_lens, st: _TraversalState, log) -> in
     found = child != np.uint64(0)
     _settle(rows, prefix_ok, has_byte, found, child, ndepth, byte, st)
     # distinct footprint: header + the hot child-link region per node
-    return int(np.unique(idx).size) * 40
+    return _distinct_rows(idx, buf.counts.size) * 40
 
 
 def _step_leaf(
@@ -380,7 +388,7 @@ def _step_leaf(
     st.locations[rows[match]] = st.links[rows[match]]
     st.stop(rows[~match], MissReason.LEAF_MISMATCH)
     st.stop(rows[match], MissReason.HIT)
-    return int(np.unique(idx).size) * CUART_NODE_BYTES[code]
+    return _distinct_rows(idx, buf.values.size) * CUART_NODE_BYTES[code]
 
 
 def _step_dyn_leaf(

@@ -72,6 +72,10 @@ class UpdateEngine:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        # the conflict table is reused (reset) across batches — the real
+        # kernel allocates it once and memsets between launches, and a
+        # fresh multi-MiB allocation per batch dominates small batches
+        self._table: AtomicMaxHashTable | None = None
 
     def apply(
         self,
@@ -113,7 +117,12 @@ class UpdateEngine:
         thread_ids = np.arange(B, dtype=np.int64)
 
         # ---- stage 2: conflict resolution via atomic-max table ------
-        table = AtomicMaxHashTable(self.hash_slots, log=log)
+        table = self._table
+        if table is None:
+            table = self._table = AtomicMaxHashTable(self.hash_slots)
+        else:
+            table.reset()
+        table.log = log
         table.insert_max(locations[found], thread_ids[found])
         # __syncthreads() / grid sync happens here
         winners = np.zeros(B, dtype=bool)

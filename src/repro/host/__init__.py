@@ -7,14 +7,21 @@ engine implementing the paper's three benchmark stages (section 4.1):
 3. running the actual queries, measuring throughput end to end.
 """
 
-from repro.host.batching import QueryBatcher, coalesce
+from repro.host.batching import QueryBatcher, coalesce, coalesce_encoded
+from repro.host.cache import CacheStats, HotKeyCache
 from repro.host.dispatcher import (
     DispatchConfig,
     HostCostParameters,
     pipeline_throughput,
 )
 from repro.host.hybrid import HybridConfig, hybrid_throughput, split_queries
-from repro.host.engine import CuartEngine, GrtEngine, EngineReport
+from repro.host.engine import (
+    CuartEngine,
+    EngineReport,
+    FoundFlags,
+    GrtEngine,
+    LazyValues,
+)
 from repro.host.mixed import MixedWorkloadExecutor, MixedReport
 from repro.host.autotune import autotune_dispatch, TuneResult
 from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_curve
@@ -22,6 +29,9 @@ from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_cu
 __all__ = [
     "QueryBatcher",
     "coalesce",
+    "coalesce_encoded",
+    "CacheStats",
+    "HotKeyCache",
     "DispatchConfig",
     "HostCostParameters",
     "pipeline_throughput",
@@ -31,6 +41,8 @@ __all__ = [
     "CuartEngine",
     "GrtEngine",
     "EngineReport",
+    "FoundFlags",
+    "LazyValues",
     "MixedWorkloadExecutor",
     "MixedReport",
     "autotune_dispatch",

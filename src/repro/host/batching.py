@@ -37,19 +37,31 @@ def coalesce(
 ) -> list[QueryBatch]:
     """Split a query stream into power-of-two batches (the final batch
     may be short — the device pads the launch, the model charges the full
-    grid)."""
+    grid).
+
+    The whole stream is encoded into *one* preallocated key matrix
+    (:func:`repro.util.keys.keys_to_matrix` bulk path); every emitted
+    batch is a zero-copy view of it.
+    """
     require_power_of_two(batch_size, "batch_size")
-    if width is None:
-        width = max((len(k) for k in keys), default=1)
+    mat, lens = keys_to_matrix(keys, width=width)
+    return coalesce_encoded(mat, lens, batch_size)
+
+
+def coalesce_encoded(
+    mat: np.ndarray, lens: np.ndarray, batch_size: int
+) -> list[QueryBatch]:
+    """Slice an already-encoded key matrix into batch views (no copies)."""
+    require_power_of_two(batch_size, "batch_size")
+    n = mat.shape[0]
     out = []
-    for start in range(0, len(keys), batch_size):
-        chunk = keys[start : start + batch_size]
-        mat, lens = keys_to_matrix(chunk, width=width)
+    for start in range(0, n, batch_size):
+        stop = min(start + batch_size, n)
         out.append(
             QueryBatch(
-                keys_mat=mat,
-                key_lens=lens,
-                origin=np.arange(start, start + len(chunk), dtype=np.int64),
+                keys_mat=mat[start:stop],
+                key_lens=lens[start:stop],
+                origin=np.arange(start, stop, dtype=np.int64),
             )
         )
     return out

@@ -1,0 +1,101 @@
+"""Hot-key result caching for the serving path.
+
+Production key-value traffic is skewed: the Zipf-distributed streams of
+:mod:`repro.workloads.distributions` concentrate most queries on a small
+set of hot keys.  Serving those from a host-side LRU map short-circuits
+the whole encode → batch → kernel pipeline for repeat lookups, which is
+exactly where a serving deployment of CuART would put a memcache tier.
+
+The cache stores *resolved* lookup outcomes (``value`` or ``None`` for a
+confirmed miss — negative caching), and the engine invalidates entries on
+every update / delete / insert that touches them, so cached answers are
+always equal to what the kernels would return (property-tested against a
+cache-disabled engine under interleaved mutation streams).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`HotKeyCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HotKeyCache:
+    """A bounded LRU map ``key -> Optional[value]``.
+
+    ``None`` is a first-class cached outcome (negative caching) — the
+    sentinel for "not cached" is kept internal.
+    """
+
+    __slots__ = ("capacity", "_data", "stats")
+
+    _ABSENT = object()
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ReproError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[bytes, Optional[int]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes):
+        """Return ``(cached, value)``; refreshes LRU recency on hit."""
+        data = self._data
+        val = data.get(key, self._ABSENT)
+        if val is self._ABSENT:
+            self.stats.misses += 1
+            return False, None
+        data.move_to_end(key)
+        self.stats.hits += 1
+        return True, val
+
+    def put(self, key: bytes, value: Optional[int]) -> None:
+        """Insert or refresh an entry, evicting the coldest if full."""
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        if len(data) >= self.capacity:
+            data.popitem(last=False)
+            self.stats.evictions += 1
+        data[key] = value
+
+    def update_if_cached(self, key: bytes, value: Optional[int]) -> None:
+        """Refresh an entry in place if (and only if) it is resident —
+        mutations must never *pollute* the LRU with cold keys."""
+        if key in self._data:
+            self._data[key] = value
+            self.stats.invalidations += 1
+
+    def invalidate(self, key: bytes) -> None:
+        """Drop one entry if resident."""
+        if self._data.pop(key, self._ABSENT) is not self._ABSENT:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._data)
+        self._data.clear()

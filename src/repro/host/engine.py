@@ -7,15 +7,25 @@ query batch runs the *real* vectorized kernels (results are exact) while
 its transaction log flows through the simulated device's cost model and
 the host pipeline model, producing the end-to-end throughput estimates
 reported by the benchmarks.
+
+The serving path is array-native end to end: the whole query stream is
+bulk-encoded into one key matrix, batches are views of it, results are
+scattered back with single fancy-index assignments, and the Python-object
+conversion of lookup results is deferred until a caller actually consumes
+them (:class:`LazyValues`).  An optional hot-key LRU result cache
+(:mod:`repro.host.cache`) short-circuits repeat lookups under skewed
+traffic.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.art.bulk import bulk_load
 from repro.art.tree import AdaptiveRadixTree
 from repro.constants import (
     DEFAULT_BATCH_SIZE,
@@ -25,6 +35,7 @@ from repro.constants import (
     NIL_VALUE,
 )
 from repro.cuart.delete import delete_batch
+from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.insert import InsertEngine
 from repro.cuart.layout import CuartLayout, LongKeyStrategy
 from repro.cuart.lookup import lookup_batch
@@ -43,8 +54,10 @@ from repro.gpusim.devices import (
     WORKSTATION_CPU,
 )
 from repro.gpusim.transactions import TransactionLog
-from repro.host.batching import coalesce
+from repro.host.batching import coalesce_encoded
+from repro.host.cache import HotKeyCache
 from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+from repro.util.keys import keys_to_matrix
 
 
 @dataclass
@@ -76,6 +89,77 @@ class EngineReport:
         )
 
 
+class LazyValues(_SequenceABC):
+    """Batched lookup results, kept as the kernel's uint64 vector.
+
+    Python-object conversion (``int`` / ``None``) happens once, lazily, on
+    first consumption — engines and executors that only need hit/miss
+    statistics read :attr:`array` / :attr:`hit_mask` and never pay it.
+    Compares equal to the equivalent ``list``.
+    """
+
+    __slots__ = ("array", "_overrides", "_list")
+
+    def __init__(
+        self, array: np.ndarray, overrides: Optional[dict] = None
+    ) -> None:
+        #: (n,) uint64 raw kernel values (``NIL_VALUE`` = miss).
+        self.array = array
+        # host-resolved rows (long-key strategy b): position -> value/None
+        self._overrides = overrides or {}
+        self._list: Optional[list] = None
+
+    def to_list(self) -> list:
+        """Materialize (and memoize) the Python-object result list."""
+        if self._list is None:
+            obj = self.array.astype(object)
+            obj[self.array == np.uint64(NIL_VALUE)] = None
+            for pos, val in self._overrides.items():
+                obj[pos] = val
+            self._list = obj.tolist()
+        return self._list
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        """(n,) bool — which queries found their key (vectorized)."""
+        mask = self.array != np.uint64(NIL_VALUE)
+        for pos, val in self._overrides.items():
+            mask[pos] = val is not None
+        return mask
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __getitem__(self, index):
+        return self.to_list()[index]
+
+    def __iter__(self):
+        return iter(self.to_list())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyValues):
+            return self.to_list() == other.to_list()
+        if isinstance(other, (list, tuple)):
+            return self.to_list() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return repr(self.to_list())
+
+
+class FoundFlags(list):
+    """``list[bool]`` result that also carries the raw kernel flag vector
+    (:attr:`array`) for vectorized tallies."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        super().__init__(array.tolist())
+        self.array = array
+
+
 class _EngineBase:
     """Shared pipeline bookkeeping for both engines."""
 
@@ -99,12 +183,55 @@ class _EngineBase:
 
     # -- stage 1: populate ------------------------------------------------
     def populate(self, items: Iterable[tuple[bytes, int]]) -> None:
-        """Insert ``(key, value)`` pairs into the host ART (stage 1)."""
+        """Insert ``(key, value)`` pairs into the host ART (stage 1).
+
+        Populating an empty engine takes the vectorized bottom-up
+        bulk-load path (:func:`repro.art.bulk.bulk_load`, duplicate keys
+        collapsed last-wins like repeated inserts); anything it cannot
+        express (non-empty tree, prefix-overlapping keys, exotic inputs)
+        falls back to per-item root-to-leaf inserts.
+        """
+        items = list(items)
+        if items and len(self.tree) == 0 and getattr(self, "layout", None) is None:
+            dedup = None
+            try:
+                # common case first: distinct keys need no dedup pass
+                self.tree = bulk_load(
+                    [k for k, _ in items], [v for _, v in items]
+                )
+                return
+            except ReproError:
+                # duplicate keys (collapsed last-wins, like repeated
+                # inserts) — or an input only the incremental path can
+                # reject with its canonical error
+                try:
+                    dedup = dict(items)
+                except (TypeError, ValueError):
+                    dedup = None
+            except (TypeError, ValueError):
+                pass  # malformed pairs: the insert loop raises canonically
+            if dedup is not None and len(dedup) < len(items):
+                try:
+                    self.tree = bulk_load(list(dedup), list(dedup.values()))
+                    return
+                except ReproError:
+                    pass  # incremental path reproduces the per-item error
         for k, v in items:
             self.tree.insert(k, v)
 
     def __len__(self) -> int:
         return len(self.tree)
+
+    # -- shared batching ---------------------------------------------------
+    def _coalesce_stream(self, keys: Sequence[bytes]):
+        """Bulk-encode one query stream and slice it into batch views.
+
+        This is the single shared width-scan / encode / batch block that
+        every batched operation (lookup, update, insert, delete, for both
+        engines) dispatches through.
+        """
+        mat, lens = keys_to_matrix(keys)
+        return coalesce_encoded(mat, lens, self.batch_size), mat.shape[1]
 
     # -- reporting ---------------------------------------------------------
     def _report(
@@ -164,10 +291,16 @@ class CuartEngine(_EngineBase):
         long_keys: LongKeyStrategy = LongKeyStrategy.ERROR,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
         spare: float = 0.25,
+        cache_size: int = 0,
     ) -> None:
         """``spare`` over-allocates the device buffers so
         :meth:`insert` can place new keys without an immediate re-map
-        (the §5.1 device-side insert path)."""
+        (the §5.1 device-side insert path).
+
+        ``cache_size`` > 0 enables the hot-key LRU result cache
+        (:class:`repro.host.cache.HotKeyCache`): repeated lookups of hot
+        keys are served from the host map, and every update / delete /
+        insert keeps the cached entries coherent with the device."""
         super().__init__(
             device=device, cpu=cpu, batch_size=batch_size,
             host_threads=host_threads, api="cuda",
@@ -178,6 +311,15 @@ class CuartEngine(_EngineBase):
         self.spare = spare
         self.layout: Optional[CuartLayout] = None
         self.root_table: Optional[RootTable] = None
+        self.cache: Optional[HotKeyCache] = (
+            HotKeyCache(cache_size) if cache_size else None
+        )
+        # kernel engines are layout-bound; cached so repeated update /
+        # insert / delete calls reuse one conflict hash table instead of
+        # re-allocating it per call (see AtomicMaxHashTable.reset)
+        self._updater: Optional[UpdateEngine] = None
+        self._inserter: Optional[InsertEngine] = None
+        self._delete_table = None
 
     # -- stage 2: map -------------------------------------------------------
     def map_to_device(self) -> None:
@@ -190,6 +332,10 @@ class CuartEngine(_EngineBase):
             self.root_table = RootTable(self.layout, k=self.root_table_depth)
         else:
             self.root_table = None
+        self._updater = None
+        self._inserter = None
+        if self.cache is not None:
+            self.cache.clear()
 
     def _require_layout(self) -> CuartLayout:
         if self.layout is None:
@@ -197,38 +343,104 @@ class CuartEngine(_EngineBase):
         return self.layout
 
     # -- stage 3: queries ----------------------------------------------------
-    def lookup(self, keys: Sequence[bytes]) -> list[Optional[int]]:
-        """Batched exact lookups; returns values (``None`` for misses).
-
-        Long keys stored via :attr:`LongKeyStrategy.HOST_LINK` come back
-        after the CPU resolves the device's host-leaf signals.
-        """
-        layout = self._require_layout()
-        width = max(max((len(k) for k in keys), default=1), 1)
-        out: list[Optional[int]] = [None] * len(keys)
+    def _lookup_dispatch(
+        self, layout: CuartLayout, keys: Sequence[bytes], encoded=None
+    ):
+        """Run one lookup stream through the kernels; returns the raw
+        value vector, host-leaf resolutions, batch count, width, logs.
+        ``encoded`` passes an already-encoded ``(mat, lens)`` pair for
+        the same keys to skip a second encoding pass."""
+        if encoded is None:
+            batches, width = self._coalesce_stream(keys)
+        else:
+            mat, lens = encoded
+            batches = coalesce_encoded(mat, lens, self.batch_size)
+            width = mat.shape[1]
+        values = np.full(len(keys), np.uint64(NIL_VALUE), dtype=np.uint64)
+        refs = np.full(len(keys), -1, dtype=np.int64)
         logs = []
-        batches = coalesce(list(keys), self.batch_size, width=width)
         for batch in batches:
             res = lookup_batch(
                 layout, batch.keys_mat, batch.key_lens,
                 root_table=self.root_table,
             )
             logs.append(res.log)
-            vals = res.values
-            for j, pos in enumerate(batch.origin):
-                ref = int(res.host_refs[j])
-                if ref >= 0:
-                    hk, hv = layout.host_leaves[ref]
-                    out[pos] = hv if hk == keys[pos] else None
-                else:
-                    v = int(vals[j])
-                    out[pos] = None if v == NIL_VALUE else v
-        self._report("lookup", len(keys), len(batches), logs, width)
-        return out
+            values[batch.origin] = res.values
+            refs[batch.origin] = res.host_refs
+        overrides: dict[int, Optional[int]] = {}
+        if layout.host_leaves:
+            # long keys stored via HOST_LINK: the CPU resolves the
+            # device's host-leaf signals (rare rows only)
+            for i in np.flatnonzero(refs >= 0):
+                hk, hv = layout.host_leaves[int(refs[i])]
+                overrides[int(i)] = hv if hk == keys[int(i)] else None
+        return values, overrides, len(batches), width, logs
+
+    def lookup(self, keys: Sequence[bytes]):
+        """Batched exact lookups; returns values (``None`` for misses).
+
+        Long keys stored via :attr:`LongKeyStrategy.HOST_LINK` come back
+        after the CPU resolves the device's host-leaf signals.  With the
+        result cache enabled, hot keys are served from the host LRU and
+        only cold keys reach the kernels.
+        """
+        layout = self._require_layout()
+        layout.check_fresh()
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        if self.cache is None:
+            values, overrides, n_batches, width, logs = self._lookup_dispatch(
+                layout, keys
+            )
+            self._report("lookup", len(keys), n_batches, logs, width)
+            return LazyValues(values, overrides)
+        # Hot-key cache path: hot keys repeat by definition, so dedupe
+        # the stream first and probe the LRU once per *distinct* key;
+        # only cold distinct keys reach the kernels.  A dict over the
+        # raw bytes keys beats encoding the whole stream: bytes objects
+        # cache their hash, so a repeat costs one dict probe and the
+        # encoder only ever sees the cold distinct keys.
+        idx_of: dict = {}
+        setdef = idx_of.setdefault
+        inverse = np.array(
+            [setdef(k, len(idx_of)) for k in keys], dtype=np.int64
+        )
+        uniq_keys = list(idx_of)
+        values = np.full(len(uniq_keys), np.uint64(NIL_VALUE), dtype=np.uint64)
+        overrides: dict[int, Optional[int]] = {}
+        miss_pos: list[int] = []
+        get = self.cache.get
+        for j, k in enumerate(uniq_keys):
+            hit, val = get(k)
+            if not hit:
+                miss_pos.append(j)
+            elif type(val) is int:
+                values[j] = val
+            elif val is not None:
+                overrides[j] = val
+        n_batches, width, logs = 0, 1, []
+        if miss_pos:
+            miss_keys = [uniq_keys[j] for j in miss_pos]
+            mvals, movr, n_batches, width, logs = self._lookup_dispatch(
+                layout, miss_keys
+            )
+            values[np.asarray(miss_pos)] = mvals
+            put = self.cache.put
+            for k, v in zip(miss_keys, LazyValues(mvals, movr)):
+                put(k, v)
+            for p, val in movr.items():
+                overrides[miss_pos[p]] = val
+        out_vals = values[inverse]
+        out_ovr: dict[int, Optional[int]] = {}
+        for j, val in overrides.items():
+            for pos in np.flatnonzero(inverse == j):
+                out_ovr[int(pos)] = val
+        self._report("lookup", len(keys), n_batches, logs, width)
+        return LazyValues(out_vals, out_ovr)
 
     def update(
         self, items: Sequence[tuple[bytes, int]]
-    ) -> list[bool]:
+    ) -> FoundFlags:
         """Batched value updates (section 3.4); returns found-flags.
 
         Within a batch, later items win conflicts on the same key (the
@@ -236,29 +448,34 @@ class CuartEngine(_EngineBase):
         applied value so a future re-map cannot resurrect stale data.
         """
         layout = self._require_layout()
+        items = list(items) if not isinstance(items, (list, tuple)) else items
         keys = [k for k, _ in items]
-        width = max(max((len(k) for k in keys), default=1), 1)
-        found = [False] * len(items)
-        engine = UpdateEngine(
-            layout, root_table=self.root_table, hash_slots=self.hash_slots
-        )
-        logs = []
-        batches = coalesce(keys, self.batch_size, width=width)
         values = np.array([v for _, v in items], dtype=np.uint64)
+        batches, width = self._coalesce_stream(keys)
+        engine = self._updater
+        if engine is None or engine.layout is not layout:
+            engine = self._updater = UpdateEngine(
+                layout, root_table=self.root_table, hash_slots=self.hash_slots
+            )
+        found = np.zeros(len(items), dtype=bool)
+        logs = []
         for batch in batches:
             res = engine.apply(
                 batch.keys_mat, batch.key_lens, values[batch.origin]
             )
             logs.append(res.log)
-            for j, pos in enumerate(batch.origin):
-                found[pos] = bool(res.found[j])
+            found[batch.origin] = res.found
+        flags = FoundFlags(found)
         # mirror into the host tree (sequential order == thread order)
-        for (k, v), hit in zip(items, found):
+        cache = self.cache
+        for (k, v), hit in zip(items, flags):
             if hit:
                 self.tree.insert(k, v)
+                if cache is not None:
+                    cache.update_if_cached(k, v)
         layout.mark_synced()
         self._report("update", len(items), len(batches), logs, width)
-        return found
+        return flags
 
     def insert(
         self, items: Sequence[tuple[bytes, int]], *, remap_on_defer: bool = True
@@ -272,15 +489,18 @@ class CuartEngine(_EngineBase):
         content stays authoritative.
         """
         layout = self._require_layout()
+        items = list(items) if not isinstance(items, (list, tuple)) else items
         keys = [k for k, _ in items]
-        width = max(max((len(k) for k in keys), default=1), 1)
-        engine = InsertEngine(
-            layout, root_table=self.root_table, hash_slots=self.hash_slots
-        )
         values = np.array([v for _, v in items], dtype=np.uint64)
+        batches, width = self._coalesce_stream(keys)
+        engine = self._inserter
+        if engine is None or engine.layout is not layout:
+            engine = self._inserter = InsertEngine(
+                layout, root_table=self.root_table, hash_slots=self.hash_slots
+            )
         logs = []
         n_ins = n_upd = n_def = 0
-        for batch in coalesce(keys, self.batch_size, width=width):
+        for batch in batches:
             res = engine.apply(batch.keys_mat, batch.key_lens,
                                values[batch.origin])
             logs.append(res.log)
@@ -289,8 +509,13 @@ class CuartEngine(_EngineBase):
             n_def += res.n_deferred
         # the host tree mirrors everything (duplicates: last one wins,
         # matching the device's thread-priority rule)
+        cache = self.cache
         for k, v in items:
             self.tree.insert(k, v)
+            if cache is not None:
+                # deferred rows are invisible to the kernels until the
+                # re-map, so refresh from the device on next lookup
+                cache.invalidate(k)
         remapped = False
         if n_def and remap_on_defer:
             self.map_to_device()
@@ -305,30 +530,37 @@ class CuartEngine(_EngineBase):
             "remapped": remapped,
         }
 
-    def delete(self, keys: Sequence[bytes]) -> list[bool]:
+    def delete(self, keys: Sequence[bytes]) -> FoundFlags:
         """Batched device-side deletions (section 3.3).
 
         Mirrored into the host tree so a future re-map cannot resurrect
         the deleted keys."""
         layout = self._require_layout()
-        width = max(max((len(k) for k in keys), default=1), 1)
-        out = [False] * len(keys)
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        batches, width = self._coalesce_stream(keys)
+        deleted = np.zeros(len(keys), dtype=bool)
         logs = []
-        batches = coalesce(list(keys), self.batch_size, width=width)
+        if self._delete_table is None:
+            self._delete_table = AtomicMaxHashTable(self.hash_slots)
         for batch in batches:
             res = delete_batch(
                 layout, batch.keys_mat, batch.key_lens,
                 root_table=self.root_table, hash_slots=self.hash_slots,
+                table=self._delete_table,
             )
             logs.append(res.log)
-            for j, pos in enumerate(batch.origin):
-                out[pos] = bool(res.deleted[j])
-        for k, hit in zip(keys, out):
+            deleted[batch.origin] = res.deleted
+        flags = FoundFlags(deleted)
+        cache = self.cache
+        for k, hit in zip(keys, flags):
             if hit:
                 self.tree.delete(k)
+                if cache is not None:
+                    cache.update_if_cached(k, None)
         layout.mark_synced()
         self._report("delete", len(keys), len(batches), logs, width)
-        return out
+        return flags
 
     # -- persistence ---------------------------------------------------------
     def save(self, path) -> None:
@@ -400,38 +632,36 @@ class GrtEngine(_EngineBase):
             raise ReproError("call map_to_device() after populating")
         return self.layout
 
-    def lookup(self, keys: Sequence[bytes]) -> list[Optional[int]]:
+    def lookup(self, keys: Sequence[bytes]) -> LazyValues:
         layout = self._require_layout()
-        width = max(max((len(k) for k in keys), default=1), 1)
-        out: list[Optional[int]] = [None] * len(keys)
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        batches, width = self._coalesce_stream(keys)
+        values = np.full(len(keys), np.uint64(NIL_VALUE), dtype=np.uint64)
         logs = []
-        batches = coalesce(list(keys), self.batch_size, width=width)
         for batch in batches:
             res = grt_lookup_batch(layout, batch.keys_mat, batch.key_lens)
             logs.append(res.log)
-            for j, pos in enumerate(batch.origin):
-                v = int(res.values[j])
-                out[pos] = None if v == NIL_VALUE else v
+            values[batch.origin] = res.values
         self._report("lookup", len(keys), len(batches), logs, width)
-        return out
+        return LazyValues(values)
 
-    def update(self, items: Sequence[tuple[bytes, int]]) -> list[bool]:
+    def update(self, items: Sequence[tuple[bytes, int]]) -> FoundFlags:
         layout = self._require_layout()
+        items = list(items) if not isinstance(items, (list, tuple)) else items
         keys = [k for k, _ in items]
-        width = max(max((len(k) for k in keys), default=1), 1)
-        found = [False] * len(items)
-        logs = []
-        batches = coalesce(keys, self.batch_size, width=width)
         values = np.array([v for _, v in items], dtype=np.uint64)
+        batches, width = self._coalesce_stream(keys)
+        found = np.zeros(len(items), dtype=bool)
+        logs = []
         for batch in batches:
             res = grt_update_batch(
                 layout, batch.keys_mat, batch.key_lens, values[batch.origin]
             )
             logs.append(res.log)
-            for j, pos in enumerate(batch.origin):
-                found[pos] = bool(res.found[j])
+            found[batch.origin] = res.found
         self._report("update", len(items), len(batches), logs, width)
-        return found
+        return FoundFlags(found)
 
     def range(self, lo: bytes, hi: bytes) -> list[tuple[bytes, int]]:
         """Inclusive range via the in-order buffer scan (the GRT paper's

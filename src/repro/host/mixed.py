@@ -8,11 +8,19 @@ of lookups, updates and deletes (from
 operation type* into device batches while preserving the stream's
 cross-type ordering — a read issued after a write to the same key
 observes the write, exactly like a serial client would.
+
+Hit/miss tallies come straight from the batch result arrays
+(:attr:`LazyValues.hit_mask` / :attr:`FoundFlags.array`) — no per-item
+Python counting — and the report carries measured host wall-clock per
+operation class for latency accounting.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.host.engine import CuartEngine
 
@@ -36,11 +44,44 @@ class MixedReport:
     batches: int = 0
     #: end-to-end simulated MOps/s per op type (last batch of each).
     simulated_mops: dict = field(default_factory=dict)
+    #: measured host wall-clock seconds spent per op class.
+    wall_s: dict = field(default_factory=dict)
 
     @property
     def operations(self) -> int:
         return (self.lookups + self.updates + self.deletes
                 + self.inserts + self.scans)
+
+    def mean_latency_us(self, kind: str) -> float:
+        """Measured mean host latency per operation of one class, in
+        microseconds (0.0 if that class never ran)."""
+        count = {
+            "lookup": self.lookups, "update": self.updates,
+            "delete": self.deletes, "insert": self.inserts,
+            "scan": self.scans,
+        }[kind]
+        if not count:
+            return 0.0
+        return self.wall_s.get(kind, 0.0) / count * 1e6
+
+
+def _hit_count(values) -> int:
+    """Hits in one lookup result batch, vectorized when the engine
+    returned a :class:`LazyValues` (plain lists come from the cache
+    path)."""
+    mask = getattr(values, "hit_mask", None)
+    if mask is not None:
+        return int(np.count_nonzero(mask))
+    return sum(1 for v in values if v is not None)
+
+
+def _found_count(found) -> int:
+    """Found-flags in one update/delete result, vectorized when the
+    engine returned a :class:`FoundFlags`."""
+    arr = getattr(found, "array", None)
+    if arr is not None:
+        return int(np.count_nonzero(arr))
+    return sum(1 for f in found if f)
 
 
 class MixedWorkloadExecutor:
@@ -63,16 +104,18 @@ class MixedWorkloadExecutor:
             nonlocal run_kind, pending
             if not pending:
                 return
+            t0 = time.perf_counter()
             if run_kind == "lookup":
                 values = self.engine.lookup(pending)
                 results.extend(values)
                 report.lookups += len(pending)
-                report.hits += sum(1 for v in values if v is not None)
-                report.misses += sum(1 for v in values if v is None)
+                hits = _hit_count(values)
+                report.hits += hits
+                report.misses += len(pending) - hits
             elif run_kind == "update":
                 found = self.engine.update(pending)
                 report.updates += len(pending)
-                report.update_misses += sum(1 for f in found if not f)
+                report.update_misses += len(pending) - _found_count(found)
             elif run_kind == "insert":
                 out = self.engine.insert(pending)
                 report.inserts += len(pending)
@@ -85,8 +128,11 @@ class MixedWorkloadExecutor:
             else:  # delete
                 found = self.engine.delete(pending)
                 report.deletes += len(pending)
-                report.delete_misses += sum(1 for f in found if not f)
+                report.delete_misses += len(pending) - _found_count(found)
             report.batches += 1
+            report.wall_s[run_kind] = (
+                report.wall_s.get(run_kind, 0.0) + time.perf_counter() - t0
+            )
             if self.engine.last_report is not None:
                 report.simulated_mops[run_kind] = (
                     self.engine.last_report.end_to_end_mops

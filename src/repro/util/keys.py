@@ -17,11 +17,22 @@ by the vectorized device kernels.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import KeyEncodingError
+
+#: escape hatch: setting ``REPRO_SCALAR_ENCODER=1`` routes
+#: :func:`keys_to_matrix` through the original per-key loop.  Kept for one
+#: PR so the benchmark harness can measure the pre-vectorization host path
+#: (``BENCH_seed.json``); scheduled for removal afterwards.
+_SCALAR_ENV = "REPRO_SCALAR_ENCODER"
+
+
+def _use_scalar_encoder() -> bool:
+    return os.environ.get(_SCALAR_ENV, "") not in ("", "0")
 
 
 def encode_int(value: int, width: int = 8) -> bytes:
@@ -86,7 +97,21 @@ def keys_to_matrix(
     only consume fixed-stride buffers.  Keys shorter than ``width`` are
     zero-padded (the padding never participates in comparisons because the
     length vector is carried along).
+
+    The whole batch is encoded in one vectorized pass (see
+    :func:`encode_key_batch`); ``REPRO_SCALAR_ENCODER=1`` restores the
+    original per-key loop for benchmarking the pre-vectorization path.
     """
+    if _use_scalar_encoder():
+        return _keys_to_matrix_scalar(keys, width)
+    return encode_key_batch(keys, width=width)
+
+
+def _keys_to_matrix_scalar(
+    keys: Sequence[bytes], width: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original per-key encoder (reference implementation; the bulk
+    encoder is property-tested byte-identical against it)."""
     if width is None:
         width = max((len(k) for k in keys), default=1)
     n = len(keys)
@@ -102,6 +127,121 @@ def keys_to_matrix(
         mat[i, : len(k)] = np.frombuffer(k, dtype=np.uint8)
         lens[i] = len(k)
     return mat, lens
+
+
+def encode_key_batch(
+    keys: Sequence[bytes], width: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bulk-encode ``keys`` into one ``(len(keys), width)`` uint8 matrix +
+    length vector without any per-key Python work.
+
+    The batch is materialized as a NumPy fixed-width bytes array (one
+    C-level pass that also zero-pads every row) and reinterpreted as the
+    uint8 matrix; only the length vector needs a per-key ``len`` call.
+    """
+    n = len(keys)
+    if n == 0:
+        w = 1 if width is None else width
+        return np.zeros((0, w), dtype=np.uint8), np.zeros(0, dtype=np.int64)
+    arr = np.asarray(keys)
+    if arr.dtype.kind != "S" or arr.ndim != 1:
+        raise KeyEncodingError(
+            f"keys must be bytes, got array kind {arr.dtype.kind!r}"
+        )
+    lens = np.fromiter(map(len, keys), dtype=np.int64, count=n)
+    longest = int(lens.max())
+    if width is None:
+        width = max(longest, 1)
+    elif longest > width:
+        raise KeyEncodingError(
+            f"key of length {longest} does not fit matrix width {width}"
+        )
+    if not lens.all():
+        raise KeyEncodingError("empty keys cannot be indexed")
+    if arr.dtype.itemsize != width:
+        arr = arr.astype(f"S{width}")
+    mat = arr.view(np.uint8).reshape(n, width)
+    return mat, lens
+
+
+#: multiply-xor mixing constants (64-bit golden-ratio / splitmix64).
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+
+
+def dedup_rows(
+    mat: np.ndarray, lens: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group identical keys of an encoded batch: returns ``(first,
+    inverse)`` with ``first`` the row index of each distinct key's first
+    occurrence and ``inverse`` mapping every row to its group, so
+    ``first[inverse[i]]`` is row ``i``'s representative.
+
+    A padded row alone cannot distinguish ``b"a"`` from ``b"a\\x00"``,
+    so the length participates.  The fast path sorts one mixed 64-bit
+    token per row instead of memcmp-sorting whole rows, then *verifies*
+    the grouping with a whole-array gather-compare; a (astronomically
+    rare) token collision falls back to exact row sorting, so the result
+    is always exact.
+    """
+    n, W = mat.shape
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    W8 = max((W + 7) // 8, 1)
+    padded = np.zeros((n, W8 * 8), dtype=np.uint8)
+    padded[:, :W] = mat
+    words = padded.view(np.uint64)
+    h = lens.astype(np.uint64) * _MIX_A
+    for c in range(W8):
+        h = (h ^ words[:, c]) * _MIX_B
+    _, first, inverse = np.unique(h, return_index=True, return_inverse=True)
+    rep = first[inverse]
+    if bool((mat[rep] == mat).all()) and bool((lens[rep] == lens).all()):
+        return first, inverse
+    # token collision: exact fallback via memcmp sort of (row, len)
+    aug = np.empty((n, W + 8), dtype=np.uint8)
+    aug[:, :W] = mat
+    aug[:, W:] = lens.astype("<u8")[:, None].view(np.uint8)
+    void = aug.view(np.dtype((np.void, aug.shape[1])))[:, 0]
+    _, first, inverse = np.unique(void, return_index=True, return_inverse=True)
+    return first, inverse
+
+
+def encode_int_batch(values, width: int = 8) -> np.ndarray:
+    """Vectorized :func:`encode_int`: a ``(n, width)`` uint8 matrix whose
+    row ``i`` is byte-identical to ``encode_int(values[i], width)``."""
+    if width <= 0:
+        raise KeyEncodingError(f"width must be positive, got {width}")
+    try:
+        arr = np.asarray(values, dtype=np.uint64)
+    except (OverflowError, ValueError, TypeError) as exc:
+        raise KeyEncodingError(
+            f"integer keys must be non-negative and fit 64 bits: {exc}"
+        ) from exc
+    if width < 8 and arr.size and int(arr.max()) >> (8 * width):
+        bad = int(arr[(arr >> np.uint64(8 * width)) > 0][0])
+        raise KeyEncodingError(f"{bad} does not fit in {width} bytes")
+    be = arr.astype(">u8").view(np.uint8).reshape(arr.size, 8)
+    if width == 8:
+        return be.copy()
+    if width < 8:
+        return be[:, 8 - width :].copy()
+    out = np.zeros((arr.size, width), dtype=np.uint8)
+    out[:, width - 8 :] = be
+    return out
+
+
+def encode_str_batch(texts: Sequence[str], encoding: str = "utf-8") -> list[bytes]:
+    """Vectorized :func:`encode_str`: encode a batch of string keys (with
+    the 0x00 terminator each) in one pass over one joined buffer."""
+    if not texts:
+        return []
+    raw = "\x00".join(texts).encode(encoding)
+    parts = raw.split(b"\x00")
+    if len(parts) != len(texts):
+        raise KeyEncodingError("string keys must not contain NUL bytes")
+    return [p + b"\x00" for p in parts]
 
 
 def matrix_to_keys(mat: np.ndarray, lens: np.ndarray) -> list[bytes]:

@@ -145,6 +145,7 @@ class TestWithRootTable:
         # on nodes (the table read itself is one 8-byte access)
         assert fast.log.total_bytes < plain.log.total_bytes
 
+    @pytest.mark.slow
     def test_short_keys_fall_back_to_root(self, medium_tree):
         lay = CuartLayout(medium_tree)
         table = RootTable(lay, k=3)

@@ -1,0 +1,128 @@
+"""The hot-key result cache must be invisible except in speed.
+
+A cache-enabled :class:`~repro.host.engine.CuartEngine` is run in
+lockstep with a cache-disabled twin through interleaved lookup / update /
+delete / insert streams; every lookup batch must return identical
+values.  The cache's own mechanics (LRU eviction, negative caching,
+invalidation on mutation) are pinned separately.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.cache import HotKeyCache
+from repro.host.engine import CuartEngine
+from repro.workloads import random_keys
+
+
+def build(keys, cache_size):
+    eng = CuartEngine(batch_size=128, cache_size=cache_size)
+    eng.populate((k, i) for i, k in enumerate(keys))
+    eng.map_to_device()
+    return eng
+
+
+class TestCacheTransparency:
+    @pytest.mark.slow
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_lockstep_with_uncached_engine(self, data):
+        keys = random_keys(160, 8, seed=3)
+        cached = build(keys, cache_size=32)  # small: forces evictions
+        plain = build(keys, cache_size=0)
+        missing = [bytes([255] * 8 + [i]) for i in range(8)]
+        pool = keys + missing
+        pick = st.lists(
+            st.integers(0, len(pool) - 1), min_size=1, max_size=40
+        )
+        for step in range(6):
+            op = data.draw(
+                st.sampled_from(["lookup", "update", "delete", "insert"])
+            )
+            qs = [pool[i] for i in data.draw(pick)]
+            if op == "lookup":
+                assert list(cached.lookup(qs)) == list(plain.lookup(qs))
+            elif op == "update":
+                items = [(k, 10_000 + step) for k in qs]
+                assert list(cached.update(items)) == list(plain.update(items))
+            elif op == "delete":
+                assert list(cached.delete(qs)) == list(plain.delete(qs))
+            else:
+                items = [(k, 20_000 + step) for k in qs]
+                ra = cached.insert(items)
+                rb = plain.insert(items)
+                assert ra["device_inserted"] == rb["device_inserted"]
+                assert ra["updated"] == rb["updated"]
+            # every key's serve state must agree after each mutation
+            assert list(cached.lookup(pool)) == list(plain.lookup(pool))
+
+    def test_update_refreshes_cached_value(self):
+        keys = random_keys(64, 8, seed=4)
+        eng = build(keys, cache_size=16)
+        k = keys[0]
+        assert eng.lookup([k]) == [0]  # now cached
+        eng.update([(k, 777)])
+        assert eng.lookup([k]) == [777]
+
+    def test_delete_invalidates_cached_value(self):
+        keys = random_keys(64, 8, seed=5)
+        eng = build(keys, cache_size=16)
+        k = keys[1]
+        assert eng.lookup([k]) == [1]
+        assert all(eng.delete([k]))
+        assert eng.lookup([k]) == [None]
+
+
+class TestCacheMechanics:
+    def test_repeat_lookups_hit(self):
+        keys = random_keys(64, 8, seed=6)
+        eng = build(keys, cache_size=16)
+        eng.lookup([keys[0], keys[0], keys[0]])
+        # one distinct key: one miss, and the dedup makes repeats free
+        assert eng.cache.stats.misses == 1
+        eng.lookup([keys[0]])
+        assert eng.cache.stats.hits == 1
+        assert 0 < eng.cache.stats.hit_rate < 1
+
+    def test_negative_caching(self):
+        keys = random_keys(64, 8, seed=7)
+        eng = build(keys, cache_size=16)
+        ghost = bytes(8)
+        assert eng.lookup([ghost]) == [None]
+        assert eng.lookup([ghost]) == [None]
+        assert eng.cache.stats.hits == 1  # the second probe never dispatched
+
+    def test_eviction_bounds_residency(self):
+        keys = random_keys(64, 8, seed=8)
+        eng = build(keys, cache_size=4)
+        eng.lookup(keys[:12])
+        assert len(eng.cache) <= 4
+        assert eng.cache.stats.evictions >= 8
+
+    def test_lru_keeps_the_hot_key(self):
+        cache = HotKeyCache(2)
+        cache.put(b"hot", 1)
+        cache.put(b"cold", 2)
+        cache.get(b"hot")  # refresh recency
+        cache.put(b"new", 3)  # evicts the coldest: b"cold"
+        assert b"hot" in cache and b"new" in cache and b"cold" not in cache
+
+    def test_remap_clears_cache(self):
+        keys = random_keys(64, 8, seed=9)
+        eng = build(keys, cache_size=16)
+        eng.lookup(keys[:8])
+        assert len(eng.cache) > 0
+        eng.map_to_device()
+        assert len(eng.cache) == 0
+
+    def test_zero_capacity_disables_cache(self):
+        keys = random_keys(16, 8, seed=10)
+        eng = build(keys, cache_size=0)
+        assert eng.cache is None
+
+    def test_negative_capacity_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            HotKeyCache(-1)

@@ -9,6 +9,7 @@ import pytest
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script):
     proc = subprocess.run(
