@@ -108,6 +108,10 @@ def run(scale: int, label: str) -> dict:
             "misses": cache.stats.misses,
             "hit_rate": round(cache.stats.hit_rate, 4),
         }
+        if getattr(type(cache), "COUNTS_DEDUP_HITS", False):
+            # with dedup-hit accounting, a 4n-query zipf(1.2) stream over
+            # n keys must report a substantial hot-key hit rate
+            assert cache.stats.hit_rate > 0, "zipf stream recorded no cache hits"
 
     # -- batched updates -------------------------------------------------
     upd_keys = [keys[i] for i in zipf_indices(n, n // 4, a=ZIPF_A, seed=13)]
@@ -118,14 +122,22 @@ def run(scale: int, label: str) -> dict:
     assert all(found), "updates must hit resident keys"
 
     # -- mixed OLTP stream (lookup/update/delete interleaved); capped —
-    # the interleaving forces tiny per-run batches, so cost is per-op
-    # dispatch overhead, not throughput, and 16Ki ops measure it fine
+    # with the op-class coalescer the interleaving no longer fragments
+    # into tiny per-run batches, and 16Ki ops measure the dispatch path
     mix = QueryMix(lookups=0.70, updates=0.25, deletes=0.05)
     stream = mixed_queries(keys, min(n // 4, 16384), mix, seed=17)
     t0 = time.perf_counter()
     _, report = MixedWorkloadExecutor(eng).run(stream)
     ops["mixed"] = _op(time.perf_counter() - t0, report.operations)
     ops["mixed"]["batches"] = report.batches
+    ops["mixed"]["batches_issued"] = report.batches
+    by_op = getattr(report, "batches_by_op", None)
+    if by_op:  # newer executors: per-op-class fragmentation + latency
+        ops["mixed"]["batches_by_op"] = dict(by_op)
+        ops["mixed"]["latency_us_by_op"] = {
+            k: round(report.mean_latency_us(k), 3)
+            for k in sorted(report.wall_s)
+        }
 
     headline_s = ops["populate"]["wall_s"] + ops["lookup_zipf"]["wall_s"]
     return {

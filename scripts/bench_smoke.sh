@@ -2,18 +2,22 @@
 # Serving-path performance smoke: wall-clock the populate / lookup /
 # update / mixed pipeline and compare against the committed baseline.
 #
-#   ./scripts/bench_smoke.sh                    # 1/64 scale, vs BENCH_seed.json
+#   ./scripts/bench_smoke.sh                    # 1/64 scale, vs BENCH_pr1.json
 #   SCALE=16 ./scripts/bench_smoke.sh           # bigger tree
 #   OUT=/tmp/b.json BASELINE= ./scripts/bench_smoke.sh   # no comparison
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${SCALE:-64}"
-OUT="${OUT:-BENCH_pr1.json}"
+OUT="${OUT:-BENCH_pr2.json}"
 LABEL="${LABEL:-local}"
-# default baseline: the committed seed measurement, when present
-if [ "${BASELINE+set}" != "set" ] && [ -f BENCH_seed.json ]; then
-    BASELINE=BENCH_seed.json
+# default baseline: the latest committed measurement, when present
+if [ "${BASELINE+set}" != "set" ]; then
+    if [ -f BENCH_pr1.json ]; then
+        BASELINE=BENCH_pr1.json
+    elif [ -f BENCH_seed.json ]; then
+        BASELINE=BENCH_seed.json
+    fi
 fi
 
 args=(--scale "$SCALE" --out "$OUT" --label "$LABEL")

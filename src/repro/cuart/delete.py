@@ -83,10 +83,11 @@ def delete_batch(
     else:
         table.reset()
     table.log = log
-    table.insert_max(locations[found], thread_ids[found])
     winners = np.zeros(B, dtype=bool)
     if found.any():
-        winners[found] = thread_ids[found] == table.lookup(locations[found])
+        winners[found] = table.resolve_winners(
+            locations[found], thread_ids[found]
+        )
 
     win_rows = np.nonzero(winners)[0]
     wlocs = locations[win_rows]
@@ -108,37 +109,48 @@ def delete_batch(
         log.record(CUART_NODE_BYTES[code], int(sel.sum()))  # clearing store
 
     # ---- remove the reference from the last visited node -------------
+    # whole-array scatters per parent node type: distinct winner leaves
+    # under one parent necessarily hang off distinct branch bytes, so the
+    # scatter targets never collide
     pcodes = link_types(res.parent_links[win_rows])
     pidx = link_indices(res.parent_links[win_rows])
     pbytes = res.parent_bytes[win_rows].astype(np.int64)
     have_parent = res.parent_links[win_rows] != np.uint64(0)
-    for i in np.nonzero(have_parent)[0]:
-        code = int(pcodes[i])
-        idx = int(pidx[i])
-        byte = int(pbytes[i])
+    for code in (LINK_N4, LINK_N16):
+        sel = have_parent & (pcodes == code)
+        if not sel.any():
+            continue
         buf = layout.nodes[code]
-        if code in (LINK_N4, LINK_N16):
-            slots = np.nonzero(
-                (buf.keys[idx] == byte)
-                & (np.arange(buf.keys.shape[1]) < int(buf.counts[idx]))
-            )[0]
-            if slots.size:
-                buf.children[idx, slots[0]] = np.uint64(0)
-        elif code == LINK_N48:
-            slot = int(buf.child_index[idx, byte])
-            if slot != N48_EMPTY_SLOT:
-                buf.children[idx, slot] = np.uint64(0)
-        elif code == LINK_N256:
-            buf.children[idx, byte] = np.uint64(0)
-        log.record(16, 1)  # child-link store
-        unlinked += 1
+        rows = pidx[sel]
+        cap = buf.keys.shape[1]
+        valid = (
+            np.arange(cap, dtype=np.int64)[None, :]
+            < buf.counts[rows].astype(np.int64)[:, None]
+        )
+        eq = (buf.keys[rows] == pbytes[sel][:, None]) & valid
+        hit = eq.any(axis=1)
+        slot = eq.argmax(axis=1)
+        buf.children[rows[hit], slot[hit]] = np.uint64(0)
+    sel = have_parent & (pcodes == LINK_N48)
+    if sel.any():
+        buf = layout.nodes[LINK_N48]
+        rows = pidx[sel]
+        slot = buf.child_index[rows, pbytes[sel]].astype(np.int64)
+        ok = slot != N48_EMPTY_SLOT
+        buf.children[rows[ok], slot[ok]] = np.uint64(0)
+    sel = have_parent & (pcodes == LINK_N256)
+    if sel.any():
+        buf = layout.nodes[LINK_N256]
+        buf.children[pidx[sel], pbytes[sel]] = np.uint64(0)
+    unlinked = int(have_parent.sum())
+    log.record(16, unlinked)  # child-link stores
     cleared_only = int(win_rows.size - unlinked)
 
     # free-list push: only safely recyclable (unlinked) leaves
-    for i in np.nonzero(have_parent)[0]:
-        code = int(wcodes[i])
-        if code in LEAF_TYPE_CODES:
-            layout.free_leaves[code].append(int(widx[i]))
+    for code in LEAF_TYPE_CODES:
+        sel = have_parent & (wcodes == code)
+        if sel.any():
+            layout.free_leaves[code].extend(widx[sel].tolist())
 
     deleted = np.zeros(B, dtype=bool)
     # every thread whose key resolved to a now-cleared location succeeded,

@@ -123,6 +123,55 @@ class AtomicMaxHashTable:
         # atomic max per distinct key
         np.maximum.at(self.values, slot_of[inverse], priorities)
 
+    def resolve_winners(
+        self, keys: np.ndarray, priorities: np.ndarray
+    ) -> np.ndarray:
+        """Insert + grid sync + read-back fused into one vectorized pass.
+
+        Semantically identical to ``insert_max(keys, priorities)`` followed
+        by ``lookup(keys) == priorities``, and it charges exactly the same
+        transactions for both phases — but the read-back reuses the slot
+        positions the probing pass already computed instead of re-walking
+        every probe chain on the host, so one batch costs a single
+        linear-probe pass.  Returns the per-thread winner mask (at most
+        one ``True`` per distinct key).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        if np.any(keys == EMPTY_KEY):
+            raise SimulationError("key 0 is reserved as the empty-slot marker")
+
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        slot_of = self._place(uniq)  # may raise HashTableFullError
+
+        home = self._hash(uniq)
+        dist = (slot_of.astype(np.uint64) - home) & self._mask
+        probes_per_key = dist.astype(np.int64) + 1
+        thread_probes = probes_per_key[inverse]
+        total_probes = int(thread_probes.sum())
+        self.total_probes += total_probes
+        self.max_probe = max(self.max_probe, int(probes_per_key.max()))
+        if self.log is not None:
+            # insert phase: same accounting as insert_max
+            self.log.begin_round(int(keys.size))
+            self.log.record(SLOT_BYTES, total_probes)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+            self.log.record_atomics(total_probes + int(keys.size))
+
+        # atomic max per distinct key (the __syncthreads() boundary)
+        np.maximum.at(self.values, slot_of[inverse], priorities)
+
+        if self.log is not None:
+            # read-back phase: same accounting as lookup — every distinct
+            # key re-walks its probe chain once to read the stored max
+            self.log.begin_round(int(keys.size))
+            self.log.record(SLOT_BYTES, int(probes_per_key.sum()))
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+        maxima = self.values[slot_of][inverse]
+        return maxima == priorities
+
     def _place(self, uniq: np.ndarray) -> np.ndarray:
         """Claim one slot per distinct key via the linear-probe race."""
         n = uniq.size

@@ -51,6 +51,10 @@ from repro.constants import (
     CUART_NODE_BYTES,
     DEFAULT_UPDATE_HASH_SLOTS,
     LEAF_TYPE_CODES,
+    LINK_DYNLEAF,
+    LINK_LEAF8,
+    LINK_LEAF16,
+    LINK_LEAF32,
     LINK_N4,
     LINK_N16,
     LINK_N48,
@@ -65,7 +69,14 @@ from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import MissReason, lookup_batch
 from repro.errors import SimulationError
 from repro.gpusim.transactions import TransactionLog
-from repro.util.packing import link_index, link_type, pack_link
+from repro.util.packing import (
+    link_index,
+    link_indices,
+    link_type,
+    link_types,
+    pack_link,
+    pack_links,
+)
 
 from repro.art.stats import leaf_type_for_key
 
@@ -173,14 +184,27 @@ class InsertEngine:
         hit = reasons == MissReason.HIT
         if hit.any():
             table = self._conflict_table(log)
-            table.insert_max(res.locations[hit], thread_ids[hit])
             winners = np.zeros(B, dtype=bool)
-            winners[hit] = thread_ids[hit] == table.lookup(res.locations[hit])
+            winners[hit] = table.resolve_winners(
+                res.locations[hit], thread_ids[hit]
+            )
             win_rows = np.nonzero(winners)[0]
-            for row in win_rows:
-                code = link_type(int(res.locations[row]))
-                idx = link_index(int(res.locations[row]))
-                layout.leaves[code].values[idx] = values[row]
+            # whole-array value scatter per leaf type (winners are
+            # distinct leaves, so targets never collide)
+            wlocs = res.locations[win_rows]
+            wcodes = link_types(wlocs)
+            widx = link_indices(wlocs)
+            for code in LEAF_TYPE_CODES:
+                sel = wcodes == code
+                if sel.any():
+                    layout.leaves[code].values[widx[sel]] = values[win_rows[sel]]
+            sel = wcodes == LINK_DYNLEAF
+            if sel.any():  # dynamic leaves: patch the heap value field
+                offs = widx[sel].astype(np.int64)
+                vals = values[win_rows[sel]].astype("<u8")
+                layout.dyn.heap[
+                    offs[:, None] + np.arange(2, 10, dtype=np.int64)[None, :]
+                ] = vals.view(np.uint8).reshape(-1, 8)
             log.record(16, win_rows.size)
             updated[hit] = winners[hit]
             layout.device_mutations += win_rows.size
@@ -191,25 +215,30 @@ class InsertEngine:
         too_long = key_lens > (layout.single_leaf_size or MAX_SHORT_KEY)
         deferred |= insertable & too_long
         insertable &= ~too_long
+        grown = 0
         if insertable.any():
             claim_rows = np.nonzero(insertable)[0]
             claims = _claim_keys(res.stop_links[claim_rows],
                                  res.stop_bytes[claim_rows])
             table = self._conflict_table(log)
-            table.insert_max(claims, thread_ids[claim_rows])
-            win = thread_ids[claim_rows] == table.lookup(claims)
+            win = table.resolve_winners(claims, thread_ids[claim_rows])
             # losers raced a sibling insert to the same slot: retry later
             deferred[claim_rows[~win]] = True
-            grown = 0
-            for row in claim_rows[win]:
+            # vectorized scatter claims the easy wins in whole-array
+            # passes; only growth / cleared-slot reuse / capacity misses
+            # come back for the per-key structural path
+            fallback, fb_slots = self._claim_scatter(
+                layout, res, claim_rows[win], keys_mat, key_lens, values,
+                inserted, log,
+            )
+            for row, slot in zip(fallback, fb_slots):
                 ok, did_grow = self._link_new_leaf(
-                    layout, res, int(row), keys_mat, key_lens, values, log
+                    layout, res, int(row), keys_mat, key_lens, values, log,
+                    leaf_slot=int(slot),
                 )
                 inserted[row] = ok
                 deferred[row] = not ok
                 grown += int(did_grow)
-        else:
-            grown = 0
 
         # ---- leaf splits: divergence at a stored leaf -------------------
         split_rows = np.nonzero(
@@ -219,15 +248,20 @@ class InsertEngine:
             # dedup by the leaf being split; leaf-link claims (types 5-7
             # in the top byte) are disjoint from NO_CHILD node claims
             table = self._conflict_table(log)
-            table.insert_max(res.stop_links[split_rows],
-                             thread_ids[split_rows])
-            win = thread_ids[split_rows] == table.lookup(
-                res.stop_links[split_rows]
+            win = table.resolve_winners(
+                res.stop_links[split_rows], thread_ids[split_rows]
             )
             deferred[split_rows[~win]] = True
-            for row in split_rows[win]:
+            wrows = split_rows[win]
+            # divergence points for the whole winner set in one byte
+            # compare per leaf type; the splice itself stays per-key
+            cpls = self._leaf_split_cpls(
+                layout, res, wrows, keys_mat, key_lens
+            )
+            for row, cpl in zip(wrows, cpls):
                 ok = self._split_leaf(
-                    layout, res, int(row), keys_mat, key_lens, values, log
+                    layout, res, int(row), keys_mat, key_lens, values, log,
+                    cpl=int(cpl),
                 )
                 inserted[row] = ok
                 deferred[row] = not ok
@@ -238,12 +272,18 @@ class InsertEngine:
         )[0]
         if pf_rows.size:
             table = self._conflict_table(log)
-            table.insert_max(res.stop_links[pf_rows], thread_ids[pf_rows])
-            win = thread_ids[pf_rows] == table.lookup(res.stop_links[pf_rows])
+            win = table.resolve_winners(
+                res.stop_links[pf_rows], thread_ids[pf_rows]
+            )
             deferred[pf_rows[~win]] = True
-            for row in pf_rows[win]:
+            wrows = pf_rows[win]
+            cpls = self._prefix_split_cpls(
+                layout, res, wrows, keys_mat, key_lens
+            )
+            for row, cpl in zip(wrows, cpls):
                 ok = self._split_prefix(
-                    layout, res, int(row), keys_mat, key_lens, values, log
+                    layout, res, int(row), keys_mat, key_lens, values, log,
+                    cpl=(int(cpl) if cpl >= 0 else None),
                 )
                 inserted[row] = ok
                 deferred[row] = not ok
@@ -288,8 +328,250 @@ class InsertEngine:
         )
 
     # ------------------------------------------------------------------
+    def _claim_scatter(
+        self, layout, res, win_rows, keys_mat, key_lens, values,
+        inserted, log,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-array fast path for ``NO_CHILD`` claim winners.
+
+        Winners appending into a node with room are linked with one bulk
+        leaf allocation per leaf type, whole-array leaf stores and one
+        link scatter per node type.  Rows needing genuinely structural
+        work — node growth, delete-cleared slot reuse, capacity misses —
+        are returned together with their pre-claimed leaf slots (slots
+        are claimed for *all* winners in ascending row order per leaf
+        type, so the slot assignment is identical to per-key
+        processing).
+        """
+        n = win_rows.size
+        empty = np.zeros(0, dtype=np.int64)
+        if n == 0:
+            return empty, empty
+        # nothing has grown yet in this batch: stop links are current
+        node_links = res.stop_links[win_rows].astype(np.uint64)
+        ncodes = link_types(node_links)
+        nidx = link_indices(node_links)
+        nbytes = res.stop_bytes[win_rows].astype(np.int64)
+
+        # -- rank-independent append test per node type -----------------
+        # (a delete-cleared slot for this byte means _add_child would
+        # reuse it instead of appending: scalar path)
+        append_ok = ncodes == LINK_N256
+        for code in (LINK_N4, LINK_N16):
+            sel = ncodes == code
+            if sel.any():
+                buf = layout.nodes[code]
+                rows = nidx[sel]
+                cnt = buf.counts[rows].astype(np.int64)
+                cap = buf.keys.shape[1]
+                live = (
+                    np.arange(cap, dtype=np.int64)[None, :] < cnt[:, None]
+                )
+                reuse = (
+                    (buf.keys[rows] == nbytes[sel][:, None])
+                    & (buf.children[rows] == np.uint64(0))
+                    & live
+                ).any(axis=1)
+                append_ok[sel] = ~reuse
+        sel48 = ncodes == LINK_N48
+        if sel48.any():
+            buf = layout.nodes[LINK_N48]
+            append_ok[sel48] = (
+                buf.child_index[nidx[sel48], nbytes[sel48]] == N48_EMPTY_SLOT
+            )
+
+        # -- per-node rank among append candidates: ascending row order
+        #    mirrors the slot order sequential processing would produce
+        rank = np.zeros(n, dtype=np.int64)
+        sub = np.nonzero(append_ok & (ncodes != LINK_N256))[0]
+        if sub.size:
+            inv = np.unique(node_links[sub], return_inverse=True)[1]
+            order = np.argsort(inv, kind="stable")
+            grp = np.bincount(inv)
+            starts = np.concatenate(([0], np.cumsum(grp)[:-1]))
+            rank[sub[order]] = (
+                np.arange(sub.size, dtype=np.int64) - starts[inv[order]]
+            )
+
+        # -- capacity check (+ N48 free-slot choice) --------------------
+        eligible = append_ok.copy()
+        for code in (LINK_N4, LINK_N16):
+            sel = eligible & (ncodes == code)
+            if sel.any():
+                buf = layout.nodes[code]
+                cnt = buf.counts[nidx[sel]].astype(np.int64)
+                eligible[sel] = cnt + rank[sel] < NODE_CAPACITY[code]
+        n48_slot = np.full(n, -1, dtype=np.int64)
+        sel = eligible & sel48
+        if sel.any():
+            buf = layout.nodes[LINK_N48]
+            rows = nidx[sel]
+            cnt = buf.counts[rows].astype(np.int64)
+            ok = cnt + rank[sel] < 48
+            # the rank-th appender takes the (rank+1)-th free slot of the
+            # pre-scatter snapshot — exactly the slot sequential
+            # first-free searches would hand out
+            free = buf.children[rows] == np.uint64(0)
+            csum = np.cumsum(free, axis=1)
+            pick = free & (csum == (rank[sel] + 1)[:, None])
+            ok &= pick.any(axis=1)
+            slot = pick.argmax(axis=1)
+            eligible[sel] = ok
+            idxs = np.nonzero(sel)[0]
+            n48_slot[idxs[ok]] = slot[ok]
+
+        # -- leaf slots for ALL winners, per type in ascending row order
+        if layout.single_leaf_size is None:
+            klens = key_lens[win_rows].astype(np.int64)
+            lcode = np.where(
+                klens <= 8, LINK_LEAF8,
+                np.where(klens <= 16, LINK_LEAF16, LINK_LEAF32),
+            )
+        else:
+            lcode = np.full(
+                n, leaf_type_for_key(layout.single_leaf_size),
+                dtype=np.int64,
+            )
+        slots = np.full(n, -1, dtype=np.int64)
+        for code in LEAF_TYPE_CODES:
+            csel = np.nonzero(lcode == code)[0]
+            if csel.size:
+                got = layout.alloc_leaves(code, int(csel.size))
+                slots[csel[: got.size]] = got
+
+        good = eligible & (slots >= 0)
+
+        # -- whole-array leaf stores ------------------------------------
+        W = keys_mat.shape[1]
+        for code in LEAF_TYPE_CODES:
+            sel = good & (lcode == code)
+            m = int(sel.sum())
+            if not m:
+                continue
+            lbuf = layout.leaves[code]
+            sl = slots[sel]
+            rw = win_rows[sel]
+            w = min(W, lbuf.keys.shape[1])
+            lbuf.keys[sl] = 0
+            lbuf.keys[sl, :w] = keys_mat[rw, :w]
+            lbuf.key_lens[sl] = key_lens[rw]
+            lbuf.values[sl] = values[rw]
+            log.record(CUART_NODE_BYTES[code], m)
+
+        leaf_links = np.zeros(n, dtype=np.uint64)
+        g = np.nonzero(good)[0]
+        if g.size:
+            leaf_links[g] = pack_links(lcode[g].astype(np.uint8), slots[g])
+
+        # -- link scatters per node type --------------------------------
+        # claims are unique per (node, byte), so targets never collide
+        for code in (LINK_N4, LINK_N16):
+            sel = good & (ncodes == code)
+            m = int(sel.sum())
+            if not m:
+                continue
+            buf = layout.nodes[code]
+            rows = nidx[sel]
+            at = buf.counts[rows].astype(np.int64) + rank[sel]
+            buf.keys[rows, at] = nbytes[sel].astype(np.uint8)
+            buf.children[rows, at] = leaf_links[sel]
+            np.add.at(buf.counts, rows, 1)
+            log.record(16, m)
+        sel = good & sel48
+        m = int(sel.sum())
+        if m:
+            buf = layout.nodes[LINK_N48]
+            rows = nidx[sel]
+            buf.child_index[rows, nbytes[sel]] = n48_slot[sel].astype(np.uint8)
+            buf.children[rows, n48_slot[sel]] = leaf_links[sel]
+            np.add.at(buf.counts, rows, 1)
+            log.record(16, 2 * m)  # index byte + link
+        sel = good & (ncodes == LINK_N256)
+        m = int(sel.sum())
+        if m:
+            buf = layout.nodes[LINK_N256]
+            rows = nidx[sel]
+            buf.children[rows, nbytes[sel]] = leaf_links[sel]
+            np.add.at(buf.counts, rows, 1)
+            buf.counts[rows] = np.minimum(buf.counts[rows], 256)
+            log.record(16, m)
+
+        inserted[win_rows[good]] = True
+        fb = np.nonzero(~good)[0]
+        return win_rows[fb], slots[fb]
+
+    def _leaf_split_cpls(self, layout, res, rows, keys_mat, key_lens):
+        """Common-prefix lengths for a batch of leaf splits: one
+        whole-array byte compare per leaf type instead of a scalar loop
+        per winner.  Non-fixed leaves (dynamic/host) keep ``-1`` — the
+        per-key path rejects them before using the value."""
+        cpls = np.full(rows.size, -1, dtype=np.int64)
+        if rows.size == 0:
+            return cpls
+        links = res.stop_links[rows].astype(np.uint64)
+        codes = link_types(links)
+        idxs = link_indices(links)
+        W = keys_mat.shape[1]
+        for code in LEAF_TYPE_CODES:
+            sel = codes == code
+            if not sel.any():
+                continue
+            lbuf = layout.leaves[code]
+            li = idxs[sel]
+            w = min(W, lbuf.keys.shape[1])
+            neq = lbuf.keys[li, :w] != keys_mat[rows[sel], :w]
+            first = np.where(neq.any(axis=1), neq.argmax(axis=1), w)
+            # zero padding makes both sides agree past their lengths, so
+            # clamp at the shorter key (the scalar loop's limit)
+            lim = np.minimum(
+                lbuf.key_lens[li].astype(np.int64),
+                key_lens[rows[sel]].astype(np.int64),
+            )
+            cpls[sel] = np.minimum(first, lim)
+        return cpls
+
+    def _prefix_split_cpls(self, layout, res, rows, keys_mat, key_lens):
+        """In-window divergence points for a batch of prefix splits,
+        one gather + compare per node type.  Growth relocations keep the
+        retired record's prefix bytes intact, so the pre-move links the
+        lookup returned still address valid prefix data.  ``-1`` marks
+        rows the vectorized pass cannot judge (prefix beyond the stored
+        window): the per-key path re-checks those."""
+        cpls = np.full(rows.size, -1, dtype=np.int64)
+        if rows.size == 0:
+            return cpls
+        links = res.stop_links[rows].astype(np.uint64)
+        codes = link_types(links)
+        idxs = link_indices(links)
+        P = layout.prefix_window
+        W = keys_mat.shape[1]
+        d = res.stop_depths[rows].astype(np.int64)
+        klens = key_lens[rows].astype(np.int64)
+        for code in (LINK_N4, LINK_N16, LINK_N48, LINK_N256):
+            sel = codes == code
+            if not sel.any():
+                continue
+            buf = layout.nodes[code]
+            ni = idxs[sel]
+            plen = buf.prefix_len[ni].astype(np.int64)
+            inwin = plen <= P
+            if not inwin.any():
+                continue
+            srows = np.nonzero(sel)[0][inwin]
+            ni = ni[inwin]
+            plen = plen[inwin]
+            lim = np.minimum(plen, np.maximum(klens[srows] - d[srows], 0))
+            cols = d[srows, None] + np.arange(P, dtype=np.int64)[None, :]
+            keyb = keys_mat[rows[srows][:, None], np.minimum(cols, W - 1)]
+            valid = np.arange(P, dtype=np.int64)[None, :] < lim[:, None]
+            neq = (buf.prefix[ni][:, :P] != keyb) & valid
+            first = np.where(neq.any(axis=1), neq.argmax(axis=1), P)
+            cpls[srows] = np.minimum(first, lim)
+        return cpls
+
     def _link_new_leaf(
-        self, layout, res, row, keys_mat, key_lens, values, log
+        self, layout, res, row, keys_mat, key_lens, values, log,
+        leaf_slot=None,
     ) -> tuple[bool, bool]:
         """Allocate + write the leaf, link it under the stopping node
         (growing the node if full).  Returns (success, grew)."""
@@ -306,13 +588,16 @@ class InsertEngine:
                 log=log,
             )
             if int(single.reasons[0]) != int(MissReason.NO_CHILD):
-                return False, False  # a sibling insert changed the picture
+                # a sibling insert changed the picture: return the
+                # pre-claimed slot so later allocations still line up
+                self._release_slot(layout, row, key_lens, leaf_slot)
+                return False, False
             node_link = self._chase(int(single.stop_links[0]))
             parent_link = self._chase(int(single.parent_links[0]))
             parent_byte = int(single.parent_bytes[0])
             byte = int(single.stop_bytes[0])
         leaf_link = self._write_leaf(layout, row, keys_mat, key_lens,
-                                     values, log)
+                                     values, log, slot=leaf_slot)
         if leaf_link is None:
             return False, False  # out of device leaf capacity
 
@@ -326,15 +611,21 @@ class InsertEngine:
         return True, grew
 
     @staticmethod
-    def _write_leaf(layout, row, keys_mat, key_lens, values, log):
-        """Allocate and fill one leaf; returns its link or None."""
+    def _write_leaf(layout, row, keys_mat, key_lens, values, log, slot=None):
+        """Allocate and fill one leaf; returns its link or None.  A
+        pre-claimed ``slot`` (from the claim scatter's bulk allocation)
+        skips the allocator; ``slot=-1`` means that bulk allocation
+        already found the buffers exhausted."""
         klen = int(key_lens[row])
         leaf_code = (
             leaf_type_for_key(klen)
             if layout.single_leaf_size is None
             else leaf_type_for_key(layout.single_leaf_size)
         )
-        leaf_idx = layout.alloc_leaf(leaf_code)
+        if slot is None:
+            leaf_idx = layout.alloc_leaf(leaf_code)
+        else:
+            leaf_idx = slot if slot >= 0 else None
         if leaf_idx is None:
             return None
         lbuf = layout.leaves[leaf_code]
@@ -344,6 +635,18 @@ class InsertEngine:
         lbuf.values[leaf_idx] = values[row]
         log.record(CUART_NODE_BYTES[leaf_code], 1)  # leaf store
         return pack_link(leaf_code, leaf_idx)
+
+    @staticmethod
+    def _release_slot(layout, row, key_lens, slot) -> None:
+        """Return an unused pre-claimed leaf slot to its free list."""
+        if slot is None or slot < 0:
+            return
+        code = (
+            leaf_type_for_key(int(key_lens[row]))
+            if layout.single_leaf_size is None
+            else leaf_type_for_key(layout.single_leaf_size)
+        )
+        layout.free_leaves[code].append(int(slot))
 
     @staticmethod
     def _rollback_leaf(layout, leaf_link) -> None:
@@ -356,7 +659,7 @@ class InsertEngine:
         layout.free_leaves[code].append(idx)
 
     def _split_leaf(
-        self, layout, res, row, keys_mat, key_lens, values, log
+        self, layout, res, row, keys_mat, key_lens, values, log, cpl=None
     ) -> bool:
         """Divergence at a stored leaf: splice an N4 above it holding the
         common tail prefix, with the old leaf and the new one as its two
@@ -374,10 +677,11 @@ class InsertEngine:
         klen = int(key_lens[row])
         new_key = keys_mat[row, :klen].tobytes()
 
-        cpl = 0
-        limit = min(ex_len, klen)
-        while cpl < limit and ex_key[cpl] == new_key[cpl]:
-            cpl += 1
+        if cpl is None or cpl < 0:  # no batched precompute: scalar scan
+            cpl = 0
+            limit = min(ex_len, klen)
+            while cpl < limit and ex_key[cpl] == new_key[cpl]:
+                cpl += 1
         if cpl == ex_len or cpl == klen:
             return False  # one key is a prefix of the other: reject
         d = int(res.stop_depths[row])
@@ -409,7 +713,7 @@ class InsertEngine:
                                   leaf_link, branch_link, new_leaf, log)
 
     def _split_prefix(
-        self, layout, res, row, keys_mat, key_lens, values, log
+        self, layout, res, row, keys_mat, key_lens, values, log, cpl=None
     ) -> bool:
         """Divergence inside a node's compressed prefix: shorten the
         node's prefix in place and splice an N4 above it (only when the
@@ -427,11 +731,12 @@ class InsertEngine:
         prefix = buf.prefix[idx, :plen].tobytes()
         d = int(res.stop_depths[row])
         klen = int(key_lens[row])
-        key_rest = keys_mat[row, d : min(d + plen, klen)].tobytes()
-        cpl = 0
-        limit = min(len(prefix), len(key_rest))
-        while cpl < limit and prefix[cpl] == key_rest[cpl]:
-            cpl += 1
+        if cpl is None:  # no batched precompute: scalar scan
+            key_rest = keys_mat[row, d : min(d + plen, klen)].tobytes()
+            cpl = 0
+            limit = min(len(prefix), len(key_rest))
+            while cpl < limit and prefix[cpl] == key_rest[cpl]:
+                cpl += 1
         if cpl >= plen or d + cpl >= klen:
             return False  # no in-window divergence / key exhausted
 

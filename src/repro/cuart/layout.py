@@ -570,6 +570,27 @@ class CuartLayout:
             return nxt
         return None
 
+    def alloc_leaves(self, code: int, count: int) -> np.ndarray:
+        """Claim up to ``count`` leaf slots in one call, in exactly the
+        order ``count`` repeated :meth:`alloc_leaf` calls would return
+        them (free-list entries popped from the tail first, then the
+        spare cursor).  Returns the claimed indices; shorter than
+        ``count`` when capacity runs out."""
+        out: list[int] = []
+        fl = self.free_leaves[code]
+        take = min(len(fl), count)
+        if take:
+            out.extend(fl[-1 : -take - 1 : -1])
+            del fl[-take:]
+        need = count - take
+        if need:
+            nxt = self._next_leaf[code]
+            avail = min(need, len(self.leaves[code].values) - nxt)
+            if avail > 0:
+                out.extend(range(nxt, nxt + avail))
+                self._next_leaf[code] = nxt + avail
+        return np.asarray(out, dtype=np.int64)
+
     def alloc_node(self, code: int) -> int | None:
         """Claim an inner-node slot (growth allocations)."""
         if self.free_nodes[code]:

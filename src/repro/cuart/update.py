@@ -117,17 +117,19 @@ class UpdateEngine:
         thread_ids = np.arange(B, dtype=np.int64)
 
         # ---- stage 2: conflict resolution via atomic-max table ------
+        # one fused linear-probe pass per batch: insert, grid sync and
+        # read-back (see AtomicMaxHashTable.resolve_winners) instead of
+        # re-walking every probe chain a second time per key
         table = self._table
         if table is None:
             table = self._table = AtomicMaxHashTable(self.hash_slots)
         else:
             table.reset()
         table.log = log
-        table.insert_max(locations[found], thread_ids[found])
-        # __syncthreads() / grid sync happens here
         winners = np.zeros(B, dtype=bool)
-        max_ids = table.lookup(locations[found])
-        winners[found] = thread_ids[found] == max_ids
+        winners[found] = table.resolve_winners(
+            locations[found], thread_ids[found]
+        )
 
         # ---- stage 3: winners write ----------------------------------
         writes = 0
@@ -148,16 +150,20 @@ class UpdateEngine:
             log.record(16, int(sel.sum()))
             writes += int(sel.sum())
         # dynamic leaves: patch the value field inside the heap record
+        # (whole-array scatter of the little-endian value words)
         from repro.constants import LINK_DYNLEAF
 
         sel = wcodes == LINK_DYNLEAF
         if sel.any():
             heap = layout.dyn.heap
-            for row, off in zip(win_rows[sel], widx[sel]):
-                val = NIL_VALUE if deletes[row] else int(new_values[row])
-                heap[off + 2 : off + 10] = np.frombuffer(
-                    val.to_bytes(8, "little"), dtype=np.uint8
-                )
+            offs = widx[sel].astype(np.int64)
+            vals = np.where(
+                deletes[win_rows[sel]], np.uint64(NIL_VALUE),
+                new_values[win_rows[sel]],
+            ).astype("<u8")
+            heap[offs[:, None] + np.arange(2, 10, dtype=np.int64)[None, :]] = (
+                vals.view(np.uint8).reshape(-1, 8)
+            )
             log.record(16, int(sel.sum()), aligned=False)
             writes += int(sel.sum())
 

@@ -67,6 +67,84 @@ def coalesce_encoded(
     return out
 
 
+class OpClassCoalescer:
+    """Per-op-class accumulation for mixed read/write streams (§3.1).
+
+    The naive executor cuts a device batch at *every* op-type boundary,
+    fragmenting an interleaved OLTP stream into tiny batches that each
+    pay a full kernel launch.  This coalescer instead accumulates
+    lookups / updates / deletes / inserts in per-class queues and only
+    flushes when
+
+    * a class reaches ``batch_size`` (that class alone flushes — queues
+      are pairwise key-disjoint, see below, so the others may keep
+      filling), or
+    * an incoming op has an **op-order dependency** on a queued one: it
+      touches a key some *other-classed* queued op touches, where
+      reordering could change a result.  Everything drains, in
+      first-arrival class order, before the new op is queued.
+
+    Same-key co-accumulation is allowed only where batching provably
+    preserves serial semantics: repeated lookups of one key, and
+    repeated updates of one key (the device's intra-batch
+    last-writer-wins by thread index equals serial last-wins).  Repeated
+    deletes or inserts of one key do *not* commute — the second delete
+    of a key must report a miss, and a re-insert must observe the first
+    insert — so those act as barriers too.
+    """
+
+    #: (queued kind, incoming kind) pairs that may share a key without
+    #: forcing a flush.
+    _COMMUTES = frozenset({("lookup", "lookup"), ("update", "update")})
+
+    def __init__(self, batch_size: int) -> None:
+        require_power_of_two(batch_size, "batch_size")
+        self.batch_size = batch_size
+        self._queues: dict[str, list] = {}
+        self._order: list[str] = []
+        self._keys: dict[str, list] = {}
+        self._key_kind: dict = {}
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def add(self, kind: str, key, payload) -> list[tuple[str, list]]:
+        """Queue one op; returns ``[(kind, payloads), ...]`` batches that
+        must execute *now* (dependency drains and/or a full class)."""
+        out: list[tuple[str, list]] = []
+        prev = self._key_kind.get(key)
+        if prev is not None and (prev, kind) not in self._COMMUTES:
+            out.extend(self.drain())
+        q = self._queues.get(kind)
+        if q is None:
+            q = self._queues[kind] = []
+            self._keys[kind] = []
+            self._order.append(kind)
+        q.append(payload)
+        self._keys[kind].append(key)
+        self._key_kind[key] = kind
+        if len(q) >= self.batch_size:
+            out.append((kind, q))
+            del self._queues[kind]
+            self._order.remove(kind)
+            key_kind = self._key_kind
+            for k in self._keys.pop(kind):
+                if key_kind.get(k) == kind:
+                    del key_kind[k]
+        return out
+
+    def drain(self) -> list[tuple[str, list]]:
+        """Flush every queue in first-arrival class order.  Queues are
+        pairwise key-disjoint by construction, so this order change
+        relative to the stream cannot alter any result."""
+        out = [(k, self._queues[k]) for k in self._order]
+        self._queues = {}
+        self._order = []
+        self._keys = {}
+        self._key_kind = {}
+        return out
+
+
 class QueryBatcher:
     """Streaming variant: accumulates queries and emits full batches.
 

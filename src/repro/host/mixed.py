@@ -2,17 +2,19 @@
 
 "Another problem arises when running mixed read/write workloads such as
 typical OLTP benchmarks."  The executor consumes an interleaved stream
-of lookups, updates and deletes (from
+of lookups, updates, deletes and inserts (from
 :func:`repro.workloads.queries.mixed_queries`) against a
-:class:`~repro.host.engine.CuartEngine`, coalescing *runs of the same
-operation type* into device batches while preserving the stream's
-cross-type ordering — a read issued after a write to the same key
-observes the write, exactly like a serial client would.
+:class:`~repro.host.engine.CuartEngine`, accumulating each operation
+class in its own queue (:class:`repro.host.batching.OpClassCoalescer`)
+and flushing on batch-size or on an op-order dependency — a read issued
+after a write to the same key observes the write, exactly like a serial
+client would, but an interleaved stream no longer fragments into a tiny
+device batch per op-type run.
 
 Hit/miss tallies come straight from the batch result arrays
 (:attr:`LazyValues.hit_mask` / :attr:`FoundFlags.array`) — no per-item
-Python counting — and the report carries measured host wall-clock per
-operation class for latency accounting.
+Python counting — and the report carries measured host wall-clock and
+batch counts per operation class for latency accounting.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
 
 
@@ -40,8 +43,10 @@ class MixedReport:
     delete_misses: int = 0
     inserts_deferred: int = 0
     records_scanned: int = 0
-    #: device batches dispatched (one per same-op run per batch size).
+    #: device batches dispatched (coalesced per op class).
     batches: int = 0
+    #: batches dispatched per op class (fragmentation visibility).
+    batches_by_op: dict = field(default_factory=dict)
     #: end-to-end simulated MOps/s per op type (last batch of each).
     simulated_mops: dict = field(default_factory=dict)
     #: measured host wall-clock seconds spent per op class.
@@ -97,56 +102,64 @@ class MixedWorkloadExecutor:
         report).  Lookup results align with the stream's lookup ops."""
         report = MixedReport()
         results: list = []
-        run_kind: str | None = None
-        pending: list = []
+        engine = self.engine
+        coal = OpClassCoalescer(engine.batch_size)
 
-        def flush() -> None:
-            nonlocal run_kind, pending
-            if not pending:
-                return
+        def execute(kind: str, payloads: list) -> None:
             t0 = time.perf_counter()
-            if run_kind == "lookup":
-                values = self.engine.lookup(pending)
+            if kind == "lookup":
+                values = engine.lookup(payloads)
                 results.extend(values)
-                report.lookups += len(pending)
+                report.lookups += len(payloads)
                 hits = _hit_count(values)
                 report.hits += hits
-                report.misses += len(pending) - hits
-            elif run_kind == "update":
-                found = self.engine.update(pending)
-                report.updates += len(pending)
-                report.update_misses += len(pending) - _found_count(found)
-            elif run_kind == "insert":
-                out = self.engine.insert(pending)
-                report.inserts += len(pending)
+                report.misses += len(payloads) - hits
+            elif kind == "update":
+                found = engine.update(payloads)
+                report.updates += len(payloads)
+                report.update_misses += len(payloads) - _found_count(found)
+            elif kind == "insert":
+                out = engine.insert(payloads)
+                report.inserts += len(payloads)
                 report.inserts_deferred += out["deferred"]
-            elif run_kind == "scan":
-                for lo, hi in pending:
-                    rows = self.engine.range(lo, hi)
+            elif kind == "scan":
+                for lo, hi in payloads:
+                    rows = engine.range(lo, hi)
                     report.records_scanned += len(rows)
-                report.scans += len(pending)
+                report.scans += len(payloads)
             else:  # delete
-                found = self.engine.delete(pending)
-                report.deletes += len(pending)
-                report.delete_misses += len(pending) - _found_count(found)
+                found = engine.delete(payloads)
+                report.deletes += len(payloads)
+                report.delete_misses += len(payloads) - _found_count(found)
             report.batches += 1
-            report.wall_s[run_kind] = (
-                report.wall_s.get(run_kind, 0.0) + time.perf_counter() - t0
+            report.batches_by_op[kind] = report.batches_by_op.get(kind, 0) + 1
+            report.wall_s[kind] = (
+                report.wall_s.get(kind, 0.0) + time.perf_counter() - t0
             )
-            if self.engine.last_report is not None:
-                report.simulated_mops[run_kind] = (
-                    self.engine.last_report.end_to_end_mops
+            if engine.last_report is not None:
+                report.simulated_mops[kind] = (
+                    engine.last_report.end_to_end_mops
                 )
-            pending = []
 
         for kind, payload in stream:
-            if kind not in ("lookup", "update", "delete", "insert", "scan"):
+            if kind == "scan":
+                # a range touches an unbounded key set: full barrier,
+                # executed immediately
+                if not (isinstance(payload, (tuple, list))
+                        and len(payload) == 2):
+                    raise ValueError(f"malformed scan payload {payload!r}")
+                for k, ps in coal.drain():
+                    execute(k, ps)
+                execute("scan", [tuple(payload)])
+                continue
+            if kind in ("lookup", "delete"):
+                key = payload
+            elif kind in ("update", "insert"):
+                key = payload[0]
+            else:
                 raise ValueError(f"unknown operation {kind!r}")
-            if kind != run_kind:
-                flush()
-                run_kind = kind
-            pending.append(payload)
-            if len(pending) >= self.engine.batch_size:
-                flush()
-        flush()
+            for k, ps in coal.add(kind, key, payload):
+                execute(k, ps)
+        for k, ps in coal.drain():
+            execute(k, ps)
         return results, report
