@@ -35,6 +35,11 @@ from repro.workloads.distributions import uniform_indices, zipf_indices
 from repro.workloads.queries import QueryMix, mixed_queries
 from repro.workloads.synthetic import random_keys
 
+try:  # observability layer (PR 3); absent on older checkouts
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    MetricsRegistry = Tracer = write_chrome_trace = None
+
 PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
 KEY_LEN = 12
 SEED = 7
@@ -45,11 +50,15 @@ CACHE_SIZE = 65536
 
 def _engine(**kwargs) -> CuartEngine:
     """Build an engine, dropping kwargs older engines don't know."""
-    try:
-        return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
-    except TypeError:
-        kwargs.pop("cache_size", None)
-        return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
+    # drop newest-first so an older engine keeps the kwargs it does know
+    for drop in ("tracer", "metrics", "cache_size", None):
+        try:
+            return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
+        except TypeError:
+            if drop is None:
+                raise
+            kwargs.pop(drop, None)
+    raise AssertionError("unreachable")
 
 
 def _op(wall_s: float, n: int) -> dict:
@@ -61,15 +70,25 @@ def _op(wall_s: float, n: int) -> dict:
     }
 
 
-def run(scale: int, label: str) -> dict:
+def run(scale: int, label: str, trace_path: str | None = None) -> dict:
     n = max(PAPER_KEYS // scale, 1024)
     keys = random_keys(n, KEY_LEN, seed=SEED)
     items = [(k, i) for i, k in enumerate(keys)]
     oracle = dict(items)
     ops: dict = {}
 
+    # one shared registry correlates engine, cache, coalescer and write
+    # kernels; the tracer records spans only when a trace was requested
+    registry = MetricsRegistry() if MetricsRegistry is not None else None
+    tracer = Tracer() if (trace_path and Tracer is not None) else None
+    obs_kwargs: dict = {}
+    if registry is not None:
+        obs_kwargs["metrics"] = registry
+    if tracer is not None:
+        obs_kwargs["tracer"] = tracer
+
     # -- populate + map: build the servable index -----------------------
-    eng = _engine()
+    eng = _engine(**obs_kwargs)
     t0 = time.perf_counter()
     eng.populate(items)
     t1 = time.perf_counter()
@@ -92,7 +111,7 @@ def run(scale: int, label: str) -> dict:
 
     # -- Zipf serving phase (hot keys; cache-enabled when available) ----
     zpf = [keys[i] for i in zipf_indices(n, 4 * n, a=ZIPF_A, seed=11)]
-    serving = _engine(cache_size=CACHE_SIZE)
+    serving = _engine(cache_size=CACHE_SIZE, **obs_kwargs)
     serving.tree = eng.tree  # share the built index: no second populate
     serving.layout = eng.layout
     t0 = time.perf_counter()
@@ -138,6 +157,26 @@ def run(scale: int, label: str) -> dict:
             k: round(report.mean_latency_us(k), 3)
             for k in sorted(report.wall_s)
         }
+    pcts = getattr(report, "latency_percentiles_by_op", None)
+    if pcts:  # registry histograms (PR 3): percentiles alongside the mean
+        ops["mixed"]["latency_percentiles_by_op"] = {
+            op: {k: round(v, 3) for k, v in summary.items()}
+            for op, summary in sorted(pcts.items())
+        }
+    reasons = getattr(report, "flush_reasons", None)
+    if reasons:
+        ops["mixed"]["flush_reasons"] = dict(reasons)
+
+    result_metrics = None
+    if registry is not None:
+        # publish the host-tree shape gauges, then export the registry
+        # snapshot (counters, gauges, histogram summaries) into the JSON
+        if hasattr(eng, "publish_tree_stats"):
+            eng.publish_tree_stats()
+        result_metrics = registry.snapshot()
+
+    if tracer is not None and trace_path:
+        write_chrome_trace(tracer, trace_path)
 
     headline_s = ops["populate"]["wall_s"] + ops["lookup_zipf"]["wall_s"]
     return {
@@ -156,6 +195,7 @@ def run(scale: int, label: str) -> dict:
         "headline": {
             "populate_plus_lookup_wall_s": round(headline_s, 6),
         },
+        **({"metrics": result_metrics} if result_metrics is not None else {}),
     }
 
 
@@ -167,13 +207,17 @@ def main(argv=None) -> int:
     ap.add_argument("--baseline", default=None,
                     help="previous run's JSON; adds speedup factors")
     ap.add_argument("--label", default="local", help="free-form run label")
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a chrome://tracing JSON of the run")
     args = ap.parse_args(argv)
     if args.scale < 1:
         ap.error(f"--scale must be >= 1, got {args.scale}")
     if args.baseline and not os.path.exists(args.baseline):
         ap.error(f"--baseline file not found: {args.baseline}")
+    if args.trace and Tracer is None:
+        ap.error("--trace needs the repro.obs package on PYTHONPATH")
 
-    result = run(args.scale, args.label)
+    result = run(args.scale, args.label, trace_path=args.trace)
 
     if args.baseline:
         with open(args.baseline) as fh:
@@ -198,6 +242,8 @@ def main(argv=None) -> int:
         fh.write("\n")
 
     print(f"wrote {args.out}")
+    if args.trace:
+        print(f"wrote {args.trace} (open in chrome://tracing or ui.perfetto.dev)")
     for op, rec in result["ops"].items():
         rate = rec["keys_per_sec"]
         print(f"  {op:16s} {rec['wall_s']:8.3f}s  "

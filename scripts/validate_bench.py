@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Validate a perf_smoke BENCH JSON file against the expected schema.
+
+Stdlib-only, used by CI and by hand::
+
+    python scripts/validate_bench.py BENCH_pr3.json
+
+Checks (fails with a nonzero exit and a per-problem message):
+
+* required top-level sections and ``meta`` fields;
+* every op record carries finite ``wall_s`` / ``keys_per_sec`` / ``n``;
+* the mixed op reports ``latency_percentiles_by_op`` with finite
+  p50/p95/p99 per op class, plus ``flush_reasons``;
+* the ``metrics`` registry snapshot is present with its three sections
+  and no NaN/inf leaks anywhere in the document.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+REQUIRED_OPS = ("populate", "lookup_uniform", "lookup_zipf", "update", "mixed")
+REQUIRED_OP_KEYS = ("wall_s", "keys_per_sec", "n")
+REQUIRED_META = ("label", "n_keys", "batch_size", "seed")
+REQUIRED_PCT_KEYS = ("count", "mean", "p50", "p95", "p99")
+REQUIRED_FLUSH_REASONS = ("size-full", "write-dependency", "drain")
+
+
+def _finite(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+def _walk_nonfinite(node, path: str, problems: list[str]) -> None:
+    if isinstance(node, dict):
+        for k, v in node.items():
+            _walk_nonfinite(v, f"{path}.{k}", problems)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            _walk_nonfinite(v, f"{path}[{i}]", problems)
+    elif isinstance(node, float) and not math.isfinite(node):
+        problems.append(f"non-finite number at {path}: {node}")
+
+
+def validate(doc: dict) -> list[str]:
+    """Return a list of problems (empty means the document is valid)."""
+    problems: list[str] = []
+
+    for section in ("meta", "ops", "headline"):
+        if section not in doc:
+            problems.append(f"missing top-level section {section!r}")
+    meta = doc.get("meta", {})
+    for k in REQUIRED_META:
+        if k not in meta:
+            problems.append(f"missing meta.{k}")
+
+    ops = doc.get("ops", {})
+    for op in REQUIRED_OPS:
+        rec = ops.get(op)
+        if rec is None:
+            problems.append(f"missing ops.{op}")
+            continue
+        for k in REQUIRED_OP_KEYS:
+            if not _finite(rec.get(k)):
+                problems.append(f"ops.{op}.{k} missing or non-finite: "
+                                f"{rec.get(k)!r}")
+
+    mixed = ops.get("mixed", {})
+    pcts = mixed.get("latency_percentiles_by_op")
+    if not isinstance(pcts, dict) or not pcts:
+        problems.append("ops.mixed.latency_percentiles_by_op missing/empty")
+    else:
+        for op, summary in pcts.items():
+            for k in REQUIRED_PCT_KEYS:
+                if not _finite(summary.get(k)):
+                    problems.append(
+                        f"ops.mixed.latency_percentiles_by_op.{op}.{k} "
+                        f"missing or non-finite: {summary.get(k)!r}"
+                    )
+    reasons = mixed.get("flush_reasons")
+    if not isinstance(reasons, dict):
+        problems.append("ops.mixed.flush_reasons missing")
+    else:
+        for r in REQUIRED_FLUSH_REASONS:
+            if not _finite(reasons.get(r)):
+                problems.append(f"ops.mixed.flush_reasons[{r!r}] missing")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("missing top-level 'metrics' registry snapshot")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                problems.append(f"missing metrics.{section}")
+
+    _walk_nonfinite(doc, "$", problems)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} BENCH.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as fh:
+            # json.load accepts NaN/Infinity literals; keep them as floats
+            # so _walk_nonfinite reports them instead of a parse error
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"{argv[1]}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(doc)
+    if problems:
+        for p in problems:
+            print(f"{argv[1]}: {p}", file=sys.stderr)
+        print(f"{argv[1]}: INVALID ({len(problems)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,6 +26,7 @@ from repro.constants import (
     LINK_LEAF8,
     LINK_LEAF16,
     LINK_LEAF32,
+    LINK_TYPE_NAMES,
     NODE_CAPACITY,
 )
 from repro.errors import KeyTooLongError
@@ -62,6 +63,10 @@ class TreeStats:
     level_type_mix: list[Counter] = field(default_factory=list)
     #: distribution of leaf depths measured in *node visits* (levels).
     leaf_level_histogram: Counter = field(default_factory=Counter)
+    #: distribution of path-compression prefix lengths over inner nodes
+    #: (``{prefix_byte_len: node_count}``) — how much vertical collapsing
+    #: the key set admits.
+    prefix_length_histogram: Counter = field(default_factory=Counter)
     #: total key bytes skipped via path compression.
     compressed_bytes: int = 0
     max_key_len: int = 0
@@ -175,6 +180,7 @@ def _walk(node: Child, level: int, stats: TreeStats) -> int:
     stats.node_counts[node.TYPE] += 1
     stats.level_type_mix[level][node.TYPE] += 1
     stats.compressed_bytes += len(node.prefix)
+    stats.prefix_length_histogram[len(node.prefix)] += 1
     below = 0
     for _, child in node.children_items():
         below += _walk(child, level + 1, stats)
@@ -183,6 +189,49 @@ def _walk(node: Child, level: int, stats: TreeStats) -> int:
     # normalize in visit_mix_per_lookup().
     stats._visit_mix[node.TYPE] += below
     return below
+
+
+def publish_stats(registry, stats: TreeStats) -> None:
+    """Publish one :class:`TreeStats` into a metrics registry as gauges.
+
+    Called after a tree walk (``collect_stats``) — typically at snapshot
+    time, since the walk is O(tree); the cheap per-write-batch refresh of
+    the *device-side* populations lives in
+    :meth:`repro.host.engine.CuartEngine._refresh_device_gauges`.
+    Absent node/leaf types are explicitly zeroed so a re-publish after
+    deletions never leaves stale populations behind.
+    """
+    g_nodes = registry.gauge(
+        "art_nodes", "host-tree inner node population", labels=("type",)
+    )
+    for code in NODE_CAPACITY:
+        g_nodes.labels(type=LINK_TYPE_NAMES[code]).set(
+            stats.node_counts.get(code, 0)
+        )
+    g_leaves = registry.gauge(
+        "art_leaves", "host-tree leaf population", labels=("type",)
+    )
+    for code in LEAF_CAPACITY:
+        g_leaves.labels(type=LINK_TYPE_NAMES[code]).set(
+            stats.leaf_counts.get(code, 0)
+        )
+    g_leaves.labels(type="long").set(stats.leaf_counts.get("long", 0))
+    registry.gauge("art_keys", "keys stored in the host tree").set(
+        stats.num_keys
+    )
+    registry.gauge(
+        "art_avg_leaf_level", "mean node visits to reach a leaf"
+    ).set(stats.avg_leaf_level)
+    registry.gauge(
+        "art_compressed_bytes", "key bytes elided by path compression"
+    ).set(stats.compressed_bytes)
+    g_prefix = registry.gauge(
+        "art_prefix_length_nodes",
+        "inner nodes by path-compression prefix length",
+        labels=("len",),
+    )
+    for plen, cnt in sorted(stats.prefix_length_histogram.items()):
+        g_prefix.labels(len=str(plen)).set(cnt)
 
 
 def visit_mix_per_lookup(stats: TreeStats) -> dict:

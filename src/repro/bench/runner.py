@@ -161,14 +161,19 @@ def cuart_update_run(
     *,
     root_k: int | None = 2,
     seed: int = 11,
+    metrics=None,
 ) -> UpdateResult:
-    """Run one representative CuART update batch."""
+    """Run one representative CuART update batch.  Pass a
+    :class:`~repro.obs.metrics.MetricsRegistry` to collect the write
+    engine's dedup/write counters alongside the returned result."""
     bundle = get_tree(kind, n, key_len)
     layout, table = get_cuart(kind, n, key_len, root_k)
     mat, lens = _query_batch(bundle, batch_size, seed)
     rng = make_rng(seed)
     values = rng.integers(0, 2**62, size=batch_size).astype(np.uint64)
-    engine = UpdateEngine(layout, root_table=table, hash_slots=hash_slots)
+    engine = UpdateEngine(
+        layout, root_table=table, hash_slots=hash_slots, metrics=metrics
+    )
     return engine.apply(mat, lens, values)
 
 

@@ -27,6 +27,20 @@ LINK_DYNLEAF = 9  # dynamically-sized device leaf (GRT-style, section 3.2.3c)
 NODE_TYPE_CODES = (LINK_N4, LINK_N16, LINK_N48, LINK_N256)
 LEAF_TYPE_CODES = (LINK_LEAF8, LINK_LEAF16, LINK_LEAF32)
 
+#: human-readable names for link type codes (metric labels, reports).
+LINK_TYPE_NAMES = {
+    LINK_EMPTY: "empty",
+    LINK_N4: "N4",
+    LINK_N16: "N16",
+    LINK_N48: "N48",
+    LINK_N256: "N256",
+    LINK_LEAF8: "leaf8",
+    LINK_LEAF16: "leaf16",
+    LINK_LEAF32: "leaf32",
+    LINK_HOST: "host",
+    LINK_DYNLEAF: "dynleaf",
+}
+
 #: Number of bits used for the node index inside a packed link.  The type
 #: lives in the top 8 bits which leaves 56 bits of addressable node space,
 #: matching the paper's "packed 64bit integer containing the next node type

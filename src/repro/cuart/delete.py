@@ -34,7 +34,9 @@ from repro.constants import (
 from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
+from repro.cuart.update import write_path_counters
 from repro.gpusim.transactions import TransactionLog
+from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import link_indices, link_types
 
 
@@ -59,6 +61,7 @@ def delete_batch(
     hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
     log: TransactionLog | None = None,
     table: AtomicMaxHashTable | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> DeleteResult:
     """Delete a batch of keys on the device.
 
@@ -147,16 +150,33 @@ def delete_batch(
     cleared_only = int(win_rows.size - unlinked)
 
     # free-list push: only safely recyclable (unlinked) leaves
+    pushed = 0
     for code in LEAF_TYPE_CODES:
         sel = have_parent & (wcodes == code)
         if sel.any():
             layout.free_leaves[code].extend(widx[sel].tolist())
+            pushed += int(sel.sum())
 
     deleted = np.zeros(B, dtype=bool)
     # every thread whose key resolved to a now-cleared location succeeded,
     # including the dedup losers
     deleted[found] = True
     layout.device_mutations += int(win_rows.size)
+    if metrics is not None:
+        m_winners, m_losers = write_path_counters(metrics, "delete")
+        m_winners.inc(int(win_rows.size))
+        m_losers.inc(int(found.sum()) - int(win_rows.size))
+        metrics.counter(
+            "free_list_pushes_total",
+            "leaf slots recycled onto the free list by deletes",
+        ).inc(pushed)
+        metrics.counter(
+            "delete_unlinked_total", "leaves unlinked from their parent"
+        ).inc(unlinked)
+        metrics.counter(
+            "delete_cleared_only_total",
+            "leaves cleared without a known parent (root-table dispatch)",
+        ).inc(cleared_only)
     return DeleteResult(
         deleted=deleted, unlinked=unlinked, cleared_only=cleared_only, log=log
     )

@@ -67,8 +67,10 @@ from repro.constants import (
 from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import MissReason, lookup_batch
+from repro.cuart.update import write_path_counters
 from repro.errors import SimulationError
 from repro.gpusim.transactions import TransactionLog
+from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import (
     link_index,
     link_indices,
@@ -124,6 +126,7 @@ class InsertEngine:
         *,
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
@@ -131,6 +134,26 @@ class InsertEngine:
         # one reusable conflict table; each claim domain below resets it
         # rather than paying a fresh multi-MiB allocation per domain
         self._table: AtomicMaxHashTable | None = None
+        m = self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._m_winners, self._m_losers = write_path_counters(m, "insert")
+        self._m_leaf_allocs = m.counter(
+            "leaf_allocs_total", "device leaf slots claimed by inserts"
+        )
+        self._m_fl_pops = m.counter(
+            "free_list_pops_total", "free-list slots reused by inserts"
+        )
+        self._m_splits = m.counter(
+            "node_splits_total", "structural splits performed on device",
+            labels=("kind",),
+        )
+        self._m_growths = m.counter(
+            "node_growths_total", "nodes grown to the next type"
+        )
+        self._m_deferred = m.counter(
+            "insert_deferred_total", "inserts deferred to host restructuring"
+        )
 
     def _conflict_table(self, log: TransactionLog) -> AtomicMaxHashTable:
         table = self._table
@@ -179,6 +202,8 @@ class InsertEngine:
             layout, keys_mat, key_lens, root_table=self.root_table, log=log
         )
         reasons = res.reasons
+        fl_before = sum(len(v) for v in layout.free_leaves.values())
+        dedup_w = dedup_l = leaf_splits = prefix_splits = 0
 
         # ---- existing keys: winner-resolved value update ---------------
         hit = reasons == MissReason.HIT
@@ -189,6 +214,8 @@ class InsertEngine:
                 res.locations[hit], thread_ids[hit]
             )
             win_rows = np.nonzero(winners)[0]
+            dedup_w += win_rows.size
+            dedup_l += int(hit.sum()) - win_rows.size
             # whole-array value scatter per leaf type (winners are
             # distinct leaves, so targets never collide)
             wlocs = res.locations[win_rows]
@@ -222,6 +249,8 @@ class InsertEngine:
                                  res.stop_bytes[claim_rows])
             table = self._conflict_table(log)
             win = table.resolve_winners(claims, thread_ids[claim_rows])
+            dedup_w += int(win.sum())
+            dedup_l += int((~win).sum())
             # losers raced a sibling insert to the same slot: retry later
             deferred[claim_rows[~win]] = True
             # vectorized scatter claims the easy wins in whole-array
@@ -251,6 +280,8 @@ class InsertEngine:
             win = table.resolve_winners(
                 res.stop_links[split_rows], thread_ids[split_rows]
             )
+            dedup_w += int(win.sum())
+            dedup_l += int((~win).sum())
             deferred[split_rows[~win]] = True
             wrows = split_rows[win]
             # divergence points for the whole winner set in one byte
@@ -265,6 +296,7 @@ class InsertEngine:
                 )
                 inserted[row] = ok
                 deferred[row] = not ok
+                leaf_splits += int(ok)
 
         # ---- prefix splits: divergence inside a stored window -----------
         pf_rows = np.nonzero(
@@ -275,6 +307,8 @@ class InsertEngine:
             win = table.resolve_winners(
                 res.stop_links[pf_rows], thread_ids[pf_rows]
             )
+            dedup_w += int(win.sum())
+            dedup_l += int((~win).sum())
             deferred[pf_rows[~win]] = True
             wrows = pf_rows[win]
             cpls = self._prefix_split_cpls(
@@ -287,6 +321,7 @@ class InsertEngine:
                 )
                 inserted[row] = ok
                 deferred[row] = not ok
+                prefix_splits += int(ok)
 
         # ---- empty tree: install the root leaf --------------------------
         empty_rows = np.nonzero((reasons == MissReason.EMPTY) & ~too_long)[0]
@@ -319,6 +354,17 @@ class InsertEngine:
         if inserted.any():
             layout.invalidate_range_cache()
             layout.device_inserts += int(inserted.sum())
+        self._m_winners.inc(dedup_w)
+        self._m_losers.inc(dedup_l)
+        self._m_leaf_allocs.inc(int(inserted.sum()))
+        fl_after = sum(len(v) for v in layout.free_leaves.values())
+        self._m_fl_pops.inc(max(fl_before - fl_after, 0))
+        if leaf_splits:
+            self._m_splits.labels(kind="leaf").inc(leaf_splits)
+        if prefix_splits:
+            self._m_splits.labels(kind="prefix").inc(prefix_splits)
+        self._m_growths.inc(grown)
+        self._m_deferred.inc(int(deferred.sum()))
         return InsertResult(
             inserted=inserted,
             updated=updated,

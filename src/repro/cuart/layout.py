@@ -634,6 +634,28 @@ class CuartLayout:
             return len(self.nodes[code].counts)
         return len(self.leaves[code].values)
 
+    def live_populations(self) -> dict:
+        """Current device buffer occupancy, O(#types): per node/leaf type,
+        the number of live records (allocated minus recycled) and the
+        free-list depth.  The observability layer publishes these as
+        gauges after every write batch."""
+        return {
+            "nodes": {
+                c: self._next_node[c] - len(self.free_nodes[c])
+                for c in NODE_TYPE_CODES
+            },
+            "leaves": {
+                c: self._next_leaf[c] - len(self.free_leaves[c])
+                for c in LEAF_TYPE_CODES
+            },
+            "free_nodes": {
+                c: len(self.free_nodes[c]) for c in NODE_TYPE_CODES
+            },
+            "free_leaves": {
+                c: len(self.free_leaves[c]) for c in LEAF_TYPE_CODES
+            },
+        }
+
     def device_bytes(self) -> int:
         """Total device memory of all buffers (16-byte-aligned records)."""
         total = 0

@@ -36,7 +36,25 @@ from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
 from repro.errors import SimulationError
 from repro.gpusim.transactions import TransactionLog
+from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import link_indices, link_types
+
+
+def write_path_counters(metrics: MetricsRegistry, op: str) -> tuple:
+    """The dedup-accounting counter pair every write kernel shares:
+    ``(winners, losers)`` for one op class.  Winners performed the
+    device write; losers were eliminated by the §3.4 atomic-max pass."""
+    winners = metrics.counter(
+        "write_dedup_winners_total",
+        "batch threads that won conflict resolution and wrote",
+        labels=("op",),
+    ).labels(op=op)
+    losers = metrics.counter(
+        "write_dedup_losers_total",
+        "batch threads eliminated by the atomic-max dedup",
+        labels=("op",),
+    ).labels(op=op)
+    return winners, losers
 
 
 @dataclass
@@ -68,6 +86,7 @@ class UpdateEngine:
         *,
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
@@ -76,6 +95,13 @@ class UpdateEngine:
         # kernel allocates it once and memsets between launches, and a
         # fresh multi-MiB allocation per batch dominates small batches
         self._table: AtomicMaxHashTable | None = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_winners, self._m_losers = write_path_counters(
+            self.metrics, "update"
+        )
+        self._m_writes = self.metrics.counter(
+            "leaf_value_writes_total", "leaf value words written on device"
+        )
 
     def apply(
         self,
@@ -169,6 +195,9 @@ class UpdateEngine:
 
         layout.device_mutations += writes
         conflicts = int(found.sum()) - int(winners.sum())
+        self._m_winners.inc(int(winners.sum()))
+        self._m_losers.inc(conflicts)
+        self._m_writes.inc(writes)
         return UpdateResult(
             found=found,
             winners=winners,

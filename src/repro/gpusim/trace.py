@@ -52,6 +52,26 @@ class TraceReport:
         return "\n".join(lines)
 
 
+def kernel_span_args(log: TransactionLog, timing: KernelTiming) -> dict:
+    """Trace-span ``args`` payload for one simulated kernel execution.
+
+    The host engines attach this to the ``gpu-sim`` track events they
+    emit per device batch (:meth:`repro.obs.tracing.Tracer.emit_simulated`),
+    so a chrome://tracing view shows *why* the simulated kernel took the
+    time it did — transaction count, dependent rounds, and which roofline
+    bound it."""
+    return {
+        "sim_us": round(timing.total_s * 1e6, 3),
+        "bound": timing.binding_constraint,
+        "transactions": log.total_transactions,
+        "bytes": log.total_bytes,
+        "rounds": log.dependent_rounds,
+        "atomics": log.atomic_ops,
+        "threads": log.launched_threads,
+        "warp_efficiency": round(timing.warp_efficiency, 4),
+    }
+
+
 def trace_kernel(
     log: TransactionLog, model: CostModel, queries: int | None = None
 ) -> TraceReport:

@@ -13,6 +13,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, OCCUPANCY_BUCKETS
 from repro.util.keys import keys_to_matrix
 from repro.util.validation import require_power_of_two
 
@@ -97,16 +98,42 @@ class OpClassCoalescer:
     #: forcing a flush.
     _COMMUTES = frozenset({("lookup", "lookup"), ("update", "update")})
 
-    def __init__(self, batch_size: int) -> None:
+    def __init__(
+        self, batch_size: int, *, metrics: MetricsRegistry | None = None
+    ) -> None:
         require_power_of_two(batch_size, "batch_size")
         self.batch_size = batch_size
         self._queues: dict[str, list] = {}
         self._order: list[str] = []
         self._keys: dict[str, list] = {}
         self._key_kind: dict = {}
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._flushes = metrics.counter(
+            "coalescer_flushes_total",
+            "batches flushed, by what forced the flush",
+            labels=("reason",),
+        )
+        self._flush_full = self._flushes.labels(reason="size-full")
+        self._flush_dep = self._flushes.labels(reason="write-dependency")
+        self._flush_drain = self._flushes.labels(reason="drain")
+        self._occupancy = metrics.histogram(
+            "coalescer_batch_occupancy",
+            "flushed batch size as a fraction of batch_size",
+            buckets=OCCUPANCY_BUCKETS,
+        )
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    def flush_reasons(self) -> dict[str, int]:
+        """Current ``{reason: batches}`` tallies (registry-backed)."""
+        return {
+            "size-full": self._flush_full.value,
+            "write-dependency": self._flush_dep.value,
+            "drain": self._flush_drain.value,
+        }
 
     def add(self, kind: str, key, payload) -> list[tuple[str, list]]:
         """Queue one op; returns ``[(kind, payloads), ...]`` batches that
@@ -114,7 +141,7 @@ class OpClassCoalescer:
         out: list[tuple[str, list]] = []
         prev = self._key_kind.get(key)
         if prev is not None and (prev, kind) not in self._COMMUTES:
-            out.extend(self.drain())
+            out.extend(self._drain(self._flush_dep))
         q = self._queues.get(kind)
         if q is None:
             q = self._queues[kind] = []
@@ -125,6 +152,8 @@ class OpClassCoalescer:
         self._key_kind[key] = kind
         if len(q) >= self.batch_size:
             out.append((kind, q))
+            self._flush_full.inc()
+            self._occupancy.observe(len(q) / self.batch_size)
             del self._queues[kind]
             self._order.remove(kind)
             key_kind = self._key_kind
@@ -137,7 +166,13 @@ class OpClassCoalescer:
         """Flush every queue in first-arrival class order.  Queues are
         pairwise key-disjoint by construction, so this order change
         relative to the stream cannot alter any result."""
+        return self._drain(self._flush_drain)
+
+    def _drain(self, reason_counter) -> list[tuple[str, list]]:
         out = [(k, self._queues[k]) for k in self._order]
+        for _, q in out:
+            reason_counter.inc()
+            self._occupancy.observe(len(q) / self.batch_size)
         self._queues = {}
         self._order = []
         self._keys = {}

@@ -19,7 +19,9 @@ traffic.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence as _SequenceABC
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -31,6 +33,7 @@ from repro.constants import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_HOST_THREADS,
     DEFAULT_UPDATE_HASH_SLOTS,
+    LINK_TYPE_NAMES,
     MAX_SHORT_KEY,
     NIL_VALUE,
 )
@@ -53,10 +56,13 @@ from repro.gpusim.devices import (
     RTX3090,
     WORKSTATION_CPU,
 )
+from repro.gpusim.trace import kernel_span_args
 from repro.gpusim.transactions import TransactionLog
 from repro.host.batching import coalesce_encoded
 from repro.host.cache import HotKeyCache
 from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 from repro.util.keys import keys_to_matrix
 
 
@@ -171,6 +177,8 @@ class _EngineBase:
         batch_size: int = DEFAULT_BATCH_SIZE,
         host_threads: int = DEFAULT_HOST_THREADS,
         api: str = "cuda",
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.device = device
         self.cpu = cpu
@@ -180,6 +188,41 @@ class _EngineBase:
         self._tree = AdaptiveRadixTree()
         self.cost_model = CostModel(device)
         self.last_report: Optional[EngineReport] = None
+        #: shared observability surface (repro.obs): pass one registry /
+        #: tracer to correlate engine, executor, cache and write-engine
+        #: metrics; the defaults are a private registry and the free
+        #: no-op tracer.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = self.metrics
+        self._m_queries = m.counter(
+            "engine_queries_total", "queries served, by operation",
+            labels=("op",),
+        )
+        self._m_batches = m.counter(
+            "engine_batches_total", "device batches dispatched, by operation",
+            labels=("op",),
+        )
+        self._m_op_latency = m.histogram(
+            "engine_op_latency_us",
+            "measured host wall-clock per query, by operation",
+            labels=("op",),
+        )
+        self._m_kernel_us = m.histogram(
+            "gpusim_kernel_us",
+            "simulated kernel time per device batch, by operation",
+            labels=("op",),
+        )
+
+    @contextmanager
+    def _timed_op(self, op: str, n: int):
+        """Span + per-query latency accounting around one public op."""
+        t0 = time.perf_counter()
+        with self.tracer.span(f"engine.{op}", {"n": n}):
+            yield
+        if n > 0:
+            dt_us = (time.perf_counter() - t0) * 1e6
+            self._m_op_latency.labels(op=op).observe(dt_us / n, n)
 
     @property
     def tree(self) -> AdaptiveRadixTree:
@@ -196,6 +239,18 @@ class _EngineBase:
     def _sync_host_tree(self) -> None:
         """Hook: engines that defer host-tree mirroring flush it here."""
 
+    def publish_tree_stats(self):
+        """Walk the host tree and publish its shape (node/leaf
+        populations, prefix-length histogram, depth) into the metrics
+        registry as ``art_*`` gauges.  O(tree) — call at snapshot time,
+        not per batch.  Returns the :class:`~repro.art.stats.TreeStats`.
+        """
+        from repro.art.stats import collect_stats, publish_stats
+
+        stats = collect_stats(self.tree.root)
+        publish_stats(self.metrics, stats)
+        return stats
+
     # -- stage 1: populate ------------------------------------------------
     def populate(self, items: Iterable[tuple[bytes, int]]) -> None:
         """Insert ``(key, value)`` pairs into the host ART (stage 1).
@@ -207,6 +262,10 @@ class _EngineBase:
         falls back to per-item root-to-leaf inserts.
         """
         items = list(items)
+        with self._timed_op("populate", len(items)):
+            self._populate(items)
+
+    def _populate(self, items: list) -> None:
         if items and len(self.tree) == 0 and getattr(self, "layout", None) is None:
             dedup = None
             try:
@@ -245,8 +304,9 @@ class _EngineBase:
         every batched operation (lookup, update, insert, delete, for both
         engines) dispatches through.
         """
-        mat, lens = keys_to_matrix(keys)
-        return coalesce_encoded(mat, lens, self.batch_size), mat.shape[1]
+        with self.tracer.span("encode", {"n": len(keys)}):
+            mat, lens = keys_to_matrix(keys)
+            return coalesce_encoded(mat, lens, self.batch_size), mat.shape[1]
 
     # -- reporting ---------------------------------------------------------
     def _report(
@@ -256,6 +316,20 @@ class _EngineBase:
         total_tx = sum(log.total_transactions for log in logs)
         total_bytes = sum(log.total_bytes for log in logs)
         timings = [self.cost_model.kernel_time(log) for log in logs]
+        self._m_queries.labels(op=operation).inc(queries)
+        self._m_batches.labels(op=operation).inc(batches)
+        if timings:
+            mk = self._m_kernel_us.labels(op=operation)
+            for t in timings:
+                mk.observe(t.total_s * 1e6)
+            if self.tracer.enabled:
+                # one synthetic gpu-sim span per batch, placed inside the
+                # dispatching host span, so the chrome trace shows the
+                # simulated kernel time beneath the host pipeline
+                for log, t in zip(logs, timings):
+                    self.tracer.emit_simulated(
+                        f"sim:{operation}", t.total_s, kernel_span_args(log, t)
+                    )
         if timings:
             kernel_s = float(np.mean([t.total_s for t in timings]))
         else:  # empty operation: charge the bare launch overhead
@@ -307,6 +381,8 @@ class CuartEngine(_EngineBase):
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
         spare: float = 0.25,
         cache_size: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         """``spare`` over-allocates the device buffers so
         :meth:`insert` can place new keys without an immediate re-map
@@ -319,6 +395,7 @@ class CuartEngine(_EngineBase):
         super().__init__(
             device=device, cpu=cpu, batch_size=batch_size,
             host_threads=host_threads, api="cuda",
+            metrics=metrics, tracer=tracer,
         )
         self.root_table_depth = root_table_depth
         self.long_keys = long_keys
@@ -327,8 +404,24 @@ class CuartEngine(_EngineBase):
         self.layout: Optional[CuartLayout] = None
         self.root_table: Optional[RootTable] = None
         self.cache: Optional[HotKeyCache] = (
-            HotKeyCache(cache_size) if cache_size else None
+            HotKeyCache(cache_size, metrics=self.metrics) if cache_size
+            else None
         )
+        # device-buffer shape gauges, refreshed after every write batch
+        m = self.metrics
+        self._g_nodes = m.gauge(
+            "device_nodes_live", "live inner-node records per type",
+            labels=("type",),
+        )
+        self._g_leaves = m.gauge(
+            "device_leaves_live", "live leaf records per type",
+            labels=("type",),
+        )
+        self._g_free = m.gauge(
+            "device_free_list_depth", "recycled slots awaiting reuse",
+            labels=("type",),
+        )
+        self._gauge_children = None
         # kernel engines are layout-bound; cached so repeated update /
         # insert / delete calls reuse one conflict hash table instead of
         # re-allocating it per call (see AtomicMaxHashTable.reset)
@@ -367,17 +460,47 @@ class CuartEngine(_EngineBase):
     def map_to_device(self) -> None:
         """Map the populated host tree into the device buffers (stage 2),
         rebuilding the compacted root table if configured."""
-        self.layout = CuartLayout(
-            self.tree, long_keys=self.long_keys, spare=self.spare
-        )
-        if self.root_table_depth is not None:
-            self.root_table = RootTable(self.layout, k=self.root_table_depth)
-        else:
-            self.root_table = None
+        with self.tracer.span("engine.map_to_device", {"keys": len(self)}):
+            self.layout = CuartLayout(
+                self.tree, long_keys=self.long_keys, spare=self.spare
+            )
+            if self.root_table_depth is not None:
+                self.root_table = RootTable(
+                    self.layout, k=self.root_table_depth
+                )
+            else:
+                self.root_table = None
         self._updater = None
         self._inserter = None
         if self.cache is not None:
             self.cache.clear()
+        self._refresh_device_gauges()
+
+    def _refresh_device_gauges(self) -> None:
+        """Publish the device buffers' live populations and free-list
+        depths (O(#types) — called after every write batch, so the label
+        children are resolved once and cached)."""
+        layout = self.layout
+        if layout is None:
+            return
+        pop = layout.live_populations()
+        cached = self._gauge_children
+        if cached is None:
+            cached = self._gauge_children = {
+                section: {
+                    code: family.labels(type=LINK_TYPE_NAMES[code])
+                    for code in pop[section]
+                }
+                for section, family in (
+                    ("nodes", self._g_nodes),
+                    ("leaves", self._g_leaves),
+                    ("free_nodes", self._g_free),
+                    ("free_leaves", self._g_free),
+                )
+            }
+        for section, children in cached.items():
+            for code, n in pop[section].items():
+                children[code].set(n)
 
     def _require_layout(self) -> CuartLayout:
         if self.layout is None:
@@ -426,10 +549,14 @@ class CuartEngine(_EngineBase):
         result cache enabled, hot keys are served from the host LRU and
         only cold keys reach the kernels.
         """
-        layout = self._require_layout()
-        layout.check_fresh()
         if not isinstance(keys, (list, tuple)):
             keys = list(keys)
+        with self._timed_op("lookup", len(keys)):
+            return self._lookup(keys)
+
+    def _lookup(self, keys):
+        layout = self._require_layout()
+        layout.check_fresh()
         if self.cache is None:
             values, overrides, n_batches, width, logs = self._lookup_dispatch(
                 layout, keys
@@ -451,8 +578,9 @@ class CuartEngine(_EngineBase):
         if len(keys) > len(uniq_keys):
             # repeats collapsed by the in-call dedup are cache hits: the
             # hot-key tier (this dict plus the LRU) serves them without
-            # touching the device
-            self.cache.stats.hits += len(keys) - len(uniq_keys)
+            # touching the device; routed through the cache's accounting
+            # API so registry, stats view and BENCH JSON always agree
+            self.cache.record_dedup_hits(len(keys) - len(uniq_keys))
         values = np.full(len(uniq_keys), np.uint64(NIL_VALUE), dtype=np.uint64)
         overrides: dict[int, Optional[int]] = {}
         miss_pos: list[int] = []
@@ -494,15 +622,20 @@ class CuartEngine(_EngineBase):
         paper's thread-index priority).  The host tree mirrors every
         applied value so a future re-map cannot resurrect stale data.
         """
-        layout = self._require_layout()
         items = list(items) if not isinstance(items, (list, tuple)) else items
+        with self._timed_op("update", len(items)):
+            return self._update(items)
+
+    def _update(self, items) -> FoundFlags:
+        layout = self._require_layout()
         keys = [k for k, _ in items]
         values = np.array([v for _, v in items], dtype=np.uint64)
         batches, width = self._coalesce_stream(keys)
         engine = self._updater
         if engine is None or engine.layout is not layout:
             engine = self._updater = UpdateEngine(
-                layout, root_table=self.root_table, hash_slots=self.hash_slots
+                layout, root_table=self.root_table,
+                hash_slots=self.hash_slots, metrics=self.metrics,
             )
         found = np.zeros(len(items), dtype=bool)
         logs = []
@@ -528,6 +661,7 @@ class CuartEngine(_EngineBase):
                         cache.update_if_cached(k, v)
         layout.mark_synced()
         self._report("update", len(items), len(batches), logs, width)
+        self._refresh_device_gauges()
         return flags
 
     def insert(
@@ -541,15 +675,20 @@ class CuartEngine(_EngineBase):
         All items land in the host tree either way, so the engine's
         content stays authoritative.
         """
-        layout = self._require_layout()
         items = list(items) if not isinstance(items, (list, tuple)) else items
+        with self._timed_op("insert", len(items)):
+            return self._insert(items, remap_on_defer=remap_on_defer)
+
+    def _insert(self, items, *, remap_on_defer: bool) -> dict:
+        layout = self._require_layout()
         keys = [k for k, _ in items]
         values = np.array([v for _, v in items], dtype=np.uint64)
         batches, width = self._coalesce_stream(keys)
         engine = self._inserter
         if engine is None or engine.layout is not layout:
             engine = self._inserter = InsertEngine(
-                layout, root_table=self.root_table, hash_slots=self.hash_slots
+                layout, root_table=self.root_table,
+                hash_slots=self.hash_slots, metrics=self.metrics,
             )
         logs = []
         n_ins = n_upd = n_def = 0
@@ -578,6 +717,7 @@ class CuartEngine(_EngineBase):
         else:
             layout.mark_synced()
         self._report("insert", len(items), max(len(logs), 1), logs, width)
+        self._refresh_device_gauges()
         return {
             "device_inserted": n_ins,
             "updated": n_upd,
@@ -590,9 +730,13 @@ class CuartEngine(_EngineBase):
 
         Mirrored into the host tree so a future re-map cannot resurrect
         the deleted keys."""
-        layout = self._require_layout()
         if not isinstance(keys, (list, tuple)):
             keys = list(keys)
+        with self._timed_op("delete", len(keys)):
+            return self._delete(keys)
+
+    def _delete(self, keys) -> FoundFlags:
+        layout = self._require_layout()
         batches, width = self._coalesce_stream(keys)
         deleted = np.zeros(len(keys), dtype=bool)
         logs = []
@@ -602,7 +746,7 @@ class CuartEngine(_EngineBase):
             res = delete_batch(
                 layout, batch.keys_mat, batch.key_lens,
                 root_table=self.root_table, hash_slots=self.hash_slots,
-                table=self._delete_table,
+                table=self._delete_table, metrics=self.metrics,
             )
             logs.append(res.log)
             deleted[batch.origin] = res.deleted
@@ -619,6 +763,7 @@ class CuartEngine(_EngineBase):
                         cache.update_if_cached(k, None)
         layout.mark_synced()
         self._report("delete", len(keys), len(batches), logs, width)
+        self._refresh_device_gauges()
         return flags
 
     # -- persistence ---------------------------------------------------------

@@ -13,8 +13,12 @@ device batch per op-type run.
 
 Hit/miss tallies come straight from the batch result arrays
 (:attr:`LazyValues.hit_mask` / :attr:`FoundFlags.array`) — no per-item
-Python counting — and the report carries measured host wall-clock and
-batch counts per operation class for latency accounting.
+Python counting.  Latency accounting goes through the engine's metrics
+registry (:mod:`repro.obs`): per-op-class histograms
+(``mixed_op_latency_us{op=...}``) carry p50/p95/p99 summaries into the
+report and the BENCH JSON, the coalescer's flush-reason counters explain
+the batch cuts, and each flush runs under a tracer span so a chrome
+trace shows the executor → engine → simulated-kernel nesting.
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ import numpy as np
 
 from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 
 
 @dataclass
@@ -51,6 +57,12 @@ class MixedReport:
     simulated_mops: dict = field(default_factory=dict)
     #: measured host wall-clock seconds spent per op class.
     wall_s: dict = field(default_factory=dict)
+    #: per-op-class latency summaries from the registry histograms
+    #: (``{"lookup": {"count", "mean", "p50", "p95", "p99", ...}, ...}``).
+    latency_percentiles_by_op: dict = field(default_factory=dict)
+    #: batches cut per flush reason during this run
+    #: (``size-full`` / ``write-dependency`` / ``drain``).
+    flush_reasons: dict = field(default_factory=dict)
 
     @property
     def operations(self) -> int:
@@ -96,46 +108,72 @@ class MixedWorkloadExecutor:
 
     def __init__(self, engine: CuartEngine) -> None:
         self.engine = engine
+        #: shares the engine's observability surface so executor, engine,
+        #: cache and write-kernel series land in one registry snapshot.
+        self.metrics: MetricsRegistry = getattr(
+            engine, "metrics", None
+        ) or MetricsRegistry()
+        self.tracer = getattr(engine, "tracer", None) or NULL_TRACER
+        self._m_latency = self.metrics.histogram(
+            "mixed_op_latency_us",
+            "measured host wall-clock per op through the mixed executor",
+            labels=("op",),
+        )
 
     def run(self, stream) -> tuple[list, MixedReport]:
         """Execute the stream; returns (lookup results in stream order,
-        report).  Lookup results align with the stream's lookup ops."""
+        report).  Lookup results align with the stream's lookup ops.
+
+        The report's :attr:`~MixedReport.latency_percentiles_by_op` reads
+        the registry histograms, which are *cumulative over the engine's
+        lifetime* (Prometheus semantics); :attr:`~MixedReport.flush_reasons`
+        is the per-run delta.
+        """
         report = MixedReport()
         results: list = []
         engine = self.engine
-        coal = OpClassCoalescer(engine.batch_size)
+        tracer = self.tracer
+        latency = self._m_latency
+        coal = OpClassCoalescer(engine.batch_size, metrics=self.metrics)
+        reasons_before = coal.flush_reasons()
 
         def execute(kind: str, payloads: list) -> None:
             t0 = time.perf_counter()
-            if kind == "lookup":
-                values = engine.lookup(payloads)
-                results.extend(values)
-                report.lookups += len(payloads)
-                hits = _hit_count(values)
-                report.hits += hits
-                report.misses += len(payloads) - hits
-            elif kind == "update":
-                found = engine.update(payloads)
-                report.updates += len(payloads)
-                report.update_misses += len(payloads) - _found_count(found)
-            elif kind == "insert":
-                out = engine.insert(payloads)
-                report.inserts += len(payloads)
-                report.inserts_deferred += out["deferred"]
-            elif kind == "scan":
-                for lo, hi in payloads:
-                    rows = engine.range(lo, hi)
-                    report.records_scanned += len(rows)
-                report.scans += len(payloads)
-            else:  # delete
-                found = engine.delete(payloads)
-                report.deletes += len(payloads)
-                report.delete_misses += len(payloads) - _found_count(found)
+            with tracer.span(f"mixed.{kind}", {"n": len(payloads)}):
+                if kind == "lookup":
+                    values = engine.lookup(payloads)
+                    results.extend(values)
+                    report.lookups += len(payloads)
+                    hits = _hit_count(values)
+                    report.hits += hits
+                    report.misses += len(payloads) - hits
+                elif kind == "update":
+                    found = engine.update(payloads)
+                    report.updates += len(payloads)
+                    report.update_misses += (
+                        len(payloads) - _found_count(found)
+                    )
+                elif kind == "insert":
+                    out = engine.insert(payloads)
+                    report.inserts += len(payloads)
+                    report.inserts_deferred += out["deferred"]
+                elif kind == "scan":
+                    for lo, hi in payloads:
+                        rows = engine.range(lo, hi)
+                        report.records_scanned += len(rows)
+                    report.scans += len(payloads)
+                else:  # delete
+                    found = engine.delete(payloads)
+                    report.deletes += len(payloads)
+                    report.delete_misses += (
+                        len(payloads) - _found_count(found)
+                    )
+            dt = time.perf_counter() - t0
             report.batches += 1
             report.batches_by_op[kind] = report.batches_by_op.get(kind, 0) + 1
-            report.wall_s[kind] = (
-                report.wall_s.get(kind, 0.0) + time.perf_counter() - t0
-            )
+            report.wall_s[kind] = report.wall_s.get(kind, 0.0) + dt
+            n = len(payloads)
+            latency.labels(op=kind).observe(dt / n * 1e6, n)
             if engine.last_report is not None:
                 report.simulated_mops[kind] = (
                     engine.last_report.end_to_end_mops
@@ -162,4 +200,13 @@ class MixedWorkloadExecutor:
                 execute(k, ps)
         for k, ps in coal.drain():
             execute(k, ps)
+
+        for kind in report.wall_s:
+            summary = self.metrics.value("mixed_op_latency_us", op=kind)
+            if summary:
+                report.latency_percentiles_by_op[kind] = summary
+        report.flush_reasons = {
+            reason: count - reasons_before.get(reason, 0)
+            for reason, count in coal.flush_reasons().items()
+        }
         return results, report

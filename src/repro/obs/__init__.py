@@ -1,0 +1,54 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+Every layer of the serving and write paths reports through this one
+zero-dependency subsystem instead of hand-rolled counters: the host
+engines (:mod:`repro.host.engine`), the mixed-workload executor and
+op-class coalescer (:mod:`repro.host.mixed`, :mod:`repro.host.batching`),
+the hot-key cache (:mod:`repro.host.cache`), the three write kernels
+(:mod:`repro.cuart.update` / ``insert`` / ``delete``) and the simulated
+GPU cost model (:mod:`repro.gpusim`).
+
+Three pieces:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms (p50/p95/p99 summaries), optionally labelled;
+* :class:`Tracer` — context-manager spans with nesting, plus synthetic
+  "simulated kernel" events fed from the GPU cost model; the module
+  singleton :data:`NULL_TRACER` makes disabled tracing allocation-free;
+* exporters (:mod:`repro.obs.export`) — JSON snapshot, Prometheus text
+  exposition, and chrome://tracing trace-event JSON.
+
+See ``docs/observability.md`` for the metric catalog.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_US_BUCKETS,
+    MetricsRegistry,
+    OCCUPANCY_BUCKETS,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+from repro.obs.export import (
+    chrome_trace,
+    snapshot_json,
+    to_prometheus,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_US_BUCKETS",
+    "OCCUPANCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "chrome_trace",
+    "snapshot_json",
+    "to_prometheus",
+    "write_chrome_trace",
+]

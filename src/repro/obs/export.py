@@ -1,0 +1,127 @@
+"""Exporters: JSON snapshot, Prometheus text exposition, chrome trace.
+
+All three read the same primitives (:meth:`MetricsRegistry.snapshot` /
+:attr:`Tracer.events`), so any number they print is the number every
+other consumer saw.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from math import inf
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import GPU_TRACK, HOST_TRACK
+
+
+def snapshot_json(registry: MetricsRegistry, *, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document (re-parseable)."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ---------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _labels_str(names, values, extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(str(v))}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(v: float) -> str:
+    if v == inf:
+        return "+Inf"
+    if v == -inf:
+        return "-Inf"
+    return repr(float(v)) if isinstance(v, float) and not float(v).is_integer() \
+        else str(int(v))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in the Prometheus text format."""
+    lines: list[str] = []
+    for fam in registry.families():
+        if not fam.children:
+            continue
+        if fam.help:
+            lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for key in fam.label_values():
+            child = fam.children[key]
+            if isinstance(child, Histogram):
+                cum = 0
+                for bound, n in zip(child.bounds, child.bucket_counts):
+                    cum += n
+                    le = 'le="' + _fmt(bound) + '"'
+                    lines.append(
+                        f"{fam.name}_bucket"
+                        f"{_labels_str(fam.label_names, key, le)} {cum}"
+                    )
+                le_inf = 'le="+Inf"'
+                lines.append(
+                    f"{fam.name}_bucket"
+                    f"{_labels_str(fam.label_names, key, le_inf)}"
+                    f" {child.count}"
+                )
+                ls = _labels_str(fam.label_names, key)
+                lines.append(f"{fam.name}_sum{ls} {repr(float(child.sum))}")
+                lines.append(f"{fam.name}_count{ls} {child.count}")
+            else:
+                ls = _labels_str(fam.label_names, key)
+                lines.append(f"{fam.name}{ls} {_fmt(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# chrome://tracing trace-event JSON
+# ---------------------------------------------------------------------------
+
+_TRACK_NAMES = {HOST_TRACK: "host", GPU_TRACK: "gpu-sim"}
+
+
+def chrome_trace(tracer) -> dict:
+    """Trace-event-format document; load via chrome://tracing or
+    https://ui.perfetto.dev."""
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for tid, label in _TRACK_NAMES.items()
+    ] + [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": HOST_TRACK,
+            "args": {"name": "cuart"},
+        }
+    ]
+    return {
+        "traceEvents": meta + list(tracer.events),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(tracer, path) -> None:
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+        fh.write("\n")

@@ -1,0 +1,128 @@
+"""Exporter round-trip tests: JSON snapshot, Prometheus text grammar,
+chrome trace-event validity."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    snapshot_json,
+    to_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import GPU_TRACK, HOST_TRACK, Tracer
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("ops_total", "ops served", labels=("op",)).labels(
+        op="lookup"
+    ).inc(7)
+    reg.counter("plain_total", "unlabelled").inc(2)
+    reg.gauge("depth", "free-list depth").set(3.5)
+    h = reg.histogram("lat_us", "latency", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    return reg
+
+
+def test_snapshot_json_reparses():
+    reg = _loaded_registry()
+    doc = json.loads(snapshot_json(reg))
+    assert doc == reg.snapshot()
+    assert doc["counters"]["ops_total"] == {"op=lookup": 7}
+    assert doc["histograms"]["lat_us"]["count"] == 4
+
+
+# one Prometheus sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"               # metric name
+    r"(_bucket|_sum|_count)?"                   # histogram series suffix
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\""     # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\")*\})?"  # more labels
+    r" ([0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def test_prometheus_grammar():
+    text = to_prometheus(_loaded_registry())
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+
+
+def test_prometheus_histogram_series():
+    text = to_prometheus(_loaded_registry())
+    # cumulative buckets: 1 <= 2 <= 3, +Inf equals total count
+    assert 'lat_us_bucket{le="1"} 1' in text
+    assert 'lat_us_bucket{le="10"} 2' in text
+    assert 'lat_us_bucket{le="100"} 3' in text
+    assert 'lat_us_bucket{le="+Inf"} 4' in text
+    assert "lat_us_count 4" in text
+    assert "lat_us_sum 555.5" in text
+
+
+def test_prometheus_type_lines():
+    text = to_prometheus(_loaded_registry())
+    assert "# TYPE ops_total counter" in text
+    assert "# TYPE depth gauge" in text
+    assert "# TYPE lat_us histogram" in text
+
+
+def test_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "c", labels=("k",)).labels(k='a"b\\c\nd').inc()
+    text = to_prometheus(reg)
+    assert r'c_total{k="a\"b\\c\nd"} 1' in text
+
+
+def test_chrome_trace_document():
+    t = Tracer()
+    with t.span("outer"):
+        with t.span("inner"):
+            t.emit_simulated("sim:inner", 0.001)
+    doc = chrome_trace(t)
+    # valid JSON document
+    doc2 = json.loads(json.dumps(doc))
+    events = doc2["traceEvents"]
+    # metadata names both tracks
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert names == {HOST_TRACK: "host", GPU_TRACK: "gpu-sim"}
+    # every complete event carries the required keys
+    for e in events:
+        if e["ph"] == "X":
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+    assert sum(1 for e in events if e["ph"] == "X") == 3
+
+
+def test_write_chrome_trace_creates_parents(tmp_path):
+    t = Tracer()
+    with t.span("s"):
+        pass
+    out = tmp_path / "nested" / "dir" / "trace.json"
+    write_chrome_trace(t, out)
+    doc = json.loads(out.read_text())
+    assert any(e["name"] == "s" for e in doc["traceEvents"])
+
+
+def test_empty_registry_exports():
+    reg = MetricsRegistry()
+    assert to_prometheus(reg) == ""
+    assert json.loads(snapshot_json(reg)) == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95])
+def test_snapshot_percentiles_present(q):
+    snap = _loaded_registry().snapshot()
+    assert f"p{int(q * 100)}" in snap["histograms"]["lat_us"]

@@ -1,0 +1,138 @@
+"""Registry + metric-type unit tests (repro.obs.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    LATENCY_US_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "ops")
+        c.inc()
+        c.inc(5)
+        assert reg.value("ops_total") == 6
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("x_total", "x")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("q_total", "q", labels=("op",))
+        fam.labels(op="lookup").inc(3)
+        fam.labels(op="update").inc(4)
+        assert reg.value("q_total", op="lookup") == 3
+        assert reg.value("q_total", op="update") == 4
+
+    def test_label_child_cached(self):
+        fam = MetricsRegistry().counter("q_total", "q", labels=("op",))
+        assert fam.labels(op="a") is fam.labels(op="a")
+
+    def test_unknown_label_name_rejected(self):
+        fam = MetricsRegistry().counter("q_total", "q", labels=("op",))
+        with pytest.raises(ReproError):
+            fam.labels(kind="a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "d")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert reg.value("depth") == 7
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c_total", "c")
+        b = reg.counter("c_total", "c")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", "m")
+        with pytest.raises(ReproError):
+            reg.gauge("m", "m")
+
+    def test_label_schema_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m_total", "m", labels=("op",))
+        with pytest.raises(ReproError):
+            reg.counter("m_total", "m", labels=("kind",))
+
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c").inc(2)
+        reg.gauge("g", "g").set(1.5)
+        reg.histogram("h_us", "h").observe(10.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c_total"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h_us"]["count"] == 1
+
+    def test_snapshot_labelled_series(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", "c", labels=("op",))
+        fam.labels(op="a").inc(1)
+        fam.labels(op="b").inc(2)
+        snap = reg.snapshot()
+        assert snap["counters"]["c_total"] == {"op=a": 1, "op=b": 2}
+
+
+class TestHistogram:
+    def test_rejects_nan(self):
+        h = MetricsRegistry().histogram("h_us", "h")
+        with pytest.raises(ReproError):
+            h.observe(float("nan"))
+
+    def test_weighted_observation(self):
+        h = MetricsRegistry().histogram("h_us", "h")
+        h.observe(5.0, 100)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(5.0)
+
+    def test_summary_empty(self):
+        s = MetricsRegistry().histogram("h_us", "h").summary()
+        assert s["count"] == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_percentiles_track_numpy(self, seed):
+        """Bucket-interpolated quantiles stay within ~5% relative error
+        of exact numpy quantiles for a lognormal latency-like sample."""
+        rng = np.random.default_rng(seed)
+        sample = rng.lognormal(mean=3.0, sigma=1.0, size=20_000)
+        h = Histogram(LATENCY_US_BUCKETS)
+        for v in sample:
+            h.observe(float(v))
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.quantile(sample, q))
+            est = h.quantile(q)
+            assert est == pytest.approx(exact, rel=0.08), (
+                f"q={q}: est {est} vs exact {exact}"
+            )
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram(LATENCY_US_BUCKETS)
+        h.observe(42.0)
+        assert h.quantile(0.0) >= 42.0 - 1e-9
+        assert h.quantile(1.0) <= 42.0 + 1e-9
+
+    def test_bucket_counts(self):
+        h = Histogram((1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert list(h.bucket_counts) == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)

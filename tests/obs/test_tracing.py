@@ -1,0 +1,98 @@
+"""Tracer unit tests: span recording, nesting containment, and the
+allocation-free disabled path."""
+
+import time
+import tracemalloc
+
+from repro.obs import tracing as tr
+from repro.obs.tracing import GPU_TRACK, HOST_TRACK, NULL_TRACER, Tracer
+
+
+def test_span_records_complete_event():
+    t = Tracer()
+    with t.span("outer", {"n": 3}):
+        pass
+    (ev,) = t.events
+    assert ev["name"] == "outer"
+    assert ev["ph"] == "X"
+    assert ev["tid"] == HOST_TRACK
+    assert ev["dur"] >= 0
+    assert ev["args"] == {"n": 3}
+
+
+def test_nested_spans_time_contained():
+    """Nesting is derived from time containment: an inner span's
+    [ts, ts+dur] interval must lie within its enclosing span's."""
+    t = Tracer()
+    with t.span("outer"):
+        with t.span("inner"):
+            time.sleep(0.001)
+    inner = next(e for e in t.events if e["name"] == "inner")
+    outer = next(e for e in t.events if e["name"] == "outer")
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    # complete events are appended on close: inner closes first
+    assert t.events.index(inner) < t.events.index(outer)
+
+
+def test_emit_simulated_lands_on_gpu_track_inside_host_span():
+    t = Tracer()
+    with t.span("engine.update"):
+        t.emit_simulated("sim:update", 0.5, {"bound": "latency"})
+    sim = next(e for e in t.events if e["name"] == "sim:update")
+    host = next(e for e in t.events if e["name"] == "engine.update")
+    assert sim["tid"] == GPU_TRACK
+    assert sim["dur"] == 0.5 * 1e6  # simulated seconds -> trace us
+    assert host["ts"] <= sim["ts"] <= host["ts"] + host["dur"]
+
+
+def test_instant_marker():
+    t = Tracer()
+    t.instant("flush", {"reason": "drain"})
+    (ev,) = t.events
+    assert ev["ph"] == "i"
+    assert ev["args"] == {"reason": "drain"}
+
+
+def test_clear():
+    t = Tracer()
+    with t.span("x"):
+        pass
+    t.clear()
+    assert t.events == []
+
+
+def test_null_tracer_is_disabled_and_shares_one_span():
+    assert NULL_TRACER.enabled is False
+    s1 = NULL_TRACER.span("a", {"n": 1})
+    s2 = NULL_TRACER.span("b")
+    assert s1 is s2  # one shared no-op context manager
+    with s1:
+        pass
+    NULL_TRACER.emit_simulated("sim:x", 1.0)
+    NULL_TRACER.instant("x")
+    assert NULL_TRACER.events == []
+
+
+def test_null_tracer_hot_path_allocates_nothing():
+    """The disabled path must be allocation-free: entering/exiting spans
+    through NULL_TRACER allocates zero bytes inside the tracing module."""
+    span = NULL_TRACER.span  # hoisted like the engines do
+
+    def hot_loop():
+        for _ in range(10_000):
+            with span("engine.lookup"):
+                pass
+
+    hot_loop()  # warm up (method caches, bytecode specialization)
+    tracemalloc.start()
+    try:
+        hot_loop()
+        snap = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snap.filter_traces(
+        [tracemalloc.Filter(True, tr.__file__)]
+    ).statistics("lineno")
+    allocated = sum(s.size for s in stats)
+    assert allocated == 0, f"null tracer allocated {allocated} bytes: {stats}"

@@ -1,0 +1,111 @@
+"""Tree-shape gauges (satellite: art/stats.py wired into the registry).
+
+A growth workload drives the node-type mix through the ART ladder — at a
+handful of keys everything fits in N4 nodes, and as the fan-out under the
+root fills, N16, N48 and finally N256 populations appear.  The gauges
+published from :func:`repro.art.stats.publish_stats` (host tree) and the
+engine's per-write-batch device gauges must both track that evolution.
+"""
+
+import pytest
+
+from repro.art.stats import collect_stats, publish_stats
+from repro.art.tree import AdaptiveRadixTree
+from repro.host.engine import CuartEngine
+from repro.obs import MetricsRegistry
+
+
+def _keys(n: int) -> list[bytes]:
+    # 3-byte big-endian integers: fan-out grows bottom-up as n crosses
+    # 4/16/48/256 multiples, marching node types up the ladder
+    return [i.to_bytes(3, "big") for i in range(n)]
+
+
+def _tree(n: int) -> AdaptiveRadixTree:
+    t = AdaptiveRadixTree()
+    for i, k in enumerate(_keys(n)):
+        t.insert(k, i)
+    return t
+
+
+def test_prefix_length_histogram_collected():
+    stats = collect_stats(_tree(64).root)
+    assert sum(stats.prefix_length_histogram.values()) == (
+        stats.total_inner_nodes
+    )
+    assert stats.compressed_bytes == sum(
+        plen * cnt for plen, cnt in stats.prefix_length_histogram.items()
+    )
+
+
+def test_publish_stats_gauges():
+    reg = MetricsRegistry()
+    stats = collect_stats(_tree(300).root)
+    publish_stats(reg, stats)
+    assert reg.value("art_keys") == 300
+    snap = reg.snapshot()["gauges"]
+    assert sum(snap["art_nodes"].values()) == stats.total_inner_nodes
+    assert sum(snap["art_leaves"].values()) == 300
+    assert "art_prefix_length_nodes" in snap
+
+
+def test_republish_zeroes_stale_populations():
+    reg = MetricsRegistry()
+    publish_stats(reg, collect_stats(_tree(300).root))
+    assert reg.value("art_nodes", type="N256") > 0
+    publish_stats(reg, collect_stats(_tree(4).root))
+    assert reg.value("art_nodes", type="N256") == 0
+    assert reg.value("art_keys") == 4
+
+
+def test_node_populations_march_up_the_ladder():
+    """N4 -> N16 -> N48 -> N256 populations change across growth."""
+    seen = {}
+    # one parent node fanning 4 / 12 / 40 / 1200 ways: each size lands in
+    # the next node class (<=4, <=16, <=48, then 256-way pages)
+    for n in (4, 12, 40, 1200):
+        reg = MetricsRegistry()
+        publish_stats(reg, collect_stats(_tree(n).root))
+        seen[n] = {
+            t: reg.value("art_nodes", type=t)
+            for t in ("N4", "N16", "N48", "N256")
+        }
+    assert seen[4] == {"N4": 1, "N16": 0, "N48": 0, "N256": 0}
+    assert seen[12]["N16"] > 0
+    assert seen[40]["N48"] > 0
+    assert seen[1200]["N256"] > 0
+    # each stage actually *changed* the mix (the satellite's assertion)
+    stages = [seen[n] for n in (4, 12, 40, 1200)]
+    for a, b in zip(stages, stages[1:]):
+        assert a != b
+
+
+def test_engine_device_gauges_track_growth():
+    """The same ladder, through the engine's device-population gauges."""
+    seen = {}
+    for n in (40, 1200):
+        reg = MetricsRegistry()
+        eng = CuartEngine(batch_size=256, metrics=reg)
+        eng.populate([(k, i) for i, k in enumerate(_keys(n))])
+        eng.map_to_device()
+        seen[n] = {
+            t: reg.value("device_nodes_live", type=t)
+            for t in ("N4", "N16", "N48", "N256")
+        }
+    assert seen[40]["N256"] in (0, None)
+    assert seen[1200]["N256"] > 0
+    assert seen[40] != seen[1200]
+
+
+def test_engine_publish_tree_stats_roundtrip():
+    reg = MetricsRegistry()
+    eng = CuartEngine(batch_size=256, metrics=reg)
+    eng.populate([(k, i) for i, k in enumerate(_keys(500))])
+    eng.map_to_device()
+    stats = eng.publish_tree_stats()
+    assert reg.value("art_keys") == 500 == stats.num_keys
+    # host-tree and device populations agree right after mapping
+    snap = reg.snapshot()["gauges"]
+    assert sum(snap["art_nodes"].values()) == sum(
+        snap["device_nodes_live"].values()
+    )

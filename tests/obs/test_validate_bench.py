@@ -1,0 +1,77 @@
+"""scripts/validate_bench.py schema checks."""
+
+import importlib.util
+import json
+import math
+import pathlib
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts" / "validate_bench.py"
+)
+_spec = importlib.util.spec_from_file_location("validate_bench", _SCRIPT)
+vb = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(vb)
+
+
+def _minimal_doc() -> dict:
+    op = {"wall_s": 0.1, "keys_per_sec": 1000.0, "n": 100}
+    return {
+        "meta": {"label": "t", "n_keys": 100, "batch_size": 8, "seed": 7},
+        "ops": {
+            "populate": dict(op),
+            "lookup_uniform": dict(op),
+            "lookup_zipf": dict(op),
+            "update": dict(op),
+            "mixed": {
+                **op,
+                "latency_percentiles_by_op": {
+                    "lookup": {"count": 10, "mean": 1.0, "p50": 1.0,
+                               "p95": 2.0, "p99": 3.0},
+                },
+                "flush_reasons": {"size-full": 1, "write-dependency": 2,
+                                  "drain": 1},
+            },
+        },
+        "headline": {"populate_plus_lookup_wall_s": 0.2},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+
+
+def test_valid_doc_passes():
+    assert vb.validate(_minimal_doc()) == []
+
+
+def test_committed_bench_passes():
+    bench = _SCRIPT.parents[1] / "BENCH_pr3.json"
+    assert vb.validate(json.loads(bench.read_text())) == []
+
+
+def test_missing_percentiles_flagged():
+    doc = _minimal_doc()
+    del doc["ops"]["mixed"]["latency_percentiles_by_op"]
+    assert any("latency_percentiles_by_op" in p for p in vb.validate(doc))
+
+
+def test_missing_p99_flagged():
+    doc = _minimal_doc()
+    del doc["ops"]["mixed"]["latency_percentiles_by_op"]["lookup"]["p99"]
+    assert any(".p99" in p for p in vb.validate(doc))
+
+
+def test_nan_flagged_anywhere():
+    doc = _minimal_doc()
+    doc["metrics"]["gauges"]["g"] = math.nan
+    assert any("non-finite" in p for p in vb.validate(doc))
+
+
+def test_missing_metrics_snapshot_flagged():
+    doc = _minimal_doc()
+    del doc["metrics"]
+    assert any("metrics" in p for p in vb.validate(doc))
+
+
+def test_missing_flush_reason_flagged():
+    doc = _minimal_doc()
+    del doc["ops"]["mixed"]["flush_reasons"]["drain"]
+    assert any("drain" in p for p in vb.validate(doc))
