@@ -40,6 +40,12 @@ try:  # observability layer (PR 3); absent on older checkouts
 except ImportError:  # pragma: no cover - baseline-checkout compatibility
     MetricsRegistry = Tracer = write_chrome_trace = None
 
+try:  # fault-tolerance layer (PR 4); absent on older checkouts
+    from repro.gpusim.faults import FaultConfig
+    from repro.host.resilience import ResiliencePolicy
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    FaultConfig = ResiliencePolicy = None
+
 PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
 KEY_LEN = 12
 SEED = 7
@@ -51,7 +57,8 @@ CACHE_SIZE = 65536
 def _engine(**kwargs) -> CuartEngine:
     """Build an engine, dropping kwargs older engines don't know."""
     # drop newest-first so an older engine keeps the kwargs it does know
-    for drop in ("tracer", "metrics", "cache_size", None):
+    for drop in ("resilience", "faults", "tracer", "metrics", "cache_size",
+                 None):
         try:
             return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
         except TypeError:
@@ -70,7 +77,8 @@ def _op(wall_s: float, n: int) -> dict:
     }
 
 
-def run(scale: int, label: str, trace_path: str | None = None) -> dict:
+def run(scale: int, label: str, trace_path: str | None = None,
+        fault_rate: float = 0.0, fault_seed: int = 1234) -> dict:
     n = max(PAPER_KEYS // scale, 1024)
     keys = random_keys(n, KEY_LEN, seed=SEED)
     items = [(k, i) for i, k in enumerate(keys)]
@@ -86,6 +94,15 @@ def run(scale: int, label: str, trace_path: str | None = None) -> dict:
         obs_kwargs["metrics"] = registry
     if tracer is not None:
         obs_kwargs["tracer"] = tracer
+    # fault-injection soak mode (PR 4): inject transient device faults at
+    # the given rate and serve through the resilience layer; the oracle
+    # asserts below still hold — faults must never corrupt results
+    if fault_rate > 0.0:
+        if FaultConfig is None:
+            raise SystemExit("--fault-rate needs the fault-tolerance layer "
+                             "(repro.gpusim.faults) on PYTHONPATH")
+        obs_kwargs["faults"] = FaultConfig.uniform(fault_rate, seed=fault_seed)
+        obs_kwargs["resilience"] = ResiliencePolicy()
 
     # -- populate + map: build the servable index -----------------------
     eng = _engine(**obs_kwargs)
@@ -166,6 +183,25 @@ def run(scale: int, label: str, trace_path: str | None = None) -> dict:
     reasons = getattr(report, "flush_reasons", None)
     if reasons:
         ops["mixed"]["flush_reasons"] = dict(reasons)
+    by_status = getattr(report, "ops_by_status", None)
+    if by_status is not None:  # PR 4 executors: per-OpStatus op counts
+        ops["mixed"]["ops_by_status"] = dict(by_status)
+        assert by_status.get("FAILED", 0) == 0, \
+            "mixed stream reported FAILED ops"
+
+    fault_injection = None
+    if fault_rate > 0.0:
+        injector = getattr(eng, "_injector", None)
+        fault_injection = {
+            "rate": fault_rate,
+            "seed": fault_seed,
+            "injected": injector.snapshot() if injector is not None else {},
+        }
+        disp = getattr(eng, "_dispatcher", None)
+        if disp is not None:
+            fault_injection["simulated_backoff_s"] = round(
+                disp.simulated_backoff_s, 6
+            )
 
     result_metrics = None
     if registry is not None:
@@ -195,6 +231,8 @@ def run(scale: int, label: str, trace_path: str | None = None) -> dict:
         "headline": {
             "populate_plus_lookup_wall_s": round(headline_s, 6),
         },
+        **({"fault_injection": fault_injection}
+           if fault_injection is not None else {}),
         **({"metrics": result_metrics} if result_metrics is not None else {}),
     }
 
@@ -209,15 +247,24 @@ def main(argv=None) -> int:
     ap.add_argument("--label", default="local", help="free-form run label")
     ap.add_argument("--trace", default=None, metavar="PATH",
                     help="write a chrome://tracing JSON of the run")
+    ap.add_argument("--fault-rate", type=float, default=0.0,
+                    help="inject transient device faults at this per-event "
+                         "probability and serve through the resilience "
+                         "layer (0 = off)")
+    ap.add_argument("--fault-seed", type=int, default=1234,
+                    help="seed of the fault injector's random stream")
     args = ap.parse_args(argv)
     if args.scale < 1:
         ap.error(f"--scale must be >= 1, got {args.scale}")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        ap.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.baseline and not os.path.exists(args.baseline):
         ap.error(f"--baseline file not found: {args.baseline}")
     if args.trace and Tracer is None:
         ap.error("--trace needs the repro.obs package on PYTHONPATH")
 
-    result = run(args.scale, args.label, trace_path=args.trace)
+    result = run(args.scale, args.label, trace_path=args.trace,
+                 fault_rate=args.fault_rate, fault_seed=args.fault_seed)
 
     if args.baseline:
         with open(args.baseline) as fh:
@@ -248,6 +295,11 @@ def main(argv=None) -> int:
         rate = rec["keys_per_sec"]
         print(f"  {op:16s} {rec['wall_s']:8.3f}s  "
               f"{rate / 1e3 if rate else 0:10.1f} kops/s  (n={rec['n']})")
+    fi = result.get("fault_injection")
+    if fi:
+        print(f"  fault injection: rate={fi['rate']} "
+              f"injected={sum(fi['injected'].values())} "
+              f"by_status={result['ops']['mixed'].get('ops_by_status')}")
     if "speedup_vs_baseline" in result["headline"]:
         print(f"  headline populate+lookup speedup: "
               f"{result['headline']['speedup_vs_baseline']}x")

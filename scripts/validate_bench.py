@@ -10,7 +10,8 @@ Checks (fails with a nonzero exit and a per-problem message):
 * required top-level sections and ``meta`` fields;
 * every op record carries finite ``wall_s`` / ``keys_per_sec`` / ``n``;
 * the mixed op reports ``latency_percentiles_by_op`` with finite
-  p50/p95/p99 per op class, plus ``flush_reasons``;
+  p50/p95/p99 per op class, plus ``flush_reasons`` and ``ops_by_status``
+  (per-``OpStatus`` op counts; ``FAILED`` must be absent or zero);
 * the ``metrics`` registry snapshot is present with its three sections
   and no NaN/inf leaks anywhere in the document.
 """
@@ -26,6 +27,7 @@ REQUIRED_OP_KEYS = ("wall_s", "keys_per_sec", "n")
 REQUIRED_META = ("label", "n_keys", "batch_size", "seed")
 REQUIRED_PCT_KEYS = ("count", "mean", "p50", "p95", "p99")
 REQUIRED_FLUSH_REASONS = ("size-full", "write-dependency", "drain")
+KNOWN_STATUSES = ("OK", "NOT_FOUND", "RETRIED", "DEGRADED_CPU", "FAILED")
 
 
 def _finite(x) -> bool:
@@ -86,6 +88,31 @@ def validate(doc: dict) -> list[str]:
         for r in REQUIRED_FLUSH_REASONS:
             if not _finite(reasons.get(r)):
                 problems.append(f"ops.mixed.flush_reasons[{r!r}] missing")
+
+    by_status = mixed.get("ops_by_status")
+    if not isinstance(by_status, dict) or not by_status:
+        problems.append("ops.mixed.ops_by_status missing/empty")
+    else:
+        for name, count in by_status.items():
+            if name not in KNOWN_STATUSES:
+                problems.append(
+                    f"ops.mixed.ops_by_status has unknown status {name!r}"
+                )
+            elif not _finite(count) or count < 0:
+                problems.append(
+                    f"ops.mixed.ops_by_status[{name!r}] non-finite: {count!r}"
+                )
+        if by_status.get("FAILED", 0):
+            problems.append(
+                f"ops.mixed.ops_by_status reports FAILED ops: "
+                f"{by_status['FAILED']}"
+            )
+        total = sum(c for c in by_status.values() if _finite(c))
+        if _finite(mixed.get("n")) and total != mixed["n"]:
+            problems.append(
+                f"ops.mixed.ops_by_status sums to {total}, "
+                f"expected n={mixed['n']}"
+            )
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):

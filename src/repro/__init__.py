@@ -44,7 +44,16 @@ from repro.cuart import (
     save_layout,
 )
 from repro.grt import GrtLayout, grt_lookup_batch
-from repro.host import CuartEngine, GrtEngine
+from repro.gpusim.faults import FaultConfig, FaultInjector
+from repro.host import (
+    BatchResult,
+    CuartEngine,
+    EngineConfig,
+    GrtEngine,
+    OpStatus,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.host.mixed import MixedWorkloadExecutor
 from repro.constants import NIL_VALUE
 
@@ -66,6 +75,13 @@ __all__ = [
     "grt_lookup_batch",
     "CuartEngine",
     "GrtEngine",
+    "BatchResult",
+    "OpStatus",
+    "EngineConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "MixedWorkloadExecutor",
     "NIL_VALUE",
     "__version__",

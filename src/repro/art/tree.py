@@ -281,10 +281,11 @@ class AdaptiveRadixTree:
     def _check_key(key: bytes) -> None:
         if not isinstance(key, (bytes, bytearray)):
             raise KeyEncodingError(
-                f"keys must be bytes, got {type(key).__name__}"
+                f"keys must be bytes, got {type(key).__name__}",
+                got=type(key).__name__,
             )
         if len(key) == 0:
-            raise KeyEncodingError("empty keys cannot be indexed")
+            raise KeyEncodingError("empty keys cannot be indexed", key_len=0)
 
     @staticmethod
     def _check_value(value: int) -> None:
@@ -292,10 +293,12 @@ class AdaptiveRadixTree:
 
         if not isinstance(value, int):
             raise KeyEncodingError(
-                f"values must be int, got {type(value).__name__}"
+                f"values must be int, got {type(value).__name__}",
+                got=type(value).__name__,
             )
         if not 0 <= value < NIL_VALUE:
             raise KeyEncodingError(
                 f"values must fit an unsigned 64-bit payload and not equal "
-                f"the NIL sentinel: {value}"
+                f"the NIL sentinel: {value}",
+                value=value,
             )

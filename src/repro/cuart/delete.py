@@ -35,6 +35,7 @@ from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
 from repro.cuart.update import write_path_counters
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
 from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import link_indices, link_types
@@ -62,6 +63,7 @@ def delete_batch(
     log: TransactionLog | None = None,
     table: AtomicMaxHashTable | None = None,
     metrics: MetricsRegistry | None = None,
+    injector=None,
 ) -> DeleteResult:
     """Delete a batch of keys on the device.
 
@@ -73,6 +75,11 @@ def delete_batch(
     """
     layout.check_fresh()
     B = keys_mat.shape[0]
+    # fault hooks fire before the inner lookup and any clearing store, so
+    # an aborted delete batch left every leaf and parent link untouched
+    launch_kernel("delete", B, injector=injector)
+    if injector is not None:
+        injector.on_hashtable("delete", B)
     if log is None:
         log = TransactionLog()
 

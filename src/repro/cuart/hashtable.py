@@ -177,9 +177,11 @@ class AtomicMaxHashTable:
         n = uniq.size
         if n > self.slots - self.occupied:
             raise HashTableFullError(
-                f"{n} distinct keys exceed the {self.slots - self.occupied} "
-                "free slots; increase the table ('simply increasing the "
-                "hash table size promises better results', section 4.5)"
+                "distinct keys exceed the free slots; increase the table "
+                "('simply increasing the hash table size promises better "
+                "results', section 4.5)",
+                buffer="hash-table", slots=self.slots,
+                occupied=self.occupied, requested=int(n),
             )
         slot_of = np.full(n, -1, dtype=np.int64)
         pending = np.arange(n)
@@ -212,7 +214,11 @@ class AtomicMaxHashTable:
             probe[pending[~done & ~same]] += np.uint64(1)
             pending = pending[~done]
         if (slot_of < 0).any():  # pragma: no cover - defensive
-            raise HashTableFullError("probe cycle exhausted without placement")
+            raise HashTableFullError(
+                "probe cycle exhausted without placement",
+                buffer="hash-table", slots=self.slots,
+                occupied=self.occupied, requested=int(n),
+            )
         return slot_of
 
     # ------------------------------------------------------------------

@@ -69,6 +69,7 @@ from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import MissReason, lookup_batch
 from repro.cuart.update import write_path_counters
 from repro.errors import SimulationError
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
 from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import (
@@ -127,10 +128,12 @@ class InsertEngine:
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
         metrics: MetricsRegistry | None = None,
+        injector=None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        self.injector = injector
         # one reusable conflict table; each claim domain below resets it
         # rather than paying a fresh multi-MiB allocation per domain
         self._table: AtomicMaxHashTable | None = None
@@ -176,6 +179,11 @@ class InsertEngine:
         layout = self.layout
         layout.check_fresh()
         B = keys_mat.shape[0]
+        # fault hooks fire before stage 1: nothing has been claimed or
+        # written, so an aborted insert batch can be replayed verbatim
+        launch_kernel("insert", B, injector=self.injector)
+        if self.injector is not None:
+            self.injector.on_hashtable("insert", B)
         if log is None:
             log = TransactionLog()
         values = np.asarray(values, dtype=np.uint64)

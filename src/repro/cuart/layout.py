@@ -511,7 +511,9 @@ class CuartLayout:
                 raise KeyTooLongError(
                     f"key of {klen} bytes exceeds the {MAX_SHORT_KEY}-byte "
                     "fixed-leaf maximum and long_keys=ERROR "
-                    "(see LongKeyStrategy / repro.host.hybrid)"
+                    "(see LongKeyStrategy / repro.host.hybrid)",
+                    key_len=klen, max_len=MAX_SHORT_KEY,
+                    strategy=self.long_keys.name,
                 )
             if self.long_keys is LongKeyStrategy.HOST_LINK:
                 self.host_leaves.append((leaf.key, leaf.value))
@@ -552,7 +554,9 @@ class CuartLayout:
         if self._source.version != self._source_version:
             raise StaleLayoutError(
                 "host tree changed since mapping; re-map the layout "
-                "(structural inserts cannot be reflected in-place)"
+                "(structural inserts cannot be reflected in-place)",
+                mapped_version=self._source_version,
+                tree_version=self._source.version,
             )
 
     # ------------------------------------------------------------------
@@ -606,6 +610,67 @@ class CuartLayout:
             len(self.leaves[code].values) - self._next_leaf[code]
             + len(self.free_leaves[code])
         )
+
+    def spare_node_slots(self, code: int) -> int:
+        return (
+            len(self.nodes[code].counts) - self._next_node[code]
+            + len(self.free_nodes[code])
+        )
+
+    def grow_leaf_buffer(self, code: int, min_extra: int = 1) -> int:
+        """Extend one per-type leaf buffer in place (capacity-pressure
+        recovery, the §5.1 "sophisticated buffer management").
+
+        Rows are appended to the SoA arrays, so existing rows keep their
+        indices and every packed link into this buffer stays valid — a
+        device ``cudaMalloc`` + copy, never a relocation, and therefore
+        no re-map.  Grows by at least ``min_extra`` rows and at most a
+        doubling.  Returns the number of rows added.
+        """
+        buf = self.leaves[code]
+        n = len(buf.values)
+        extra = max(min_extra, max(n, 8))
+        buf.keys = np.vstack(
+            [buf.keys, np.zeros((extra, buf.keys.shape[1]), dtype=np.uint8)]
+        )
+        buf.key_lens = np.concatenate(
+            [buf.key_lens, np.zeros(extra, dtype=buf.key_lens.dtype)]
+        )
+        buf.values = np.concatenate(
+            [buf.values, np.zeros(extra, dtype=np.uint64)]
+        )
+        return extra
+
+    def grow_node_buffer(self, code: int, min_extra: int = 1) -> int:
+        """Extend one per-type inner-node buffer in place; same
+        index-stability contract as :meth:`grow_leaf_buffer`."""
+        buf = self.nodes[code]
+        n = len(buf.counts)
+        extra = max(min_extra, max(n, 8))
+        if buf.keys is not None:
+            buf.keys = np.vstack(
+                [buf.keys, np.zeros((extra, buf.keys.shape[1]), dtype=np.uint8)]
+            )
+        buf.children = np.vstack(
+            [buf.children,
+             np.zeros((extra, buf.children.shape[1]), dtype=np.uint64)]
+        )
+        if buf.child_index is not None:
+            buf.child_index = np.vstack(
+                [buf.child_index,
+                 np.full((extra, 256), N48_EMPTY_SLOT, dtype=np.uint8)]
+            )
+        buf.counts = np.concatenate(
+            [buf.counts, np.zeros(extra, dtype=buf.counts.dtype)]
+        )
+        buf.prefix = np.vstack(
+            [buf.prefix,
+             np.zeros((extra, buf.prefix.shape[1]), dtype=np.uint8)]
+        )
+        buf.prefix_len = np.concatenate(
+            [buf.prefix_len, np.zeros(extra, dtype=buf.prefix_len.dtype)]
+        )
+        return extra
 
     def relocated(self, old_link: int, new_link: int) -> None:
         """Patch attached root tables after a node moved (growth)."""

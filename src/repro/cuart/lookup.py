@@ -41,6 +41,7 @@ from repro.constants import (
     NIL_VALUE,
 )
 from repro.cuart.layout import CuartLayout
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
 from repro.util.packing import link_indices, link_types
 
@@ -158,6 +159,7 @@ def lookup_batch(
     *,
     root_table=None,
     log: TransactionLog | None = None,
+    injector=None,
 ) -> LookupResult:
     """Run one batch of exact lookups against the mapped layout.
 
@@ -172,9 +174,13 @@ def lookup_batch(
         upper layers, section 3.2.2).
     log:
         transaction log to append to (a fresh one is created otherwise).
+    injector:
+        optional :class:`repro.gpusim.faults.FaultInjector`; a launch
+        abort fires here, before any traversal work.
     """
     layout.check_fresh()
     B, W = keys_mat.shape
+    launch_kernel("lookup", B, injector=injector)
     if log is None:
         log = TransactionLog()
     log.launched_threads = max(log.launched_threads, B)

@@ -35,6 +35,7 @@ from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
 from repro.errors import SimulationError
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
 from repro.obs.metrics import MetricsRegistry
 from repro.util.packing import link_indices, link_types
@@ -87,10 +88,12 @@ class UpdateEngine:
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
         metrics: MetricsRegistry | None = None,
+        injector=None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        self.injector = injector
         # the conflict table is reused (reset) across batches — the real
         # kernel allocates it once and memsets between launches, and a
         # fresh multi-MiB allocation per batch dominates small batches
@@ -122,6 +125,11 @@ class UpdateEngine:
         layout = self.layout
         layout.check_fresh()
         B = keys_mat.shape[0]
+        # both fault hooks fire before any stage runs: the kernel has
+        # mutated nothing yet, so an aborted batch can be replayed as-is
+        launch_kernel("update", B, injector=self.injector)
+        if self.injector is not None:
+            self.injector.on_hashtable("update", B)
         if log is None:
             log = TransactionLog()
         new_values = np.asarray(new_values, dtype=np.uint64)

@@ -15,7 +15,9 @@ This package defines the model; the kernels live with their data layouts.
 """
 
 from repro.gpusim.transactions import TransactionLog
-from repro.gpusim.memory import MemoryArchitecture
+from repro.gpusim.memory import MemoryArchitecture, allocation_guard
+from repro.gpusim.faults import FAULT_KINDS, FaultConfig, FaultInjector
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.devices import (
     DeviceSpec,
     A100,
@@ -46,4 +48,9 @@ __all__ = [
     "PCIE4_X16",
     "warp_efficiency",
     "occupancy_limit",
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultInjector",
+    "allocation_guard",
+    "launch_kernel",
 ]

@@ -1,0 +1,212 @@
+"""Deterministic, seedable fault injection for the simulated device.
+
+Production GPU serving sees failure modes the paper's benchmarks never
+exercise: transient kernel aborts (ECC traps, launch failures), PCIe
+transfer timeouts and corrupted DMA bursts, hash-table insertion
+failures under pathological batches, and allocation refusals when the
+device is under memory pressure.  This module injects all of them at
+the *dispatch boundaries* of the simulation — the same places a real
+driver would surface them — so the resilience layer
+(:mod:`repro.host.resilience`) can be tested end to end without
+monkeypatching.
+
+Design rules:
+
+* **Deterministic.**  One :class:`FaultInjector` owns one seeded
+  generator; every hook consumes draws in dispatch order, so a given
+  ``(seed, workload)`` pair always faults at the same points.  Retries
+  consume fresh draws, so a retried batch can fault again (and the
+  retry policy's cap matters).
+* **Replay-safe.**  Every hook fires *before* the guarded operation
+  mutates any state: kernel aborts at launch, transfer faults before
+  the batch is committed, allocation faults before buffers are grown.
+  A caught fault therefore means "nothing happened" and the identical
+  batch can be re-dispatched.
+* **No monkeypatching.**  The hooks are explicit seams
+  (:func:`repro.gpusim.streams.launch_kernel`,
+  :meth:`repro.gpusim.pcie.PcieLink.transfer`,
+  :func:`repro.gpusim.memory.allocation_guard`) threaded through the
+  kernels via an optional ``injector=`` argument; passing ``None``
+  (the default everywhere) is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import (
+    DeviceOOMError,
+    HashTableFullError,
+    PcieTransferError,
+    SimulationError,
+    TransientKernelError,
+)
+from repro.util.rng import DEFAULT_SEED, make_rng
+
+#: every fault kind the injector can produce, in the label order used by
+#: the ``gpusim_faults_injected_total{kind}`` counter.
+FAULT_KINDS = (
+    "kernel_abort",
+    "pcie_timeout",
+    "pcie_corruption",
+    "hashtable_insert",
+    "device_oom",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-kind fault probabilities (each applied per guarded event).
+
+    All rates are probabilities in ``[0, 1]``; the default config
+    injects nothing.  ``seed`` makes a run reproducible end to end.
+    """
+
+    seed: int = DEFAULT_SEED
+    #: probability a kernel launch aborts before executing.
+    kernel_abort_rate: float = 0.0
+    #: probability a host↔device transfer times out.
+    pcie_timeout_rate: float = 0.0
+    #: probability a transfer is flagged corrupt (checksum mismatch).
+    pcie_corruption_rate: float = 0.0
+    #: probability the update-engine hash table refuses an insertion
+    #: batch (transient variant of :class:`HashTableFullError`).
+    hashtable_fault_rate: float = 0.0
+    #: probability a device allocation (buffer growth, re-map) fails.
+    oom_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            v = getattr(self, f.name)
+            if not 0.0 <= float(v) <= 1.0:
+                raise SimulationError(
+                    "fault rate must be in [0, 1]", field=f.name, value=v
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault kind has a nonzero rate."""
+        return any(
+            getattr(self, f.name) > 0.0
+            for f in fields(self)
+            if f.name != "seed"
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, *, seed: int = DEFAULT_SEED,
+                oom_rate: float | None = None) -> "FaultConfig":
+        """Same ``rate`` for every transient kind — the soak-test shape.
+
+        ``oom_rate`` defaults to ``rate`` too; pass ``0.0`` to keep
+        allocation paths fault-free while stressing the batch path.
+        """
+        return cls(
+            seed=seed,
+            kernel_abort_rate=rate,
+            pcie_timeout_rate=rate,
+            pcie_corruption_rate=rate,
+            hashtable_fault_rate=rate,
+            oom_rate=rate if oom_rate is None else oom_rate,
+        )
+
+
+class FaultInjector:
+    """Consumes a seeded random stream and raises faults at hook points.
+
+    Hooks are cheap no-ops for kinds whose rate is zero (no draw is
+    consumed), so a config that only injects kernel aborts leaves the
+    PCIe/allocation draw sequence untouched.
+    """
+
+    def __init__(self, config: FaultConfig, *, metrics=None) -> None:
+        self.config = config
+        self.rng = make_rng(config.seed)
+        self.injected: dict[str, int] = dict.fromkeys(FAULT_KINDS, 0)
+        self._counter = (
+            metrics.counter(
+                "gpusim_faults_injected_total",
+                "faults injected by kind",
+                labels=("kind",),
+            )
+            if metrics is not None
+            else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _trip(self, kind: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if float(self.rng.random()) >= rate:
+            return False
+        self.injected[kind] += 1
+        if self._counter is not None:
+            self._counter.labels(kind=kind).inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # hook points, one per fault kind
+    # ------------------------------------------------------------------
+    def on_kernel_launch(self, op: str, batch_size: int) -> None:
+        """Called by :func:`repro.gpusim.streams.launch_kernel` before a
+        kernel body runs."""
+        if self._trip("kernel_abort", self.config.kernel_abort_rate):
+            raise TransientKernelError(
+                "injected transient kernel abort",
+                fault="kernel_abort", op=op, batch_size=batch_size,
+            )
+
+    def on_transfer(self, nbytes: int, *, direction: str,
+                    op: str | None = None) -> None:
+        """Called by :meth:`repro.gpusim.pcie.PcieLink.transfer` before
+        a transfer is considered delivered."""
+        if self._trip("pcie_timeout", self.config.pcie_timeout_rate):
+            raise PcieTransferError(
+                "injected PCIe transfer timeout",
+                fault="pcie_timeout", direction=direction,
+                nbytes=int(nbytes), op=op,
+            )
+        if self._trip("pcie_corruption", self.config.pcie_corruption_rate):
+            raise PcieTransferError(
+                "injected PCIe transfer corruption (checksum mismatch)",
+                fault="pcie_corruption", direction=direction,
+                nbytes=int(nbytes), op=op,
+            )
+
+    def on_hashtable(self, op: str, n_keys: int) -> None:
+        """Called by the write kernels before the dedup hash-table pass.
+
+        Raises the *transient* flavour of :class:`HashTableFullError`
+        (``exc.transient`` is True, ``fault=`` is set) so callers can
+        tell an injected refusal from genuine capacity pressure, which
+        needs a growth recovery rather than a retry."""
+        if self._trip("hashtable_insert", self.config.hashtable_fault_rate):
+            raise HashTableFullError(
+                "injected hash-table insertion failure",
+                transient=True,
+                fault="hashtable_insert", buffer="hash-table",
+                op=op, requested=int(n_keys),
+            )
+
+    def on_alloc(self, nbytes: int, what: str, *,
+                 op: str | None = None) -> None:
+        """Called by :func:`repro.gpusim.memory.allocation_guard` before
+        a simulated device allocation succeeds."""
+        if self._trip("device_oom", self.config.oom_rate):
+            raise DeviceOOMError(
+                "injected device allocation failure",
+                fault="device_oom", buffer=what,
+                requested_bytes=int(nbytes), op=op,
+            )
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the per-kind injected-fault counts."""
+        return dict(self.injected)

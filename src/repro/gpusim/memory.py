@@ -97,6 +97,21 @@ class MemoryArchitecture:
         return max(command_bound, bandwidth_bound)
 
 
+def allocation_guard(nbytes: int, what: str, *, injector=None,
+                     op: str | None = None) -> None:
+    """Simulated ``cudaMalloc`` gate for device-buffer allocations.
+
+    Called before node/leaf buffers are (re)allocated — at layout
+    mapping time and on capacity-pressure growth.  The fault injector
+    may refuse the allocation here (:class:`repro.errors.DeviceOOMError`);
+    since nothing has been resized yet, the existing buffers remain
+    valid and the caller can retry or degrade.  With ``injector=None``
+    this is a no-op.
+    """
+    if injector is not None and nbytes > 0:
+        injector.on_alloc(nbytes, what, op=op)
+
+
 # ---------------------------------------------------------------------------
 # Concrete memory subsystems (parameters from section 4.6 plus public specs)
 # ---------------------------------------------------------------------------

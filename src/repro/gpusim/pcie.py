@@ -27,6 +27,19 @@ class PcieLink:
             return 0.0
         return self.latency_s + nbytes / self.bandwidth
 
+    def transfer(self, nbytes: int, *, direction: str = "h2d",
+                 injector=None, op: str | None = None) -> float:
+        """Guarded transfer: consult the fault injector, then return the
+        modeled transfer time.
+
+        The injector fires *before* the transfer is considered
+        delivered — a timeout or checksum mismatch means the batch never
+        reached the other side, so re-sending the same bytes is safe.
+        """
+        if injector is not None and nbytes > 0:
+            injector.on_transfer(nbytes, direction=direction, op=op)
+        return self.transfer_time(nbytes)
+
 
 #: Gen3 x16 (GTX1070-era): 15.75 GB/s raw, ~12.5 effective.
 PCIE3_X16 = PcieLink(name="PCIe 3.0 x16", bandwidth=12.5e9)

@@ -65,3 +65,16 @@ class PipelineResult:
 def pipeline(stages: list[PipelineStage], batch_size: int) -> PipelineResult:
     """Steady-state throughput of a saturated batch pipeline."""
     return PipelineResult(stages=tuple(stages), batch_size=batch_size)
+
+
+def launch_kernel(op: str, batch_size: int, *, injector=None) -> None:
+    """Pre-launch gate for one kernel dispatch.
+
+    The simulated equivalent of a ``cudaLaunchKernel`` call: the fault
+    injector (:mod:`repro.gpusim.faults`) may abort the launch here —
+    before the kernel body runs, so an abort leaves device state
+    untouched and the batch can be replayed verbatim.  With
+    ``injector=None`` this is a no-op.
+    """
+    if injector is not None:
+        injector.on_kernel_launch(op, batch_size)

@@ -75,7 +75,9 @@ class GrtLayout:
     def check_fresh(self) -> None:
         if self._source.version != self._source_version:
             raise StaleLayoutError(
-                "host tree changed since mapping; re-map the GRT buffer"
+                "host tree changed since mapping; re-map the GRT buffer",
+                mapped_version=self._source_version,
+                tree_version=self._source.version,
             )
 
     @property

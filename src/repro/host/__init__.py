@@ -14,7 +14,13 @@ from repro.host.dispatcher import (
     HostCostParameters,
     pipeline_throughput,
 )
-from repro.host.hybrid import HybridConfig, hybrid_throughput, split_queries
+from repro.host.hybrid import (
+    HybridConfig,
+    degraded_cpu_throughput,
+    hybrid_throughput,
+    split_queries,
+)
+from repro.host.config import EngineConfig
 from repro.host.engine import (
     CuartEngine,
     EngineReport,
@@ -22,6 +28,13 @@ from repro.host.engine import (
     GrtEngine,
     LazyValues,
 )
+from repro.host.resilience import (
+    DeviceHealth,
+    ResiliencePolicy,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.host.results import BatchResult, OpStatus, status_codes
 from repro.host.mixed import MixedWorkloadExecutor, MixedReport
 from repro.host.autotune import autotune_dispatch, TuneResult
 from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_curve
@@ -36,13 +49,22 @@ __all__ = [
     "HostCostParameters",
     "pipeline_throughput",
     "HybridConfig",
+    "degraded_cpu_throughput",
     "hybrid_throughput",
     "split_queries",
     "CuartEngine",
     "GrtEngine",
+    "EngineConfig",
     "EngineReport",
+    "BatchResult",
+    "OpStatus",
+    "status_codes",
     "FoundFlags",
     "LazyValues",
+    "DeviceHealth",
+    "ResiliencePolicy",
+    "ResilientDispatcher",
+    "RetryPolicy",
     "MixedWorkloadExecutor",
     "MixedReport",
     "autotune_dispatch",

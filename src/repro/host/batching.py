@@ -68,6 +68,27 @@ def coalesce_encoded(
     return out
 
 
+def split_batch(batch: QueryBatch) -> list[QueryBatch]:
+    """Halve a batch (stream order preserved) — used by the resilience
+    layer when a capacity recovery is capped and a smaller dispatch may
+    still fit."""
+    if batch.size < 2:
+        raise ReproError("cannot split a batch of fewer than 2 queries")
+    mid = batch.size // 2
+    return [
+        QueryBatch(
+            keys_mat=batch.keys_mat[:mid],
+            key_lens=batch.key_lens[:mid],
+            origin=batch.origin[:mid],
+        ),
+        QueryBatch(
+            keys_mat=batch.keys_mat[mid:],
+            key_lens=batch.key_lens[mid:],
+            origin=batch.origin[mid:],
+        ),
+    ]
+
+
 class OpClassCoalescer:
     """Per-op-class accumulation for mixed read/write streams (§3.1).
 

@@ -1,0 +1,100 @@
+"""Engine construction config: one validated, keyword-only dataclass.
+
+Consolidates the keyword arguments that used to be scattered across
+``CuartEngine.__init__`` (and aligns ``GrtEngine`` to the same shape).
+Validation happens eagerly in ``__post_init__`` — like
+:class:`repro.host.dispatcher.DispatchConfig` — so a bad configuration
+fails at construction with a structured
+:class:`~repro.errors.SimulationError`, not deep inside a kernel.
+
+Both construction styles work::
+
+    CuartEngine(batch_size=1024, cache_size=4096)          # kwargs
+    CuartEngine(config=EngineConfig(batch_size=1024, ...)) # explicit
+
+The kwargs form builds an ``EngineConfig`` internally, so unknown
+keywords still raise ``TypeError`` (feature-detection loops in the
+benchmarks rely on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_HOST_THREADS,
+    DEFAULT_UPDATE_HASH_SLOTS,
+)
+from repro.cuart.layout import LongKeyStrategy
+from repro.errors import SimulationError
+from repro.gpusim.devices import CpuSpec, DeviceSpec, RTX3090, WORKSTATION_CPU
+from repro.gpusim.faults import FaultConfig
+from repro.host.resilience import ResiliencePolicy
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True, kw_only=True)
+class EngineConfig:
+    """Everything an engine needs to be built, validated up front."""
+
+    #: simulated accelerator and host CPU.
+    device: DeviceSpec = RTX3090
+    cpu: CpuSpec = WORKSTATION_CPU
+    #: queries per device batch.
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: host preparation threads feeding the pipeline.
+    host_threads: int = DEFAULT_HOST_THREADS
+    #: compacted root-table depth (1..3) or None for no table
+    #: (section 3.2.2).  CuART only.
+    root_table_depth: Optional[int] = None
+    #: handling of keys beyond the fixed-leaf maximum (section 3.2.3).
+    #: CuART only.
+    long_keys: LongKeyStrategy = LongKeyStrategy.ERROR
+    #: conflict hash-table slots for the write kernels (section 3.4);
+    #: may be grown at runtime by the resilience layer.  CuART only.
+    hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS
+    #: device-buffer over-allocation fraction for device-side inserts
+    #: (section 5.1).  CuART only.
+    spare: float = 0.25
+    #: hot-key LRU result cache entries (0 = disabled).  CuART only.
+    cache_size: int = 0
+    #: shared observability surface; defaults to a private registry and
+    #: the no-op tracer.
+    metrics: Optional[MetricsRegistry] = None
+    tracer: object = None
+    #: deterministic fault injection (None = a cooperative device).
+    faults: Optional[FaultConfig] = None
+    #: retry / degrade / recovery policy (None = faults propagate as
+    #: exceptions, the pre-PR-4 behaviour).
+    resilience: Optional[ResiliencePolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise SimulationError(
+                "batch_size must be positive", value=self.batch_size
+            )
+        if self.host_threads < 1:
+            raise SimulationError(
+                "host_threads must be positive", value=self.host_threads
+            )
+        if self.hash_slots <= 0 or self.hash_slots & (self.hash_slots - 1):
+            raise SimulationError(
+                "hash_slots must be a power of two", value=self.hash_slots
+            )
+        if self.spare < 0:
+            raise SimulationError(
+                "spare must be non-negative", value=self.spare
+            )
+        if self.cache_size < 0:
+            raise SimulationError(
+                "cache_size must be non-negative", value=self.cache_size
+            )
+        if self.root_table_depth is not None and (
+            not 1 <= self.root_table_depth <= 3
+        ):
+            raise SimulationError(
+                "root_table_depth must be 1..3 or None",
+                value=self.root_table_depth,
+            )

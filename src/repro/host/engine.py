@@ -12,15 +12,23 @@ The serving path is array-native end to end: the whole query stream is
 bulk-encoded into one key matrix, batches are views of it, results are
 scattered back with single fancy-index assignments, and the Python-object
 conversion of lookup results is deferred until a caller actually consumes
-them (:class:`LazyValues`).  An optional hot-key LRU result cache
-(:mod:`repro.host.cache`) short-circuits repeat lookups under skewed
-traffic.
+them.  An optional hot-key LRU result cache (:mod:`repro.host.cache`)
+short-circuits repeat lookups under skewed traffic.
+
+Every public operation returns a :class:`repro.host.results.BatchResult`
+carrying per-query :class:`~repro.host.results.OpStatus` codes.  With a
+:class:`~repro.host.resilience.ResiliencePolicy` configured (via
+:class:`~repro.host.config.EngineConfig`), device faults injected by
+:mod:`repro.gpusim.faults` are retried with backoff, recovered from
+(hash-table growth, re-map, device-buffer growth) or degraded to the CPU
+path — callers observe ``RETRIED`` / ``DEGRADED_CPU`` statuses instead
+of catching exceptions.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence as _SequenceABC
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
@@ -30,40 +38,63 @@ import numpy as np
 from repro.art.bulk import bulk_load
 from repro.art.tree import AdaptiveRadixTree
 from repro.constants import (
-    DEFAULT_BATCH_SIZE,
-    DEFAULT_HOST_THREADS,
-    DEFAULT_UPDATE_HASH_SLOTS,
+    LEAF_TYPE_CODES,
     LINK_TYPE_NAMES,
     MAX_SHORT_KEY,
     NIL_VALUE,
+    NODE_TYPE_CODES,
 )
+from repro.cuart.cpu_lookup import cpu_lookup_flat
 from repro.cuart.delete import delete_batch
 from repro.cuart.hashtable import AtomicMaxHashTable
 from repro.cuart.insert import InsertEngine
-from repro.cuart.layout import CuartLayout, LongKeyStrategy
+from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
 from repro.cuart.range_query import prefix_query, range_query
 from repro.cuart.root_table import RootTable
 from repro.cuart.update import UpdateEngine
-from repro.errors import ReproError
+from repro.errors import (
+    DeviceFault,
+    HashTableFullError,
+    ReproError,
+    StaleLayoutError,
+)
 from repro.grt.kernel import grt_lookup_batch
 from repro.grt.layout import GrtLayout
 from repro.grt.update import grt_update_batch
 from repro.gpusim.cost_model import CostModel
-from repro.gpusim.devices import (
-    CpuSpec,
-    DeviceSpec,
-    RTX3090,
-    WORKSTATION_CPU,
-)
+from repro.gpusim.faults import FaultInjector
+from repro.gpusim.memory import allocation_guard
+from repro.gpusim.pcie import link_for_device
+from repro.gpusim.streams import launch_kernel
 from repro.gpusim.trace import kernel_span_args
 from repro.gpusim.transactions import TransactionLog
-from repro.host.batching import coalesce_encoded
+from repro.host.batching import QueryBatch, coalesce_encoded, split_batch
 from repro.host.cache import HotKeyCache
+from repro.host.config import EngineConfig
 from repro.host.dispatcher import DispatchConfig, pipeline_throughput
+from repro.host.resilience import ResilientDispatcher
+from repro.host.results import (
+    BatchResult,
+    FoundFlags,
+    LazyValues,
+    OpStatus,
+    status_codes,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.util.keys import keys_to_matrix
+
+__all__ = [
+    "BatchResult",
+    "CuartEngine",
+    "EngineConfig",
+    "EngineReport",
+    "FoundFlags",
+    "GrtEngine",
+    "LazyValues",
+    "OpStatus",
+]
 
 
 @dataclass
@@ -95,75 +126,8 @@ class EngineReport:
         )
 
 
-class LazyValues(_SequenceABC):
-    """Batched lookup results, kept as the kernel's uint64 vector.
-
-    Python-object conversion (``int`` / ``None``) happens once, lazily, on
-    first consumption — engines and executors that only need hit/miss
-    statistics read :attr:`array` / :attr:`hit_mask` and never pay it.
-    Compares equal to the equivalent ``list``.
-    """
-
-    __slots__ = ("array", "_overrides", "_list")
-
-    def __init__(
-        self, array: np.ndarray, overrides: Optional[dict] = None
-    ) -> None:
-        #: (n,) uint64 raw kernel values (``NIL_VALUE`` = miss).
-        self.array = array
-        # host-resolved rows (long-key strategy b): position -> value/None
-        self._overrides = overrides or {}
-        self._list: Optional[list] = None
-
-    def to_list(self) -> list:
-        """Materialize (and memoize) the Python-object result list."""
-        if self._list is None:
-            obj = self.array.astype(object)
-            obj[self.array == np.uint64(NIL_VALUE)] = None
-            for pos, val in self._overrides.items():
-                obj[pos] = val
-            self._list = obj.tolist()
-        return self._list
-
-    @property
-    def hit_mask(self) -> np.ndarray:
-        """(n,) bool — which queries found their key (vectorized)."""
-        mask = self.array != np.uint64(NIL_VALUE)
-        for pos, val in self._overrides.items():
-            mask[pos] = val is not None
-        return mask
-
-    def __len__(self) -> int:
-        return len(self.array)
-
-    def __getitem__(self, index):
-        return self.to_list()[index]
-
-    def __iter__(self):
-        return iter(self.to_list())
-
-    def __eq__(self, other) -> bool:
-        if isinstance(other, LazyValues):
-            return self.to_list() == other.to_list()
-        if isinstance(other, (list, tuple)):
-            return self.to_list() == list(other)
-        return NotImplemented
-
-    __hash__ = None  # type: ignore[assignment]
-
-    def __repr__(self) -> str:
-        return repr(self.to_list())
-
-
-class FoundFlags(list):
-    """``list[bool]`` result that also carries the raw kernel flag vector
-    (:attr:`array`) for vectorized tallies."""
-
-    __slots__ = ("array",)
-
-    def __init__(self, array: np.ndarray) -> None:
-        super().__init__(array.tolist())
-        self.array = array
+def _next_pow2(n: int) -> int:
+    return 1 << max(int(n) - 1, 0).bit_length()
 
 
 class _EngineBase:
@@ -171,29 +135,35 @@ class _EngineBase:
 
     def __init__(
         self,
+        config: Optional[EngineConfig] = None,
         *,
-        device: DeviceSpec = RTX3090,
-        cpu: CpuSpec = WORKSTATION_CPU,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        host_threads: int = DEFAULT_HOST_THREADS,
         api: str = "cuda",
-        metrics: Optional[MetricsRegistry] = None,
-        tracer=None,
+        **kwargs,
     ) -> None:
-        self.device = device
-        self.cpu = cpu
-        self.batch_size = batch_size
-        self.host_threads = host_threads
+        if config is None:
+            config = EngineConfig(**kwargs)
+        elif kwargs:
+            raise TypeError(
+                "pass either config=EngineConfig(...) or individual "
+                "keyword arguments, not both"
+            )
+        self.config = config
+        self.device = config.device
+        self.cpu = config.cpu
+        self.batch_size = config.batch_size
+        self.host_threads = config.host_threads
         self.api = api
         self._tree = AdaptiveRadixTree()
-        self.cost_model = CostModel(device)
+        self.cost_model = CostModel(config.device)
         self.last_report: Optional[EngineReport] = None
         #: shared observability surface (repro.obs): pass one registry /
         #: tracer to correlate engine, executor, cache and write-engine
         #: metrics; the defaults are a private registry and the free
         #: no-op tracer.
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = (
+            config.metrics if config.metrics is not None else MetricsRegistry()
+        )
+        self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
         m = self.metrics
         self._m_queries = m.counter(
             "engine_queries_total", "queries served, by operation",
@@ -370,43 +340,51 @@ class CuartEngine(_EngineBase):
     """
 
     def __init__(
-        self,
-        *,
-        device: DeviceSpec = RTX3090,
-        cpu: CpuSpec = WORKSTATION_CPU,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        host_threads: int = DEFAULT_HOST_THREADS,
-        root_table_depth: Optional[int] = None,
-        long_keys: LongKeyStrategy = LongKeyStrategy.ERROR,
-        hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
-        spare: float = 0.25,
-        cache_size: int = 0,
-        metrics: Optional[MetricsRegistry] = None,
-        tracer=None,
+        self, config: Optional[EngineConfig] = None, **kwargs
     ) -> None:
-        """``spare`` over-allocates the device buffers so
-        :meth:`insert` can place new keys without an immediate re-map
-        (the §5.1 device-side insert path).
+        """Accepts either a prebuilt :class:`EngineConfig` or its fields
+        as keyword arguments (see :class:`repro.host.config.EngineConfig`
+        for every knob).
 
-        ``cache_size`` > 0 enables the hot-key LRU result cache
-        (:class:`repro.host.cache.HotKeyCache`): repeated lookups of hot
-        keys are served from the host map, and every update / delete /
-        insert keeps the cached entries coherent with the device."""
-        super().__init__(
-            device=device, cpu=cpu, batch_size=batch_size,
-            host_threads=host_threads, api="cuda",
-            metrics=metrics, tracer=tracer,
-        )
-        self.root_table_depth = root_table_depth
-        self.long_keys = long_keys
-        self.hash_slots = hash_slots
-        self.spare = spare
+        ``spare`` over-allocates the device buffers so :meth:`insert`
+        can place new keys without an immediate re-map (the §5.1
+        device-side insert path).  ``cache_size`` > 0 enables the
+        hot-key LRU result cache (:class:`repro.host.cache.HotKeyCache`).
+        ``faults`` + ``resilience`` activate the fault-injection /
+        retry-degrade stack (:mod:`repro.gpusim.faults`,
+        :mod:`repro.host.resilience`)."""
+        super().__init__(config, api="cuda", **kwargs)
+        config = self.config
+        self.root_table_depth = config.root_table_depth
+        self.long_keys = config.long_keys
+        self.hash_slots = config.hash_slots
+        self.spare = config.spare
         self.layout: Optional[CuartLayout] = None
         self.root_table: Optional[RootTable] = None
         self.cache: Optional[HotKeyCache] = (
-            HotKeyCache(cache_size, metrics=self.metrics) if cache_size
-            else None
+            HotKeyCache(config.cache_size, metrics=self.metrics)
+            if config.cache_size else None
         )
+        # fault-tolerance plumbing: a deterministic injector (mechanism)
+        # and a retry/degrade dispatcher (policy), both optional
+        faults = config.faults
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults, metrics=self.metrics)
+            if faults is not None and faults.enabled else None
+        )
+        self._dispatcher: Optional[ResilientDispatcher] = (
+            ResilientDispatcher(
+                config.resilience, metrics=self.metrics, tracer=self.tracer
+            )
+            if config.resilience is not None else None
+        )
+        self._pcie = (
+            link_for_device(config.device.name)
+            if self._injector is not None else None
+        )
+        #: device buffers are behind the host tree (degraded writes went
+        #: to the CPU path); re-map as soon as the device is healthy.
+        self._needs_remap = False
         # device-buffer shape gauges, refreshed after every write batch
         m = self.metrics
         self._g_nodes = m.gauge(
@@ -420,6 +398,16 @@ class CuartEngine(_EngineBase):
         self._g_free = m.gauge(
             "device_free_list_depth", "recycled slots awaiting reuse",
             labels=("type",),
+        )
+        self._m_growths = m.counter(
+            "device_buffer_growths_total",
+            "in-place device buffer growths (capacity-pressure recovery)",
+            labels=("buffer",),
+        )
+        self._m_recoveries = m.counter(
+            "resilience_recoveries_total",
+            "successful recovery interventions, by kind",
+            labels=("kind",),
         )
         self._gauge_children = None
         # kernel engines are layout-bound; cached so repeated update /
@@ -457,24 +445,47 @@ class CuartEngine(_EngineBase):
             self.layout.mark_synced()
 
     # -- stage 2: map -------------------------------------------------------
-    def map_to_device(self) -> None:
-        """Map the populated host tree into the device buffers (stage 2),
-        rebuilding the compacted root table if configured."""
-        with self.tracer.span("engine.map_to_device", {"keys": len(self)}):
-            self.layout = CuartLayout(
-                self.tree, long_keys=self.long_keys, spare=self.spare
-            )
-            if self.root_table_depth is not None:
-                self.root_table = RootTable(
-                    self.layout, k=self.root_table_depth
-                )
-            else:
-                self.root_table = None
+    def _map_once(self) -> CuartLayout:
+        """One mapping pass: build the device layout from the host tree
+        (flushing the mirror first) and charge its allocation against
+        the fault injector."""
+        layout = CuartLayout(
+            self.tree, long_keys=self.long_keys, spare=self.spare
+        )
+        allocation_guard(
+            layout.device_bytes(), "mapped layout",
+            injector=self._injector, op="map",
+        )
+        return layout
+
+    def _adopt_layout(self, layout: CuartLayout) -> None:
+        self.layout = layout
+        if self.root_table_depth is not None:
+            self.root_table = RootTable(layout, k=self.root_table_depth)
+        else:
+            self.root_table = None
         self._updater = None
         self._inserter = None
+        self._needs_remap = False
         if self.cache is not None:
             self.cache.clear()
         self._refresh_device_gauges()
+
+    def map_to_device(self) -> None:
+        """Map the populated host tree into the device buffers (stage 2),
+        rebuilding the compacted root table if configured.
+
+        With resilience configured, transient allocation faults are
+        retried; mapping never degrades (there is no CPU fallback for
+        not having device buffers)."""
+        with self.tracer.span("engine.map_to_device", {"keys": len(self)}):
+            if self._dispatcher is not None:
+                layout, _ = self._dispatcher.run(
+                    "map", self._map_once, degrade=False
+                )
+            else:
+                layout = self._map_once()
+            self._adopt_layout(layout)
 
     def _refresh_device_gauges(self) -> None:
         """Publish the device buffers' live populations and free-list
@@ -505,16 +516,168 @@ class CuartEngine(_EngineBase):
     def _require_layout(self) -> CuartLayout:
         if self.layout is None:
             raise ReproError("call map_to_device() after populating")
+        if (
+            self._needs_remap
+            and self._dispatcher is not None
+            and self._dispatcher.health.healthy
+        ):
+            # degraded writes left the device behind; catch it up now
+            # that the device is (believed) healthy again
+            self.map_to_device()
         return self.layout
 
+    # -- resilience plumbing -------------------------------------------------
+    def _recover(self, exc: ReproError) -> bool:
+        """Recovery callback for non-transient dispatch errors: re-map on
+        a stale layout, grow the conflict hash table on genuine capacity
+        pressure.  Returns True when the dispatch should be repeated."""
+        try:
+            if isinstance(exc, StaleLayoutError):
+                self._adopt_layout(self._map_once())
+                self._m_recoveries.labels(kind="remap").inc()
+                return True
+            if isinstance(exc, HashTableFullError):
+                need = int(exc.context.get("occupied") or 0) + int(
+                    exc.context.get("requested") or 0
+                )
+                new_slots = max(self.hash_slots * 2, _next_pow2(need))
+                if new_slots > self._dispatcher.policy.max_hash_slots:
+                    return False
+                self.hash_slots = new_slots
+                self._updater = None
+                self._inserter = None
+                self._delete_table = None
+                self._m_growths.labels(buffer="hash-table").inc()
+                self._m_recoveries.labels(kind="hash-grow").inc()
+                return True
+        except DeviceFault:
+            return False  # the recovery itself hit a fault: give up
+        return False
+
+    def _probe_device(self, op: str) -> bool:
+        """While the circuit is open, periodically probe the device; on
+        success, re-map if needed and close the circuit."""
+        disp = self._dispatcher
+        if not disp.due_probe():
+            return False
+        disp.record_probe()
+        try:
+            launch_kernel("probe", 1, injector=self._injector)
+            if self._needs_remap:
+                self._adopt_layout(self._map_once())
+        except DeviceFault:
+            return False
+        disp.health.recover()
+        self._m_recoveries.labels(kind="probe").inc()
+        return True
+
+    def _device_batch(self, op: str, call, *, n: int, h2d_bytes: int):
+        """Dispatch one guarded device batch under the resilience policy.
+
+        Returns ``(kernel_result, attempts)``; ``kernel_result`` is
+        ``None`` when the batch must be served by the CPU path (retries
+        exhausted, or circuit open and the probe failed).  Without a
+        resilience policy, faults propagate to the caller.
+        """
+        injector = self._injector
+        disp = self._dispatcher
+        if disp is None and injector is None:
+            # fast path: no faults to guard against, no policy to consult
+            return call(), 1
+
+        def guarded():
+            # both PCIe guards fire before the kernel (the return DMA
+            # descriptor is reserved at launch) so a fault always
+            # precedes any device mutation — a retry replays the
+            # identical batch against unchanged state, which keeps
+            # non-idempotent kernels (delete, insert) exactly-once
+            if injector is not None:
+                self._pcie.transfer(
+                    h2d_bytes, direction="h2d", injector=injector, op=op
+                )
+                self._pcie.transfer(
+                    8 * n, direction="d2h", injector=injector, op=op
+                )
+            return call()
+
+        if disp is None:
+            return guarded(), 1
+        if not disp.health.healthy and not self._probe_device(op):
+            return None, 0
+        return disp.run(op, guarded, recover=self._recover)
+
+    # -- degraded (CPU) serving ----------------------------------------------
+    def _batch_key(self, batch: QueryBatch, i: int) -> bytes:
+        return batch.keys_mat[i, : int(batch.key_lens[i])].tobytes()
+
+    def _cpu_lookup_rows(self, batch: QueryBatch):
+        """Serve one lookup batch on the CPU: through the flat layout
+        when it is content-fresh (:func:`cpu_lookup_flat`), else against
+        the authoritative host tree.  Returns ``(values, overrides)``
+        with batch-local override positions."""
+        layout = self.layout
+        if layout is not None and not self._needs_remap:
+            try:
+                layout.check_fresh()
+            except StaleLayoutError:
+                pass
+            else:
+                res = cpu_lookup_flat(layout, batch.keys_mat, batch.key_lens)
+                overrides: dict[int, Optional[int]] = {}
+                if layout.host_leaves:
+                    for i in np.flatnonzero(res.host_refs >= 0):
+                        hk, hv = layout.host_leaves[int(res.host_refs[i])]
+                        key = self._batch_key(batch, int(i))
+                        overrides[int(i)] = hv if hk == key else None
+                return res.values, overrides
+        tree = self.tree
+        values = np.full(batch.size, np.uint64(NIL_VALUE), dtype=np.uint64)
+        overrides = {}
+        for i in range(batch.size):
+            v = tree.search(self._batch_key(batch, i))
+            if v is not None:
+                overrides[i] = v
+        return values, overrides
+
+    def _degraded_update_rows(self, batch: QueryBatch, values, found) -> None:
+        """Apply one update batch directly to the host tree (CPU path).
+
+        Reading ``self.tree`` flushes the pending mirror first, so
+        earlier device writes land before these rows.  The device is now
+        behind: flag the re-map."""
+        tree = self.tree
+        cache = self.cache
+        for i in range(batch.size):
+            key = self._batch_key(batch, i)
+            pos = int(batch.origin[i])
+            if tree.search(key) is not None:
+                val = int(values[pos])
+                tree.insert(key, val)
+                found[pos] = True
+                if cache is not None:
+                    cache.update_if_cached(key, val)
+        self._needs_remap = True
+
+    def _degraded_delete_rows(self, batch: QueryBatch, deleted) -> None:
+        """Apply one delete batch directly to the host tree (CPU path)."""
+        tree = self.tree
+        cache = self.cache
+        for i in range(batch.size):
+            key = self._batch_key(batch, i)
+            if tree.delete(key):
+                deleted[int(batch.origin[i])] = True
+                if cache is not None:
+                    cache.update_if_cached(key, None)
+        self._needs_remap = True
+
     # -- stage 3: queries ----------------------------------------------------
-    def _lookup_dispatch(
-        self, layout: CuartLayout, keys: Sequence[bytes], encoded=None
-    ):
-        """Run one lookup stream through the kernels; returns the raw
-        value vector, host-leaf resolutions, batch count, width, logs.
-        ``encoded`` passes an already-encoded ``(mat, lens)`` pair for
-        the same keys to skip a second encoding pass."""
+    def _lookup_dispatch(self, keys: Sequence[bytes], encoded=None):
+        """Run one lookup stream through the kernels (CPU-serving the
+        batches the resilience layer degrades); returns the raw value
+        vector, host-leaf resolutions, device batch count, width, logs
+        and the per-query attempt/degraded vectors.  ``encoded`` passes
+        an already-encoded ``(mat, lens)`` pair for the same keys to
+        skip a second encoding pass."""
         if encoded is None:
             batches, width = self._coalesce_stream(keys)
         else:
@@ -523,26 +686,52 @@ class CuartEngine(_EngineBase):
             width = mat.shape[1]
         values = np.full(len(keys), np.uint64(NIL_VALUE), dtype=np.uint64)
         refs = np.full(len(keys), -1, dtype=np.int64)
+        # attempt/degraded tracking only exists under a resilience policy;
+        # the fast path returns None vectors (BatchResult defaults apply)
+        track = self._dispatcher is not None
+        attempts = np.ones(len(keys), dtype=np.int32) if track else None
+        degraded = np.zeros(len(keys), dtype=bool) if track else None
+        overrides: dict[int, Optional[int]] = {}
         logs = []
+        n_dev_batches = 0
         for batch in batches:
-            res = lookup_batch(
-                layout, batch.keys_mat, batch.key_lens,
-                root_table=self.root_table,
+            def call(b=batch):
+                # resolve layout / root table at call time: a mid-stream
+                # recovery re-map must be visible to the retry
+                return lookup_batch(
+                    self.layout, b.keys_mat, b.key_lens,
+                    root_table=self.root_table, injector=self._injector,
+                )
+            res, att = self._device_batch(
+                "lookup", call, n=batch.size, h2d_bytes=batch.keys_mat.nbytes
             )
+            if res is None:
+                self._dispatcher.note_degraded("lookup")
+                vals, ovr = self._cpu_lookup_rows(batch)
+                values[batch.origin] = vals
+                for p, v in ovr.items():
+                    overrides[int(batch.origin[p])] = v
+                degraded[batch.origin] = True
+                attempts[batch.origin] = att
+                continue
             logs.append(res.log)
+            n_dev_batches += 1
             values[batch.origin] = res.values
             refs[batch.origin] = res.host_refs
-        overrides: dict[int, Optional[int]] = {}
+            if track:
+                attempts[batch.origin] = att
+        layout = self.layout
         if layout.host_leaves:
             # long keys stored via HOST_LINK: the CPU resolves the
             # device's host-leaf signals (rare rows only)
             for i in np.flatnonzero(refs >= 0):
                 hk, hv = layout.host_leaves[int(refs[i])]
                 overrides[int(i)] = hv if hk == keys[int(i)] else None
-        return values, overrides, len(batches), width, logs
+        return values, overrides, n_dev_batches, width, logs, attempts, degraded
 
-    def lookup(self, keys: Sequence[bytes]):
-        """Batched exact lookups; returns values (``None`` for misses).
+    def lookup(self, keys: Sequence[bytes]) -> BatchResult:
+        """Batched exact lookups; the result lists values (``None`` for
+        misses) and carries per-query :class:`OpStatus` codes.
 
         Long keys stored via :attr:`LongKeyStrategy.HOST_LINK` come back
         after the CPU resolves the device's host-leaf signals.  With the
@@ -554,15 +743,35 @@ class CuartEngine(_EngineBase):
         with self._timed_op("lookup", len(keys)):
             return self._lookup(keys)
 
-    def _lookup(self, keys):
+    @staticmethod
+    def _lookup_result(values, overrides, attempts, degraded) -> BatchResult:
+        found = values != np.uint64(NIL_VALUE)
+        for pos, val in overrides.items():
+            found[pos] = val is not None
+        if attempts is None and degraded is None:
+            # fast path: nothing retried or degraded, status is lazy
+            return BatchResult(
+                "lookup", found=found, values=values, overrides=overrides,
+            )
+        status = status_codes(found, attempts=attempts, degraded=degraded)
+        return BatchResult(
+            "lookup", found=found, values=values, overrides=overrides,
+            status=status, attempts=attempts,
+        )
+
+    def _lookup(self, keys) -> BatchResult:
         layout = self._require_layout()
-        layout.check_fresh()
+        if self._dispatcher is None:
+            # no resilience: surface staleness immediately (the kernels
+            # check too; this keeps the error at the call site).  With a
+            # dispatcher the kernel-level check routes through recovery.
+            layout.check_fresh()
         if self.cache is None:
-            values, overrides, n_batches, width, logs = self._lookup_dispatch(
-                layout, keys
+            values, overrides, n_batches, width, logs, attempts, degraded = (
+                self._lookup_dispatch(keys)
             )
             self._report("lookup", len(keys), n_batches, logs, width)
-            return LazyValues(values, overrides)
+            return self._lookup_result(values, overrides, attempts, degraded)
         # Hot-key cache path: hot keys repeat by definition, so dedupe
         # the stream first and probe the LRU once per *distinct* key;
         # only cold distinct keys reach the kernels.  A dict over the
@@ -582,6 +791,9 @@ class CuartEngine(_EngineBase):
             # API so registry, stats view and BENCH JSON always agree
             self.cache.record_dedup_hits(len(keys) - len(uniq_keys))
         values = np.full(len(uniq_keys), np.uint64(NIL_VALUE), dtype=np.uint64)
+        track = self._dispatcher is not None
+        attempts_u = np.ones(len(uniq_keys), dtype=np.int32) if track else None
+        degraded_u = np.zeros(len(uniq_keys), dtype=bool) if track else None
         overrides: dict[int, Optional[int]] = {}
         miss_pos: list[int] = []
         get = self.cache.get
@@ -596,10 +808,14 @@ class CuartEngine(_EngineBase):
         n_batches, width, logs = 0, 1, []
         if miss_pos:
             miss_keys = [uniq_keys[j] for j in miss_pos]
-            mvals, movr, n_batches, width, logs = self._lookup_dispatch(
-                layout, miss_keys
+            mvals, movr, n_batches, width, logs, m_att, m_deg = (
+                self._lookup_dispatch(miss_keys)
             )
-            values[np.asarray(miss_pos)] = mvals
+            pos_arr = np.asarray(miss_pos)
+            values[pos_arr] = mvals
+            if track:
+                attempts_u[pos_arr] = m_att
+                degraded_u[pos_arr] = m_deg
             put = self.cache.put
             for k, v in zip(miss_keys, LazyValues(mvals, movr)):
                 put(k, v)
@@ -611,12 +827,39 @@ class CuartEngine(_EngineBase):
             for pos in np.flatnonzero(inverse == j):
                 out_ovr[int(pos)] = val
         self._report("lookup", len(keys), n_batches, logs, width)
-        return LazyValues(out_vals, out_ovr)
+        return self._lookup_result(
+            out_vals, out_ovr,
+            attempts_u[inverse] if track else None,
+            degraded_u[inverse] if track else None,
+        )
 
-    def update(
-        self, items: Sequence[tuple[bytes, int]]
-    ) -> FoundFlags:
-        """Batched value updates (section 3.4); returns found-flags.
+    def _get_updater(self) -> UpdateEngine:
+        """The layout-bound update engine, rebuilt after a re-map or a
+        hash-table growth (both null the cached instance)."""
+        engine = self._updater
+        layout = self.layout
+        if engine is None or engine.layout is not layout:
+            engine = self._updater = UpdateEngine(
+                layout, root_table=self.root_table,
+                hash_slots=self.hash_slots, metrics=self.metrics,
+                injector=self._injector,
+            )
+        return engine
+
+    def _get_inserter(self) -> InsertEngine:
+        engine = self._inserter
+        layout = self.layout
+        if engine is None or engine.layout is not layout:
+            engine = self._inserter = InsertEngine(
+                layout, root_table=self.root_table,
+                hash_slots=self.hash_slots, metrics=self.metrics,
+                injector=self._injector,
+            )
+        return engine
+
+    def update(self, items: Sequence[tuple[bytes, int]]) -> BatchResult:
+        """Batched value updates (section 3.4); the result lists found
+        flags and carries per-query :class:`OpStatus` codes.
 
         Within a batch, later items win conflicts on the same key (the
         paper's thread-index priority).  The host tree mirrors every
@@ -626,79 +869,204 @@ class CuartEngine(_EngineBase):
         with self._timed_op("update", len(items)):
             return self._update(items)
 
-    def _update(self, items) -> FoundFlags:
-        layout = self._require_layout()
+    def _update(self, items) -> BatchResult:
+        self._require_layout()
         keys = [k for k, _ in items]
         values = np.array([v for _, v in items], dtype=np.uint64)
         batches, width = self._coalesce_stream(keys)
-        engine = self._updater
-        if engine is None or engine.layout is not layout:
-            engine = self._updater = UpdateEngine(
-                layout, root_table=self.root_table,
-                hash_slots=self.hash_slots, metrics=self.metrics,
-            )
         found = np.zeros(len(items), dtype=bool)
+        track = self._dispatcher is not None
+        attempts = np.ones(len(items), dtype=np.int32) if track else None
+        degraded = np.zeros(len(items), dtype=bool) if track else None
         logs = []
-        for batch in batches:
-            res = engine.apply(
-                batch.keys_mat, batch.key_lens, values[batch.origin]
-            )
+        n_dev_batches = 0
+        queue = deque(batches)
+        while queue:
+            batch = queue.popleft()
+            def call(b=batch):
+                return self._get_updater().apply(
+                    b.keys_mat, b.key_lens, values[b.origin]
+                )
+            try:
+                res, att = self._device_batch(
+                    "update", call, n=batch.size,
+                    h2d_bytes=batch.keys_mat.nbytes + 8 * batch.size,
+                )
+            except HashTableFullError:
+                # genuine capacity pressure the growth recovery could not
+                # absorb (cap reached): halve the dispatch so fewer
+                # distinct keys contend for the table
+                if self._dispatcher is None:
+                    raise
+                if batch.size > 1:
+                    queue.extendleft(reversed(split_batch(batch)))
+                    continue
+                if not self._dispatcher.policy.allow_degrade:
+                    raise
+                res, att = None, 0
+            if res is None:
+                self._dispatcher.note_degraded("update")
+                self._degraded_update_rows(batch, values, found)
+                degraded[batch.origin] = True
+                attempts[batch.origin] = att
+                continue
             logs.append(res.log)
+            n_dev_batches += 1
             found[batch.origin] = res.found
-        flags = FoundFlags(found)
+            if track:
+                attempts[batch.origin] = att
+        any_degraded = track and bool(degraded.any())
         # mirror into the deferred overlay (dict insertion order ==
         # thread order, so last-writer-wins is preserved); the host tree
-        # itself is only touched when something actually reads it
+        # itself is only touched when something actually reads it.
+        # Degraded rows already hit the tree directly and must not be
+        # re-applied through the overlay.
         pending = self._mirror_pending
         cache = self.cache
-        if cache is None and bool(found.all()):
+        if cache is None and not any_degraded and bool(found.all()):
             pending.update(items)
         else:
-            for (k, v), hit in zip(items, found.tolist()):
-                if hit:
+            deg_list = degraded.tolist() if track else ((False,) * len(items))
+            for pos, ((k, v), hit) in enumerate(zip(items, found.tolist())):
+                if hit and not deg_list[pos]:
                     pending[k] = v
                     if cache is not None:
                         cache.update_if_cached(k, v)
-        layout.mark_synced()
-        self._report("update", len(items), len(batches), logs, width)
+        if not any_degraded:
+            self.layout.mark_synced()
+        self._report("update", len(items), n_dev_batches, logs, width)
         self._refresh_device_gauges()
-        return flags
+        status = (
+            status_codes(found, attempts=attempts, degraded=degraded)
+            if track else None
+        )
+        return BatchResult(
+            "update", found=found, status=status, attempts=attempts
+        )
 
     def insert(
         self, items: Sequence[tuple[bytes, int]], *, remap_on_defer: bool = True
-    ) -> dict:
+    ) -> BatchResult:
         """Batched inserts: device-side where the buffers allow it
         (section 5.1 path via :class:`repro.cuart.insert.InsertEngine`),
         host re-map for the structurally hard remainder.
 
-        Returns ``{"device_inserted", "updated", "deferred", "remapped"}``.
-        All items land in the host tree either way, so the engine's
-        content stays authoritative.
+        The result's :attr:`BatchResult.summary` carries
+        ``{"device_inserted", "updated", "deferred", "remapped"}``.
+        With resilience configured, capacity-exhausted buffers are grown
+        in place and only the deferred rows are re-dispatched before
+        falling back to a re-map.  All items land in the host tree
+        either way, so the engine's content stays authoritative.
         """
         items = list(items) if not isinstance(items, (list, tuple)) else items
         with self._timed_op("insert", len(items)):
             return self._insert(items, remap_on_defer=remap_on_defer)
 
-    def _insert(self, items, *, remap_on_defer: bool) -> dict:
-        layout = self._require_layout()
+    def _grow_for_pressure(self) -> bool:
+        """Capacity-pressure recovery: grow every exhausted device
+        buffer in place (§5.1 "sophisticated buffer management").
+        Returns True when at least one buffer grew."""
+        layout = self.layout
+        disp = self._dispatcher
+        grew = False
+        exhausted = [
+            (code, True) for code in LEAF_TYPE_CODES
+            if layout.spare_leaf_slots(code) == 0
+        ] + [
+            (code, False) for code in NODE_TYPE_CODES
+            if layout.spare_node_slots(code) == 0
+        ]
+        for code, is_leaf in exhausted:
+            name = LINK_TYPE_NAMES[code]
+
+            def grow(code=code, is_leaf=is_leaf, name=name):
+                extra = max(layout.node_count(code), 8)
+                allocation_guard(
+                    extra * layout.node_record_bytes[code], f"{name} buffer",
+                    injector=self._injector, op="insert",
+                )
+                if is_leaf:
+                    return layout.grow_leaf_buffer(code)
+                return layout.grow_node_buffer(code)
+
+            added, _ = disp.run("grow", grow)
+            if added is not None:
+                grew = True
+                self._m_growths.labels(buffer=name).inc()
+                self._m_recoveries.labels(kind="buffer-grow").inc()
+        return grew
+
+    def _insert(self, items, *, remap_on_defer: bool) -> BatchResult:
+        self._require_layout()
         keys = [k for k, _ in items]
         values = np.array([v for _, v in items], dtype=np.uint64)
         batches, width = self._coalesce_stream(keys)
-        engine = self._inserter
-        if engine is None or engine.layout is not layout:
-            engine = self._inserter = InsertEngine(
-                layout, root_table=self.root_table,
-                hash_slots=self.hash_slots, metrics=self.metrics,
-            )
         logs = []
-        n_ins = n_upd = n_def = 0
+        n_ins = n_upd = 0
+        n_dev_batches = 0
+        disp = self._dispatcher
+        track = disp is not None
+        attempts = np.ones(len(items), dtype=np.int32) if track else None
+        degraded = np.zeros(len(items), dtype=bool) if track else None
+        def_mask = np.zeros(len(items), dtype=bool)
         for batch in batches:
-            res = engine.apply(batch.keys_mat, batch.key_lens,
-                               values[batch.origin])
+            def call(b=batch):
+                return self._get_inserter().apply(
+                    b.keys_mat, b.key_lens, values[b.origin]
+                )
+            try:
+                res, att = self._device_batch(
+                    "insert", call, n=batch.size,
+                    h2d_bytes=batch.keys_mat.nbytes + 8 * batch.size,
+                )
+            except HashTableFullError:
+                if disp is None or not disp.policy.allow_degrade:
+                    raise
+                res, att = None, 0
+            if track:
+                attempts[batch.origin] = att
+            if res is None:
+                # the host tree covers the content below; the device
+                # just misses these keys until the re-map
+                disp.note_degraded("insert")
+                degraded[batch.origin] = True
+                def_mask[batch.origin] = True
+                continue
             logs.append(res.log)
+            n_dev_batches += 1
             n_ins += res.n_inserted
             n_upd += res.n_updated
-            n_def += res.n_deferred
+            def_mask[batch.origin] = res.deferred
+            if res.n_deferred and disp is not None and self._grow_for_pressure():
+                # partial replay: only the deferred rows re-dispatch
+                # against the grown buffers (dedup winners et al. stay)
+                rows = np.flatnonzero(res.deferred)
+                sub = QueryBatch(
+                    keys_mat=batch.keys_mat[rows],
+                    key_lens=batch.key_lens[rows],
+                    origin=batch.origin[rows],
+                )
+                def replay(b=sub):
+                    return self._get_inserter().apply(
+                        b.keys_mat, b.key_lens, values[b.origin]
+                    )
+                try:
+                    res2, att2 = self._device_batch(
+                        "insert", replay, n=sub.size,
+                        h2d_bytes=sub.keys_mat.nbytes + 8 * sub.size,
+                    )
+                except HashTableFullError:
+                    res2, att2 = None, 0
+                if res2 is None:
+                    disp.note_degraded("insert")
+                    degraded[sub.origin] = True
+                else:
+                    logs.append(res2.log)
+                    n_dev_batches += 1
+                    n_ins += res2.n_inserted
+                    n_upd += res2.n_updated
+                    attempts[sub.origin] += att2
+                    def_mask[sub.origin] = res2.deferred
         # the host tree mirrors everything (duplicates: last one wins,
         # matching the device's thread-priority rule); reading .tree
         # flushes pending update/delete mirrors first, preserving order
@@ -710,23 +1078,38 @@ class CuartEngine(_EngineBase):
                 # deferred rows are invisible to the kernels until the
                 # re-map, so refresh from the device on next lookup
                 cache.invalidate(k)
+        n_def = int(def_mask.sum())
         remapped = False
         if n_def and remap_on_defer:
-            self.map_to_device()
-            remapped = True
+            if disp is not None and not disp.health.healthy:
+                self._needs_remap = True  # catch up once the device heals
+            else:
+                self.map_to_device()
+                remapped = True
         else:
-            layout.mark_synced()
-        self._report("insert", len(items), max(len(logs), 1), logs, width)
+            self.layout.mark_synced()
+            if track and bool(degraded.any()):
+                self._needs_remap = True
+        self._report("insert", len(items), max(n_dev_batches, 1), logs, width)
         self._refresh_device_gauges()
-        return {
-            "device_inserted": n_ins,
-            "updated": n_upd,
-            "deferred": n_def,
-            "remapped": remapped,
-        }
+        found = np.ones(len(items), dtype=bool)
+        status = (
+            status_codes(found, attempts=attempts, degraded=degraded)
+            if track else None
+        )
+        return BatchResult(
+            "insert", found=found, status=status, attempts=attempts,
+            summary={
+                "device_inserted": n_ins,
+                "updated": n_upd,
+                "deferred": n_def,
+                "remapped": remapped,
+            },
+        )
 
-    def delete(self, keys: Sequence[bytes]) -> FoundFlags:
-        """Batched device-side deletions (section 3.3).
+    def delete(self, keys: Sequence[bytes]) -> BatchResult:
+        """Batched device-side deletions (section 3.3); the result lists
+        deleted flags and carries per-query :class:`OpStatus` codes.
 
         Mirrored into the host tree so a future re-map cannot resurrect
         the deleted keys."""
@@ -735,36 +1118,75 @@ class CuartEngine(_EngineBase):
         with self._timed_op("delete", len(keys)):
             return self._delete(keys)
 
-    def _delete(self, keys) -> FoundFlags:
-        layout = self._require_layout()
+    def _delete(self, keys) -> BatchResult:
+        self._require_layout()
         batches, width = self._coalesce_stream(keys)
         deleted = np.zeros(len(keys), dtype=bool)
+        track = self._dispatcher is not None
+        attempts = np.ones(len(keys), dtype=np.int32) if track else None
+        degraded = np.zeros(len(keys), dtype=bool) if track else None
         logs = []
-        if self._delete_table is None:
-            self._delete_table = AtomicMaxHashTable(self.hash_slots)
-        for batch in batches:
-            res = delete_batch(
-                layout, batch.keys_mat, batch.key_lens,
-                root_table=self.root_table, hash_slots=self.hash_slots,
-                table=self._delete_table, metrics=self.metrics,
-            )
+        n_dev_batches = 0
+        queue = deque(batches)
+        while queue:
+            batch = queue.popleft()
+            def call(b=batch):
+                if self._delete_table is None:
+                    self._delete_table = AtomicMaxHashTable(self.hash_slots)
+                return delete_batch(
+                    self.layout, b.keys_mat, b.key_lens,
+                    root_table=self.root_table, hash_slots=self.hash_slots,
+                    table=self._delete_table, metrics=self.metrics,
+                    injector=self._injector,
+                )
+            try:
+                res, att = self._device_batch(
+                    "delete", call, n=batch.size,
+                    h2d_bytes=batch.keys_mat.nbytes,
+                )
+            except HashTableFullError:
+                if self._dispatcher is None:
+                    raise
+                if batch.size > 1:
+                    queue.extendleft(reversed(split_batch(batch)))
+                    continue
+                if not self._dispatcher.policy.allow_degrade:
+                    raise
+                res, att = None, 0
+            if res is None:
+                self._dispatcher.note_degraded("delete")
+                self._degraded_delete_rows(batch, deleted)
+                degraded[batch.origin] = True
+                attempts[batch.origin] = att
+                continue
             logs.append(res.log)
+            n_dev_batches += 1
             deleted[batch.origin] = res.deleted
-        flags = FoundFlags(deleted)
+            if track:
+                attempts[batch.origin] = att
+        any_degraded = track and bool(degraded.any())
         pending = self._mirror_pending
         cache = self.cache
-        if cache is None and bool(deleted.all()):
+        if cache is None and not any_degraded and bool(deleted.all()):
             pending.update(dict.fromkeys(keys))
         else:
-            for k, hit in zip(keys, deleted.tolist()):
-                if hit:
+            deg_list = degraded.tolist() if track else ((False,) * len(keys))
+            for pos, (k, hit) in enumerate(zip(keys, deleted.tolist())):
+                if hit and not deg_list[pos]:
                     pending[k] = None
                     if cache is not None:
                         cache.update_if_cached(k, None)
-        layout.mark_synced()
-        self._report("delete", len(keys), len(batches), logs, width)
+        if not any_degraded:
+            self.layout.mark_synced()
+        self._report("delete", len(keys), n_dev_batches, logs, width)
         self._refresh_device_gauges()
-        return flags
+        status = (
+            status_codes(deleted, attempts=attempts, degraded=degraded)
+            if track else None
+        )
+        return BatchResult(
+            "delete", found=deleted, status=status, attempts=attempts
+        )
 
     # -- persistence ---------------------------------------------------------
     def save(self, path) -> None:
@@ -812,20 +1234,16 @@ class CuartEngine(_EngineBase):
 
 
 class GrtEngine(_EngineBase):
-    """The baseline: GRT single-buffer layout with synchronous dispatch."""
+    """The baseline: GRT single-buffer layout with synchronous dispatch.
+
+    Shares :class:`EngineConfig` with :class:`CuartEngine`; the
+    CuART-only knobs (root table, long keys, spare, cache, faults,
+    resilience) are ignored here."""
 
     def __init__(
-        self,
-        *,
-        device: DeviceSpec = RTX3090,
-        cpu: CpuSpec = WORKSTATION_CPU,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        host_threads: int = DEFAULT_HOST_THREADS,
+        self, config: Optional[EngineConfig] = None, **kwargs
     ) -> None:
-        super().__init__(
-            device=device, cpu=cpu, batch_size=batch_size,
-            host_threads=host_threads, api="sync",
-        )
+        super().__init__(config, api="sync", **kwargs)
         self.layout: Optional[GrtLayout] = None
 
     def map_to_device(self) -> None:
@@ -836,7 +1254,7 @@ class GrtEngine(_EngineBase):
             raise ReproError("call map_to_device() after populating")
         return self.layout
 
-    def lookup(self, keys: Sequence[bytes]) -> LazyValues:
+    def lookup(self, keys: Sequence[bytes]) -> BatchResult:
         layout = self._require_layout()
         if not isinstance(keys, (list, tuple)):
             keys = list(keys)
@@ -848,9 +1266,10 @@ class GrtEngine(_EngineBase):
             logs.append(res.log)
             values[batch.origin] = res.values
         self._report("lookup", len(keys), len(batches), logs, width)
-        return LazyValues(values)
+        found = values != np.uint64(NIL_VALUE)
+        return BatchResult("lookup", found=found, values=values)
 
-    def update(self, items: Sequence[tuple[bytes, int]]) -> FoundFlags:
+    def update(self, items: Sequence[tuple[bytes, int]]) -> BatchResult:
         layout = self._require_layout()
         items = list(items) if not isinstance(items, (list, tuple)) else items
         keys = [k for k, _ in items]
@@ -865,7 +1284,7 @@ class GrtEngine(_EngineBase):
             logs.append(res.log)
             found[batch.origin] = res.found
         self._report("update", len(items), len(batches), logs, width)
-        return FoundFlags(found)
+        return BatchResult("update", found=found)
 
     def range(self, lo: bytes, hi: bytes) -> list[tuple[bytes, int]]:
         """Inclusive range via the in-order buffer scan (the GRT paper's

@@ -12,8 +12,11 @@ client would, but an interleaved stream no longer fragments into a tiny
 device batch per op-type run.
 
 Hit/miss tallies come straight from the batch result arrays
-(:attr:`LazyValues.hit_mask` / :attr:`FoundFlags.array`) — no per-item
-Python counting.  Latency accounting goes through the engine's metrics
+(:attr:`repro.host.results.BatchResult.found_array`) — no per-item
+Python counting — and every result's :class:`~repro.host.results.OpStatus`
+codes are accumulated into :attr:`MixedReport.ops_by_status`, so a run
+under fault injection reports how many ops were retried, served by the
+CPU degradation path, or failed.  Latency accounting goes through the engine's metrics
 registry (:mod:`repro.obs`): per-op-class histograms
 (``mixed_op_latency_us{op=...}``) carry p50/p95/p99 summaries into the
 report and the BENCH JSON, the coalescer's flush-reason counters explain
@@ -63,6 +66,10 @@ class MixedReport:
     #: batches cut per flush reason during this run
     #: (``size-full`` / ``write-dependency`` / ``drain``).
     flush_reasons: dict = field(default_factory=dict)
+    #: operations per :class:`~repro.host.results.OpStatus` name
+    #: (``OK`` / ``NOT_FOUND`` / ``RETRIED`` / ``DEGRADED_CPU`` /
+    #: ``FAILED``); scans count as ``OK``.
+    ops_by_status: dict = field(default_factory=dict)
 
     @property
     def operations(self) -> int:
@@ -82,23 +89,29 @@ class MixedReport:
         return self.wall_s.get(kind, 0.0) / count * 1e6
 
 
-def _hit_count(values) -> int:
-    """Hits in one lookup result batch, vectorized when the engine
-    returned a :class:`LazyValues` (plain lists come from the cache
-    path)."""
-    mask = getattr(values, "hit_mask", None)
-    if mask is not None:
-        return int(np.count_nonzero(mask))
-    return sum(1 for v in values if v is not None)
-
-
-def _found_count(found) -> int:
-    """Found-flags in one update/delete result, vectorized when the
-    engine returned a :class:`FoundFlags`."""
-    arr = getattr(found, "array", None)
+def _found_count(result) -> int:
+    """Hits / found-flags in one result batch, vectorized when the
+    engine returned a :class:`~repro.host.results.BatchResult` (the
+    canonical ``found_array``; the legacy ``.hit_mask`` / ``.array``
+    accessors are deprecated and never probed here)."""
+    arr = getattr(result, "found_array", None)
     if arr is not None:
         return int(np.count_nonzero(arr))
-    return sum(1 for f in found if f)
+    if isinstance(result, (list, tuple)):
+        return sum(1 for v in result if v is not None and v is not False)
+    return sum(1 for v in result if v is not None and v is not False)
+
+
+def _tally_status(report: MixedReport, result, n: int) -> None:
+    """Fold one result's per-op status codes into the report (foreign
+    result shapes without statuses count as ``OK``)."""
+    by = report.ops_by_status
+    counts = getattr(result, "counts_by_status", None)
+    if counts is not None:
+        for name, c in counts().items():
+            by[name] = by.get(name, 0) + c
+    else:
+        by["OK"] = by.get("OK", 0) + n
 
 
 class MixedWorkloadExecutor:
@@ -144,30 +157,39 @@ class MixedWorkloadExecutor:
                     values = engine.lookup(payloads)
                     results.extend(values)
                     report.lookups += len(payloads)
-                    hits = _hit_count(values)
+                    hits = _found_count(values)
                     report.hits += hits
                     report.misses += len(payloads) - hits
+                    _tally_status(report, values, len(payloads))
                 elif kind == "update":
                     found = engine.update(payloads)
                     report.updates += len(payloads)
                     report.update_misses += (
                         len(payloads) - _found_count(found)
                     )
+                    _tally_status(report, found, len(payloads))
                 elif kind == "insert":
                     out = engine.insert(payloads)
                     report.inserts += len(payloads)
-                    report.inserts_deferred += out["deferred"]
+                    summary = getattr(out, "summary", None)
+                    report.inserts_deferred += (
+                        summary["deferred"] if summary is not None
+                        else out["deferred"]
+                    )
+                    _tally_status(report, out, len(payloads))
                 elif kind == "scan":
                     for lo, hi in payloads:
                         rows = engine.range(lo, hi)
                         report.records_scanned += len(rows)
                     report.scans += len(payloads)
+                    _tally_status(report, None, len(payloads))
                 else:  # delete
                     found = engine.delete(payloads)
                     report.deletes += len(payloads)
                     report.delete_misses += (
                         len(payloads) - _found_count(found)
                     )
+                    _tally_status(report, found, len(payloads))
             dt = time.perf_counter() - t0
             report.batches += 1
             report.batches_by_op[kind] = report.batches_by_op.get(kind, 0) + 1

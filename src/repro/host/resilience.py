@@ -1,0 +1,294 @@
+"""Retry / degrade policy engine for the device serving path.
+
+The paper's pipeline (§3.5) assumes a cooperative device; a production
+deployment does not get one.  This module supplies the policy half of
+the fault-tolerance subsystem (the mechanism half — deterministic fault
+injection — lives in :mod:`repro.gpusim.faults`):
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  jitter for *transient* faults (``exc.transient`` is True: kernel
+  aborts, PCIe timeouts/corruption, injected hash-table refusals,
+  device OOM).  Every fault fires before device state changed, so a
+  retry replays the identical batch.
+* recovery callbacks for *non-transient* errors: the engine grows the
+  conflict hash table on genuine :class:`~repro.errors.CapacityError`
+  pressure and re-maps on :class:`~repro.errors.StaleLayoutError`
+  instead of crashing.
+* :class:`DeviceHealth` — a consecutive-failure circuit breaker.  After
+  ``unhealthy_after`` exhausted batches the device is marked unhealthy
+  and ops are served by the CPU path (``DEGRADED_CPU`` status); every
+  ``probe_interval`` degraded calls the engine probes the device
+  (count-based, deterministic — no wall clocks) and recovers when a
+  probe launch succeeds.
+
+Backoff is *simulated* by default (accumulated into
+:attr:`ResilientDispatcher.simulated_backoff_s` and a metrics counter)
+so test and soak runs stay fast and deterministic; set
+``simulate_backoff=False`` to actually sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ReproError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
+from repro.util.rng import DEFAULT_SEED, make_rng
+
+#: hard cap on recovery interventions (hash growth, re-map) within one
+#: dispatched batch — a recovery that does not stick must not loop.
+MAX_RECOVERIES_PER_DISPATCH = 8
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter."""
+
+    #: total tries per dispatch, including the first (1 = no retries).
+    max_attempts: int = 4
+    #: backoff before the first retry, in seconds.
+    backoff_base_s: float = 1e-4
+    #: multiplier per further retry.
+    backoff_factor: float = 2.0
+    #: symmetric jitter fraction applied to each delay (0.1 = ±10%).
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                "max_attempts must be >= 1", value=self.max_attempts
+            )
+        if self.backoff_base_s < 0:
+            raise SimulationError(
+                "backoff_base_s must be >= 0", value=self.backoff_base_s
+            )
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                "backoff_factor must be >= 1", value=self.backoff_factor
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SimulationError(
+                "jitter must be in [0, 1]", value=self.jitter
+            )
+
+    def delay_s(self, attempt: int, rng) -> float:
+        """Backoff before retrying after the ``attempt``-th failure
+        (1-based), jittered from ``rng``."""
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return base
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the engine needs to survive a faulty device."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: seed of the jitter stream (independent of the fault injector's).
+    seed: int = DEFAULT_SEED
+    #: serve from the CPU path once retries are exhausted, instead of
+    #: raising.
+    allow_degrade: bool = True
+    #: consecutive retry-exhausted batches before the device is marked
+    #: unhealthy (circuit opens).
+    unhealthy_after: int = 3
+    #: while unhealthy, probe the device once every this many degraded
+    #: calls (count-based, deterministic).
+    probe_interval: int = 2
+    #: ceiling for hash-table growth recovery; genuine capacity errors
+    #: beyond it fall back to batch splitting / degradation.
+    max_hash_slots: int = 1 << 22
+    #: accumulate backoff as simulated seconds instead of sleeping.
+    simulate_backoff: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unhealthy_after < 1:
+            raise SimulationError(
+                "unhealthy_after must be >= 1", value=self.unhealthy_after
+            )
+        if self.probe_interval < 1:
+            raise SimulationError(
+                "probe_interval must be >= 1", value=self.probe_interval
+            )
+        if self.max_hash_slots & (self.max_hash_slots - 1) or \
+                self.max_hash_slots <= 0:
+            raise SimulationError(
+                "max_hash_slots must be a power of two",
+                value=self.max_hash_slots,
+            )
+
+
+class DeviceHealth:
+    """Consecutive-failure circuit breaker state."""
+
+    def __init__(self, unhealthy_after: int) -> None:
+        self.unhealthy_after = unhealthy_after
+        #: retry-exhausted dispatches since the last success/recovery.
+        self.consecutive_failures = 0
+        #: calls served by the CPU path while the circuit is open.
+        self.degraded_calls = 0
+        #: successful probe recoveries so far.
+        self.recoveries = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.consecutive_failures < self.unhealthy_after
+
+    def mark_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def mark_failure(self) -> None:
+        self.consecutive_failures += 1
+
+    def recover(self) -> None:
+        """A probe succeeded: close the circuit."""
+        self.consecutive_failures = 0
+        self.degraded_calls = 0
+        self.recoveries += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "healthy" if self.healthy else "UNHEALTHY"
+        return (
+            f"DeviceHealth({state}, failures={self.consecutive_failures}, "
+            f"degraded_calls={self.degraded_calls}, "
+            f"recoveries={self.recoveries})"
+        )
+
+
+class ResilientDispatcher:
+    """Runs guarded device calls under a :class:`ResiliencePolicy`.
+
+    One instance per engine; the engine wraps each per-batch kernel
+    dispatch (PCIe guards + launch + kernel body) in a closure and hands
+    it to :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        self.policy = policy
+        self.health = DeviceHealth(policy.unhealthy_after)
+        self.rng = make_rng(policy.seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: total backoff charged but not slept (simulate_backoff=True).
+        self.simulated_backoff_s = 0.0
+        m = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = m
+        self._m_retries = m.counter(
+            "resilience_retries_total",
+            "transient-fault retries, by operation", labels=("op",),
+        )
+        self._m_exhausted = m.counter(
+            "resilience_retry_exhausted_total",
+            "dispatches that exhausted their retry budget", labels=("op",),
+        )
+        self._m_degraded = m.counter(
+            "resilience_degraded_batches_total",
+            "batches served by the CPU degradation path", labels=("op",),
+        )
+        self._m_probes = m.counter(
+            "resilience_probes_total", "health probes while degraded",
+        )
+        self._m_backoff = m.counter(
+            "resilience_backoff_seconds_total",
+            "cumulative retry backoff (simulated unless configured)",
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        op: str,
+        fn: Callable[[], object],
+        *,
+        recover: Optional[Callable[[ReproError], bool]] = None,
+        degrade: Optional[bool] = None,
+    ) -> tuple[object, int]:
+        """Execute ``fn`` under the retry policy.
+
+        Returns ``(result, attempts)``.  ``(None, attempts)`` signals
+        "retries exhausted, serve this batch on the CPU" — only when
+        degradation is allowed (``degrade`` overrides the policy's
+        ``allow_degrade``); otherwise the final fault propagates.
+
+        Transient errors (``exc.transient``) are retried with backoff;
+        non-transient :class:`ReproError` s are offered once each to the
+        bounded ``recover`` callback (hash-table growth, re-map) and the
+        dispatch repeats if it returns True.
+        """
+        allow_degrade = (
+            self.policy.allow_degrade if degrade is None else degrade
+        )
+        retry = self.policy.retry
+        attempt = 0
+        recoveries = 0
+        while True:
+            attempt += 1
+            try:
+                out = fn()
+            except ReproError as exc:
+                if getattr(exc, "transient", False):
+                    if attempt < retry.max_attempts:
+                        self._backoff(op, attempt, exc)
+                        continue
+                    self.health.mark_failure()
+                    self._m_exhausted.labels(op=op).inc()
+                    if allow_degrade:
+                        self.tracer.instant(
+                            "resilience.exhausted",
+                            {"op": op, "attempts": attempt,
+                             "error": type(exc).__name__},
+                        )
+                        return None, attempt
+                    raise
+                if (
+                    recover is not None
+                    and recoveries < MAX_RECOVERIES_PER_DISPATCH
+                    and recover(exc)
+                ):
+                    recoveries += 1
+                    self.tracer.instant(
+                        "resilience.recovered",
+                        {"op": op, "error": type(exc).__name__},
+                    )
+                    continue
+                raise
+            else:
+                self.health.mark_success()
+                return out, attempt
+
+    def _backoff(self, op: str, attempt: int, exc: ReproError) -> None:
+        d = self.policy.retry.delay_s(attempt, self.rng)
+        self._m_retries.labels(op=op).inc()
+        self._m_backoff.inc(d)
+        self.tracer.instant(
+            "resilience.retry",
+            {"op": op, "attempt": attempt, "backoff_s": d,
+             "error": type(exc).__name__},
+        )
+        if self.policy.simulate_backoff:
+            self.simulated_backoff_s += d
+        else:  # pragma: no cover - wall-clock mode
+            time.sleep(d)
+
+    # -- circuit-breaker bookkeeping (driven by the engine) -------------
+    def note_degraded(self, op: str) -> None:
+        """One batch was (or will be) served by the CPU path."""
+        self._m_degraded.labels(op=op).inc()
+        self.health.degraded_calls += 1
+
+    def due_probe(self) -> bool:
+        """Probe cadence while the circuit is open: the first degraded
+        call probes immediately, then every ``probe_interval``-th."""
+        interval = self.policy.probe_interval
+        return self.health.degraded_calls % interval == 0
+
+    def record_probe(self) -> None:
+        self._m_probes.inc()

@@ -1,0 +1,354 @@
+"""Unified engine result API: :class:`BatchResult` + :class:`OpStatus`.
+
+Every public engine operation (``lookup`` / ``update`` / ``insert`` /
+``delete``) returns one :class:`BatchResult` carrying, per query:
+
+* the raw kernel value vector (lookups) and the found-mask,
+* an :class:`OpStatus` code — whether the op succeeded first try, was
+  retried after a transient device fault, was served by the CPU
+  degradation path, or failed outright,
+* the attempt count the resilience layer spent on its batch,
+
+so callers *observe* degradation instead of catching exceptions.
+
+Back-compat: a :class:`BatchResult` still behaves like the legacy
+shapes — it is a sequence over the old Python-object results (lookup
+values / found booleans), compares equal to the equivalent ``list``,
+and serves the old insert-summary dict keys through ``result["..."]``.
+The pre-PR-4 classes :class:`LazyValues` and :class:`FoundFlags` live
+here too (the engine re-exports them); the legacy *accessors*
+(``.values``, ``.array``, ``.hit_mask``, string ``[...]``) emit
+:class:`repro.errors.ReproDeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from collections.abc import Sequence as _SequenceABC
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import NIL_VALUE
+from repro.errors import ReproDeprecationWarning
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        ReproDeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class OpStatus(enum.IntEnum):
+    """Per-query outcome classification, strongest-signal-wins.
+
+    ``RETRIED`` / ``DEGRADED_CPU`` describe *how* the query was served,
+    not whether the key existed — read :attr:`BatchResult.found_array`
+    for hit/miss.  ``FAILED`` only appears when every retry, recovery
+    and degradation avenue was exhausted (with degradation enabled it
+    should never occur)."""
+
+    OK = 0
+    NOT_FOUND = 1
+    RETRIED = 2
+    DEGRADED_CPU = 3
+    FAILED = 4
+
+
+def status_codes(
+    found: np.ndarray,
+    *,
+    attempts: Optional[np.ndarray] = None,
+    degraded: Optional[np.ndarray] = None,
+    failed: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Build the per-query status vector with the canonical precedence
+    ``FAILED > DEGRADED_CPU > RETRIED > NOT_FOUND > OK``."""
+    st = np.where(
+        np.asarray(found, dtype=bool),
+        np.uint8(OpStatus.OK), np.uint8(OpStatus.NOT_FOUND),
+    )
+    if attempts is not None:
+        st[np.asarray(attempts) > 1] = np.uint8(OpStatus.RETRIED)
+    if degraded is not None:
+        st[np.asarray(degraded, dtype=bool)] = np.uint8(OpStatus.DEGRADED_CPU)
+    if failed is not None:
+        st[np.asarray(failed, dtype=bool)] = np.uint8(OpStatus.FAILED)
+    return st
+
+
+class LazyValues(_SequenceABC):
+    """Batched lookup results, kept as the kernel's uint64 vector.
+
+    Python-object conversion (``int`` / ``None``) happens once, lazily, on
+    first consumption — engines and executors that only need hit/miss
+    statistics read :attr:`array` / :attr:`hit_mask` and never pay it.
+    Compares equal to the equivalent ``list``.
+
+    Since PR 4 the public engine ops return :class:`BatchResult`;
+    ``LazyValues`` remains as the payload behind its deprecated
+    ``.values`` accessor and for internal plumbing.
+    """
+
+    __slots__ = ("array", "_overrides", "_list")
+
+    def __init__(
+        self, array: np.ndarray, overrides: Optional[dict] = None
+    ) -> None:
+        #: (n,) uint64 raw kernel values (``NIL_VALUE`` = miss).
+        self.array = array
+        # host-resolved rows (long-key strategy b): position -> value/None
+        self._overrides = overrides or {}
+        self._list: Optional[list] = None
+
+    def to_list(self) -> list:
+        """Materialize (and memoize) the Python-object result list."""
+        if self._list is None:
+            obj = self.array.astype(object)
+            obj[self.array == np.uint64(NIL_VALUE)] = None
+            for pos, val in self._overrides.items():
+                obj[pos] = val
+            self._list = obj.tolist()
+        return self._list
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        """(n,) bool — which queries found their key (vectorized)."""
+        mask = self.array != np.uint64(NIL_VALUE)
+        for pos, val in self._overrides.items():
+            mask[pos] = val is not None
+        return mask
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __getitem__(self, index):
+        return self.to_list()[index]
+
+    def __iter__(self):
+        return iter(self.to_list())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (LazyValues, BatchResult)):
+            return self.to_list() == other.to_list()
+        if isinstance(other, (list, tuple)):
+            return self.to_list() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return repr(self.to_list())
+
+
+class FoundFlags(list):
+    """``list[bool]`` result that also carries the raw kernel flag vector
+    (:attr:`array`) for vectorized tallies.  Superseded by
+    :class:`BatchResult` (kept for back-compat plumbing)."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        super().__init__(array.tolist())
+        self.array = array
+
+
+class BatchResult(_SequenceABC):
+    """Outcome of one batched engine operation.
+
+    Canonical accessors
+    -------------------
+    ``op``
+        the operation kind: ``"lookup"`` / ``"update"`` / ``"delete"`` /
+        ``"insert"``.
+    ``value_array``
+        (n,) uint64 raw kernel values for lookups (``NIL_VALUE`` =
+        miss), ``None`` for write ops.
+    ``found_array`` (alias ``found_mask``)
+        (n,) bool — the key existed (hit / applied / deleted).
+    ``status``
+        (n,) uint8 vector of :class:`OpStatus` codes.
+    ``attempts``
+        (n,) int32 — device dispatch attempts spent on each query's
+        batch (1 = first try; 0 = never dispatched to the device).
+    ``summary``
+        op-level counters (insert ops: ``device_inserted`` / ``updated``
+        / ``deferred`` / ``remapped``); ``None`` otherwise.
+    ``to_list()``
+        the legacy Python-object results: values-with-``None`` for
+        lookups, found booleans for write ops.
+
+    The sequence protocol (iteration, ``len``, integer indexing,
+    ``==`` against lists) runs over ``to_list()``, so existing callers
+    written against the old shapes keep working unchanged.
+    """
+
+    __slots__ = (
+        "op", "value_array", "found_array", "_status", "_attempts",
+        "summary", "_overrides", "_list",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        *,
+        found: np.ndarray,
+        values: Optional[np.ndarray] = None,
+        overrides: Optional[dict] = None,
+        status: Optional[np.ndarray] = None,
+        attempts: Optional[np.ndarray] = None,
+        summary: Optional[dict] = None,
+    ) -> None:
+        self.op = op
+        self.found_array = np.asarray(found, dtype=bool)
+        self.value_array = values
+        self._overrides = overrides or {}
+        # status/attempts stay None on the fast path (no resilience
+        # layer: everything succeeded first try) and materialize lazily,
+        # so per-batch serving pays nothing for them
+        self._attempts = (
+            np.asarray(attempts, dtype=np.int32)
+            if attempts is not None else None
+        )
+        self._status = (
+            np.asarray(status, dtype=np.uint8)
+            if status is not None else None
+        )
+        self.summary = summary
+        self._list: Optional[list] = None
+
+    # -- canonical API ---------------------------------------------------
+    @property
+    def status(self) -> np.ndarray:
+        """(n,) uint8 vector of :class:`OpStatus` codes (lazy)."""
+        if self._status is None:
+            self._status = status_codes(self.found_array)
+        return self._status
+
+    @property
+    def attempts(self) -> np.ndarray:
+        """(n,) int32 dispatch attempts per query's batch (lazy)."""
+        if self._attempts is None:
+            self._attempts = np.ones(len(self.found_array), dtype=np.int32)
+        return self._attempts
+
+    @property
+    def found_mask(self) -> np.ndarray:
+        """Alias of :attr:`found_array`."""
+        return self.found_array
+
+    @property
+    def n_found(self) -> int:
+        return int(self.found_array.sum())
+
+    @property
+    def n_retried(self) -> int:
+        if self._status is None:
+            return 0
+        return int((self._status == np.uint8(OpStatus.RETRIED)).sum())
+
+    @property
+    def n_degraded(self) -> int:
+        if self._status is None:
+            return 0
+        return int((self._status == np.uint8(OpStatus.DEGRADED_CPU)).sum())
+
+    @property
+    def n_failed(self) -> int:
+        if self._status is None:
+            return 0
+        return int((self._status == np.uint8(OpStatus.FAILED)).sum())
+
+    @property
+    def ok(self) -> bool:
+        """True when no query failed outright."""
+        return self.n_failed == 0
+
+    def counts_by_status(self) -> dict[str, int]:
+        """``{status name: count}`` over the batch (only statuses that
+        occur)."""
+        if self._status is None:
+            # fast path: pure found/not-found split, no status vector
+            nf = self.n_found
+            out = {}
+            if nf:
+                out["OK"] = nf
+            if nf < len(self.found_array):
+                out["NOT_FOUND"] = len(self.found_array) - nf
+            return out
+        codes, counts = np.unique(self._status, return_counts=True)
+        return {
+            OpStatus(int(c)).name: int(n) for c, n in zip(codes, counts)
+        }
+
+    def to_list(self) -> list:
+        """The legacy Python-object result list (memoized)."""
+        if self._list is None:
+            if self.value_array is not None:
+                obj = self.value_array.astype(object)
+                obj[self.value_array == np.uint64(NIL_VALUE)] = None
+                for pos, val in self._overrides.items():
+                    obj[pos] = val
+                self._list = obj.tolist()
+            else:
+                self._list = self.found_array.tolist()
+        return self._list
+
+    # -- sequence protocol (legacy list compatibility) -------------------
+    def __len__(self) -> int:
+        return len(self.found_array)
+
+    def __getitem__(self, index):
+        if isinstance(index, str):
+            # legacy insert-summary dict shape: out["device_inserted"]
+            _warn_deprecated(
+                f"BatchResult[{index!r}]", "BatchResult.summary[...]"
+            )
+            if self.summary is None:
+                raise KeyError(index)
+            return self.summary[index]
+        return self.to_list()[index]
+
+    def __iter__(self):
+        return iter(self.to_list())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (BatchResult, LazyValues)):
+            return self.to_list() == other.to_list()
+        if isinstance(other, (list, tuple)):
+            return self.to_list() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return repr(self.to_list())
+
+    # -- deprecated legacy accessors -------------------------------------
+    @property
+    def values(self):
+        """Deprecated: the old :class:`LazyValues` lookup shape."""
+        _warn_deprecated("BatchResult.values", "value_array / to_list()")
+        if self.value_array is not None:
+            return LazyValues(self.value_array, dict(self._overrides))
+        return self.to_list()
+
+    @property
+    def array(self) -> np.ndarray:
+        """Deprecated: raw vector of the legacy shape (lookup values /
+        found flags)."""
+        _warn_deprecated(
+            "BatchResult.array", "value_array / found_array"
+        )
+        if self.value_array is not None:
+            return self.value_array
+        return self.found_array
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        """Deprecated: the old :attr:`LazyValues.hit_mask`."""
+        _warn_deprecated("BatchResult.hit_mask", "found_array")
+        return self.found_array

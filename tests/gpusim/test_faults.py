@@ -1,0 +1,159 @@
+"""Deterministic fault-injection layer (repro.gpusim.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DeviceFault,
+    DeviceOOMError,
+    HashTableFullError,
+    PcieTransferError,
+    SimulationError,
+    TransientKernelError,
+)
+from repro.gpusim.faults import FAULT_KINDS, FaultConfig, FaultInjector
+from repro.gpusim.memory import allocation_guard
+from repro.gpusim.pcie import PCIE4_X16
+from repro.gpusim.streams import launch_kernel
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        cfg = FaultConfig()
+        assert not cfg.enabled
+        assert not FaultInjector(cfg).enabled
+
+    def test_uniform_enables_every_kind(self):
+        cfg = FaultConfig.uniform(0.25)
+        assert cfg.enabled
+        assert cfg.kernel_abort_rate == 0.25
+        assert cfg.pcie_timeout_rate == 0.25
+        assert cfg.pcie_corruption_rate == 0.25
+        assert cfg.hashtable_fault_rate == 0.25
+        assert cfg.oom_rate == 0.25
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_validation(self, rate):
+        with pytest.raises(SimulationError) as ei:
+            FaultConfig(kernel_abort_rate=rate)
+        assert ei.value.context["value"] == rate
+
+    def test_fault_kinds_frozen_contract(self):
+        assert FAULT_KINDS == (
+            "kernel_abort", "pcie_timeout", "pcie_corruption",
+            "hashtable_insert", "device_oom",
+        )
+
+
+class TestDeterminism:
+    def _drive(self, seed):
+        inj = FaultInjector(FaultConfig.uniform(0.3, seed=seed))
+        hits = []
+        for i in range(200):
+            try:
+                inj.on_kernel_launch("lookup", 64)
+            except DeviceFault as exc:
+                hits.append((i, type(exc).__name__))
+            try:
+                inj.on_transfer(4096, direction="h2d", op="lookup")
+            except DeviceFault as exc:
+                hits.append((i, type(exc).__name__))
+        return hits, inj.snapshot()
+
+    def test_same_seed_same_faults(self):
+        a_hits, a_snap = self._drive(7)
+        b_hits, b_snap = self._drive(7)
+        assert a_hits == b_hits
+        assert a_snap == b_snap
+        assert sum(a_snap.values()) == len(a_hits)
+
+    def test_different_seed_different_faults(self):
+        a_hits, _ = self._drive(7)
+        b_hits, _ = self._drive(8)
+        assert a_hits != b_hits
+
+    def test_zero_rate_consumes_no_draws(self):
+        # an injector with only kernel aborts enabled must produce the
+        # same abort schedule whether or not other hooks are exercised
+        cfg = FaultConfig(kernel_abort_rate=0.3, seed=11)
+
+        def aborts(poke_other_hooks):
+            inj = FaultInjector(cfg)
+            out = []
+            for i in range(100):
+                if poke_other_hooks:
+                    inj.on_transfer(64, direction="h2d")
+                    inj.on_alloc(64, "x")
+                try:
+                    inj.on_kernel_launch("lookup", 1)
+                except DeviceFault:
+                    out.append(i)
+            return out
+
+        assert aborts(False) == aborts(True)
+
+
+class TestHooks:
+    def _always(self, **kw):
+        return FaultInjector(FaultConfig(seed=1, **kw))
+
+    def test_kernel_abort_is_transient_with_context(self):
+        inj = self._always(kernel_abort_rate=1.0)
+        with pytest.raises(TransientKernelError) as ei:
+            launch_kernel("update", 32, injector=inj)
+        exc = ei.value
+        assert exc.transient
+        assert exc.context["op"] == "update"
+        assert exc.context["batch_size"] == 32
+
+    def test_pcie_timeout_and_corruption(self):
+        inj = self._always(pcie_timeout_rate=1.0)
+        with pytest.raises(PcieTransferError) as ei:
+            PCIE4_X16.transfer(1024, direction="h2d", injector=inj, op="lookup")
+        assert ei.value.context["fault"] == "pcie_timeout"
+        inj2 = self._always(pcie_corruption_rate=1.0)
+        with pytest.raises(PcieTransferError) as ei:
+            PCIE4_X16.transfer(1024, direction="d2h", injector=inj2)
+        assert ei.value.context["fault"] == "pcie_corruption"
+        assert ei.value.context["direction"] == "d2h"
+        assert ei.value.transient
+
+    def test_hashtable_fault_is_transient_capacity_error(self):
+        inj = self._always(hashtable_fault_rate=1.0)
+        with pytest.raises(HashTableFullError) as ei:
+            inj.on_hashtable("update", 16)
+        exc = ei.value
+        assert exc.transient  # injected refusals retry; genuine ones don't
+        assert exc.context["buffer"] == "hash-table"
+        assert exc.context["op"] == "update"
+
+    def test_oom_via_allocation_guard(self):
+        inj = self._always(oom_rate=1.0)
+        with pytest.raises(DeviceOOMError) as ei:
+            allocation_guard(1 << 20, "mapped layout", injector=inj, op="map")
+        assert ei.value.transient
+        assert ei.value.context["buffer"] == "mapped layout"
+        assert ei.value.context["requested_bytes"] == 1 << 20
+        # no injector -> no-op
+        allocation_guard(1 << 20, "mapped layout", injector=None)
+
+    def test_no_fault_paths_are_noops(self):
+        launch_kernel("lookup", 8, injector=None)
+        assert PCIE4_X16.transfer(0, injector=self._always(
+            pcie_timeout_rate=1.0)) == 0.0
+
+    def test_injected_counters_reach_registry(self):
+        m = MetricsRegistry()
+        inj = FaultInjector(
+            FaultConfig(kernel_abort_rate=1.0, seed=2), metrics=m
+        )
+        for _ in range(3):
+            with pytest.raises(TransientKernelError):
+                inj.on_kernel_launch("lookup", 1)
+        assert inj.snapshot()["kernel_abort"] == 3
+        assert inj.total_injected == 3
+        assert m.value(
+            "gpusim_faults_injected_total", kind="kernel_abort"
+        ) == 3

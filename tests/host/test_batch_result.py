@@ -1,0 +1,180 @@
+"""Unified BatchResult / OpStatus API (repro.host.results)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.constants import NIL_VALUE
+from repro.errors import ReproDeprecationWarning
+from repro.host.results import (
+    BatchResult,
+    FoundFlags,
+    LazyValues,
+    OpStatus,
+    status_codes,
+)
+
+NIL = np.uint64(NIL_VALUE)
+
+
+def _lookup_result(**kw):
+    vals = np.array([7, NIL, 42], dtype=np.uint64)
+    return BatchResult("lookup", found=vals != NIL, values=vals, **kw)
+
+
+class TestStatusCodes:
+    def test_found_partitions_ok_not_found(self):
+        st = status_codes(np.array([True, False, True]))
+        assert st.tolist() == [OpStatus.OK, OpStatus.NOT_FOUND, OpStatus.OK]
+        assert st.dtype == np.uint8
+
+    def test_precedence_failed_beats_everything(self):
+        found = np.array([True] * 5)
+        st = status_codes(
+            found,
+            attempts=np.array([1, 2, 2, 2, 2]),
+            degraded=np.array([False, False, True, True, False]),
+            failed=np.array([False, False, False, True, True]),
+        )
+        assert st.tolist() == [
+            OpStatus.OK,
+            OpStatus.RETRIED,
+            OpStatus.DEGRADED_CPU,
+            OpStatus.FAILED,
+            OpStatus.FAILED,
+        ]
+
+    def test_retry_overrides_not_found(self):
+        # a retried miss reports RETRIED: the status says how it was
+        # served, found_array says whether the key existed
+        st = status_codes(np.array([False]), attempts=np.array([3]))
+        assert st.tolist() == [OpStatus.RETRIED]
+
+
+class TestCanonicalAccessors:
+    def test_lookup_shape(self):
+        res = _lookup_result()
+        assert res.op == "lookup"
+        assert res.found_array.tolist() == [True, False, True]
+        assert res.found_mask is res.found_array
+        assert res.n_found == 2
+        assert res.to_list() == [7, None, 42]
+        assert res.attempts.tolist() == [1, 1, 1]  # defaults to one try
+        assert res.summary is None
+
+    def test_status_counters(self):
+        res = _lookup_result(
+            status=np.array(
+                [OpStatus.RETRIED, OpStatus.DEGRADED_CPU, OpStatus.FAILED],
+                dtype=np.uint8,
+            ),
+            attempts=np.array([4, 4, 4]),
+        )
+        assert res.n_retried == 1
+        assert res.n_degraded == 1
+        assert res.n_failed == 1
+        assert not res.ok
+        assert res.counts_by_status() == {
+            "RETRIED": 1, "DEGRADED_CPU": 1, "FAILED": 1,
+        }
+
+    def test_ok_and_default_status(self):
+        res = _lookup_result()
+        assert res.ok
+        assert res.counts_by_status() == {"OK": 2, "NOT_FOUND": 1}
+
+    def test_write_result_to_list_is_found_flags(self):
+        res = BatchResult("update", found=np.array([True, False]))
+        assert res.to_list() == [True, False]
+        assert res.value_array is None
+
+    def test_overrides_resolve_host_side_rows(self):
+        vals = np.array([NIL, NIL], dtype=np.uint64)
+        res = BatchResult(
+            "lookup", found=np.array([True, False]), values=vals,
+            overrides={0: 99},
+        )
+        assert res.to_list() == [99, None]
+
+
+class TestSequenceProtocol:
+    def test_len_iter_index_do_not_warn(self):
+        res = _lookup_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(res) == 3
+            assert list(res) == [7, None, 42]
+            assert res[0] == 7
+            assert res[1] is None
+            assert res[-1] == 42
+            assert res[0:2] == [7, None]
+
+    def test_equality_against_legacy_shapes(self):
+        res = _lookup_result()
+        assert res == [7, None, 42]
+        assert res == (7, None, 42)
+        assert res != [7, None, 41]
+        assert res == LazyValues(np.array([7, NIL, 42], dtype=np.uint64))
+        assert res == _lookup_result()
+        assert (res == object()) is False  # NotImplemented -> identity
+
+    def test_repr_is_list_repr(self):
+        assert repr(_lookup_result()) == "[7, None, 42]"
+
+
+class TestDeprecatedAccessors:
+    def test_values_warns_and_returns_lazyvalues(self):
+        res = _lookup_result()
+        with pytest.warns(ReproDeprecationWarning, match="BatchResult.values"):
+            vals = res.values
+        assert isinstance(vals, LazyValues)
+        assert vals == [7, None, 42]
+
+    def test_array_warns(self):
+        res = _lookup_result()
+        with pytest.warns(ReproDeprecationWarning, match="BatchResult.array"):
+            assert res.array.dtype == np.uint64
+        wres = BatchResult("delete", found=np.array([True]))
+        with pytest.warns(ReproDeprecationWarning):
+            assert wres.array.dtype == bool
+
+    def test_hit_mask_warns(self):
+        res = _lookup_result()
+        with pytest.warns(ReproDeprecationWarning, match="hit_mask"):
+            assert res.hit_mask.tolist() == [True, False, True]
+
+    def test_string_getitem_reads_summary(self):
+        res = BatchResult(
+            "insert", found=np.array([True]),
+            summary={"device_inserted": 1, "deferred": 0},
+        )
+        with pytest.warns(ReproDeprecationWarning, match="summary"):
+            assert res["device_inserted"] == 1
+
+    def test_string_getitem_without_summary_raises_keyerror(self):
+        res = _lookup_result()
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(KeyError):
+                res["device_inserted"]
+
+    def test_deprecation_warning_is_a_deprecation_warning(self):
+        # pytest's -W error::DeprecationWarning must be allow-listable
+        # by our own subclass
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+
+class TestLegacyShapes:
+    def test_lazy_values_round_trip(self):
+        lv = LazyValues(np.array([1, NIL], dtype=np.uint64))
+        assert lv.to_list() == [1, None]
+        assert lv.hit_mask.tolist() == [True, False]
+        assert lv == [1, None]
+        assert repr(lv) == "[1, None]"
+
+    def test_found_flags_is_a_list(self):
+        ff = FoundFlags(np.array([True, False]))
+        assert ff == [True, False]
+        assert ff.array.tolist() == [True, False]

@@ -1,0 +1,220 @@
+"""Retry / degrade policy engine (repro.host.resilience)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    HashTableFullError,
+    SimulationError,
+    TransientKernelError,
+)
+from repro.host.resilience import (
+    MAX_RECOVERIES_PER_DISPATCH,
+    DeviceHealth,
+    ResiliencePolicy,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.util.rng import make_rng
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SimulationError) as ei:
+            RetryPolicy(**kwargs)
+        assert "value" in ei.value.context
+
+    def test_delay_grows_exponentially(self):
+        pol = RetryPolicy(backoff_base_s=1e-3, backoff_factor=2.0, jitter=0.0)
+        rng = make_rng(0)
+        assert pol.delay_s(1, rng) == pytest.approx(1e-3)
+        assert pol.delay_s(2, rng) == pytest.approx(2e-3)
+        assert pol.delay_s(3, rng) == pytest.approx(4e-3)
+
+    def test_jitter_bounds(self):
+        pol = RetryPolicy(backoff_base_s=1e-3, backoff_factor=1.0, jitter=0.1)
+        rng = make_rng(5)
+        delays = [pol.delay_s(1, rng) for _ in range(200)]
+        assert all(0.9e-3 <= d <= 1.1e-3 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+
+class TestResiliencePolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"unhealthy_after": 0},
+            {"probe_interval": 0},
+            {"max_hash_slots": 100},  # not a power of two
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SimulationError):
+            ResiliencePolicy(**kwargs)
+
+
+class TestDeviceHealth:
+    def test_circuit_transitions(self):
+        h = DeviceHealth(unhealthy_after=2)
+        assert h.healthy
+        h.mark_failure()
+        assert h.healthy  # one failure is below the threshold
+        h.mark_failure()
+        assert not h.healthy
+        h.degraded_calls = 5
+        h.recover()
+        assert h.healthy
+        assert h.degraded_calls == 0
+        assert h.recoveries == 1
+
+    def test_success_resets_streak(self):
+        h = DeviceHealth(unhealthy_after=2)
+        h.mark_failure()
+        h.mark_success()
+        h.mark_failure()
+        assert h.healthy
+
+
+def _boom(n, exc_factory=None):
+    """A callable that fails ``n`` times then returns 'ok'."""
+    state = {"calls": 0}
+    factory = exc_factory or (
+        lambda: TransientKernelError("injected", fault="kernel_abort")
+    )
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= n:
+            raise factory()
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+class TestDispatcherRun:
+    def _disp(self, **policy_kw):
+        return ResilientDispatcher(ResiliencePolicy(**policy_kw))
+
+    def test_transient_retry_then_success(self):
+        disp = self._disp()
+        out, attempts = disp.run("lookup", _boom(2))
+        assert out == "ok"
+        assert attempts == 3
+        assert disp.health.healthy
+        assert disp.health.consecutive_failures == 0
+        assert disp.metrics.value(
+            "resilience_retries_total", op="lookup") == 2
+        assert disp.simulated_backoff_s > 0.0
+
+    def test_exhausted_degrades_to_none(self):
+        disp = self._disp(retry=RetryPolicy(max_attempts=2))
+        out, attempts = disp.run("lookup", _boom(99))
+        assert out is None
+        assert attempts == 2
+        assert disp.health.consecutive_failures == 1
+        assert disp.metrics.value(
+            "resilience_retry_exhausted_total", op="lookup") == 1
+
+    def test_exhausted_raises_when_degrade_forbidden(self):
+        disp = self._disp(retry=RetryPolicy(max_attempts=2),
+                          allow_degrade=False)
+        with pytest.raises(TransientKernelError):
+            disp.run("lookup", _boom(99))
+        # per-call override beats the policy
+        disp2 = self._disp(retry=RetryPolicy(max_attempts=2))
+        with pytest.raises(TransientKernelError):
+            disp2.run("map", _boom(99), degrade=False)
+
+    def test_recover_callback_for_non_transient(self):
+        recovered = []
+
+        def factory():
+            return HashTableFullError("full", buffer="hash-table",
+                                      slots=8, occupied=8, requested=4)
+
+        def recover(exc):
+            recovered.append(exc)
+            return True
+
+        disp = self._disp()
+        out, attempts = disp.run("update", _boom(1, factory),
+                                 recover=recover)
+        assert out == "ok"
+        assert len(recovered) == 1
+        assert recovered[0].context["buffer"] == "hash-table"
+
+    def test_non_transient_without_recover_raises(self):
+        disp = self._disp()
+        with pytest.raises(HashTableFullError):
+            disp.run("update", _boom(
+                1, lambda: HashTableFullError("full", buffer="hash-table")))
+
+    def test_recover_declining_reraises(self):
+        disp = self._disp()
+        with pytest.raises(HashTableFullError):
+            disp.run(
+                "update",
+                _boom(1, lambda: HashTableFullError("full",
+                                                    buffer="hash-table")),
+                recover=lambda exc: False,
+            )
+
+    def test_recoveries_are_bounded_per_dispatch(self):
+        calls = []
+        disp = self._disp()
+        with pytest.raises(HashTableFullError):
+            disp.run(
+                "update",
+                _boom(10_000, lambda: HashTableFullError(
+                    "full", buffer="hash-table")),
+                recover=lambda exc: calls.append(exc) or True,
+            )
+        assert len(calls) == MAX_RECOVERIES_PER_DISPATCH
+
+    def test_backoff_accumulates_not_sleeps(self):
+        disp = self._disp(retry=RetryPolicy(
+            max_attempts=4, backoff_base_s=10.0, jitter=0.0))
+        # 10s+20s+40s of nominal backoff must be charged, not slept
+        out, attempts = disp.run("lookup", _boom(3))
+        assert out == "ok"
+        assert disp.simulated_backoff_s == pytest.approx(70.0)
+        assert disp.metrics.value(
+            "resilience_backoff_seconds_total") == pytest.approx(70.0)
+
+    def test_jitter_stream_is_seeded(self):
+        a = self._disp(seed=13)
+        b = self._disp(seed=13)
+        a.run("lookup", _boom(2))
+        b.run("lookup", _boom(2))
+        assert a.simulated_backoff_s == b.simulated_backoff_s
+
+
+class TestProbeCadence:
+    def test_first_degraded_call_probes_immediately(self):
+        disp = ResilientDispatcher(ResiliencePolicy(probe_interval=3))
+        # cadence is checked before note_degraded: call 0, 3, 6 ... probe
+        schedule = []
+        for i in range(7):
+            schedule.append(disp.due_probe())
+            disp.note_degraded("lookup")
+        assert schedule == [True, False, False, True, False, False, True]
+        assert disp.health.degraded_calls == 7
+        assert disp.metrics.value(
+            "resilience_degraded_batches_total", op="lookup") == 7
+
+    def test_record_probe_counts(self):
+        disp = ResilientDispatcher(ResiliencePolicy())
+        disp.record_probe()
+        disp.record_probe()
+        assert disp.metrics.value("resilience_probes_total") == 2

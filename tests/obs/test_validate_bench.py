@@ -31,6 +31,7 @@ def _minimal_doc() -> dict:
                 },
                 "flush_reasons": {"size-full": 1, "write-dependency": 2,
                                   "drain": 1},
+                "ops_by_status": {"OK": 90, "NOT_FOUND": 10},
             },
         },
         "headline": {"populate_plus_lookup_wall_s": 0.2},
@@ -43,7 +44,7 @@ def test_valid_doc_passes():
 
 
 def test_committed_bench_passes():
-    bench = _SCRIPT.parents[1] / "BENCH_pr3.json"
+    bench = _SCRIPT.parents[1] / "BENCH_pr4.json"
     assert vb.validate(json.loads(bench.read_text())) == []
 
 
@@ -75,3 +76,27 @@ def test_missing_flush_reason_flagged():
     doc = _minimal_doc()
     del doc["ops"]["mixed"]["flush_reasons"]["drain"]
     assert any("drain" in p for p in vb.validate(doc))
+
+
+def test_missing_ops_by_status_flagged():
+    doc = _minimal_doc()
+    del doc["ops"]["mixed"]["ops_by_status"]
+    assert any("ops_by_status" in p for p in vb.validate(doc))
+
+
+def test_failed_ops_flagged():
+    doc = _minimal_doc()
+    doc["ops"]["mixed"]["ops_by_status"] = {"OK": 95, "FAILED": 5}
+    assert any("FAILED" in p for p in vb.validate(doc))
+
+
+def test_unknown_status_flagged():
+    doc = _minimal_doc()
+    doc["ops"]["mixed"]["ops_by_status"] = {"OK": 99, "BOGUS": 1}
+    assert any("BOGUS" in p for p in vb.validate(doc))
+
+
+def test_status_sum_mismatch_flagged():
+    doc = _minimal_doc()
+    doc["ops"]["mixed"]["ops_by_status"] = {"OK": 1}
+    assert any("sums to" in p for p in vb.validate(doc))

@@ -8,12 +8,19 @@ import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
 
+# mirror the suite's deprecation discipline (pyproject filterwarnings):
+# examples fail on any DeprecationWarning except our own shim warnings
+WARNING_FLAGS = [
+    "-W", "error::DeprecationWarning",
+    "-W", "default::repro.errors.ReproDeprecationWarning",
+]
+
 
 @pytest.mark.slow
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script):
     proc = subprocess.run(
-        [sys.executable, str(script)],
+        [sys.executable, *WARNING_FLAGS, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
