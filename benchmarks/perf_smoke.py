@@ -183,6 +183,24 @@ def run(scale: int, label: str, trace_path: str | None = None,
     reasons = getattr(report, "flush_reasons", None)
     if reasons:
         ops["mixed"]["flush_reasons"] = dict(reasons)
+    forwarded = getattr(report, "forwarded", None)
+    if forwarded:  # PR 5 executors: store-to-load forwarded op counts
+        ops["mixed"]["forwarded"] = dict(forwarded)
+    overlap = getattr(report, "stream_overlap", None)
+    if overlap:  # PR 5 executors: multi-stream pipelining accounting
+        ops["mixed"]["stream_overlap"] = dict(overlap)
+    if pcts and "delete" in pcts and "lookup" in pcts:
+        # delete tail-latency regression gate: grouping the parent-unlink
+        # scatters by present node type keeps the delete p95 within a
+        # small factor of the lookup p95 (deletes do a lookup plus
+        # clear/unlink stores; they must not be an order of magnitude
+        # worse at the tail)
+        ratio = pcts["delete"]["p95"] / max(pcts["lookup"]["p95"], 1e-9)
+        ops["mixed"]["delete_p95_over_lookup_p95"] = round(ratio, 2)
+        assert ratio < 25.0, (
+            f"delete p95 / lookup p95 = {ratio:.1f} (>= 25): delete tail "
+            "latency regressed"
+        )
     by_status = getattr(report, "ops_by_status", None)
     if by_status is not None:  # PR 4 executors: per-OpStatus op counts
         ops["mixed"]["ops_by_status"] = dict(by_status)
@@ -237,11 +255,39 @@ def run(scale: int, label: str, trace_path: str | None = None,
     }
 
 
+def merge_min(runs: list[dict]) -> dict:
+    """Fold repeated runs into one result by keeping, per op, the repeat
+    with the smallest wall time.
+
+    Each repeat rebuilds its engines from scratch, so the min is a clean
+    noise filter: the machine can only make a run slower, never faster.
+    The headline is recomputed from the chosen per-op records; metrics /
+    fault-injection snapshots come from the first repeat.
+    """
+    best = runs[0]
+    if len(runs) == 1:
+        return best
+    for other in runs[1:]:
+        for op, rec in other["ops"].items():
+            cur = best["ops"].get(op)
+            if cur is None or rec["wall_s"] < cur["wall_s"]:
+                best["ops"][op] = rec
+    best["headline"]["populate_plus_lookup_wall_s"] = round(
+        best["ops"]["populate"]["wall_s"]
+        + best["ops"]["lookup_zipf"]["wall_s"], 6
+    )
+    best["meta"]["repeats"] = len(runs)
+    return best
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default="BENCH_pr1.json", help="output JSON path")
     ap.add_argument("--scale", type=int, default=64,
                     help="scale denominator: n_keys = 16Mi / SCALE")
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="run the whole suite N times and keep, per op, "
+                         "the fastest repeat (min-of-N noise filter)")
     ap.add_argument("--baseline", default=None,
                     help="previous run's JSON; adds speedup factors")
     ap.add_argument("--label", default="local", help="free-form run label")
@@ -256,6 +302,8 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     if args.scale < 1:
         ap.error(f"--scale must be >= 1, got {args.scale}")
+    if args.repeats < 1:
+        ap.error(f"--repeats must be >= 1, got {args.repeats}")
     if not 0.0 <= args.fault_rate <= 1.0:
         ap.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
     if args.baseline and not os.path.exists(args.baseline):
@@ -263,8 +311,13 @@ def main(argv=None) -> int:
     if args.trace and Tracer is None:
         ap.error("--trace needs the repro.obs package on PYTHONPATH")
 
-    result = run(args.scale, args.label, trace_path=args.trace,
-                 fault_rate=args.fault_rate, fault_seed=args.fault_seed)
+    runs = [
+        run(args.scale, args.label,
+            trace_path=args.trace if i == 0 else None,
+            fault_rate=args.fault_rate, fault_seed=args.fault_seed)
+        for i in range(args.repeats)
+    ]
+    result = merge_min(runs)
 
     if args.baseline:
         with open(args.baseline) as fh:

@@ -14,10 +14,24 @@ Checks (fails with a nonzero exit and a per-problem message):
   (per-``OpStatus`` op counts; ``FAILED`` must be absent or zero);
 * the ``metrics`` registry snapshot is present with its three sections
   and no NaN/inf leaks anywhere in the document.
+
+With ``--baseline PREV.json`` it additionally acts as the performance
+regression gate::
+
+    python scripts/validate_bench.py BENCH_pr5.json --baseline BENCH_pr4.json
+
+* every op's ``wall_s`` must be within ``--max-regression`` (default
+  10%) of the baseline, unless the op is named in ``--allow`` (each
+  exception must be justified in the PR description);
+* if the baseline recorded batch-granularity ``write-dependency``
+  flushes, the candidate must cut them by at least
+  ``--min-dependency-drop`` (default 5x) — the key-level conflict
+  tracker's contract.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import sys
@@ -126,28 +140,104 @@ def validate(doc: dict) -> list[str]:
     return problems
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} BENCH.json", file=sys.stderr)
-        return 2
-    try:
-        with open(argv[1]) as fh:
-            # json.load accepts NaN/Infinity literals; keep them as floats
-            # so _walk_nonfinite reports them instead of a parse error
-            doc = json.load(fh)
-    except (OSError, ValueError) as exc:
-        print(f"{argv[1]}: unreadable: {exc}", file=sys.stderr)
+def compare(
+    doc: dict,
+    base: dict,
+    *,
+    max_regression: float = 0.10,
+    min_dependency_drop: float = 5.0,
+    allow: tuple = (),
+) -> list[str]:
+    """Regression-gate a candidate run against a baseline run.
+
+    Returns a list of problems (empty means the candidate passes): any
+    op more than ``max_regression`` slower than the baseline fails
+    unless allow-listed, and the batch-granularity ``write-dependency``
+    flush count must drop by ``min_dependency_drop``x when the baseline
+    recorded any.
+    """
+    problems: list[str] = []
+    ops = doc.get("ops", {})
+    base_ops = base.get("ops", {})
+    for op in REQUIRED_OPS:
+        cur, ref = ops.get(op, {}), base_ops.get(op, {})
+        if not (_finite(cur.get("wall_s")) and _finite(ref.get("wall_s"))):
+            continue  # schema problems are validate()'s job
+        limit = ref["wall_s"] * (1.0 + max_regression)
+        if cur["wall_s"] > limit:
+            slower = cur["wall_s"] / ref["wall_s"] - 1.0
+            if op in allow:
+                print(f"  (allowed) ops.{op} {slower:+.1%} vs baseline")
+            else:
+                problems.append(
+                    f"ops.{op}.wall_s regressed {slower:+.1%} "
+                    f"({cur['wall_s']:.6f}s vs baseline "
+                    f"{ref['wall_s']:.6f}s, limit {max_regression:.0%})"
+                )
+    base_dep = (base_ops.get("mixed", {}).get("flush_reasons", {})
+                .get("write-dependency", 0))
+    cur_dep = (ops.get("mixed", {}).get("flush_reasons", {})
+               .get("write-dependency", 0))
+    if _finite(base_dep) and base_dep > 0:
+        if not _finite(cur_dep) or cur_dep * min_dependency_drop > base_dep:
+            problems.append(
+                f"write-dependency flushes did not drop "
+                f">={min_dependency_drop:g}x: {base_dep} -> {cur_dep!r}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench", help="candidate BENCH JSON to validate")
+    ap.add_argument("--baseline", default=None, metavar="PREV.json",
+                    help="previous run to regression-gate against")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="max allowed per-op wall_s slowdown fraction "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--min-dependency-drop", type=float, default=5.0,
+                    help="required write-dependency flush reduction "
+                         "factor vs the baseline (default 5)")
+    ap.add_argument("--allow", action="append", default=[], metavar="OP",
+                    help="op name exempt from the wall_s gate "
+                         "(repeatable; justify each in the PR)")
+    args = ap.parse_args(argv)
+
+    def _load(path: str) -> dict | None:
+        try:
+            with open(path) as fh:
+                # json.load accepts NaN/Infinity literals; keep them as
+                # floats so _walk_nonfinite reports them instead of a
+                # parse error
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            return None
+
+    doc = _load(args.bench)
+    if doc is None:
         return 1
     problems = validate(doc)
+    if args.baseline and not problems:
+        base = _load(args.baseline)
+        if base is None:
+            return 1
+        problems = compare(
+            doc, base,
+            max_regression=args.max_regression,
+            min_dependency_drop=args.min_dependency_drop,
+            allow=tuple(args.allow),
+        )
     if problems:
         for p in problems:
-            print(f"{argv[1]}: {p}", file=sys.stderr)
-        print(f"{argv[1]}: INVALID ({len(problems)} problem(s))",
+            print(f"{args.bench}: {p}", file=sys.stderr)
+        print(f"{args.bench}: INVALID ({len(problems)} problem(s))",
               file=sys.stderr)
         return 1
-    print(f"{argv[1]}: ok")
+    print(f"{args.bench}: ok"
+          + (f" (no regression vs {args.baseline})" if args.baseline else ""))
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

@@ -105,12 +105,17 @@ def delete_batch(
     widx = link_indices(wlocs)
 
     # ---- clear leaf contents + push onto the free list ---------------
+    # group the work by the node types actually present in this batch:
+    # one np.unique pass replaces a per-type any() scan over every code,
+    # so a batch whose winners all live in one leaf class touches exactly
+    # one buffer (the delete-tail-latency fix)
     unlinked = 0
     cleared_only = 0
-    for code in LEAF_TYPE_CODES:
-        sel = wcodes == code
-        if not sel.any():
+    present_wcodes = np.unique(wcodes) if win_rows.size else wcodes[:0]
+    for code in present_wcodes:
+        if code not in LEAF_TYPE_CODES:
             continue
+        sel = wcodes == code
         buf = layout.leaves[code]
         rows = widx[sel]
         buf.values[rows] = np.uint64(NIL_VALUE)
@@ -126,41 +131,43 @@ def delete_batch(
     pidx = link_indices(res.parent_links[win_rows])
     pbytes = res.parent_bytes[win_rows].astype(np.int64)
     have_parent = res.parent_links[win_rows] != np.uint64(0)
-    for code in (LINK_N4, LINK_N16):
+    present_pcodes = (
+        np.unique(pcodes[have_parent]) if have_parent.any() else pcodes[:0]
+    )
+    for code in present_pcodes:
         sel = have_parent & (pcodes == code)
-        if not sel.any():
-            continue
-        buf = layout.nodes[code]
-        rows = pidx[sel]
-        cap = buf.keys.shape[1]
-        valid = (
-            np.arange(cap, dtype=np.int64)[None, :]
-            < buf.counts[rows].astype(np.int64)[:, None]
-        )
-        eq = (buf.keys[rows] == pbytes[sel][:, None]) & valid
-        hit = eq.any(axis=1)
-        slot = eq.argmax(axis=1)
-        buf.children[rows[hit], slot[hit]] = np.uint64(0)
-    sel = have_parent & (pcodes == LINK_N48)
-    if sel.any():
-        buf = layout.nodes[LINK_N48]
-        rows = pidx[sel]
-        slot = buf.child_index[rows, pbytes[sel]].astype(np.int64)
-        ok = slot != N48_EMPTY_SLOT
-        buf.children[rows[ok], slot[ok]] = np.uint64(0)
-    sel = have_parent & (pcodes == LINK_N256)
-    if sel.any():
-        buf = layout.nodes[LINK_N256]
-        buf.children[pidx[sel], pbytes[sel]] = np.uint64(0)
+        if code == LINK_N4 or code == LINK_N16:
+            buf = layout.nodes[code]
+            rows = pidx[sel]
+            cap = buf.keys.shape[1]
+            valid = (
+                np.arange(cap, dtype=np.int64)[None, :]
+                < buf.counts[rows].astype(np.int64)[:, None]
+            )
+            eq = (buf.keys[rows] == pbytes[sel][:, None]) & valid
+            hit = eq.any(axis=1)
+            slot = eq.argmax(axis=1)
+            buf.children[rows[hit], slot[hit]] = np.uint64(0)
+        elif code == LINK_N48:
+            buf = layout.nodes[LINK_N48]
+            rows = pidx[sel]
+            slot = buf.child_index[rows, pbytes[sel]].astype(np.int64)
+            ok = slot != N48_EMPTY_SLOT
+            buf.children[rows[ok], slot[ok]] = np.uint64(0)
+        elif code == LINK_N256:
+            buf = layout.nodes[LINK_N256]
+            buf.children[pidx[sel], pbytes[sel]] = np.uint64(0)
     unlinked = int(have_parent.sum())
     log.record(16, unlinked)  # child-link stores
     cleared_only = int(win_rows.size - unlinked)
 
     # free-list push: only safely recyclable (unlinked) leaves
     pushed = 0
-    for code in LEAF_TYPE_CODES:
-        sel = have_parent & (wcodes == code)
-        if sel.any():
+    if have_parent.any():
+        for code in np.unique(wcodes[have_parent]):
+            if code not in LEAF_TYPE_CODES:
+                continue
+            sel = have_parent & (wcodes == code)
             layout.free_leaves[code].extend(widx[sel].tolist())
             pushed += int(sel.sum())
 

@@ -140,6 +140,25 @@ class CostModel:
         return queries / t / 1e6
 
 
+def overlapped_batch_time(
+    kernel_s: float, h2d_s: float, d2h_s: float = 0.0, *, streams: int = 2
+) -> float:
+    """Steady-state per-batch cost of a pipelined multi-stream dispatch.
+
+    With two or more streams the PCIe copy engine stages batch *i+1*
+    while batch *i*'s kernel runs (sections 4.1/4.3), so in steady state
+    each batch costs the *slowest* engine, not the sum of all three:
+    ``max(kernel, h2d, d2h)`` — the H2D and D2H directions are separate
+    full-duplex DMA channels.  With a single stream staging serializes
+    behind the kernel (GRT-style synchronous dispatch) and the cost is
+    the serial sum.  :class:`repro.gpusim.streams.StreamScheduler` is the
+    event-level counterpart; this is the closed-form steady state.
+    """
+    if streams <= 1:
+        return kernel_s + h2d_s + d2h_s
+    return max(kernel_s, h2d_s, d2h_s)
+
+
 # ---------------------------------------------------------------------------
 # CPU lookup model (figures 7, 13, 14, 17)
 # ---------------------------------------------------------------------------

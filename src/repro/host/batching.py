@@ -90,34 +90,54 @@ def split_batch(batch: QueryBatch) -> list[QueryBatch]:
 
 
 class OpClassCoalescer:
-    """Per-op-class accumulation for mixed read/write streams (§3.1).
+    """Per-op-class accumulation for mixed read/write streams (§3.1),
+    with **key-level conflict tracking**.
 
     The naive executor cuts a device batch at *every* op-type boundary,
     fragmenting an interleaved OLTP stream into tiny batches that each
     pay a full kernel launch.  This coalescer instead accumulates
-    lookups / updates / deletes / inserts in per-class queues and only
-    flushes when
+    lookups / updates / deletes / inserts in per-class queues.  Ops that
+    touch *different* keys never force a flush, whatever their classes:
+    a cross-class ordering requirement (a read issued after a write to
+    the same key must observe the write) is recorded as an **edge** in a
+    tiny dependency DAG over the class queues, and queues keep filling
+    toward full batches.  A queue only flushes when
 
-    * a class reaches ``batch_size`` (that class alone flushes — queues
-      are pairwise key-disjoint, see below, so the others may keep
-      filling), or
-    * an incoming op has an **op-order dependency** on a queued one: it
-      touches a key some *other-classed* queued op touches, where
-      reordering could change a result.  Everything drains, in
-      first-arrival class order, before the new op is queued.
+    * it reaches ``batch_size`` (``size-full``) — its DAG ancestors
+      flush first, in topological order (``dep-order``), so every
+      recorded before/after relation holds at execution time; or
+    * an incoming op genuinely **conflicts on a key** (``key-conflict``):
+      it touches a key with a queued non-commuting op of the *same*
+      class, or the ordering edge it needs would close a cycle (e.g.
+      ``update k → lookup k → update k``: the second update cannot both
+      follow the queued lookup and share the queued update's batch).
+      Only the conflicting queue and its ancestors flush; every other
+      queue keeps accumulating.
 
-    Same-key co-accumulation is allowed only where batching provably
-    preserves serial semantics: repeated lookups of one key, and
-    repeated updates of one key (the device's intra-batch
+    Same-key co-accumulation within one class is allowed only where
+    batching provably preserves serial semantics: repeated lookups of
+    one key, and repeated updates of one key (the device's intra-batch
     last-writer-wins by thread index equals serial last-wins).  Repeated
     deletes or inserts of one key do *not* commute — the second delete
     of a key must report a miss, and a re-insert must observe the first
-    insert — so those act as barriers too.
+    insert — so those flush their own class (``key-conflict``).
+
+    Why per-key order is sufficient: device batches execute in flush
+    order, and flushes always release ancestor-closed sets of queues in
+    topological order, so every cross-class edge is honoured.  For each
+    key, its pending ops always form a DAG *path* in stream order (two
+    same-class ops separated by another class on the same key force a
+    cycle, hence a flush), so serial per-key semantics — the property
+    the lockstep oracle tests pin — are preserved exactly.
+
+    The legacy batch-granularity reason ``write-dependency`` (any
+    pending write drained *every* queue) is still reported for BENCH
+    schema compatibility; the key-level tracker retires it to zero.
     """
 
-    #: (queued kind, incoming kind) pairs that may share a key without
-    #: forcing a flush.
-    _COMMUTES = frozenset({("lookup", "lookup"), ("update", "update")})
+    #: classes whose same-key ops may share one batch (serial-equivalent
+    #: device semantics: multi-read, and LWW-by-thread-index updates).
+    _SELF_COMMUTES = frozenset({"lookup", "update"})
 
     def __init__(
         self, batch_size: int, *, metrics: MetricsRegistry | None = None
@@ -127,7 +147,13 @@ class OpClassCoalescer:
         self._queues: dict[str, list] = {}
         self._order: list[str] = []
         self._keys: dict[str, list] = {}
-        self._key_kind: dict = {}
+        #: key -> bitmask of classes with a pending op on that key (the
+        #: exact pending-key filter; bits assigned per class on demand).
+        self._pending: dict = {}
+        self._bit_of: dict[str, int] = {}
+        self._kind_of_bit: dict[int, str] = {}
+        #: direct ordering edges: ``preds[q]`` must all flush before q.
+        self._preds: dict[str, set] = {}
         if metrics is None:
             metrics = MetricsRegistry()
         self.metrics = metrics
@@ -138,6 +164,8 @@ class OpClassCoalescer:
         )
         self._flush_full = self._flushes.labels(reason="size-full")
         self._flush_dep = self._flushes.labels(reason="write-dependency")
+        self._flush_conflict = self._flushes.labels(reason="key-conflict")
+        self._flush_order = self._flushes.labels(reason="dep-order")
         self._flush_drain = self._flushes.labels(reason="drain")
         self._occupancy = metrics.histogram(
             "coalescer_batch_occupancy",
@@ -153,16 +181,135 @@ class OpClassCoalescer:
         return {
             "size-full": self._flush_full.value,
             "write-dependency": self._flush_dep.value,
+            "key-conflict": self._flush_conflict.value,
+            "dep-order": self._flush_order.value,
             "drain": self._flush_drain.value,
         }
 
-    def add(self, kind: str, key, payload) -> list[tuple[str, list]]:
-        """Queue one op; returns ``[(kind, payloads), ...]`` batches that
-        must execute *now* (dependency drains and/or a full class)."""
+    # -- dependency bookkeeping -------------------------------------------
+    def _bit(self, kind: str) -> int:
+        bit = self._bit_of.get(kind)
+        if bit is None:
+            bit = 1 << len(self._bit_of)
+            self._bit_of[kind] = bit
+            self._kind_of_bit[bit] = kind
+        return bit
+
+    def _ancestors(self, kind: str) -> set:
+        """Transitive predecessor closure of one class (excludes it)."""
+        seen: set = set()
+        stack = list(self._preds.get(kind, ()))
+        while stack:
+            p = stack.pop()
+            if p not in seen:
+                seen.add(p)
+                stack.extend(self._preds.get(p, ()))
+        return seen
+
+    def _closure_in_order(self, kinds) -> list[str]:
+        """Topologically order a predecessor-closed class set; ties break
+        by first-arrival order (the DAG has at most a handful of nodes,
+        and this only runs on flush events)."""
+        member = [k for k in self._order if k in kinds]
+        out: list[str] = []
+        placed: set = set()
+        while member:
+            for k in member:
+                if all(p in placed or p not in kinds
+                       for p in self._preds.get(k, ())):
+                    out.append(k)
+                    placed.add(k)
+                    member.remove(k)
+                    break
+            else:  # pragma: no cover - the graph is acyclic by construction
+                out.extend(member)
+                break
+        return out
+
+    def _pop_queue(self, kind: str) -> list:
+        """Remove one class queue and every trace of it (pending-key
+        bits, ordering edges, arrival order)."""
+        q = self._queues.pop(kind)
+        self._order.remove(kind)
+        bit = self._bit_of[kind]
+        pending = self._pending
+        for k in self._keys.pop(kind):
+            m = pending.get(k)
+            if m is not None:
+                m &= ~bit
+                if m:
+                    pending[k] = m
+                else:
+                    del pending[k]
+        self._preds.pop(kind, None)
+        for ps in self._preds.values():
+            ps.discard(kind)
+        return q
+
+    def _flush_with_ancestors(
+        self, kind: str, reason_counter, *, cascade_counter=None
+    ) -> list[tuple[str, list]]:
+        """Flush one class preceded by its DAG ancestors, in dependency
+        order.  The target class is charged to ``reason_counter``; the
+        ancestors to ``cascade_counter`` (default: same reason)."""
+        if cascade_counter is None:
+            cascade_counter = reason_counter
+        closure = self._ancestors(kind)
+        closure.add(kind)
         out: list[tuple[str, list]] = []
-        prev = self._key_kind.get(key)
-        if prev is not None and (prev, kind) not in self._COMMUTES:
-            out.extend(self._drain(self._flush_dep))
+        for k in self._closure_in_order(closure):
+            q = self._pop_queue(k)
+            (reason_counter if k == kind else cascade_counter).inc()
+            self._occupancy.observe(len(q) / self.batch_size)
+            out.append((k, q))
+        return out
+
+    def add(self, kind: str, key, payload) -> tuple:
+        """Queue one op; returns ``((kind, payloads), ...)`` batches that
+        must execute *now*, in order (key-conflict flushes and/or a full
+        class with its ordering ancestors).  The common case — no pending
+        op on the key, queue not full — is a handful of dict/list ops."""
+        pending = self._pending
+        mask = pending.get(key)
+        bit = self._bit_of.get(kind)
+        if bit is None:
+            bit = self._bit(kind)
+        if not mask:
+            q = self._queues.get(kind)
+            if q is None:
+                q = self._queues[kind] = []
+                self._keys[kind] = []
+                self._order.append(kind)
+            q.append(payload)
+            self._keys[kind].append(key)
+            pending[key] = bit
+            if len(q) >= self.batch_size:
+                return tuple(self._flush_with_ancestors(
+                    kind, self._flush_full, cascade_counter=self._flush_order
+                ))
+            return ()
+        out: list[tuple[str, list]] = []
+        if mask & bit and kind not in self._SELF_COMMUTES:
+            # same-class non-commuting repeat (delete-delete /
+            # insert-insert): the queued op must complete first
+            out.extend(
+                self._flush_with_ancestors(kind, self._flush_conflict)
+            )
+            mask = pending.get(key, 0)
+        m = mask & ~bit
+        while m:
+            pbit = m & -m
+            m &= m - 1
+            prev = self._kind_of_bit[pbit]
+            # the new op must execute after `prev`'s queue: record
+            # the edge, unless it would close a cycle — then `prev`
+            # (and its ancestors, which include this class) flush now
+            if kind in self._ancestors(prev) or kind == prev:
+                out.extend(
+                    self._flush_with_ancestors(prev, self._flush_conflict)
+                )
+            elif prev in self._queues:
+                self._preds.setdefault(kind, set()).add(prev)
         q = self._queues.get(kind)
         if q is None:
             q = self._queues[kind] = []
@@ -170,34 +317,24 @@ class OpClassCoalescer:
             self._order.append(kind)
         q.append(payload)
         self._keys[kind].append(key)
-        self._key_kind[key] = kind
+        pending[key] = pending.get(key, 0) | bit
         if len(q) >= self.batch_size:
-            out.append((kind, q))
-            self._flush_full.inc()
-            self._occupancy.observe(len(q) / self.batch_size)
-            del self._queues[kind]
-            self._order.remove(kind)
-            key_kind = self._key_kind
-            for k in self._keys.pop(kind):
-                if key_kind.get(k) == kind:
-                    del key_kind[k]
-        return out
+            out.extend(
+                self._flush_with_ancestors(
+                    kind, self._flush_full, cascade_counter=self._flush_order
+                )
+            )
+        return tuple(out)
 
     def drain(self) -> list[tuple[str, list]]:
-        """Flush every queue in first-arrival class order.  Queues are
-        pairwise key-disjoint by construction, so this order change
-        relative to the stream cannot alter any result."""
-        return self._drain(self._flush_drain)
-
-    def _drain(self, reason_counter) -> list[tuple[str, list]]:
-        out = [(k, self._queues[k]) for k in self._order]
-        for _, q in out:
-            reason_counter.inc()
+        """Flush every queue in dependency order (ties by first-arrival
+        class order), clearing all pending-key and edge state."""
+        out: list[tuple[str, list]] = []
+        for k in self._closure_in_order(set(self._order)):
+            q = self._pop_queue(k)
+            self._flush_drain.inc()
             self._occupancy.observe(len(q) / self.batch_size)
-        self._queues = {}
-        self._order = []
-        self._keys = {}
-        self._key_kind = {}
+            out.append((k, q))
         return out
 
 

@@ -46,6 +46,11 @@ class EngineConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     #: host preparation threads feeding the pipeline.
     host_threads: int = DEFAULT_HOST_THREADS
+    #: command streams for the pipelined dispatch model (sections
+    #: 4.1/4.3): with >= 2, batch *i+1*'s PCIe staging overlaps batch
+    #: *i*'s kernel (double-buffering); 1 models fully synchronous
+    #: dispatch.  The GRT baseline always dispatches synchronously.
+    streams: int = 2
     #: compacted root-table depth (1..3) or None for no table
     #: (section 3.2.2).  CuART only.
     root_table_depth: Optional[int] = None
@@ -78,6 +83,10 @@ class EngineConfig:
         if self.host_threads < 1:
             raise SimulationError(
                 "host_threads must be positive", value=self.host_threads
+            )
+        if self.streams < 1:
+            raise SimulationError(
+                "streams must be positive", value=self.streams
             )
         if self.hash_slots <= 0 or self.hash_slots & (self.hash_slots - 1):
             raise SimulationError(

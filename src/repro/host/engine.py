@@ -66,7 +66,7 @@ from repro.gpusim.cost_model import CostModel
 from repro.gpusim.faults import FaultInjector
 from repro.gpusim.memory import allocation_guard
 from repro.gpusim.pcie import link_for_device
-from repro.gpusim.streams import launch_kernel
+from repro.gpusim.streams import StreamOverlapStats, StreamScheduler, launch_kernel
 from repro.gpusim.trace import kernel_span_args
 from repro.gpusim.transactions import TransactionLog
 from repro.host.batching import QueryBatch, coalesce_encoded, split_batch
@@ -183,6 +183,15 @@ class _EngineBase:
             "simulated kernel time per device batch, by operation",
             labels=("op",),
         )
+        #: the PCIe link feeding the simulated device (always modeled;
+        #: the fault injector additionally guards its transfers).
+        self._pcie = link_for_device(config.device.name)
+        #: pipelined dispatch clock — the async ``submit``/``drain``
+        #: surface accounts every batch here.  The GRT baseline's
+        #: synchronous API pins it to one stream regardless of config.
+        self.streams = StreamScheduler(
+            config.streams if api == "cuda" else 1, metrics=self.metrics
+        )
 
     @contextmanager
     def _timed_op(self, op: str, n: int):
@@ -208,6 +217,15 @@ class _EngineBase:
 
     def _sync_host_tree(self) -> None:
         """Hook: engines that defer host-tree mirroring flush it here."""
+
+    def contains(self, key: bytes) -> bool:
+        """Membership against the engine's authoritative content.
+
+        Cheap by design — it must not materialize deferred state, so the
+        mixed executor's store-to-load forwarding can probe it per
+        conflicting op (engines with a mirror overlay consult it first).
+        """
+        return self._tree.search(key) is not None
 
     def publish_tree_stats(self):
         """Walk the host tree and publish its shape (node/leaf
@@ -277,6 +295,49 @@ class _EngineBase:
         with self.tracer.span("encode", {"n": len(keys)}):
             mat, lens = keys_to_matrix(keys)
             return coalesce_encoded(mat, lens, self.batch_size), mat.shape[1]
+
+    # -- async dispatch ----------------------------------------------------
+    def submit(self, kind: str, payloads: Sequence) -> BatchResult:
+        """Asynchronously dispatch one coalesced op-class batch.
+
+        The pipelined counterpart of calling :meth:`lookup` /
+        :meth:`update` / :meth:`delete` / :meth:`insert` directly: the
+        operation executes eagerly (results are exact and immediately
+        available), while its simulated timeline — PCIe staging, kernel,
+        return DMA — is accounted against the double-buffered
+        :class:`~repro.gpusim.streams.StreamScheduler`, so batch *i+1*'s
+        host→device staging overlaps batch *i*'s kernel.  Call
+        :meth:`drain` to close the submit window and read the overlap
+        statistics.  ``payloads`` are keys for ``lookup``/``delete`` and
+        ``(key, value)`` pairs for ``update``/``insert``.
+        """
+        op = getattr(self, kind, None)
+        if kind not in ("lookup", "update", "delete", "insert") or op is None:
+            raise ReproError(
+                f"cannot submit {kind!r} batches to {type(self).__name__}"
+            )
+        result = op(payloads)
+        rep = self.last_report
+        if rep is not None and rep.operation == kind and rep.batches > 0:
+            if kind in ("update", "insert"):
+                width = max((len(k) for k, _ in payloads), default=1)
+                width += 8  # the value word rides with each key
+            else:
+                width = max((len(k) for k in payloads), default=1)
+            per_batch_q = max(rep.queries // rep.batches, 1)
+            h2d_s, d2h_s = self._pcie.batch_transfer_times(per_batch_q, width)
+            for _ in range(rep.batches):
+                self.streams.submit(
+                    kind, h2d_s=h2d_s, kernel_s=rep.kernel_s_per_batch,
+                    d2h_s=d2h_s,
+                )
+        return result
+
+    def drain(self) -> StreamOverlapStats:
+        """Close the current submit window: wait (in simulated time) for
+        every in-flight batch and return the accumulated
+        :class:`~repro.gpusim.streams.StreamOverlapStats`."""
+        return self.streams.drain()
 
     # -- reporting ---------------------------------------------------------
     def _report(
@@ -378,10 +439,6 @@ class CuartEngine(_EngineBase):
             )
             if config.resilience is not None else None
         )
-        self._pcie = (
-            link_for_device(config.device.name)
-            if self._injector is not None else None
-        )
         #: device buffers are behind the host tree (degraded writes went
         #: to the CPU path); re-map as soon as the device is healthy.
         self._needs_remap = False
@@ -443,6 +500,15 @@ class CuartEngine(_EngineBase):
                 tree.insert(k, v)
         if self.layout is not None:
             self.layout.mark_synced()
+
+    def contains(self, key: bytes) -> bool:
+        """Membership without flushing the deferred mirror: the overlay
+        is consulted first (a pending ``None`` is a deletion), then the
+        raw host tree."""
+        pending = self._mirror_pending
+        if key in pending:
+            return pending[key] is not None
+        return self._tree.search(key) is not None
 
     # -- stage 2: map -------------------------------------------------------
     def _map_once(self) -> CuartLayout:
@@ -1132,7 +1198,14 @@ class CuartEngine(_EngineBase):
             batch = queue.popleft()
             def call(b=batch):
                 if self._delete_table is None:
-                    self._delete_table = AtomicMaxHashTable(self.hash_slots)
+                    # share the updater's conflict table when sizes match:
+                    # batches run serially and both sides reset between
+                    # uses, so one allocation serves every write class
+                    shared = getattr(self._updater, "_table", None)
+                    if shared is not None and shared.slots == self.hash_slots:
+                        self._delete_table = shared
+                    else:
+                        self._delete_table = AtomicMaxHashTable(self.hash_slots)
                 return delete_batch(
                     self.layout, b.keys_mat, b.key_lens,
                     root_table=self.root_table, hash_slots=self.hash_slots,

@@ -33,6 +33,10 @@ import numpy as np
 
 from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
+
+#: shared overlay entry for a pending delete (avoids one tuple
+#: allocation per delete in the executor's hot loop).
+_ABSENT = ("absent", None)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 
@@ -70,6 +74,15 @@ class MixedReport:
     #: (``OK`` / ``NOT_FOUND`` / ``RETRIED`` / ``DEGRADED_CPU`` /
     #: ``FAILED``); scans count as ``OK``.
     ops_by_status: dict = field(default_factory=dict)
+    #: simulated multi-stream overlap accounting of the run
+    #: (:meth:`repro.gpusim.streams.StreamOverlapStats.as_dict`): serial
+    #: vs pipelined makespan, seconds hidden by double-buffering.
+    stream_overlap: dict = field(default_factory=dict)
+    #: ops served host-side by store-to-load forwarding, per op class —
+    #: a read on a key with a queued write is answered from the pending
+    #: overlay (and a write on a definitely-absent key short-circuits to
+    #: a miss) instead of fragmenting the device batches.
+    forwarded: dict = field(default_factory=dict)
 
     @property
     def operations(self) -> int:
@@ -132,6 +145,11 @@ class MixedWorkloadExecutor:
             "measured host wall-clock per op through the mixed executor",
             labels=("op",),
         )
+        self._m_forwarded = self.metrics.counter(
+            "mixed_forwarded_total",
+            "ops answered host-side by store-to-load forwarding",
+            labels=("op",),
+        )
 
     def run(self, stream) -> tuple[list, MixedReport]:
         """Execute the stream; returns (lookup results in stream order,
@@ -149,27 +167,53 @@ class MixedWorkloadExecutor:
         latency = self._m_latency
         coal = OpClassCoalescer(engine.batch_size, metrics=self.metrics)
         reasons_before = coal.flush_reasons()
+        # pipelined dispatch: engines exposing the async submit/drain
+        # surface get their batches accounted against the double-buffered
+        # stream scheduler (batch i+1's staging overlaps batch i's
+        # kernel); results are exact either way.
+        submit = getattr(engine, "submit", None)
+        if getattr(engine, "drain", None) is None:
+            submit = None
+        overlap = None
+
+        def dispatch(kind: str, payloads: list):
+            if submit is not None:
+                return submit(kind, payloads)
+            return getattr(engine, kind)(payloads)
+
+        def close_window() -> None:
+            """Drain the stream pipeline (scan barrier / end of stream)
+            and fold the window's overlap stats into the report."""
+            nonlocal overlap
+            if submit is None:
+                return
+            window = engine.drain()
+            if overlap is None:
+                overlap = window
+            else:
+                overlap.add_window(window)
 
         def execute(kind: str, payloads: list) -> None:
             t0 = time.perf_counter()
             with tracer.span(f"mixed.{kind}", {"n": len(payloads)}):
                 if kind == "lookup":
-                    values = engine.lookup(payloads)
-                    results.extend(values)
+                    values = dispatch("lookup", [p[0] for p in payloads])
+                    for (_, seq), v in zip(payloads, values):
+                        results[seq] = v
                     report.lookups += len(payloads)
                     hits = _found_count(values)
                     report.hits += hits
                     report.misses += len(payloads) - hits
                     _tally_status(report, values, len(payloads))
                 elif kind == "update":
-                    found = engine.update(payloads)
+                    found = dispatch("update", payloads)
                     report.updates += len(payloads)
                     report.update_misses += (
                         len(payloads) - _found_count(found)
                     )
                     _tally_status(report, found, len(payloads))
                 elif kind == "insert":
-                    out = engine.insert(payloads)
+                    out = dispatch("insert", payloads)
                     report.inserts += len(payloads)
                     summary = getattr(out, "summary", None)
                     report.inserts_deferred += (
@@ -184,7 +228,7 @@ class MixedWorkloadExecutor:
                     report.scans += len(payloads)
                     _tally_status(report, None, len(payloads))
                 else:  # delete
-                    found = engine.delete(payloads)
+                    found = dispatch("delete", payloads)
                     report.deletes += len(payloads)
                     report.delete_misses += (
                         len(payloads) - _found_count(found)
@@ -201,8 +245,103 @@ class MixedWorkloadExecutor:
                     engine.last_report.end_to_end_mops
                 )
 
+        # Store-to-load forwarding: ``overlay`` holds the per-key
+        # cumulative effect of every write that entered the queues.
+        # status is "present" (a pending insert), "absent" (a pending
+        # delete) or "maybe" (pending updates only: present iff the key
+        # exists in the engine's applied state); ``value`` is what a
+        # reader would observe while present.  A lookup on an overlaid
+        # key is answered here — exactly what a serial client would see —
+        # instead of forcing a dependency cut through the coalescer, and
+        # a write against a definitely-absent key short-circuits to a
+        # miss without any device work.  Entries stay valid after their
+        # queues flush: the summary then merely restates what the
+        # applied batches already did to the engine's state.
+        contains = getattr(engine, "contains", None)
+        overlay: dict = {}
+        # base-existence memo for "maybe" keys: pending updates never
+        # change existence and a pending delete/insert sets a definite
+        # overlay status, so one probe per distinct key is enough.
+        exists_memo: dict = {}
+
+        def base_exists(key) -> bool:
+            hit = exists_memo.get(key)
+            if hit is None:
+                hit = exists_memo[key] = contains(key)
+            return hit
+
+        def forward(kind: str, ok: bool) -> None:
+            report.forwarded[kind] = report.forwarded.get(kind, 0) + 1
+            self._m_forwarded.labels(op=kind).inc()
+            by = report.ops_by_status
+            name = "OK" if ok else "NOT_FOUND"
+            by[name] = by.get(name, 0) + 1
+
+        # hot loop: branches ordered by op frequency, bound locals, and
+        # a forwarding fast path of one dict probe per op (the overlay
+        # stays empty when the engine lacks ``contains``, so the probes
+        # degrade to no-ops without per-op feature checks)
+        fwd = contains is not None
+        coal_add = coal.add
+        overlay_get = overlay.get
+        results_append = results.append
         for kind, payload in stream:
-            if kind == "scan":
+            if kind == "lookup":
+                st = overlay_get(payload)
+                if st is None:
+                    results_append(None)
+                    for k, ps in coal_add(
+                        "lookup", payload, (payload, len(results) - 1)
+                    ):
+                        execute(k, ps)
+                else:
+                    status, val = st
+                    if status == "present" or (
+                        status == "maybe" and base_exists(payload)
+                    ):
+                        results_append(val)
+                        report.hits += 1
+                        forward("lookup", True)
+                    else:
+                        results_append(None)
+                        report.misses += 1
+                        forward("lookup", False)
+                    report.lookups += 1
+            elif kind == "update":
+                key = payload[0]
+                st = overlay_get(key)
+                if st is None:
+                    if fwd:
+                        overlay[key] = ("maybe", payload[1])
+                elif st[0] == "absent":
+                    # definitely gone: a guaranteed miss, and updates
+                    # never resurrect — skip the device entirely
+                    report.updates += 1
+                    report.update_misses += 1
+                    forward("update", False)
+                    continue
+                else:
+                    overlay[key] = (st[0], payload[1])
+                for k, ps in coal_add("update", key, payload):
+                    execute(k, ps)
+            elif kind == "delete":
+                st = overlay_get(payload)
+                if st is not None and st[0] == "absent":
+                    report.deletes += 1
+                    report.delete_misses += 1
+                    forward("delete", False)
+                    continue
+                if fwd:
+                    overlay[payload] = _ABSENT
+                for k, ps in coal_add("delete", payload, payload):
+                    execute(k, ps)
+            elif kind == "insert":
+                key = payload[0]
+                if fwd:
+                    overlay[key] = ("present", payload[1])
+                for k, ps in coal_add("insert", key, payload):
+                    execute(k, ps)
+            elif kind == "scan":
                 # a range touches an unbounded key set: full barrier,
                 # executed immediately
                 if not (isinstance(payload, (tuple, list))
@@ -210,18 +349,15 @@ class MixedWorkloadExecutor:
                     raise ValueError(f"malformed scan payload {payload!r}")
                 for k, ps in coal.drain():
                     execute(k, ps)
+                close_window()
                 execute("scan", [tuple(payload)])
-                continue
-            if kind in ("lookup", "delete"):
-                key = payload
-            elif kind in ("update", "insert"):
-                key = payload[0]
             else:
                 raise ValueError(f"unknown operation {kind!r}")
-            for k, ps in coal.add(kind, key, payload):
-                execute(k, ps)
         for k, ps in coal.drain():
             execute(k, ps)
+        close_window()
+        if overlap is not None:
+            report.stream_overlap = overlap.as_dict()
 
         for kind in report.wall_s:
             summary = self.metrics.value("mixed_op_latency_us", op=kind)

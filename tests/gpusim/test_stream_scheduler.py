@@ -1,0 +1,133 @@
+"""Unit tests for the double-buffered stream scheduler (§4.1/4.3) and
+the overlapped-batch closed form in the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.cost_model import overlapped_batch_time
+from repro.gpusim.streams import StreamOverlapStats, StreamScheduler
+from repro.host.config import EngineConfig
+from repro.obs.metrics import MetricsRegistry
+
+H2D, KERNEL, D2H = 1.0, 3.0, 0.5
+
+
+def _submit_n(sched, n, *, h2d=H2D, kernel=KERNEL, d2h=D2H):
+    return [
+        sched.submit("lookup", h2d_s=h2d, kernel_s=kernel, d2h_s=d2h)
+        for _ in range(n)
+    ]
+
+
+class TestStreamScheduler:
+    def test_single_stream_fully_serializes(self):
+        sched = StreamScheduler(1)
+        _submit_n(sched, 4)
+        stats = sched.drain()
+        assert stats.makespan_s == pytest.approx(4 * (H2D + KERNEL + D2H))
+        assert stats.saved_s == 0.0
+        assert stats.overlap_ratio == 0.0
+
+    def test_double_buffering_hides_transfers_kernel_bound(self):
+        """Kernel-bound: steady state pays max(kernel, h2d) = kernel per
+        batch; only the first h2d and last d2h stick out."""
+        sched = StreamScheduler(2)
+        events = _submit_n(sched, 5)
+        stats = sched.drain()
+        assert stats.makespan_s == pytest.approx(H2D + 5 * KERNEL + D2H)
+        assert stats.serial_s == pytest.approx(5 * (H2D + KERNEL + D2H))
+        assert stats.saved_s > 0
+        # batch i+1's staging starts while batch i's kernel runs
+        assert events[1].copy_start_s < events[0].done_s
+
+    def test_transfer_bound_pipeline(self):
+        """h2d > kernel: the copy engine is the bottleneck."""
+        sched = StreamScheduler(2)
+        _submit_n(sched, 5, h2d=3.0, kernel=1.0, d2h=0.0)
+        stats = sched.drain()
+        assert stats.makespan_s == pytest.approx(5 * 3.0 + 1.0)
+
+    def test_buffer_limit_blocks_copy(self):
+        """With n_streams buffers, batch i+n_streams cannot stage before
+        batch i completes — more streams admit earlier staging."""
+        few = StreamScheduler(2)
+        many = StreamScheduler(8)
+        ev_few = _submit_n(few, 6, h2d=0.1, kernel=2.0, d2h=1.0)
+        ev_many = _submit_n(many, 6, h2d=0.1, kernel=2.0, d2h=1.0)
+        assert ev_few[4].copy_start_s > ev_many[4].copy_start_s
+        assert ev_few[2].copy_start_s >= ev_few[0].done_s
+
+    def test_kernels_never_overlap_each_other(self):
+        sched = StreamScheduler(4)
+        events = _submit_n(sched, 6)
+        for a, b in zip(events, events[1:]):
+            assert b.kernel_start_s >= a.kernel_start_s + a.kernel_s
+
+    def test_drain_resets_clocks(self):
+        sched = StreamScheduler(2)
+        _submit_n(sched, 3)
+        first = sched.drain()
+        assert first.batches == 3
+        assert sched.pending == 0
+        _submit_n(sched, 2)
+        second = sched.drain()
+        # a fresh window starts at t=0 again
+        assert second.makespan_s == pytest.approx(H2D + 2 * KERNEL + D2H)
+
+    def test_add_window_folds_sequential_windows(self):
+        a = StreamOverlapStats(batches=2, serial_s=4.0, makespan_s=3.0)
+        b = StreamOverlapStats(batches=1, serial_s=2.0, makespan_s=2.0)
+        a.add_window(b)
+        assert a.batches == 3
+        assert a.serial_s == pytest.approx(6.0)
+        assert a.makespan_s == pytest.approx(5.0)
+        assert a.saved_s == pytest.approx(1.0)
+        d = a.as_dict()
+        assert d["batches"] == 3 and d["overlap_ratio"] > 0
+
+    def test_metrics_counters(self):
+        reg = MetricsRegistry()
+        sched = StreamScheduler(2, metrics=reg)
+        _submit_n(sched, 4)
+        stats = sched.drain()
+        assert reg.value("stream_batches_total") == 4
+        assert reg.value("stream_overlap_saved_us_total") == pytest.approx(
+            stats.saved_s * 1e6
+        )
+
+    def test_invalid_stream_count_rejected(self):
+        with pytest.raises(ValueError):
+            StreamScheduler(0)
+
+
+class TestOverlappedBatchTime:
+    def test_serial_when_single_stream(self):
+        assert overlapped_batch_time(3.0, 1.0, 0.5, streams=1) == \
+            pytest.approx(4.5)
+
+    def test_max_rule_with_streams(self):
+        assert overlapped_batch_time(3.0, 1.0, 0.5) == pytest.approx(3.0)
+        assert overlapped_batch_time(1.0, 3.0, 0.5) == pytest.approx(3.0)
+        assert overlapped_batch_time(1.0, 0.5, 3.0) == pytest.approx(3.0)
+
+    def test_agrees_with_scheduler_steady_state(self):
+        """The closed form is the scheduler's asymptotic per-batch cost."""
+        sched = StreamScheduler(2)
+        n = 200
+        _submit_n(sched, n)
+        stats = sched.drain()
+        per_batch = stats.makespan_s / n
+        assert per_batch == pytest.approx(
+            overlapped_batch_time(KERNEL, H2D, D2H, streams=2), rel=0.05
+        )
+
+
+class TestEngineConfigStreams:
+    def test_default_is_double_buffered(self):
+        assert EngineConfig().streams == 2
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(streams=0)

@@ -1,0 +1,132 @@
+"""Unit tests for the key-level conflict tracker in
+:class:`repro.host.batching.OpClassCoalescer` and the engine's async
+submit/drain dispatch surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.batching import OpClassCoalescer
+from repro.host.engine import CuartEngine
+from repro.workloads.synthetic import random_keys
+
+
+def _flushed(out):
+    """Flatten add() output into [(kind, n_payloads), ...]."""
+    return [(k, len(ps)) for k, ps in out]
+
+
+class TestKeyLevelCoalescing:
+    def test_disjoint_keys_never_flush(self):
+        """Cross-class ops on different keys coexist — the legacy
+        write-dependency cut is gone."""
+        coal = OpClassCoalescer(64)
+        for i in range(20):
+            assert coal.add("lookup", f"k{i}", f"k{i}") == ()
+            assert coal.add("update", f"u{i}", (f"u{i}", i)) == ()
+            assert coal.add("delete", f"d{i}", f"d{i}") == ()
+        assert len(coal) == 60
+        assert coal.flush_reasons()["write-dependency"] == 0
+        assert coal.flush_reasons()["key-conflict"] == 0
+
+    def test_same_key_read_after_write_records_edge(self):
+        """lookup k after update k: no flush, but the drain releases the
+        update batch before the lookup batch."""
+        coal = OpClassCoalescer(64)
+        assert coal.add("update", "k", ("k", 1)) == ()
+        assert coal.add("lookup", "k", "k") == ()
+        order = [kind for kind, _ in coal.drain()]
+        assert order == ["update", "lookup"]
+
+    def test_cycle_forces_key_conflict_flush(self):
+        """update k → lookup k → update k: the second update cannot both
+        follow the queued lookup and share the queued update's batch."""
+        coal = OpClassCoalescer(64)
+        coal.add("update", "k", ("k", 1))
+        coal.add("lookup", "k", "k")
+        out = coal.add("update", "k", ("k", 2))
+        # the conflicting queues flushed, in dependency order
+        assert [k for k, _ in out] == ["update", "lookup"]
+        assert coal.flush_reasons()["key-conflict"] >= 1
+        # the new update is queued afresh
+        assert [(k, len(ps)) for k, ps in coal.drain()] == [("update", 1)]
+
+    def test_duplicate_delete_flushes_own_class(self):
+        """Deletes don't self-commute: the second delete of one key must
+        observe the first's effect, so the delete queue flushes."""
+        coal = OpClassCoalescer(64)
+        coal.add("delete", "k", "k")
+        out = coal.add("delete", "k", "k")
+        assert _flushed(out) == [("delete", 1)]
+        assert coal.flush_reasons()["key-conflict"] == 1
+
+    def test_repeated_lookups_and_updates_commute(self):
+        """Same-key repeats of self-commuting classes share one batch."""
+        coal = OpClassCoalescer(64)
+        for i in range(10):
+            assert coal.add("lookup", "k", "k") == ()
+        for i in range(10):
+            assert coal.add("update", "u", ("u", i)) == ()
+        assert _flushed(coal.drain()) == [("lookup", 10), ("update", 10)]
+        assert coal.flush_reasons()["key-conflict"] == 0
+
+    def test_size_full_flushes_ancestors_first(self):
+        """A full queue drags its DAG ancestors ahead of it, charged to
+        dep-order; the full queue itself is charged to size-full."""
+        coal = OpClassCoalescer(4)
+        coal.add("update", "k", ("k", 1))
+        out = []
+        out.extend(coal.add("lookup", "k", "k"))  # edge: update -> lookup
+        for i in range(3):
+            out.extend(coal.add("lookup", f"x{i}", f"x{i}"))
+        assert [k for k, _ in out] == ["update", "lookup"]
+        reasons = coal.flush_reasons()
+        assert reasons["size-full"] == 1
+        assert reasons["dep-order"] == 1
+
+    def test_flush_reason_schema_complete(self):
+        coal = OpClassCoalescer(8)
+        assert set(coal.flush_reasons()) == {
+            "size-full", "write-dependency", "key-conflict",
+            "dep-order", "drain",
+        }
+
+
+class TestEngineSubmitDrain:
+    @pytest.fixture()
+    def eng(self):
+        keys = random_keys(512, 12, seed=4)
+        eng = CuartEngine(batch_size=128)
+        eng.populate([(k, i + 1) for i, k in enumerate(keys)])
+        eng.map_to_device()
+        return eng, keys
+
+    def test_submit_matches_direct_call(self, eng):
+        eng, keys = eng
+        direct = eng.lookup(list(keys[:64]))
+        via_submit = eng.submit("lookup", list(keys[:64]))
+        assert list(direct) == list(via_submit)
+
+    def test_submit_accounts_stream_batches(self, eng):
+        eng, keys = eng
+        eng.submit("lookup", list(keys[:256]))  # 2 batches of 128
+        eng.submit("update", [(k, 9) for k in keys[:128]])
+        stats = eng.drain()
+        assert stats.batches == 3
+        assert stats.serial_s > stats.makespan_s  # overlap happened
+        assert eng.drain().batches == 0  # window closed
+
+    def test_submit_rejects_unknown_kind(self, eng):
+        eng, _ = eng
+        with pytest.raises(Exception):
+            eng.submit("compact", [])
+
+    def test_single_stream_engine_reports_no_overlap(self):
+        keys = random_keys(256, 12, seed=6)
+        eng = CuartEngine(batch_size=64, streams=1)
+        eng.populate([(k, i + 1) for i, k in enumerate(keys)])
+        eng.map_to_device()
+        eng.submit("lookup", list(keys))
+        stats = eng.drain()
+        assert stats.batches == 4
+        assert stats.saved_s == pytest.approx(0.0, abs=1e-12)

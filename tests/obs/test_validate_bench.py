@@ -100,3 +100,39 @@ def test_status_sum_mismatch_flagged():
     doc = _minimal_doc()
     doc["ops"]["mixed"]["ops_by_status"] = {"OK": 1}
     assert any("sums to" in p for p in vb.validate(doc))
+
+
+class TestRegressionGate:
+    def test_within_limit_passes(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        cur["ops"]["lookup_zipf"]["wall_s"] = 0.105  # +5% < 10%
+        assert vb.compare(cur, base) == []
+
+    def test_slow_op_flagged(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        cur["ops"]["update"]["wall_s"] = 0.15  # +50%
+        problems = vb.compare(cur, base)
+        assert any("ops.update" in p and "regressed" in p for p in problems)
+
+    def test_allow_list_exempts_op(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        cur["ops"]["update"]["wall_s"] = 0.15
+        assert vb.compare(cur, base, allow=("update",)) == []
+
+    def test_write_dependency_must_drop(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        base["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 48
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 20  # <5x
+        problems = vb.compare(cur, base)
+        assert any("write-dependency" in p for p in problems)
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        assert vb.compare(cur, base) == []
+
+    def test_committed_pr5_passes_gate_vs_pr4(self):
+        root = _SCRIPT.parents[1]
+        cur = json.loads((root / "BENCH_pr5.json").read_text())
+        base = json.loads((root / "BENCH_pr4.json").read_text())
+        assert vb.compare(cur, base) == []
