@@ -53,12 +53,20 @@ BATCH_SIZE = 8192
 ZIPF_A = 1.2
 CACHE_SIZE = 65536
 
+# high-conflict write scenario (figure 15's collision regime): one large
+# Zipf+uniform batch drawn from a small hot pool against a conflict table
+# it nearly fills, so linear probe chains collapse while the bucketed
+# layout stays short — measured in BENCH, not just unit tests
+HC_SLOTS = 4096
+HC_POOL = 4030
+HC_BATCH = 24576
+
 
 def _engine(**kwargs) -> CuartEngine:
     """Build an engine, dropping kwargs older engines don't know."""
     # drop newest-first so an older engine keeps the kwargs it does know
-    for drop in ("resilience", "faults", "tracer", "metrics", "cache_size",
-                 None):
+    for drop in ("hash_table", "resilience", "faults", "tracer", "metrics",
+                 "cache_size", None):
         try:
             return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
         except TypeError:
@@ -157,6 +165,12 @@ def run(scale: int, label: str, trace_path: str | None = None,
     ops["update"] = _op(time.perf_counter() - t0, len(upd))
     assert all(found), "updates must hit resident keys"
 
+    # -- high-conflict writes: the figure-15 collision regime -----------
+    # (before the mixed stream: its deletes would evict pool keys)
+    hc = _high_conflict_scenario(eng, keys)
+    if hc is not None:
+        ops["update_high_conflict"] = hc
+
     # -- mixed OLTP stream (lookup/update/delete interleaved); capped —
     # with the op-class coalescer the interleaving no longer fragments
     # into tiny per-run batches, and 16Ki ops measure the dispatch path
@@ -253,6 +267,81 @@ def run(scale: int, label: str, trace_path: str | None = None,
            if fault_injection is not None else {}),
         **({"metrics": result_metrics} if result_metrics is not None else {}),
     }
+
+
+def _high_conflict_scenario(eng: CuartEngine, keys: list) -> dict | None:
+    """Zipf-drawn update keys at ~0.97 conflict-table load factor.
+
+    One oversized batch is drawn from a small hot pool (one third
+    Zipf(1.2), two thirds uniform coverage) and resolved against a
+    4096-slot conflict table by *both* layouts — the paper's linear
+    probing and the bucketed warp-cooperative table — with a fresh
+    metrics registry each, so BENCH records the per-variant dedup-table
+    transaction counters side by side.  The op's wall time / rate is the
+    bucketed (default) run; the ``hashtable`` section carries the
+    transaction-drop ratio the CI gate checks.
+
+    Returns ``None`` on checkouts whose update engine predates the
+    ``hash_table`` knob (the harness runs against old baselines too).
+    """
+    try:
+        from repro.cuart.update import UpdateEngine
+        from repro.util.keys import keys_to_matrix
+    except ImportError:  # pragma: no cover - baseline-checkout compat
+        return None
+    if MetricsRegistry is None or len(keys) < HC_POOL:
+        return None
+
+    pool = keys[:HC_POOL]
+    rng = np.random.default_rng(19)
+    nz = HC_BATCH // 3
+    zidx = np.asarray(zipf_indices(HC_POOL, nz, a=ZIPF_A, seed=19))
+    uidx = np.asarray(uniform_indices(HC_POOL, HC_BATCH - nz, seed=23))
+    idx = rng.permutation(np.concatenate([zidx, uidx]))
+    mat, lens = keys_to_matrix([pool[i] for i in idx])
+    values = np.arange(2_000_000, 2_000_000 + HC_BATCH, dtype=np.uint64)
+
+    stats: dict = {"hash_slots": HC_SLOTS, "batch": HC_BATCH}
+    wall = None
+    winners_by_variant = {}
+    for variant in ("linear", "bucketed"):
+        registry = MetricsRegistry()
+        try:
+            upd = UpdateEngine(
+                eng.layout, root_table=eng.root_table, hash_slots=HC_SLOTS,
+                hash_table=variant, metrics=registry,
+            )
+        except TypeError:  # pragma: no cover - baseline-checkout compat
+            return None
+        t0 = time.perf_counter()
+        res = upd.apply(mat, lens, values)
+        dt = time.perf_counter() - t0
+        assert res.found.all(), "high-conflict updates must hit resident keys"
+        winners_by_variant[variant] = res.winners
+        stats[variant] = {
+            "transactions": registry.value(
+                "hashtable_transactions_total", variant=variant),
+            "probe_groups": registry.value(
+                "hashtable_probe_groups_total", variant=variant),
+            "probe_steps": registry.value(
+                "hashtable_probe_steps_total", variant=variant),
+            "atomics": registry.value(
+                "hashtable_atomics_total", variant=variant),
+            "max_probe": res.max_probe,
+            "load_factor": round(res.load_factor, 4),
+            "wall_s": round(dt, 6),
+        }
+        if variant == "bucketed":
+            wall = dt
+    assert np.array_equal(
+        winners_by_variant["linear"], winners_by_variant["bucketed"]
+    ), "conflict-table variants disagreed on winners"
+    stats["tx_ratio"] = round(
+        stats["linear"]["transactions"] / stats["bucketed"]["transactions"], 2
+    )
+    rec = _op(wall, HC_BATCH)
+    rec["hashtable"] = stats
+    return rec
 
 
 def merge_min(runs: list[dict]) -> dict:

@@ -26,7 +26,11 @@ regression gate::
 * if the baseline recorded batch-granularity ``write-dependency``
   flushes, the candidate must cut them by at least
   ``--min-dependency-drop`` (default 5x) — the key-level conflict
-  tracker's contract.
+  tracker's contract;
+* if the candidate records the high-conflict update scenario, its
+  bucketed conflict table must issue at least
+  ``--min-hashtable-tx-drop`` (default 4x) fewer dedup-table
+  transactions than the linear layout — the bucketed probing contract.
 """
 
 from __future__ import annotations
@@ -128,6 +132,30 @@ def validate(doc: dict) -> list[str]:
                 f"expected n={mixed['n']}"
             )
 
+    # optional high-conflict scenario (PR 6+): when present it must
+    # carry per-variant hash-table stats and a finite tx_ratio, but
+    # older BENCH files without the op still validate
+    hc = ops.get("update_high_conflict")
+    if hc is not None:
+        stats = hc.get("hashtable")
+        if not isinstance(stats, dict):
+            problems.append("ops.update_high_conflict.hashtable missing")
+        else:
+            if not _finite(stats.get("tx_ratio")):
+                problems.append(
+                    "ops.update_high_conflict.hashtable.tx_ratio "
+                    f"missing or non-finite: {stats.get('tx_ratio')!r}"
+                )
+            for variant in ("linear", "bucketed"):
+                rec = stats.get(variant)
+                if not isinstance(rec, dict) or not _finite(
+                    rec.get("transactions")
+                ):
+                    problems.append(
+                        f"ops.update_high_conflict.hashtable.{variant}"
+                        ".transactions missing or non-finite"
+                    )
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("missing top-level 'metrics' registry snapshot")
@@ -146,15 +174,18 @@ def compare(
     *,
     max_regression: float = 0.10,
     min_dependency_drop: float = 5.0,
+    min_hashtable_tx_drop: float = 4.0,
     allow: tuple = (),
 ) -> list[str]:
     """Regression-gate a candidate run against a baseline run.
 
     Returns a list of problems (empty means the candidate passes): any
     op more than ``max_regression`` slower than the baseline fails
-    unless allow-listed, and the batch-granularity ``write-dependency``
+    unless allow-listed, the batch-granularity ``write-dependency``
     flush count must drop by ``min_dependency_drop``x when the baseline
-    recorded any.
+    recorded any, and a candidate recording the high-conflict scenario
+    must show the bucketed table issuing ``min_hashtable_tx_drop``x
+    fewer dedup-table transactions than linear probing.
     """
     problems: list[str] = []
     ops = doc.get("ops", {})
@@ -184,6 +215,15 @@ def compare(
                 f"write-dependency flushes did not drop "
                 f">={min_dependency_drop:g}x: {base_dep} -> {cur_dep!r}"
             )
+    hc = ops.get("update_high_conflict", {})
+    ratio = hc.get("hashtable", {}).get("tx_ratio") \
+        if isinstance(hc.get("hashtable"), dict) else None
+    if hc and (not _finite(ratio) or ratio < min_hashtable_tx_drop):
+        problems.append(
+            f"bucketed dedup-table transactions did not drop "
+            f">={min_hashtable_tx_drop:g}x vs linear probing: "
+            f"tx_ratio={ratio!r}"
+        )
     return problems
 
 
@@ -198,6 +238,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-dependency-drop", type=float, default=5.0,
                     help="required write-dependency flush reduction "
                          "factor vs the baseline (default 5)")
+    ap.add_argument("--min-hashtable-tx-drop", type=float, default=4.0,
+                    help="required bucketed-vs-linear dedup-table "
+                         "transaction reduction factor in the "
+                         "high-conflict scenario (default 4)")
     ap.add_argument("--allow", action="append", default=[], metavar="OP",
                     help="op name exempt from the wall_s gate "
                          "(repeatable; justify each in the PR)")
@@ -226,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
             doc, base,
             max_regression=args.max_regression,
             min_dependency_drop=args.min_dependency_drop,
+            min_hashtable_tx_drop=args.min_hashtable_tx_drop,
             allow=tuple(args.allow),
         )
     if problems:

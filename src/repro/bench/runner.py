@@ -161,6 +161,7 @@ def cuart_update_run(
     *,
     root_k: int | None = 2,
     seed: int = 11,
+    hash_table: str = "linear",
     metrics=None,
 ) -> UpdateResult:
     """Run one representative CuART update batch.  Pass a
@@ -171,8 +172,11 @@ def cuart_update_run(
     mat, lens = _query_batch(bundle, batch_size, seed)
     rng = make_rng(seed)
     values = rng.integers(0, 2**62, size=batch_size).astype(np.uint64)
+    # the paper's figure-15 collision collapse IS linear probing, so the
+    # reproduction pins the conflict table to the paper's layout
     engine = UpdateEngine(
-        layout, root_table=table, hash_slots=hash_slots, metrics=metrics
+        layout, root_table=table, hash_slots=hash_slots,
+        hash_table=hash_table, metrics=metrics,
     )
     return engine.apply(mat, lens, values)
 

@@ -17,7 +17,11 @@ from repro.cuart.layout import CuartLayout, LongKeyStrategy
 from repro.cuart.root_table import RootTable
 from repro.cuart.lookup import lookup_batch, LookupResult
 from repro.cuart.range_query import range_query, prefix_query, RangeResult
-from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.hashtable import (
+    AtomicMaxHashTable,
+    BucketedAtomicMaxHashTable,
+    make_conflict_table,
+)
 from repro.cuart.update import UpdateEngine, UpdateResult
 from repro.cuart.delete import delete_batch
 from repro.cuart.insert import InsertEngine, InsertResult
@@ -36,6 +40,8 @@ __all__ = [
     "prefix_query",
     "RangeResult",
     "AtomicMaxHashTable",
+    "BucketedAtomicMaxHashTable",
+    "make_conflict_table",
     "UpdateEngine",
     "UpdateResult",
     "delete_batch",

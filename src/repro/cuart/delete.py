@@ -31,10 +31,10 @@ from repro.constants import (
     N48_EMPTY_SLOT,
     NIL_VALUE,
 )
-from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.hashtable import make_conflict_table
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
-from repro.cuart.update import write_path_counters
+from repro.cuart.update import hashtable_stat_recorder, write_path_counters
 from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
 from repro.obs.metrics import MetricsRegistry
@@ -60,8 +60,9 @@ def delete_batch(
     *,
     root_table=None,
     hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+    hash_table: str = "bucketed",
     log: TransactionLog | None = None,
-    table: AtomicMaxHashTable | None = None,
+    table=None,
     metrics: MetricsRegistry | None = None,
     injector=None,
 ) -> DeleteResult:
@@ -89,7 +90,7 @@ def delete_batch(
     thread_ids = np.arange(B, dtype=np.int64)
 
     if table is None:
-        table = AtomicMaxHashTable(hash_slots)
+        table = make_conflict_table(hash_slots, variant=hash_table)
     else:
         table.reset()
     table.log = log
@@ -98,6 +99,8 @@ def delete_batch(
         winners[found] = table.resolve_winners(
             locations[found], thread_ids[found]
         )
+    if metrics is not None:
+        hashtable_stat_recorder(metrics)(table)
 
     win_rows = np.nonzero(winners)[0]
     wlocs = locations[win_rows]

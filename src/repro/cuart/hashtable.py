@@ -1,19 +1,38 @@
-"""GPU-style open-addressing hash table with atomic-max semantics
+"""GPU-style open-addressing hash tables with atomic-max semantics
 (section 3.4, after Farrell's "A Simple GPU Hash Table" [4]).
 
-The update engine uses it to resolve write conflicts inside a batch:
-every thread inserts ``(leaf location → its thread index)`` and the table
-keeps the *maximum* thread index per location ("storing the maximum
-element index that performs an update to a certain leaf").  Collisions
-are "handled by simple linear probing as described in ref. [4]".
+The update engine uses a conflict table to resolve write conflicts inside
+a batch: every thread inserts ``(leaf location → its thread index)`` and
+the table keeps the *maximum* thread index per location ("storing the
+maximum element index that performs an update to a certain leaf").
 
-The table is simulated deterministically but charges realistic costs: the
-slot each distinct key claims is computed by the same linear-probe race a
-CUDA ``atomicCAS`` loop runs, and every probe is recorded as one memory
-transaction plus one atomic.  The probe statistics are what produce
-figure 15's throughput collapse: "for larger trees and large batches,
-hash table collisions become quite frequent and then the linear probing
-algorithm causes the update throughput to drop".
+Two layouts are provided behind one interface:
+
+* :class:`AtomicMaxHashTable` — the paper's plain per-slot linear
+  probing ("handled by simple linear probing as described in ref. [4]").
+  Every probe step is one 16-byte memory transaction plus one atomic;
+  the probe statistics are what produce figure 15's throughput collapse:
+  "for larger trees and large batches, hash table collisions become
+  quite frequent and then the linear probing algorithm causes the update
+  throughput to drop".
+
+* :class:`BucketedAtomicMaxHashTable` — the cache-line-aware fix from
+  the bucketed-cuckoo / WarpSpeed line of work: slots are grouped into
+  128-byte buckets of 8 records, keys hash to a *bucket*, and a warp
+  probes cooperatively — one coalesced 128-byte transaction inspects a
+  whole bucket, one lane CAS-claims an empty record inside it, and the
+  group only advances when the bucket is full.  Probe chains shrink by
+  the bucket fan-out and duplicate threads in a warp share the
+  transaction, which is where the ≥4× device-traffic drop comes from.
+
+Both tables are simulated deterministically but charge realistic costs:
+the record each distinct key claims is computed by the same probe race a
+CUDA ``atomicCAS`` loop runs (ties broken toward the lowest contender
+index, a deterministic stand-in for hardware arbitration), and memory
+traffic/atomics are recorded against the :class:`TransactionLog` at the
+granularity the layout actually issues — per slot for linear, per
+``(round, warp, bucket)`` coalesced group for bucketed (see
+:func:`repro.gpusim.simt.bucket_probe_groups`).
 """
 
 from __future__ import annotations
@@ -21,19 +40,86 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import HashTableFullError, SimulationError
+from repro.gpusim.simt import bucket_probe_groups
 from repro.gpusim.transactions import TransactionLog
 
-#: Fibonacci multiplicative hash constant (64-bit golden ratio).
-_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+#: Murmur3 64-bit finalizer constants (ref [4] hashes with Murmur3; a
+#: plain multiplicative hash is low-discrepancy on the near-sequential
+#: leaf indices inside packed links, which understates the collision
+#: regime the paper measures).
+_MIX_1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX_2 = np.uint64(0xC4CEB9FE1A85EC53)
+_SHIFT_33 = np.uint64(33)
+
+
+def _mix(keys: np.ndarray) -> np.ndarray:
+    """Murmur3 ``fmix64`` avalanche over an array of uint64 keys."""
+    k = keys.astype(np.uint64)
+    k = k ^ (k >> _SHIFT_33)
+    k = k * _MIX_1
+    k = k ^ (k >> _SHIFT_33)
+    k = k * _MIX_2
+    return k ^ (k >> _SHIFT_33)
+
+
 #: slot record: 8-byte key + 8-byte value, read/written atomically.
 SLOT_BYTES = 16
+#: records per cache-line bucket in the bucketed layout.
+BUCKET_RECORDS = 8
+#: one bucket is exactly one 128-byte cache line / max-size transaction.
+BUCKET_BYTES = BUCKET_RECORDS * SLOT_BYTES
 #: reserved empty-slot marker (a packed link of 0 is the EMPTY link and
 #: never a leaf location, so 0 is safe).
 EMPTY_KEY = np.uint64(0)
 
+#: selectable conflict-table layouts (``EngineConfig.hash_table``).
+HASH_TABLE_VARIANTS = ("linear", "bucketed")
 
-class AtomicMaxHashTable:
-    """Fixed-capacity open-addressing table: ``uint64 key → int64 max``."""
+
+def _dedup(keys: np.ndarray):
+    """One stable sort shared by dedup and the per-key group reduce.
+
+    ``np.unique(return_inverse=True)`` plus a later ``argsort(inverse)``
+    would sort the batch twice; this returns everything both consumers
+    need from a single pass: ``(uniq, inverse, order, bounds)`` where
+    ``keys[order]`` is sorted and ``bounds`` are the group starts within
+    it (``np.maximum.reduceat``-ready).
+    """
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    first = np.empty(sk.size, dtype=bool)
+    first[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=first[1:])
+    uniq = sk[first]
+    inverse = np.empty(sk.size, dtype=np.int64)
+    inverse[order] = np.cumsum(first) - 1
+    bounds = np.nonzero(first)[0]
+    return uniq, inverse, order, bounds
+
+
+def _bucket_ranks(cb: np.ndarray):
+    """Rank each contender within its bucket, lowest contender first.
+
+    Contender order is encoded into a composite sort key (bucket * m +
+    index — collision-free, so the cheaper non-stable sort suffices) and
+    ranks are positions within each bucket's contiguous run.
+    """
+    m = cb.size
+    idx = np.arange(m, dtype=np.int64)
+    order = np.argsort(cb * np.int64(m) + idx)
+    scb = cb[order]
+    first = np.empty(m, dtype=bool)
+    first[0] = True
+    np.not_equal(scb[1:], scb[:-1], out=first[1:])
+    rank = idx - np.maximum.accumulate(np.where(first, idx, 0))
+    return order, rank
+
+
+class _ConflictTableBase:
+    """State, stats and the atomic-max merge shared by both layouts."""
+
+    #: layout name, matching :data:`HASH_TABLE_VARIANTS`.
+    variant = "base"
 
     def __init__(self, slots: int, log: TransactionLog | None = None) -> None:
         if slots <= 0 or slots & (slots - 1):
@@ -41,20 +127,23 @@ class AtomicMaxHashTable:
                 f"hash table size must be a power of two, got {slots}"
             )
         self.slots = slots
-        self._mask = np.uint64(slots - 1)
         self.keys = np.full(slots, EMPTY_KEY, dtype=np.uint64)
         self.values = np.full(slots, -1, dtype=np.int64)
         self.log = log
         self.total_probes = 0
         self.max_probe = 0
         self.occupied = 0
+        # device-cost tallies since the last reset, tracked even when no
+        # TransactionLog is attached so engines can export them as
+        # metrics: memory transactions issued, coalesced probe groups
+        # (== transactions for the bucketed layout; one per probe step
+        # for linear), and atomic operations.
+        self.transactions = 0
+        self.probe_groups = 0
+        self.atomics = 0
         #: slots claimed since the last reset — lets reset() clear only
         #: what was written instead of memsetting the whole table.
         self._dirty: list = []
-
-    # ------------------------------------------------------------------
-    def _hash(self, keys: np.ndarray) -> np.ndarray:
-        return ((keys.astype(np.uint64) * _HASH_MULT) >> np.uint64(32)) & self._mask
 
     @property
     def load_factor(self) -> float:
@@ -79,6 +168,49 @@ class AtomicMaxHashTable:
         self.occupied = 0
         self.total_probes = 0
         self.max_probe = 0
+        self.transactions = 0
+        self.probe_groups = 0
+        self.atomics = 0
+
+    # ------------------------------------------------------------------
+    def _check_keys(self, keys: np.ndarray) -> None:
+        if np.any(keys == EMPTY_KEY):
+            raise SimulationError("key 0 is reserved as the empty-slot marker")
+
+    def _full_error(self, requested: int) -> HashTableFullError:
+        return HashTableFullError(
+            "distinct keys exceed the free slots; increase the table "
+            "('simply increasing the hash table size promises better "
+            "results', section 4.5)",
+            buffer="hash-table", slots=self.slots,
+            occupied=self.occupied, requested=int(requested),
+        )
+
+    def _merge_max(
+        self, slot_of: np.ndarray, priorities: np.ndarray,
+        order: np.ndarray, bounds: np.ndarray,
+    ) -> None:
+        """Atomic max per distinct key: reduce each key's contenders to
+        one candidate, then one vectorized max-merge into the table
+        (``slot_of`` is one distinct slot per key, so the fancy
+        assignment never collides).  ``order``/``bounds`` come from the
+        :func:`_dedup` pass — sorting by key groups the contenders."""
+        grp_max = np.maximum.reduceat(priorities[order], bounds)
+        self.values[slot_of] = np.maximum(self.values[slot_of], grp_max)
+
+
+class AtomicMaxHashTable(_ConflictTableBase):
+    """Fixed-capacity linear-probe table: ``uint64 key → int64 max``."""
+
+    variant = "linear"
+
+    def __init__(self, slots: int, log: TransactionLog | None = None) -> None:
+        super().__init__(slots, log)
+        self._mask = np.uint64(slots - 1)
+
+    # ------------------------------------------------------------------
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        return _mix(keys) & self._mask
 
     # ------------------------------------------------------------------
     def insert_max(self, keys: np.ndarray, priorities: np.ndarray) -> None:
@@ -95,33 +227,14 @@ class AtomicMaxHashTable:
         priorities = np.asarray(priorities, dtype=np.int64)
         if keys.size == 0:
             return
-        if np.any(keys == EMPTY_KEY):
-            raise SimulationError("key 0 is reserved as the empty-slot marker")
+        self._check_keys(keys)
 
-        uniq, inverse = np.unique(keys, return_inverse=True)
+        uniq, inverse, order, bounds = _dedup(keys)
         slot_of = self._place(uniq)  # may raise HashTableFullError
 
-        # per-thread probe distance = distance of its key's slot
-        home = self._hash(uniq)
-        dist = (slot_of.astype(np.uint64) - home) & self._mask
-        probes_per_key = dist.astype(np.int64) + 1
-        thread_probes = probes_per_key[inverse]
-        total_probes = int(thread_probes.sum())
-        self.total_probes += total_probes
-        self.max_probe = max(self.max_probe, int(probes_per_key.max()))
-        if self.log is not None:
-            # the table is its own dependent phase with its own working
-            # set: the full slot array competes for L2 (a 1Mi-entry table
-            # is 16 MiB — never resident, which is why collisions hurt)
-            self.log.begin_round(int(keys.size))
-            self.log.record(SLOT_BYTES, total_probes)
-            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
-            # every probe step is an atomicCAS attempt; every thread ends
-            # with one atomicMax on its key's slot
-            self.log.record_atomics(total_probes + int(keys.size))
-
-        # atomic max per distinct key
-        np.maximum.at(self.values, slot_of[inverse], priorities)
+        probes_per_key = self._probe_distances(uniq, slot_of)
+        self._charge_insert(keys, probes_per_key, inverse)
+        self._merge_max(slot_of, priorities, order, bounds)
 
     def resolve_winners(
         self, keys: np.ndarray, priorities: np.ndarray
@@ -140,49 +253,66 @@ class AtomicMaxHashTable:
         priorities = np.asarray(priorities, dtype=np.int64)
         if keys.size == 0:
             return np.zeros(0, dtype=bool)
-        if np.any(keys == EMPTY_KEY):
-            raise SimulationError("key 0 is reserved as the empty-slot marker")
+        self._check_keys(keys)
 
-        uniq, inverse = np.unique(keys, return_inverse=True)
+        uniq, inverse, order, bounds = _dedup(keys)
         slot_of = self._place(uniq)  # may raise HashTableFullError
 
+        probes_per_key = self._probe_distances(uniq, slot_of)
+        self._charge_insert(keys, probes_per_key, inverse)
+
+        # atomic max per distinct key (the __syncthreads() boundary)
+        self._merge_max(slot_of, priorities, order, bounds)
+
+        # read-back phase: same accounting as lookup — every distinct
+        # key re-walks its probe chain once to read the stored max
+        readback = int(probes_per_key.sum())
+        self.transactions += readback
+        self.probe_groups += readback
+        if self.log is not None:
+            self.log.begin_round(int(keys.size))
+            self.log.record(SLOT_BYTES, readback)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+        maxima = self.values[slot_of][inverse]
+        return maxima == priorities
+
+    def _probe_distances(
+        self, uniq: np.ndarray, slot_of: np.ndarray
+    ) -> np.ndarray:
+        """Per distinct key: probe-chain length to its final slot."""
         home = self._hash(uniq)
         dist = (slot_of.astype(np.uint64) - home) & self._mask
-        probes_per_key = dist.astype(np.int64) + 1
+        return dist.astype(np.int64) + 1
+
+    def _charge_insert(
+        self, keys: np.ndarray, probes_per_key: np.ndarray,
+        inverse: np.ndarray,
+    ) -> None:
+        """Per-thread probe distance = distance of its key's slot; every
+        probe step is one 16-byte transaction plus an atomicCAS attempt,
+        and every thread ends with one atomicMax on its key's slot."""
         thread_probes = probes_per_key[inverse]
         total_probes = int(thread_probes.sum())
         self.total_probes += total_probes
         self.max_probe = max(self.max_probe, int(probes_per_key.max()))
+        atomics = total_probes + int(keys.size)
+        self.transactions += total_probes
+        self.probe_groups += total_probes
+        self.atomics += atomics
         if self.log is not None:
-            # insert phase: same accounting as insert_max
+            # the table is its own dependent phase with its own working
+            # set: the full slot array competes for L2 (a 1Mi-entry table
+            # is 16 MiB — never resident, which is why collisions hurt)
             self.log.begin_round(int(keys.size))
             self.log.record(SLOT_BYTES, total_probes)
             self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
-            self.log.record_atomics(total_probes + int(keys.size))
-
-        # atomic max per distinct key (the __syncthreads() boundary)
-        np.maximum.at(self.values, slot_of[inverse], priorities)
-
-        if self.log is not None:
-            # read-back phase: same accounting as lookup — every distinct
-            # key re-walks its probe chain once to read the stored max
-            self.log.begin_round(int(keys.size))
-            self.log.record(SLOT_BYTES, int(probes_per_key.sum()))
-            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
-        maxima = self.values[slot_of][inverse]
-        return maxima == priorities
+            self.log.record_atomics(atomics)
 
     def _place(self, uniq: np.ndarray) -> np.ndarray:
         """Claim one slot per distinct key via the linear-probe race."""
         n = uniq.size
         if n > self.slots - self.occupied:
-            raise HashTableFullError(
-                "distinct keys exceed the free slots; increase the table "
-                "('simply increasing the hash table size promises better "
-                "results', section 4.5)",
-                buffer="hash-table", slots=self.slots,
-                occupied=self.occupied, requested=int(n),
-            )
+            raise self._full_error(n)
         slot_of = np.full(n, -1, dtype=np.int64)
         pending = np.arange(n)
         probe = np.zeros(n, dtype=np.uint64)
@@ -199,11 +329,17 @@ class AtomicMaxHashTable:
             empty = slot_keys == EMPTY_KEY
             win = np.zeros(pending.size, dtype=bool)
             if empty.any():
-                order = np.argsort(cand[empty], kind="stable")
-                cand_empty = cand[empty][order]
+                rows = np.nonzero(empty)[0]
+                # composite key = slot * m + contender: collision-free,
+                # so the cheaper non-stable sort still ranks contenders
+                # per slot in deterministic lowest-index-first order
+                comp = cand[rows] * np.int64(rows.size) \
+                    + np.arange(rows.size, dtype=np.int64)
+                order = np.argsort(comp)
+                cand_empty = cand[rows][order]
                 first = np.ones(cand_empty.size, dtype=bool)
                 first[1:] = cand_empty[1:] != cand_empty[:-1]
-                winners_local = np.nonzero(empty)[0][order][first]
+                winners_local = rows[order][first]
                 win[winners_local] = True
                 claim_slots = cand[winners_local]
                 self.keys[claim_slots] = uniq[pending[winners_local]]
@@ -211,7 +347,7 @@ class AtomicMaxHashTable:
                 self._dirty.append(claim_slots)
             done = same | win
             slot_of[pending[done]] = cand[done]
-            probe[pending[~done & ~same]] += np.uint64(1)
+            probe[pending[~done]] += np.uint64(1)
             pending = pending[~done]
         if (slot_of < 0).any():  # pragma: no cover - defensive
             raise HashTableFullError(
@@ -223,7 +359,13 @@ class AtomicMaxHashTable:
 
     # ------------------------------------------------------------------
     def lookup(self, keys: np.ndarray) -> np.ndarray:
-        """Read back the stored maxima (stage-3 read of section 3.4)."""
+        """Read back the stored maxima (stage-3 read of section 3.4).
+
+        Probe accounting matches the write path: the chain steps walked
+        here fold into ``total_probes``/``max_probe`` exactly like the
+        transactions they are charged as, so per-batch probe stats cover
+        the read-back too.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
         out = np.full(keys.size, -1, dtype=np.int64)
         if keys.size == 0:
@@ -231,9 +373,9 @@ class AtomicMaxHashTable:
         uniq, inverse = np.unique(keys, return_inverse=True)
         home = self._hash(uniq)
         found_val = np.full(uniq.size, -1, dtype=np.int64)
+        steps = np.zeros(uniq.size, dtype=np.int64)
         pending = np.arange(uniq.size)
         probe = np.zeros(uniq.size, dtype=np.uint64)
-        probes_done = 0
         for _ in range(self.slots):
             if pending.size == 0:
                 break
@@ -241,12 +383,295 @@ class AtomicMaxHashTable:
             slot_keys = self.keys[cand]
             hit = slot_keys == uniq[pending]
             miss_end = slot_keys == EMPTY_KEY
-            probes_done += pending.size
+            steps[pending] += 1
             found_val[pending[hit]] = self.values[cand[hit]]
             pending = pending[~(hit | miss_end)]
             probe += np.uint64(1)
+        probes_done = int(steps.sum())
+        self.total_probes += probes_done
+        self.max_probe = max(self.max_probe, int(steps.max()))
+        self.transactions += probes_done
+        self.probe_groups += probes_done
         if self.log is not None:
             self.log.begin_round(int(keys.size))
             self.log.record(SLOT_BYTES, probes_done)
             self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
         return found_val[inverse]
+
+
+class BucketedAtomicMaxHashTable(_ConflictTableBase):
+    """Cache-line-bucketed table probed warp-cooperatively.
+
+    The ``slots`` records are grouped into ``slots // 8`` buckets of
+    eight 16-byte records (one 128-byte cache line each).  Keys hash to
+    a bucket; a warp inspects the whole bucket in one coalesced
+    transaction, each contending lane CAS-claims a distinct empty record
+    (contenders are served in priority order — lowest contender index
+    first — filling the bucket's empty records in slot order), and a
+    lane advances to the next bucket only when the bucket it probed was
+    left full.  That advance rule preserves the linear-probing miss
+    invariant at bucket granularity: a probed bucket containing an empty
+    record proves the key is absent.
+
+    Winner semantics are identical to the linear table — both keep the
+    per-distinct-key maximum priority — so the two layouts are drop-in
+    interchangeable and differ only in device cost.
+    """
+
+    variant = "bucketed"
+
+    def __init__(self, slots: int, log: TransactionLog | None = None) -> None:
+        if slots < BUCKET_RECORDS:
+            raise SimulationError(
+                f"bucketed table needs at least {BUCKET_RECORDS} slots "
+                f"(one full bucket), got {slots}"
+            )
+        super().__init__(slots, log)
+        self.n_buckets = slots // BUCKET_RECORDS
+        self._bucket_mask = np.uint64(self.n_buckets - 1)
+        self._rec_off = np.arange(BUCKET_RECORDS, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket index (not record index) for each key."""
+        return _mix(keys) & self._bucket_mask
+
+    # ------------------------------------------------------------------
+    def insert_max(self, keys: np.ndarray, priorities: np.ndarray) -> None:
+        """All "threads" insert concurrently; per distinct key the table
+        retains the maximum priority.  See :meth:`_charge` for the
+        warp-cooperative cost accounting."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if keys.size == 0:
+            return
+        self._check_keys(keys)
+
+        uniq, inverse, order, bounds = _dedup(keys)
+        slot_of, steps_per_key, cas = self._place(uniq)
+        self._charge(keys, steps_per_key, inverse, cas=cas)
+        self._merge_max(slot_of, priorities, order, bounds)
+
+    def resolve_winners(
+        self, keys: np.ndarray, priorities: np.ndarray
+    ) -> np.ndarray:
+        """Insert + grid sync + read-back fused into one pass (same
+        contract as :meth:`AtomicMaxHashTable.resolve_winners`).
+
+        The read-back matches the linear table's accounting contract:
+        every *distinct* key re-walks its bucket chain once (duplicate
+        threads read the same lines through L2 for free in this model —
+        the linear table makes the identical per-distinct assumption),
+        modeled as a compacted pass with one lane per distinct key.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        self._check_keys(keys)
+
+        uniq, inverse, order, bounds = _dedup(keys)
+        slot_of, steps_per_key, cas = self._place(uniq)
+        self._charge(keys, steps_per_key, inverse, cas=cas)
+
+        # atomic max per distinct key (the __syncthreads() boundary)
+        self._merge_max(slot_of, priorities, order, bounds)
+
+        counts = bucket_probe_groups(
+            self._hash(uniq).astype(np.int64),
+            steps_per_key, self.n_buckets,
+        )
+        n_groups = int(counts.size)
+        self.transactions += n_groups
+        self.probe_groups += n_groups
+        if self.log is not None:
+            self.log.begin_round(int(keys.size))
+            self.log.record(BUCKET_BYTES, n_groups)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+        maxima = self.values[slot_of][inverse]
+        return maxima == priorities
+
+    def _charge(
+        self, keys: np.ndarray, steps_per_key: np.ndarray,
+        inverse: np.ndarray, *, cas: int,
+    ) -> int:
+        """Charge one probing pass; returns the coalesced group count.
+
+        Per-thread probe *steps* are bucket visits (all threads sharing
+        a key re-walk the same bucket chain), but the transactions
+        charged are the distinct ``(round, warp, bucket)`` groups — a
+        warp's lanes probing the same bucket in the same lockstep round
+        share one 128-byte transaction.  Atomics are one CAS per
+        contender round that saw an empty record, plus one atomicMax per
+        thread; key matches are resolved by the cooperative read and
+        need no atomic.
+        """
+        thread_steps = steps_per_key[inverse]
+        self.total_probes += int(thread_steps.sum())
+        self.max_probe = max(self.max_probe, int(steps_per_key.max()))
+        home_threads = self._hash(keys).astype(np.int64)
+        counts = bucket_probe_groups(home_threads, thread_steps, self.n_buckets)
+        n_groups = int(counts.size)
+        atomics = cas + int(keys.size)
+        self.transactions += n_groups
+        self.probe_groups += n_groups
+        self.atomics += atomics
+        if self.log is not None:
+            self.log.begin_round(int(keys.size))
+            self.log.record(BUCKET_BYTES, n_groups)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+            self.log.record_atomics(atomics)
+        return n_groups
+
+    def _place(
+        self, uniq: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Claim one record per distinct key via the bucket-claim race.
+
+        Returns ``(slot_of, steps_per_key, cas_attempts)`` where
+        ``steps_per_key`` counts the buckets each key probed.
+        """
+        n = uniq.size
+        if n > self.slots - self.occupied:
+            raise self._full_error(n)
+        slot_of = np.full(n, -1, dtype=np.int64)
+        steps = np.zeros(n, dtype=np.int64)
+        pending = np.arange(n)
+        probe = np.zeros(n, dtype=np.int64)
+        home = self._hash(uniq).astype(np.int64)
+        bmask = self.n_buckets - 1
+        cas = 0
+        for _ in range(self.n_buckets):
+            if pending.size == 0:
+                break
+            cb = (home[pending] + probe[pending]) & bmask
+            base = cb * BUCKET_RECORDS
+            steps[pending] += 1
+            if self.occupied == 0:
+                # post-reset fast path (the common first round): every
+                # bucket is known all-empty, so the cooperative read is
+                # free and the race reduces to ranking contenders per
+                # bucket — the first eight claim records 0..7 in order
+                order, rank = _bucket_ranks(cb)
+                wins = rank < BUCKET_RECORDS
+                w_rows = order[wins]
+                roff = rank[wins]
+                claim_slots = base[w_rows] + roff
+                self.keys[claim_slots] = uniq[pending[w_rows]]
+                self.occupied += w_rows.size
+                self._dirty.append(claim_slots)
+                cas += pending.size  # every contender saw an empty
+                win = np.zeros(pending.size, dtype=bool)
+                win[w_rows] = True
+                slot_of[pending[w_rows]] = claim_slots
+                probe[pending[~win]] += 1
+                pending = pending[~win]
+                continue
+            rec = self.keys[base[:, None] + self._rec_off]  # (m, 8)
+            # already claimed by the same key (an earlier insert_max call)
+            match = rec == uniq[pending][:, None]
+            same = match.any(axis=1)
+            win = np.zeros(pending.size, dtype=bool)
+            claim_off = np.zeros(pending.size, dtype=np.int64)
+            cont = np.nonzero(~same)[0]
+            if cont.size:
+                empty = rec[cont] == EMPTY_KEY  # (c, 8)
+                n_empty = empty.sum(axis=1)
+                cas += int((n_empty > 0).sum())
+                # contenders racing for one bucket are served lowest
+                # contender index first (deterministic CAS arbitration),
+                # filling the bucket's empty records in slot order;
+                # contenders beyond the empties lose and advance — the
+                # bucket they leave behind is full, preserving the
+                # miss-termination invariant
+                order, rank = _bucket_ranks(cb[cont])
+                wins_sorted = rank < n_empty[order]
+                if wins_sorted.any():
+                    w_rows = cont[order[wins_sorted]]
+                    w_rank = rank[wins_sorted]
+                    emask = rec[w_rows] == EMPTY_KEY
+                    csum = np.cumsum(emask, axis=1)
+                    pick = emask & (csum == (w_rank + 1)[:, None])
+                    roff = pick.argmax(axis=1)
+                    claim_slots = base[w_rows] + roff
+                    self.keys[claim_slots] = uniq[pending[w_rows]]
+                    self.occupied += w_rows.size
+                    self._dirty.append(claim_slots)
+                    win[w_rows] = True
+                    claim_off[w_rows] = roff
+            done = same | win
+            off = np.where(same, match.argmax(axis=1), claim_off)
+            slot_of[pending[done]] = base[done] + off[done]
+            probe[pending[~done]] += 1
+            pending = pending[~done]
+        if (slot_of < 0).any():  # pragma: no cover - defensive
+            raise HashTableFullError(
+                "probe cycle exhausted without placement",
+                buffer="hash-table", slots=self.slots,
+                occupied=self.occupied, requested=int(n),
+            )
+        return slot_of, steps, cas
+
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Read back the stored maxima (stage-3 read of section 3.4).
+
+        A probed bucket containing an empty record and not the key
+        proves the key absent (the bucket-granularity miss invariant);
+        probe steps fold into ``total_probes``/``max_probe`` and each
+        coalesced group is charged as one 128-byte transaction.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.full(keys.size, -1, dtype=np.int64)
+        if keys.size == 0:
+            return out
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        home = self._hash(uniq).astype(np.int64)
+        bmask = self.n_buckets - 1
+        found_val = np.full(uniq.size, -1, dtype=np.int64)
+        steps = np.zeros(uniq.size, dtype=np.int64)
+        pending = np.arange(uniq.size)
+        probe = np.zeros(uniq.size, dtype=np.int64)
+        for _ in range(self.n_buckets):
+            if pending.size == 0:
+                break
+            cb = (home[pending] + probe[pending]) & bmask
+            base = cb * BUCKET_RECORDS
+            rec = self.keys[base[:, None] + self._rec_off]
+            steps[pending] += 1
+            match = rec == uniq[pending][:, None]
+            hit = match.any(axis=1)
+            miss_end = (rec == EMPTY_KEY).any(axis=1) & ~hit
+            hit_slots = base[hit] + match[hit].argmax(axis=1)
+            found_val[pending[hit]] = self.values[hit_slots]
+            probe[pending] += 1
+            pending = pending[~(hit | miss_end)]
+        self.total_probes += int(steps.sum())
+        self.max_probe = max(self.max_probe, int(steps.max()))
+        home_threads = self._hash(keys).astype(np.int64)
+        counts = bucket_probe_groups(
+            home_threads, steps[inverse], self.n_buckets
+        )
+        n_groups = int(counts.size)
+        self.transactions += n_groups
+        self.probe_groups += n_groups
+        if self.log is not None:
+            self.log.begin_round(int(keys.size))
+            self.log.record(BUCKET_BYTES, n_groups)
+            self.log.rounds[-1].distinct_bytes = self.slots * SLOT_BYTES
+        return found_val[inverse]
+
+
+def make_conflict_table(
+    slots: int, *, variant: str = "bucketed",
+    log: TransactionLog | None = None,
+):
+    """Build the configured conflict-table layout (§3.4 dedup table)."""
+    if variant == "linear":
+        return AtomicMaxHashTable(slots, log=log)
+    if variant == "bucketed":
+        return BucketedAtomicMaxHashTable(slots, log=log)
+    raise SimulationError(
+        f"unknown hash-table variant {variant!r}; "
+        f"expected one of {HASH_TABLE_VARIANTS}"
+    )

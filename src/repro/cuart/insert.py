@@ -64,10 +64,10 @@ from repro.constants import (
     NIL_VALUE,
     NODE_CAPACITY,
 )
-from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.hashtable import make_conflict_table
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import MissReason, lookup_batch
-from repro.cuart.update import write_path_counters
+from repro.cuart.update import hashtable_stat_recorder, write_path_counters
 from repro.errors import SimulationError
 from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
@@ -127,16 +127,18 @@ class InsertEngine:
         *,
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+        hash_table: str = "bucketed",
         metrics: MetricsRegistry | None = None,
         injector=None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        self.hash_table = hash_table
         self.injector = injector
         # one reusable conflict table; each claim domain below resets it
         # rather than paying a fresh multi-MiB allocation per domain
-        self._table: AtomicMaxHashTable | None = None
+        self._table = None
         m = self.metrics = (
             metrics if metrics is not None else MetricsRegistry()
         )
@@ -157,11 +159,14 @@ class InsertEngine:
         self._m_deferred = m.counter(
             "insert_deferred_total", "inserts deferred to host restructuring"
         )
+        self._record_table = hashtable_stat_recorder(m)
 
-    def _conflict_table(self, log: TransactionLog) -> AtomicMaxHashTable:
+    def _conflict_table(self, log: TransactionLog):
         table = self._table
         if table is None:
-            table = self._table = AtomicMaxHashTable(self.hash_slots)
+            table = self._table = make_conflict_table(
+                self.hash_slots, variant=self.hash_table
+            )
         else:
             table.reset()
         table.log = log
@@ -221,6 +226,7 @@ class InsertEngine:
             winners[hit] = table.resolve_winners(
                 res.locations[hit], thread_ids[hit]
             )
+            self._record_table(table)
             win_rows = np.nonzero(winners)[0]
             dedup_w += win_rows.size
             dedup_l += int(hit.sum()) - win_rows.size
@@ -257,6 +263,7 @@ class InsertEngine:
                                  res.stop_bytes[claim_rows])
             table = self._conflict_table(log)
             win = table.resolve_winners(claims, thread_ids[claim_rows])
+            self._record_table(table)
             dedup_w += int(win.sum())
             dedup_l += int((~win).sum())
             # losers raced a sibling insert to the same slot: retry later
@@ -288,6 +295,7 @@ class InsertEngine:
             win = table.resolve_winners(
                 res.stop_links[split_rows], thread_ids[split_rows]
             )
+            self._record_table(table)
             dedup_w += int(win.sum())
             dedup_l += int((~win).sum())
             deferred[split_rows[~win]] = True
@@ -315,6 +323,7 @@ class InsertEngine:
             win = table.resolve_winners(
                 res.stop_links[pf_rows], thread_ids[pf_rows]
             )
+            self._record_table(table)
             dedup_w += int(win.sum())
             dedup_l += int((~win).sum())
             deferred[pf_rows[~win]] = True

@@ -31,14 +31,62 @@ from repro.constants import (
     LEAF_TYPE_CODES,
     NIL_VALUE,
 )
-from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.hashtable import make_conflict_table
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
 from repro.errors import SimulationError
 from repro.gpusim.streams import launch_kernel
 from repro.gpusim.transactions import TransactionLog
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import OCCUPANCY_BUCKETS, MetricsRegistry
 from repro.util.packing import link_indices, link_types
+
+
+def hashtable_stat_recorder(metrics: MetricsRegistry):
+    """Per-batch device-cost export for the §3.4 conflict table.
+
+    Returns a ``record(table)`` callable every write kernel invokes right
+    after ``resolve_winners``: the table's since-reset tallies (memory
+    transactions, coalesced probe groups, per-thread probe steps, atomic
+    ops) land in ``variant``-labeled counters, and the batch load factor
+    in an occupancy histogram — the series the BENCH transaction-drop
+    gate and the probe-group dashboards read.
+    """
+    tx = metrics.counter(
+        "hashtable_transactions_total",
+        "memory transactions issued by the dedup conflict table",
+        labels=("variant",),
+    )
+    groups = metrics.counter(
+        "hashtable_probe_groups_total",
+        "coalesced probe groups issued by the dedup conflict table",
+        labels=("variant",),
+    )
+    steps = metrics.counter(
+        "hashtable_probe_steps_total",
+        "per-thread probe steps walked in the dedup conflict table",
+        labels=("variant",),
+    )
+    atomics = metrics.counter(
+        "hashtable_atomics_total",
+        "atomic operations issued by the dedup conflict table",
+        labels=("variant",),
+    )
+    load = metrics.histogram(
+        "hashtable_load_factor",
+        "dedup conflict-table load factor per resolved batch",
+        labels=("variant",),
+        buckets=OCCUPANCY_BUCKETS,
+    )
+
+    def record(table) -> None:
+        v = table.variant
+        tx.labels(variant=v).inc(table.transactions)
+        groups.labels(variant=v).inc(table.probe_groups)
+        steps.labels(variant=v).inc(table.total_probes)
+        atomics.labels(variant=v).inc(table.atomics)
+        load.labels(variant=v).observe(table.load_factor)
+
+    return record
 
 
 def write_path_counters(metrics: MetricsRegistry, op: str) -> tuple:
@@ -87,21 +135,24 @@ class UpdateEngine:
         *,
         root_table=None,
         hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS,
+        hash_table: str = "bucketed",
         metrics: MetricsRegistry | None = None,
         injector=None,
     ) -> None:
         self.layout = layout
         self.root_table = root_table
         self.hash_slots = hash_slots
+        self.hash_table = hash_table
         self.injector = injector
         # the conflict table is reused (reset) across batches — the real
         # kernel allocates it once and memsets between launches, and a
         # fresh multi-MiB allocation per batch dominates small batches
-        self._table: AtomicMaxHashTable | None = None
+        self._table = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._m_winners, self._m_losers = write_path_counters(
             self.metrics, "update"
         )
+        self._record_table = hashtable_stat_recorder(self.metrics)
         self._m_writes = self.metrics.counter(
             "leaf_value_writes_total", "leaf value words written on device"
         )
@@ -156,7 +207,9 @@ class UpdateEngine:
         # re-walking every probe chain a second time per key
         table = self._table
         if table is None:
-            table = self._table = AtomicMaxHashTable(self.hash_slots)
+            table = self._table = make_conflict_table(
+                self.hash_slots, variant=self.hash_table
+            )
         else:
             table.reset()
         table.log = log
@@ -164,6 +217,7 @@ class UpdateEngine:
         winners[found] = table.resolve_winners(
             locations[found], thread_ids[found]
         )
+        self._record_table(table)
 
         # ---- stage 3: winners write ----------------------------------
         writes = 0

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 WARP_SIZE = 32
 
 
@@ -36,6 +38,51 @@ def warp_efficiency(active_per_round: list[int], launched: int) -> float:
     if lanes_scheduled == 0:
         return 1.0
     return max(min(lanes_useful / lanes_scheduled, 1.0), 1e-6)
+
+
+def bucket_probe_groups(
+    home: np.ndarray, steps: np.ndarray, n_buckets: int
+) -> np.ndarray:
+    """Coalesced-transaction model for warp-cooperative bucket probing.
+
+    Thread ``t`` (launch order; warp ``t // WARP_SIZE``) inspects buckets
+    ``(home[t] + s) % n_buckets`` for ``s in 0..steps[t]-1``, one bucket
+    per lockstep round.  The memory controller coalesces every warp's
+    same-round accesses to one bucket into a single cache-line
+    transaction, so the device pays one transaction per *distinct*
+    ``(round, warp, bucket)`` triple — not one per probing lane.
+
+    Returns the per-group lane counts (one entry per coalesced
+    transaction); ``counts.size`` is the number of transactions issued
+    and ``counts.mean()`` the average coalescing degree.
+    """
+    steps = np.asarray(steps, dtype=np.int64)
+    home = np.asarray(home, dtype=np.int64)
+    if home.size == 0 or n_buckets <= 0:
+        return np.zeros(0, dtype=np.int64)
+    max_steps = int(steps.max()) if steps.size else 0
+    if max_steps <= 0:
+        return np.zeros(0, dtype=np.int64)
+    # One pass per lockstep round, grouping by (warp, bucket) within
+    # the round: each round sorts only the still-probing threads, so
+    # the typical one-round-dominant batch never pays the global
+    # expand-and-sort over every (thread, round) pair.
+    warp = np.arange(home.size, dtype=np.int64) // WARP_SIZE
+    per_round = []
+    for rnd in range(max_steps):
+        alive = steps > rnd
+        if alive.all():
+            h, w = home + rnd, warp
+        else:
+            h, w = home[alive] + rnd, warp[alive]
+        key = w * n_buckets + h % n_buckets
+        key.sort()
+        firsts = np.empty(key.size, dtype=bool)
+        firsts[0] = True
+        np.not_equal(key[1:], key[:-1], out=firsts[1:])
+        bounds = np.nonzero(firsts)[0]
+        per_round.append(np.diff(np.append(bounds, key.size)))
+    return np.concatenate(per_round)
 
 
 def occupancy_limit(batch_size: int, max_resident_threads: int) -> int:

@@ -27,6 +27,7 @@ from repro.constants import (
     DEFAULT_HOST_THREADS,
     DEFAULT_UPDATE_HASH_SLOTS,
 )
+from repro.cuart.hashtable import HASH_TABLE_VARIANTS
 from repro.cuart.layout import LongKeyStrategy
 from repro.errors import SimulationError
 from repro.gpusim.devices import CpuSpec, DeviceSpec, RTX3090, WORKSTATION_CPU
@@ -60,6 +61,11 @@ class EngineConfig:
     #: conflict hash-table slots for the write kernels (section 3.4);
     #: may be grown at runtime by the resilience layer.  CuART only.
     hash_slots: int = DEFAULT_UPDATE_HASH_SLOTS
+    #: conflict-table layout: ``"bucketed"`` probes 128-byte buckets
+    #: warp-cooperatively (one coalesced transaction per bucket group);
+    #: ``"linear"`` is the paper's per-slot linear probing, kept as the
+    #: oracle/back-compat path.  CuART only.
+    hash_table: str = "bucketed"
     #: device-buffer over-allocation fraction for device-side inserts
     #: (section 5.1).  CuART only.
     spare: float = 0.25
@@ -91,6 +97,11 @@ class EngineConfig:
         if self.hash_slots <= 0 or self.hash_slots & (self.hash_slots - 1):
             raise SimulationError(
                 "hash_slots must be a power of two", value=self.hash_slots
+            )
+        if self.hash_table not in HASH_TABLE_VARIANTS:
+            raise SimulationError(
+                f"hash_table must be one of {HASH_TABLE_VARIANTS}",
+                value=self.hash_table,
             )
         if self.spare < 0:
             raise SimulationError(

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from contextlib import contextmanager
+from operator import itemgetter
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -46,7 +47,7 @@ from repro.constants import (
 )
 from repro.cuart.cpu_lookup import cpu_lookup_flat
 from repro.cuart.delete import delete_batch
-from repro.cuart.hashtable import AtomicMaxHashTable
+from repro.cuart.hashtable import make_conflict_table
 from repro.cuart.insert import InsertEngine
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
@@ -419,6 +420,7 @@ class CuartEngine(_EngineBase):
         self.root_table_depth = config.root_table_depth
         self.long_keys = config.long_keys
         self.hash_slots = config.hash_slots
+        self.hash_table = config.hash_table
         self.spare = config.spare
         self.layout: Optional[CuartLayout] = None
         self.root_table: Optional[RootTable] = None
@@ -907,8 +909,8 @@ class CuartEngine(_EngineBase):
         if engine is None or engine.layout is not layout:
             engine = self._updater = UpdateEngine(
                 layout, root_table=self.root_table,
-                hash_slots=self.hash_slots, metrics=self.metrics,
-                injector=self._injector,
+                hash_slots=self.hash_slots, hash_table=self.hash_table,
+                metrics=self.metrics, injector=self._injector,
             )
         return engine
 
@@ -918,8 +920,8 @@ class CuartEngine(_EngineBase):
         if engine is None or engine.layout is not layout:
             engine = self._inserter = InsertEngine(
                 layout, root_table=self.root_table,
-                hash_slots=self.hash_slots, metrics=self.metrics,
-                injector=self._injector,
+                hash_slots=self.hash_slots, hash_table=self.hash_table,
+                metrics=self.metrics, injector=self._injector,
             )
         return engine
 
@@ -937,8 +939,10 @@ class CuartEngine(_EngineBase):
 
     def _update(self, items) -> BatchResult:
         self._require_layout()
-        keys = [k for k, _ in items]
-        values = np.array([v for _, v in items], dtype=np.uint64)
+        keys = list(map(itemgetter(0), items))
+        values = np.fromiter(
+            map(itemgetter(1), items), dtype=np.uint64, count=len(items)
+        )
         batches, width = self._coalesce_stream(keys)
         found = np.zeros(len(items), dtype=bool)
         track = self._dispatcher is not None
@@ -1064,8 +1068,10 @@ class CuartEngine(_EngineBase):
 
     def _insert(self, items, *, remap_on_defer: bool) -> BatchResult:
         self._require_layout()
-        keys = [k for k, _ in items]
-        values = np.array([v for _, v in items], dtype=np.uint64)
+        keys = list(map(itemgetter(0), items))
+        values = np.fromiter(
+            map(itemgetter(1), items), dtype=np.uint64, count=len(items)
+        )
         batches, width = self._coalesce_stream(keys)
         logs = []
         n_ins = n_upd = 0
@@ -1202,15 +1208,19 @@ class CuartEngine(_EngineBase):
                     # batches run serially and both sides reset between
                     # uses, so one allocation serves every write class
                     shared = getattr(self._updater, "_table", None)
-                    if shared is not None and shared.slots == self.hash_slots:
+                    if (shared is not None
+                            and shared.slots == self.hash_slots
+                            and shared.variant == self.hash_table):
                         self._delete_table = shared
                     else:
-                        self._delete_table = AtomicMaxHashTable(self.hash_slots)
+                        self._delete_table = make_conflict_table(
+                            self.hash_slots, variant=self.hash_table
+                        )
                 return delete_batch(
                     self.layout, b.keys_mat, b.key_lens,
                     root_table=self.root_table, hash_slots=self.hash_slots,
-                    table=self._delete_table, metrics=self.metrics,
-                    injector=self._injector,
+                    hash_table=self.hash_table, table=self._delete_table,
+                    metrics=self.metrics, injector=self._injector,
                 )
             try:
                 res, att = self._device_batch(
@@ -1345,8 +1355,10 @@ class GrtEngine(_EngineBase):
     def update(self, items: Sequence[tuple[bytes, int]]) -> BatchResult:
         layout = self._require_layout()
         items = list(items) if not isinstance(items, (list, tuple)) else items
-        keys = [k for k, _ in items]
-        values = np.array([v for _, v in items], dtype=np.uint64)
+        keys = list(map(itemgetter(0), items))
+        values = np.fromiter(
+            map(itemgetter(1), items), dtype=np.uint64, count=len(items)
+        )
         batches, width = self._coalesce_stream(keys)
         found = np.zeros(len(items), dtype=bool)
         logs = []

@@ -1,0 +1,300 @@
+"""Unit + property tests for the bucketed conflict table (section 3.4).
+
+The bucketed layout must be a drop-in replacement for the linear table —
+identical winner semantics, identical ``HashTableFullError`` contract —
+while charging 128-byte coalesced transactions per ``(round, warp,
+bucket)`` probe group instead of a 16-byte transaction per slot step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuart.hashtable import (
+    BUCKET_BYTES,
+    BUCKET_RECORDS,
+    SLOT_BYTES,
+    AtomicMaxHashTable,
+    BucketedAtomicMaxHashTable,
+    make_conflict_table,
+)
+from repro.errors import HashTableFullError, SimulationError
+from repro.gpusim.simt import WARP_SIZE, bucket_probe_groups
+from repro.gpusim.transactions import TransactionLog
+
+
+def btable(slots=256, log=None):
+    return BucketedAtomicMaxHashTable(slots, log=log)
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        t = btable()
+        t.insert_max(np.array([10, 20, 30], dtype=np.uint64),
+                     np.array([1, 2, 3]))
+        assert t.lookup(
+            np.array([10, 20, 30], dtype=np.uint64)
+        ).tolist() == [1, 2, 3]
+
+    def test_max_semantics(self):
+        t = btable()
+        keys = np.array([42, 42, 42, 7], dtype=np.uint64)
+        prios = np.array([5, 99, 23, 1])
+        t.insert_max(keys, prios)
+        assert t.lookup(np.array([42, 7], dtype=np.uint64)).tolist() == [99, 1]
+
+    def test_missing_key_returns_minus_one(self):
+        t = btable()
+        t.insert_max(np.array([1], dtype=np.uint64), np.array([0]))
+        assert t.lookup(np.array([999], dtype=np.uint64)).tolist() == [-1]
+
+    def test_reset(self):
+        t = btable()
+        t.insert_max(np.array([5], dtype=np.uint64), np.array([10]))
+        t.reset()
+        assert t.occupied == 0
+        assert t.transactions == 0 and t.atomics == 0
+        assert t.lookup(np.array([5], dtype=np.uint64)).tolist() == [-1]
+
+    def test_zero_key_rejected(self):
+        with pytest.raises(SimulationError):
+            btable().insert_max(np.array([0], dtype=np.uint64), np.array([1]))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SimulationError):
+            btable(slots=100)
+
+    def test_sub_bucket_size_rejected(self):
+        # 4 is a power of two but less than one full bucket
+        with pytest.raises(SimulationError):
+            btable(slots=4)
+
+    def test_factory_builds_both_variants(self):
+        assert isinstance(
+            make_conflict_table(64, variant="linear"), AtomicMaxHashTable
+        )
+        t = make_conflict_table(64, variant="bucketed")
+        assert isinstance(t, BucketedAtomicMaxHashTable)
+        assert t.variant == "bucketed"
+        with pytest.raises(SimulationError):
+            make_conflict_table(64, variant="quadratic")
+
+
+class TestCapacity:
+    def test_full_table_raises(self):
+        t = btable(slots=8)
+        keys = np.arange(1, 10, dtype=np.uint64)  # 9 distinct > 8 records
+        with pytest.raises(HashTableFullError):
+            t.insert_max(keys, np.arange(9))
+
+    def test_exactly_full_is_fine(self):
+        t = btable(slots=8)  # exactly one bucket
+        keys = np.arange(1, 9, dtype=np.uint64)
+        t.insert_max(keys, np.arange(8))
+        assert t.occupied == 8
+        assert t.load_factor == 1.0
+        assert t.lookup(keys).tolist() == list(range(8))
+
+    def test_near_capacity_many_buckets(self):
+        # fill 63/64 records across 8 buckets: the claim race must spill
+        # full buckets into neighbours without losing anyone
+        t = btable(slots=64)
+        keys = (np.arange(1, 64, dtype=np.uint64) * 2654435761) | 1
+        keys = np.unique(keys)
+        t.insert_max(keys, np.arange(keys.size))
+        assert t.occupied == keys.size
+        assert (t.lookup(keys) >= 0).all()
+
+
+class TestCoalescedAccounting:
+    def test_transactions_are_cache_line_sized(self):
+        log = TransactionLog()
+        t = btable(slots=64, log=log)
+        keys = np.arange(1, 33, dtype=np.uint64)
+        t.insert_max(keys, np.arange(32))
+        t.lookup(keys)
+        assert log.total_transactions > 0
+        # every recorded class is one aligned 128-byte bucket line
+        assert set(log.by_class) == {(BUCKET_BYTES, True)}
+        assert log.atomic_ops >= 32  # >= one atomicMax per thread
+
+    def test_probe_groups_equal_transactions(self):
+        t = btable(slots=128)
+        rng = np.random.default_rng(3)
+        pool = rng.choice(2**40, size=100, replace=False).astype(np.uint64) + 1
+        keys = pool[rng.integers(0, pool.size, size=400)]
+        t.resolve_winners(keys, np.arange(keys.size))
+        assert t.transactions == t.probe_groups > 0
+
+    def test_duplicate_warp_shares_one_transaction(self):
+        # a full warp hammering one key costs one coalesced probe group,
+        # not 32 slot walks: far fewer transactions than threads
+        t = btable(slots=64)
+        keys = np.full(WARP_SIZE, 77, dtype=np.uint64)
+        t.resolve_winners(keys, np.arange(WARP_SIZE))
+        # insert pass: 1 group; read-back: compacted to 1 distinct lane
+        assert t.transactions == 2
+        assert t.total_probes == WARP_SIZE  # every thread still walked
+
+    def test_fewer_transactions_than_linear_under_conflicts(self):
+        rng = np.random.default_rng(11)
+        pool = rng.choice(2**40, size=240, replace=False).astype(np.uint64) + 1
+        keys = pool[rng.integers(0, pool.size, size=2048)]  # heavy dups
+        prios = np.arange(keys.size, dtype=np.int64)
+        lin = AtomicMaxHashTable(256)
+        buc = btable(slots=256)
+        wl = lin.resolve_winners(keys, prios)
+        wb = buc.resolve_winners(keys, prios)
+        assert np.array_equal(wl, wb)
+        assert buc.transactions * 4 <= lin.transactions
+
+
+class TestVariantEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 23, 91])
+    def test_winners_match_linear_under_duplicates(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = rng.choice(2**40, size=300, replace=False).astype(np.uint64) + 1
+        keys = pool[rng.integers(0, pool.size, size=1500)]
+        prios = rng.permutation(keys.size).astype(np.int64)
+        lin, buc = AtomicMaxHashTable(512), btable(slots=512)
+        assert np.array_equal(
+            lin.resolve_winners(keys, prios), buc.resolve_winners(keys, prios)
+        )
+        uniq = np.unique(keys)
+        assert np.array_equal(lin.lookup(uniq), buc.lookup(uniq))
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_winners_match_linear_near_capacity(self, seed):
+        rng = np.random.default_rng(seed)
+        slots = 256
+        pool = rng.choice(2**40, size=250, replace=False).astype(np.uint64) + 1
+        keys = pool[rng.integers(0, pool.size, size=4096)]  # load ~0.98
+        prios = np.arange(keys.size, dtype=np.int64)
+        lin, buc = AtomicMaxHashTable(slots), btable(slots=slots)
+        assert np.array_equal(
+            lin.resolve_winners(keys, prios), buc.resolve_winners(keys, prios)
+        )
+        assert lin.occupied == buc.occupied == pool.size
+
+
+class TestSameKeyRewalk:
+    """Regression for the ``same``-hit path in ``_place``: a key claimed
+    by an earlier batch must be *found* (not re-claimed) on re-insert,
+    re-walking — and re-charging — its full probe chain."""
+
+    @pytest.mark.parametrize("variant", ["linear", "bucketed"])
+    def test_reinsert_finds_existing_slot(self, variant):
+        # capacity headroom: the conservative full-check counts every
+        # distinct key in the batch as a fresh claim, even re-inserts
+        t = make_conflict_table(1024, variant=variant)
+        rng = np.random.default_rng(17)
+        keys = rng.choice(2**40, size=200, replace=False).astype(np.uint64) + 1
+        t.insert_max(keys, np.zeros(keys.size, dtype=np.int64))
+        occupied = t.occupied
+        first_probes = t.total_probes
+        t.insert_max(keys, np.arange(keys.size))
+        assert t.occupied == occupied  # nothing newly claimed
+        assert t.total_probes >= 2 * first_probes  # chains re-walked
+        assert np.array_equal(t.lookup(keys), np.arange(keys.size))
+
+    @pytest.mark.parametrize("variant", ["linear", "bucketed"])
+    def test_rewalk_past_colliders_terminates_at_own_slot(self, variant):
+        # grow the table batch by batch so re-inserted keys walk chains
+        # whose prefix is occupied by *other* keys: the same-hit must
+        # stop the walk exactly at the key's own slot every time
+        t = make_conflict_table(256, variant=variant)
+        rng = np.random.default_rng(29)
+        keys = rng.choice(2**40, size=60, replace=False).astype(np.uint64) + 1
+        for stop in (20, 40, 60):
+            t.insert_max(keys[:stop], np.arange(stop, dtype=np.int64))
+        assert t.occupied == 60
+        assert (t.lookup(keys) >= 0).all()
+        # max priority sticks per key across the overlapping batches
+        assert np.array_equal(t.lookup(keys), np.arange(60, dtype=np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 2**50), st.integers(0, 10**6)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_matches_dict_max_model(items):
+    t = btable(slots=256)
+    keys = np.array([k for k, _ in items], dtype=np.uint64)
+    prios = np.array([p for _, p in items], dtype=np.int64)
+    t.insert_max(keys, prios)
+    model = {}
+    for k, p in items:
+        model[k] = max(model.get(k, -1), p)
+    uniq = np.array(sorted(model), dtype=np.uint64)
+    assert t.lookup(uniq).tolist() == [model[int(k)] for k in uniq]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 200), st.integers(0, 2**31))
+def test_never_loses_keys_below_capacity(n, seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(2**40, size=n, replace=False).astype(np.uint64) + 1
+    t = btable(slots=256)
+    t.insert_max(keys, np.arange(n))
+    assert (t.lookup(keys) >= 0).all()
+    assert t.occupied == n
+
+
+class TestBucketProbeGroups:
+    """Unit tests for the simt-level coalescing model."""
+
+    def test_empty_input(self):
+        counts = bucket_probe_groups(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 16
+        )
+        assert counts.size == 0
+
+    def test_single_thread_chain(self):
+        # one thread probing 3 buckets: 3 groups of one lane each
+        counts = bucket_probe_groups(
+            np.array([5]), np.array([3]), 16
+        )
+        assert sorted(counts.tolist()) == [1, 1, 1]
+
+    def test_full_warp_same_bucket_coalesces(self):
+        home = np.zeros(WARP_SIZE, dtype=np.int64)
+        steps = np.ones(WARP_SIZE, dtype=np.int64)
+        counts = bucket_probe_groups(home, steps, 16)
+        assert counts.tolist() == [WARP_SIZE]
+
+    def test_warp_boundary_splits_groups(self):
+        # 33 threads over two warps: the same (round, bucket) costs two
+        # transactions because coalescing never crosses a warp
+        home = np.zeros(WARP_SIZE + 1, dtype=np.int64)
+        steps = np.ones(WARP_SIZE + 1, dtype=np.int64)
+        counts = bucket_probe_groups(home, steps, 16)
+        assert sorted(counts.tolist()) == [1, WARP_SIZE]
+
+    def test_distinct_buckets_do_not_coalesce(self):
+        home = np.array([0, 1], dtype=np.int64)
+        steps = np.array([1, 1], dtype=np.int64)
+        counts = bucket_probe_groups(home, steps, 16)
+        assert counts.tolist() == [1, 1]
+
+    def test_chains_overlap_only_within_rounds(self):
+        # two same-warp threads, homes 0 and 1, two steps each: round 0
+        # touches {0, 1}, round 1 touches {1, 2} — 4 groups, because
+        # thread B reaches bucket 1 in a different lockstep round than A
+        home = np.array([0, 1], dtype=np.int64)
+        steps = np.array([2, 2], dtype=np.int64)
+        counts = bucket_probe_groups(home, steps, 16)
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_wraparound_modulo_buckets(self):
+        counts = bucket_probe_groups(
+            np.array([15]), np.array([2]), 16
+        )
+        assert sorted(counts.tolist()) == [1, 1]  # buckets 15 then 0
+
+    def test_layout_constants(self):
+        assert BUCKET_BYTES == BUCKET_RECORDS * SLOT_BYTES == 128
