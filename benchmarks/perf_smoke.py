@@ -46,6 +46,15 @@ try:  # fault-tolerance layer (PR 4); absent on older checkouts
 except ImportError:  # pragma: no cover - baseline-checkout compatibility
     FaultConfig = ResiliencePolicy = None
 
+try:  # key-space sharding layer (PR 7); absent on older checkouts
+    from repro.host.sharding import (
+        ShardedEngine,
+        ShardedMixedExecutor,
+        ShardingConfig,
+    )
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    ShardedEngine = ShardedMixedExecutor = ShardingConfig = None
+
 PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
 KEY_LEN = 12
 SEED = 7
@@ -60,6 +69,17 @@ CACHE_SIZE = 65536
 HC_SLOTS = 4096
 HC_POOL = 4030
 HC_BATCH = 24576
+
+# key-space-sharded serving scenario: simulated-device scaling measured
+# as ops / merged-parallel StreamScheduler makespan.  The streams are
+# sized so every shard still runs several batches at 8 devices — thin
+# per-shard sub-batches would hide the scaling behind fixed PCIe
+# latency and launch overhead.
+SH_DEVICES = (1, 2, 4, 8)
+SH_BATCH = 4096
+SH_MIXED_OPS = 65536
+SH_UPDATE_OPS = 131072
+SH_REBALANCE_OPS = 32768
 
 
 def _engine(**kwargs) -> CuartEngine:
@@ -221,6 +241,11 @@ def run(scale: int, label: str, trace_path: str | None = None,
         assert by_status.get("FAILED", 0) == 0, \
             "mixed stream reported FAILED ops"
 
+    # -- key-space-sharded serving (PR 7): write scaling + rebalance ----
+    sharded = _sharded_scenario(items, keys, tracer=tracer)
+    if sharded is not None:
+        ops["mixed_sharded"] = sharded
+
     fault_injection = None
     if fault_rate > 0.0:
         injector = getattr(eng, "_injector", None)
@@ -341,6 +366,140 @@ def _high_conflict_scenario(eng: CuartEngine, keys: list) -> dict | None:
     )
     rec = _op(wall, HC_BATCH)
     rec["hashtable"] = stats
+    return rec
+
+
+def _sharded_scenario(items: list, keys: list,
+                      tracer=None) -> dict | None:
+    """Key-space-sharded serving: writes scale with simulated devices.
+
+    Runs the same mixed OLTP stream and a uniform-drawn update burst
+    through :class:`ShardedEngine` at 1/2/4/8 simulated devices and
+    reports simulated throughput (ops / merged-parallel makespan of the
+    per-shard StreamSchedulers — Python wall-clock cannot show device
+    scaling).  The per-op results must be identical at every device
+    count (in-harness lockstep: ``n_shards=1`` *is* the single-engine
+    semantics, covered byte-for-byte in the pytest suite).
+
+    A second, range-partitioned engine is then driven with Zipf-skewed
+    updates — hot ranks concentrate on one shard — rebalanced online,
+    and re-measured: the gate is recovering >=80% of the uniform-traffic
+    throughput after migration.
+
+    Returns ``None`` on checkouts without ``repro.host.sharding``.
+    """
+    if ShardedEngine is None:
+        return None
+    n = len(keys)
+    mix = QueryMix(lookups=0.70, updates=0.25, deletes=0.05)
+    stream = mixed_queries(keys, SH_MIXED_OPS, mix, seed=29)
+    upd_idx = uniform_indices(n, SH_UPDATE_OPS, seed=31)
+
+    t_start = time.perf_counter()
+    devices: dict = {}
+    baseline_results = None
+    ops_executed = 0
+    for nd in SH_DEVICES:
+        # each engine gets its own registry: shard-labeled families would
+        # collide with the main harness engine's unlabeled ones
+        registry = MetricsRegistry() if MetricsRegistry is not None else None
+        eng = ShardedEngine(
+            sharding=ShardingConfig(n_shards=nd, mode="hash"),
+            batch_size=SH_BATCH,
+            **({"metrics": registry} if registry is not None else {}),
+            **({"tracer": tracer} if tracer is not None else {}),
+        )
+        eng.populate(items)
+        eng.map_to_device()
+
+        results, rep = ShardedMixedExecutor(eng).run(stream)
+        if baseline_results is None:
+            baseline_results = results
+        else:
+            assert results == baseline_results, (
+                f"sharded mixed results diverged at {nd} devices"
+            )
+        mixed_makespan = rep.stream_overlap["makespan_s"]
+
+        lkp = [keys[i] for i in upd_idx]
+        eng.submit("lookup", lkp)
+        st_lkp = eng.drain()
+
+        upd = [(keys[i], 9_000_000 + j) for j, i in enumerate(upd_idx)]
+        eng.submit("update", upd)
+        st = eng.drain()
+        ops_executed += rep.operations + len(lkp) + len(upd)
+        devices[str(nd)] = {
+            "mixed_sim_mops": round(rep.operations / mixed_makespan / 1e6, 2),
+            "mixed_makespan_s": round(mixed_makespan, 6),
+            "lookup_sim_mops": round(len(lkp) / st_lkp.makespan_s / 1e6, 2),
+            "lookup_makespan_s": round(st_lkp.makespan_s, 6),
+            "update_sim_mops": round(len(upd) / st.makespan_s / 1e6, 2),
+            "update_makespan_s": round(st.makespan_s, 6),
+            "streams": st.streams,
+            "imbalance": round(eng.imbalance(), 4),
+        }
+
+    d1, d4, d8 = devices["1"], devices["4"], devices["8"]
+    scaling = {
+        "mixed_x4": round(d4["mixed_sim_mops"] / d1["mixed_sim_mops"], 2),
+        "lookup_x4": round(d4["lookup_sim_mops"] / d1["lookup_sim_mops"], 2),
+        "update_x4": round(d4["update_sim_mops"] / d1["update_sim_mops"], 2),
+        "mixed_x8": round(d8["mixed_sim_mops"] / d1["mixed_sim_mops"], 2),
+        "lookup_x8": round(d8["lookup_sim_mops"] / d1["lookup_sim_mops"], 2),
+        "update_x8": round(d8["update_sim_mops"] / d1["update_sim_mops"], 2),
+    }
+
+    # -- Zipf skew + online rebalance (range partitioning) ---------------
+    reb_engine = ShardedEngine(
+        sharding=ShardingConfig(n_shards=4, mode="range", partition_bytes=2),
+        batch_size=SH_BATCH,
+        **({"tracer": tracer} if tracer is not None else {}),
+    )
+    reb_engine.populate(items)
+    reb_engine.map_to_device()
+
+    def _update_tput(idxs, base: int) -> float:
+        upd = [(keys[i], base + j) for j, i in enumerate(idxs)]
+        reb_engine.submit("update", upd)
+        return len(upd) / reb_engine.drain().makespan_s / 1e6
+
+    uni = uniform_indices(n, SH_REBALANCE_OPS, seed=37)
+    zpf = zipf_indices(n, SH_REBALANCE_OPS, a=ZIPF_A, seed=37)
+    t_uniform = _update_tput(uni, 10_000_000)
+    reb_engine.router.reset_heat()
+    t_skew_before = _update_tput(zpf, 11_000_000)
+    summary = reb_engine.rebalance()
+    t_skew_after = _update_tput(zpf, 12_000_000)
+    ops_executed += SH_REBALANCE_OPS * 3
+    recovery = t_skew_after / t_uniform
+    assert recovery >= 0.8, (
+        f"rebalance recovered only {recovery:.0%} of uniform-shard "
+        "throughput (gate: 80%)"
+    )
+
+    wall = time.perf_counter() - t_start
+    rec = _op(wall, ops_executed)
+    rec["batch_size"] = SH_BATCH
+    rec["devices"] = devices
+    rec["scaling"] = scaling
+    rec["lockstep"] = {"device_counts": list(SH_DEVICES), "ok": True}
+    rec["rebalance"] = {
+        "mode": "range",
+        "n_shards": 4,
+        "partition_bytes": 2,
+        "zipf_a": ZIPF_A,
+        "uniform_mops": round(t_uniform, 2),
+        "skew_before_mops": round(t_skew_before, 2),
+        "skew_after_mops": round(t_skew_after, 2),
+        "recovery_vs_uniform": round(recovery, 4),
+        "imbalance_before": round(summary["imbalance_before"], 4),
+        "imbalance_after": round(summary["imbalance_after"], 4),
+        "moved_partitions": summary["moved_partitions"],
+        "moved_keys": summary["moved_keys"],
+        "migrated_bytes": summary["migrated_bytes"],
+        "sim_transfer_s": round(summary["sim_transfer_s"], 6),
+    }
     return rec
 
 

@@ -156,6 +156,48 @@ def validate(doc: dict) -> list[str]:
                         ".transactions missing or non-finite"
                     )
 
+    # optional key-space-sharded scenario (PR 7+): when present it must
+    # carry per-device-count simulated throughputs, the scaling ratios,
+    # the in-harness lockstep marker and the rebalance record
+    sh = ops.get("mixed_sharded")
+    if sh is not None:
+        devices = sh.get("devices")
+        if not isinstance(devices, dict) or not devices:
+            problems.append("ops.mixed_sharded.devices missing/empty")
+        else:
+            for nd, rec in devices.items():
+                for k in ("mixed_sim_mops", "update_sim_mops"):
+                    if not _finite(rec.get(k)):
+                        problems.append(
+                            f"ops.mixed_sharded.devices[{nd!r}].{k} "
+                            f"missing or non-finite: {rec.get(k)!r}"
+                        )
+        scaling = sh.get("scaling")
+        if not isinstance(scaling, dict):
+            problems.append("ops.mixed_sharded.scaling missing")
+        else:
+            for k in ("mixed_x4", "update_x4"):
+                if not _finite(scaling.get(k)):
+                    problems.append(
+                        f"ops.mixed_sharded.scaling.{k} missing or "
+                        f"non-finite: {scaling.get(k)!r}"
+                    )
+        if not sh.get("lockstep", {}).get("ok"):
+            problems.append(
+                "ops.mixed_sharded.lockstep.ok missing or false"
+            )
+        reb = sh.get("rebalance")
+        if not isinstance(reb, dict):
+            problems.append("ops.mixed_sharded.rebalance missing")
+        else:
+            for k in ("recovery_vs_uniform", "imbalance_before",
+                      "imbalance_after"):
+                if not _finite(reb.get(k)):
+                    problems.append(
+                        f"ops.mixed_sharded.rebalance.{k} missing or "
+                        f"non-finite: {reb.get(k)!r}"
+                    )
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("missing top-level 'metrics' registry snapshot")
@@ -175,6 +217,8 @@ def compare(
     max_regression: float = 0.10,
     min_dependency_drop: float = 5.0,
     min_hashtable_tx_drop: float = 4.0,
+    min_write_scaling: float = 3.0,
+    min_rebalance_recovery: float = 0.8,
     allow: tuple = (),
 ) -> list[str]:
     """Regression-gate a candidate run against a baseline run.
@@ -183,9 +227,14 @@ def compare(
     op more than ``max_regression`` slower than the baseline fails
     unless allow-listed, the batch-granularity ``write-dependency``
     flush count must drop by ``min_dependency_drop``x when the baseline
-    recorded any, and a candidate recording the high-conflict scenario
+    recorded any, a candidate recording the high-conflict scenario
     must show the bucketed table issuing ``min_hashtable_tx_drop``x
-    fewer dedup-table transactions than linear probing.
+    fewer dedup-table transactions than linear probing, and a candidate
+    recording the key-space-sharded scenario must show both the mixed
+    and the pure-update simulated throughput scaling by at least
+    ``min_write_scaling``x at 4 devices and the Zipf rebalance
+    recovering at least ``min_rebalance_recovery`` of the
+    uniform-traffic throughput.
     """
     problems: list[str] = []
     ops = doc.get("ops", {})
@@ -224,6 +273,25 @@ def compare(
             f">={min_hashtable_tx_drop:g}x vs linear probing: "
             f"tx_ratio={ratio!r}"
         )
+    sh = ops.get("mixed_sharded", {})
+    if sh:
+        scaling = sh.get("scaling", {}) \
+            if isinstance(sh.get("scaling"), dict) else {}
+        for k in ("mixed_x4", "update_x4"):
+            v = scaling.get(k)
+            if not _finite(v) or v < min_write_scaling:
+                problems.append(
+                    f"sharded {k} scaling below "
+                    f">={min_write_scaling:g}x gate: {v!r}"
+                )
+        reb = sh.get("rebalance", {}) \
+            if isinstance(sh.get("rebalance"), dict) else {}
+        rec = reb.get("recovery_vs_uniform")
+        if not _finite(rec) or rec < min_rebalance_recovery:
+            problems.append(
+                f"zipf rebalance recovered {rec!r} of uniform-shard "
+                f"throughput (gate: >={min_rebalance_recovery:g})"
+            )
     return problems
 
 
@@ -242,6 +310,14 @@ def main(argv: list[str] | None = None) -> int:
                     help="required bucketed-vs-linear dedup-table "
                          "transaction reduction factor in the "
                          "high-conflict scenario (default 4)")
+    ap.add_argument("--min-write-scaling", type=float, default=3.0,
+                    help="required simulated mixed/update throughput "
+                         "scaling factor at 4 devices in the sharded "
+                         "scenario (default 3)")
+    ap.add_argument("--min-rebalance-recovery", type=float, default=0.8,
+                    help="required fraction of uniform-shard throughput "
+                         "recovered after the Zipf rebalance "
+                         "(default 0.8)")
     ap.add_argument("--allow", action="append", default=[], metavar="OP",
                     help="op name exempt from the wall_s gate "
                          "(repeatable; justify each in the PR)")
@@ -271,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
             max_regression=args.max_regression,
             min_dependency_drop=args.min_dependency_drop,
             min_hashtable_tx_drop=args.min_hashtable_tx_drop,
+            min_write_scaling=args.min_write_scaling,
+            min_rebalance_recovery=args.min_rebalance_recovery,
             allow=tuple(args.allow),
         )
     if problems:

@@ -119,6 +119,18 @@ class StreamOverlapStats:
         self.serial_s += other.serial_s
         self.makespan_s += other.makespan_s
 
+    def merge_parallel(self, other: "StreamOverlapStats") -> None:
+        """Fold a *concurrent* window into this one.  The windows ran on
+        independent devices over the same simulated interval (one shard
+        per device), so the combined makespan is the max — the slowest
+        device — while serial cost and batch counts still add.  This is
+        the device-scaling primitive: N balanced shards each doing 1/N
+        of the serial work leave the makespan ~flat."""
+        self.batches += other.batches
+        self.serial_s += other.serial_s
+        self.makespan_s = max(self.makespan_s, other.makespan_s)
+        self.streams += other.streams
+
     def as_dict(self) -> dict:
         return {
             "batches": self.batches,

@@ -38,6 +38,12 @@ from repro.host.results import BatchResult, OpStatus, status_codes
 from repro.host.mixed import MixedWorkloadExecutor, MixedReport
 from repro.host.autotune import autotune_dispatch, TuneResult
 from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_curve
+from repro.host.sharding import (
+    ShardedEngine,
+    ShardedMixedExecutor,
+    ShardingConfig,
+    ShardRouter,
+)
 
 __all__ = [
     "QueryBatcher",
@@ -72,4 +78,8 @@ __all__ = [
     "MultiGpuConfig",
     "multi_gpu_throughput",
     "scaling_curve",
+    "ShardedEngine",
+    "ShardedMixedExecutor",
+    "ShardingConfig",
+    "ShardRouter",
 ]

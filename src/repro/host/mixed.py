@@ -41,6 +41,27 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 
 
+def merge_percentile_summaries(cur: dict | None, other: dict | None) -> dict:
+    """Merge two histogram summary dicts (count/mean/p50/p95/p99/min/max)
+    as count-weighted means — an estimate, exact only when the two
+    distributions match — with exact count/min/max."""
+    if not cur or not cur.get("count"):
+        return dict(other or {})
+    if not other or not other.get("count"):
+        return dict(cur)
+    n1, n2 = cur["count"], other["count"]
+    total = n1 + n2
+    merged = {"count": total}
+    for k in ("mean", "p50", "p95", "p99"):
+        if k in cur and k in other:
+            merged[k] = (cur[k] * n1 + other[k] * n2) / total
+    if "min" in cur and "min" in other:
+        merged["min"] = min(cur["min"], other["min"])
+    if "max" in cur and "max" in other:
+        merged["max"] = max(cur["max"], other["max"])
+    return merged
+
+
 @dataclass
 class MixedReport:
     """Counts and outcomes of one executed stream."""
@@ -100,6 +121,65 @@ class MixedReport:
         if not count:
             return 0.0
         return self.wall_s.get(kind, 0.0) / count * 1e6
+
+    _COUNT_FIELDS = (
+        "lookups", "updates", "deletes", "inserts", "scans", "hits",
+        "misses", "update_misses", "delete_misses", "inserts_deferred",
+        "records_scanned", "batches",
+    )
+    _SUM_DICTS = (
+        "batches_by_op", "wall_s", "flush_reasons", "ops_by_status",
+        "forwarded",
+    )
+
+    def merge(self, other: "MixedReport", *, concurrent: bool = True) -> None:
+        """Fold another report into this one.
+
+        ``concurrent=True`` means the two runs shared the same simulated
+        interval on independent devices (one shard each), so the
+        combined :attr:`stream_overlap` makespan is the max of the two
+        and stream counts add; ``concurrent=False`` means the runs were
+        sequential (e.g. segments separated by a scan barrier), so
+        makespans add.  Latency percentiles are merged as count-weighted
+        means — an estimate, exact only when the distributions match —
+        with exact count/min/max.
+        """
+        for name in self._COUNT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in self._SUM_DICTS:
+            mine = getattr(self, name)
+            for k, v in getattr(other, name).items():
+                mine[k] = mine.get(k, 0) + v
+        # per-op simulated throughput records the *last* batch of each
+        # class; across shards keep the best observed rate per class
+        for k, v in other.simulated_mops.items():
+            self.simulated_mops[k] = max(self.simulated_mops.get(k, 0.0), v)
+        for op, s in other.latency_percentiles_by_op.items():
+            self.latency_percentiles_by_op[op] = merge_percentile_summaries(
+                self.latency_percentiles_by_op.get(op), s
+            )
+        so, oo = self.stream_overlap, other.stream_overlap
+        if not so:
+            self.stream_overlap = dict(oo)
+        elif oo:
+            serial = so.get("serial_s", 0.0) + oo.get("serial_s", 0.0)
+            if concurrent:
+                makespan = max(so.get("makespan_s", 0.0),
+                               oo.get("makespan_s", 0.0))
+                streams = so.get("streams", 0) + oo.get("streams", 0)
+            else:
+                makespan = (so.get("makespan_s", 0.0)
+                            + oo.get("makespan_s", 0.0))
+                streams = max(so.get("streams", 0), oo.get("streams", 0))
+            saved = max(serial - makespan, 0.0)
+            self.stream_overlap = {
+                "batches": so.get("batches", 0) + oo.get("batches", 0),
+                "streams": streams,
+                "serial_s": round(serial, 9),
+                "makespan_s": round(makespan, 9),
+                "saved_s": round(saved, 9),
+                "overlap_ratio": round(saved / serial, 4) if serial else 0.0,
+            }
 
 
 def _found_count(result) -> int:

@@ -13,6 +13,14 @@ threads).
 Updates on replicated indexes must be applied to every replica; the
 model charges the update kernel on all devices (no speedup for the
 device stage) while reads scale.
+
+The ``"sharded"`` workload models the partitioned alternative
+(:mod:`repro.host.sharding`): the key space is split over the devices,
+every operation — read *or* write — is routed to the one device that
+owns its key, so the device stages divide by ``n`` for any op mix.
+The executed counterpart is :class:`~repro.host.sharding.ShardedEngine`;
+``tests/host/test_multigpu.py`` reconciles this analytic curve against
+its measured makespans.
 """
 
 from __future__ import annotations
@@ -32,14 +40,17 @@ class MultiGpuConfig:
     """Scale-out settings."""
 
     n_devices: int = 2
-    #: replicated index (reads scale, writes broadcast).  Partitioned
-    #: placement is modeled by :mod:`repro.cuart.partition` instead.
-    workload: str = "lookup"  # "lookup" | "update"
+    #: ``"lookup"`` / ``"update"`` model the replicated index (reads
+    #: scale, writes broadcast); ``"sharded"`` models key-space
+    #: partitioning (every op routes to its owning device, so reads
+    #: *and* writes divide by ``n`` — the executed counterpart is
+    #: :class:`repro.host.sharding.ShardedEngine`).
+    workload: str = "lookup"  # "lookup" | "update" | "sharded"
 
     def __post_init__(self) -> None:
         if self.n_devices < 1:
             raise SimulationError("n_devices must be >= 1")
-        if self.workload not in ("lookup", "update"):
+        if self.workload not in ("lookup", "update", "sharded"):
             raise SimulationError(f"unknown workload {self.workload!r}")
 
 
@@ -56,7 +67,9 @@ def multi_gpu_throughput(
     Reads: PCIe and kernel stages parallelize across replicas (each has
     its own link and memory); the host stage is shared.  Updates: every
     replica must apply every write, so the device stages do not scale —
-    only the host-side coalescing overlap remains.
+    only the host-side coalescing overlap remains.  Sharded: ops route
+    to the device owning their key, so the device stages divide by
+    ``n`` for reads and writes alike (host stage still shared).
     """
     if pcie is None:
         pcie = link_for_device(device.name)
@@ -79,7 +92,10 @@ def multi_gpu_throughput(
         kernel.compute_bound_s / overlap,
     ) + kernel.launch_overhead_s / overlap
 
-    if config.workload == "lookup":
+    if config.workload in ("lookup", "sharded"):
+        # replicated reads fan out; sharded placement routes *every* op
+        # (reads and writes alike) to the one device owning its key, so
+        # each device carries 1/n of the batches either way
         device_scale = float(n)
     else:
         # broadcast writes: n replicas each run the full update batch; no

@@ -1,0 +1,686 @@
+"""Key-space-sharded multi-GPU serving: scale writes, not just reads.
+
+:mod:`repro.host.multigpu` models *replicated* scale-out — reads fan
+out across replicas but every update must be broadcast, so write-heavy
+traffic gets exactly zero scale-out.  This module implements the
+partitioned alternative the NUMA hash-table literature prescribes:
+the key space is split on its first one or two bytes (the natural
+radix-tree split axis, same as :mod:`repro.cuart.partition`) into
+256 or 65536 partitions, a partition→shard assignment table routes
+every operation to the one simulated device that owns its key, and
+each shard runs a full :class:`~repro.host.engine.CuartEngine` —
+its own device buffers, PCIe link, fault injector, circuit breaker
+and double-buffered :class:`~repro.gpusim.streams.StreamScheduler`.
+
+Correctness invariants
+----------------------
+
+* **Deterministic routing.**  A key's shard is a pure function of the
+  key and the assignment table, so every operation on a key — in any
+  order, through any API — reaches the same engine.
+* **Shard-local conflicts.**  Because routing is per-key, a read-after
+  -write or write-after-write conflict can only involve ops on the
+  *same* shard.  Cross-shard sub-streams are therefore free to flush
+  and pipeline independently: any interleaving of them is equivalent
+  to some serial order of the original stream.
+* **Scans are global barriers.**  A range touches an unbounded key set
+  spanning shards, so every shard drains before the scan runs and
+  per-shard results are merged in key order.
+
+Simulated scaling is measured the only way it can be in a one-process
+simulation: each shard's :class:`StreamScheduler` accounts its batches
+on its own simulated clock, and :meth:`ShardedEngine.drain` folds the
+per-shard windows with
+:meth:`~repro.gpusim.streams.StreamOverlapStats.merge_parallel` —
+devices run concurrently, so the combined makespan is the slowest
+shard's, while serial cost adds.  N balanced shards each carrying 1/N
+of the work cut the makespan by ~N.
+
+Online rebalancing (:meth:`ShardedEngine.rebalance`) drains in-flight
+ops, greedily re-assigns the hottest partitions (per-partition heat
+counters, :class:`ShardRouter`) to the least-loaded shards, migrates
+the affected subtrees through the serialize/re-map path (collect items
+from the source host trees, rebuild the affected shard layouts), and
+charges the simulated PCIe cost of moving the records.  Heat resets
+afterwards so the next skew episode is measured fresh.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from operator import itemgetter
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.art.tree import AdaptiveRadixTree
+from repro.constants import NIL_VALUE
+from repro.errors import ReproError, SimulationError
+from repro.gpusim.pcie import link_for_device
+from repro.gpusim.streams import StreamOverlapStats
+from repro.host.config import EngineConfig
+from repro.host.engine import CuartEngine
+from repro.host.mixed import (
+    MixedReport,
+    MixedWorkloadExecutor,
+    merge_percentile_summaries,
+)
+from repro.host.results import BatchResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
+
+SHARDING_MODES = ("hash", "range")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardingConfig:
+    """How the key space is split over simulated devices."""
+
+    #: simulated devices, one full engine each.
+    n_shards: int = 2
+    #: ``"hash"`` scrambles partitions over shards (uniform load under
+    #: key-space skew); ``"range"`` keeps contiguous key ranges together
+    #: (locality for scans, but a hot range lands on one shard until a
+    #: rebalance moves it).
+    mode: str = "hash"
+    #: partition on the first 1 byte (256 partitions) or 2 bytes (65536
+    #: partitions — finer-grained migration under heavy skew).
+    partition_bytes: int = 1
+    #: seed for the hash-mode partition scramble.
+    seed: int = 0x5bd1
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise SimulationError(
+                "n_shards must be positive", value=self.n_shards
+            )
+        if self.mode not in SHARDING_MODES:
+            raise SimulationError(
+                f"mode must be one of {SHARDING_MODES}", value=self.mode
+            )
+        if self.partition_bytes not in (1, 2):
+            raise SimulationError(
+                "partition_bytes must be 1 or 2", value=self.partition_bytes
+            )
+
+    @property
+    def n_partitions(self) -> int:
+        return 256 ** self.partition_bytes
+
+
+class ShardRouter:
+    """Partition→shard assignment table plus per-partition heat.
+
+    Routing is a pure function of the key and the table; heat counters
+    accumulate per routed operation and drive
+    :meth:`balanced_assignment`, the greedy refinement the engine's
+    :meth:`ShardedEngine.rebalance` applies.
+    """
+
+    def __init__(self, config: ShardingConfig) -> None:
+        self.config = config
+        self.n_shards = config.n_shards
+        self.n_partitions = config.n_partitions
+        if config.mode == "hash":
+            # a seeded permutation taken mod n_shards is both scrambled
+            # (adjacent key ranges land on different shards) and exactly
+            # balanced (each shard owns n_partitions/n_shards slots)
+            rng = np.random.default_rng(config.seed)
+            perm = rng.permutation(self.n_partitions)
+            self.assignment = (perm % self.n_shards).astype(np.int32)
+        else:
+            self.assignment = np.minimum(
+                np.arange(self.n_partitions, dtype=np.int64)
+                * self.n_shards // self.n_partitions,
+                self.n_shards - 1,
+            ).astype(np.int32)
+        #: routed operations per partition since the last heat reset.
+        self.heat = np.zeros(self.n_partitions, dtype=np.int64)
+
+    def partition_of(self, key: bytes) -> int:
+        """First-byte(s) partition index (short keys pad with 0)."""
+        if not key:
+            return 0
+        if self.config.partition_bytes == 1:
+            return key[0]
+        return (key[0] << 8) | (key[1] if len(key) > 1 else 0)
+
+    def shard_of(self, key: bytes, *, record: bool = False) -> int:
+        pid = self.partition_of(key)
+        if record:
+            self.heat[pid] += 1
+        return int(self.assignment[pid])
+
+    def route(self, keys: Sequence[bytes], *, record: bool = True
+              ) -> np.ndarray:
+        """(n,) int32 shard ids for a key batch, accumulating heat."""
+        pids = np.fromiter(
+            (self.partition_of(k) for k in keys),
+            dtype=np.int64, count=len(keys),
+        )
+        if record and len(pids):
+            np.add.at(self.heat, pids, 1)
+        return self.assignment[pids]
+
+    def shard_heat(self) -> np.ndarray:
+        """(n_shards,) total heat per shard under the current table."""
+        return np.bincount(
+            self.assignment, weights=self.heat, minlength=self.n_shards
+        )
+
+    def imbalance(self) -> float:
+        """Max/mean per-shard heat (1.0 = perfectly balanced or idle)."""
+        per_shard = self.shard_heat()
+        mean = per_shard.mean()
+        return float(per_shard.max() / mean) if mean > 0 else 1.0
+
+    def balanced_assignment(
+        self, *, max_moves: Optional[int] = None
+    ) -> tuple[np.ndarray, list[tuple[int, int, int]]]:
+        """Greedy minimal-churn rebalance of the assignment table.
+
+        Repeatedly moves one partition from the hottest shard to the
+        coolest — picking the partition whose heat is closest to half
+        the gap, so each move shrinks the spread — until no move
+        improves the maximum or ``max_moves`` is reached.  Returns the
+        new table and the ``(partition, src, dst)`` move list; the
+        router's own table is *not* mutated (the engine applies it
+        after migrating the data).
+        """
+        heat = self.heat
+        assignment = self.assignment.copy()
+        shard_heat = np.bincount(
+            assignment, weights=heat, minlength=self.n_shards
+        )
+        moves: list[tuple[int, int, int]] = []
+        limit = self.n_partitions if max_moves is None else max_moves
+        while len(moves) < limit:
+            src = int(np.argmax(shard_heat))
+            dst = int(np.argmin(shard_heat))
+            gap = shard_heat[src] - shard_heat[dst]
+            if gap <= 0:
+                break
+            pids = np.nonzero((assignment == src) & (heat > 0))[0]
+            if pids.size == 0:
+                break
+            h = heat[pids]
+            ok = h < gap  # strictly shrinks the src-dst spread
+            if not ok.any():
+                break
+            pids, h = pids[ok], h[ok]
+            p = int(pids[np.argmin(np.abs(h - gap / 2))])
+            assignment[p] = dst
+            shard_heat[src] -= heat[p]
+            shard_heat[dst] += heat[p]
+            moves.append((p, src, dst))
+        return assignment, moves
+
+    def reset_heat(self) -> None:
+        self.heat[:] = 0
+
+
+class ShardedEngine:
+    """N key-space shards, each a full :class:`CuartEngine`, behind the
+    single-engine batch API.
+
+    Construction mirrors the engines: pass an
+    :class:`~repro.host.config.EngineConfig` (or its fields as kwargs)
+    plus a :class:`ShardingConfig`.  Every shard engine shares the base
+    metrics registry through a ``shard="i"``-labeled
+    :class:`~repro.obs.metrics.ScopedRegistry` view and the base
+    tracer; fault injection, when configured, is re-seeded per shard so
+    devices fail independently.
+
+    >>> eng = ShardedEngine(sharding=ShardingConfig(n_shards=2))
+    >>> eng.populate([(b'key-a\\x00', 1), (b'key-b\\x00', 2)])
+    >>> eng.map_to_device()
+    >>> eng.lookup([b'key-a\\x00', b'missing\\x00'])
+    [1, None]
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        sharding: Optional[ShardingConfig] = None,
+        **kwargs,
+    ) -> None:
+        if config is None:
+            config = EngineConfig(**kwargs)
+        elif kwargs:
+            raise TypeError(
+                "pass either config=EngineConfig(...) or individual "
+                "keyword arguments, not both"
+            )
+        self.config = config
+        self.sharding = sharding if sharding is not None else ShardingConfig()
+        self.batch_size = config.batch_size
+        self.metrics = (
+            config.metrics if config.metrics is not None else MetricsRegistry()
+        )
+        self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
+        self.router = ShardRouter(self.sharding)
+        self.last_report = None
+        self._pcie = link_for_device(config.device.name)
+        self.shards: list[CuartEngine] = []
+        for i in range(self.sharding.n_shards):
+            faults = config.faults
+            if faults is not None and faults.enabled:
+                # independent fault streams per simulated device
+                faults = replace(faults, seed=faults.seed + 1000 * i)
+            self.shards.append(CuartEngine(replace(
+                config,
+                metrics=self.metrics.scoped(shard=str(i)),
+                tracer=self.tracer,
+                faults=faults,
+            )))
+        m = self.metrics
+        self._g_imbalance = m.gauge(
+            "shard_imbalance_ratio",
+            "max/mean per-shard routed heat since the last reset",
+        )
+        self._g_heat = m.gauge(
+            "shard_heat", "routed ops per shard since the last reset",
+            labels=("shard",),
+        )
+        self._m_rebalances = m.counter(
+            "shard_rebalances_total", "online shard rebalances executed",
+        )
+        self._m_migrated = m.counter(
+            "shard_keys_migrated_total",
+            "keys moved between shards by rebalances",
+        )
+        self._m_migration_us = m.counter(
+            "shard_migration_sim_us_total",
+            "simulated microseconds of rebalance PCIe traffic",
+        )
+
+    # -- routing ---------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.sharding.n_shards
+
+    def _route_groups(
+        self, keys: Sequence[bytes], *, record: bool = True
+    ) -> list[tuple[int, np.ndarray]]:
+        """Split one key batch into per-shard index groups."""
+        sids = self.router.route(keys, record=record)
+        out = []
+        for i in range(self.n_shards):
+            idx = np.nonzero(sids == i)[0]
+            if idx.size:
+                out.append((i, idx))
+        return out
+
+    # -- scatter-merge ---------------------------------------------------
+    def _merge_results(
+        self, op: str, n: int, parts: list[tuple[np.ndarray, BatchResult]]
+    ) -> BatchResult:
+        """Scatter per-shard batch results back into stream order.
+
+        Preserves the lazy status/attempts fast path: when no shard
+        materialized a status vector (no resilience events), the merged
+        result leaves them lazy too.
+        """
+        found = np.zeros(n, dtype=bool)
+        values = None
+        if any(r.value_array is not None for _, r in parts):
+            values = np.full(n, np.uint64(NIL_VALUE), dtype=np.uint64)
+        want_status = any(r._status is not None for _, r in parts)
+        want_attempts = any(r._attempts is not None for _, r in parts)
+        status = np.zeros(n, dtype=np.uint8) if want_status else None
+        attempts = np.ones(n, dtype=np.int32) if want_attempts else None
+        overrides: dict = {}
+        summary: Optional[dict] = None
+        for idx, r in parts:
+            found[idx] = r.found_array
+            if values is not None and r.value_array is not None:
+                values[idx] = r.value_array
+            if status is not None:
+                status[idx] = r.status
+            if attempts is not None:
+                attempts[idx] = r.attempts
+            for pos, val in r._overrides.items():
+                overrides[int(idx[pos])] = val
+            if r.summary is not None:
+                if summary is None:
+                    summary = dict(r.summary)
+                else:
+                    for k, v in r.summary.items():
+                        summary[k] = summary.get(k, 0) + v
+        return BatchResult(
+            op, found=found, values=values, overrides=overrides,
+            status=status, attempts=attempts, summary=summary,
+        )
+
+    def _set_last_report(self, parts, groups) -> None:
+        """Adopt the busiest shard's report (per-op throughput probe)."""
+        best = None
+        for (sid, idx), _ in zip(groups, parts):
+            rep = self.shards[sid].last_report
+            if rep is not None and (best is None or idx.size > best[0]):
+                best = (idx.size, rep)
+        if best is not None:
+            self.last_report = best[1]
+
+    # -- lifecycle -------------------------------------------------------
+    def populate(self, items: Iterable[tuple[bytes, int]]) -> None:
+        """Route ``(key, value)`` pairs to their owning shards' host
+        trees (no heat recorded — placement, not traffic)."""
+        items = list(items)
+        groups = self._route_groups(
+            [k for k, _ in items], record=False
+        )
+        for sid, idx in groups:
+            self.shards[sid].populate([items[j] for j in idx])
+
+    def map_to_device(self) -> None:
+        for shard in self.shards:
+            shard.map_to_device()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def contains(self, key: bytes) -> bool:
+        return self.shards[self.router.shard_of(key)].contains(key)
+
+    def items(self) -> list[tuple[bytes, int]]:
+        """All ``(key, value)`` pairs across shards, in key order (the
+        canonicalization surface the lockstep tests compare)."""
+        out: list[tuple[bytes, int]] = []
+        for shard in self.shards:
+            out.extend(shard.tree.items())
+        out.sort(key=itemgetter(0))
+        return out
+
+    # -- batched ops -----------------------------------------------------
+    def lookup(self, keys: Sequence[bytes]) -> BatchResult:
+        keys = list(keys) if not isinstance(keys, (list, tuple)) else keys
+        groups = self._route_groups(keys)
+        parts = [
+            (idx, self.shards[sid].lookup([keys[j] for j in idx]))
+            for sid, idx in groups
+        ]
+        self._set_last_report(parts, groups)
+        return self._merge_results("lookup", len(keys), parts)
+
+    def update(self, items: Sequence[tuple[bytes, int]]) -> BatchResult:
+        items = list(items) if not isinstance(items, (list, tuple)) else items
+        groups = self._route_groups([k for k, _ in items])
+        parts = [
+            (idx, self.shards[sid].update([items[j] for j in idx]))
+            for sid, idx in groups
+        ]
+        self._set_last_report(parts, groups)
+        return self._merge_results("update", len(items), parts)
+
+    def delete(self, keys: Sequence[bytes]) -> BatchResult:
+        keys = list(keys) if not isinstance(keys, (list, tuple)) else keys
+        groups = self._route_groups(keys)
+        parts = [
+            (idx, self.shards[sid].delete([keys[j] for j in idx]))
+            for sid, idx in groups
+        ]
+        self._set_last_report(parts, groups)
+        return self._merge_results("delete", len(keys), parts)
+
+    def insert(self, items: Sequence[tuple[bytes, int]]) -> BatchResult:
+        items = list(items) if not isinstance(items, (list, tuple)) else items
+        groups = self._route_groups([k for k, _ in items])
+        parts = [
+            (idx, self.shards[sid].insert([items[j] for j in idx]))
+            for sid, idx in groups
+        ]
+        self._set_last_report(parts, groups)
+        return self._merge_results("insert", len(items), parts)
+
+    def range(self, lo: bytes, hi: bytes) -> list[tuple[bytes, int]]:
+        """Inclusive range: every shard scans (hash mode scatters any
+        range across all of them), merged in key order."""
+        rows: list[tuple[bytes, int]] = []
+        for shard in self.shards:
+            rows.extend(shard.range(lo, hi))
+        rows.sort(key=itemgetter(0))
+        return rows
+
+    # -- async dispatch --------------------------------------------------
+    def submit(self, kind: str, payloads: Sequence) -> BatchResult:
+        """Pipelined dispatch: route the batch, submit each sub-batch on
+        its shard's own :class:`StreamScheduler` — shards are
+        independent devices, so their submit windows run concurrently
+        in simulated time."""
+        if kind not in ("lookup", "update", "delete", "insert"):
+            raise ReproError(
+                f"cannot submit {kind!r} batches to ShardedEngine"
+            )
+        payloads = (
+            list(payloads) if not isinstance(payloads, (list, tuple))
+            else payloads
+        )
+        if kind in ("update", "insert"):
+            keys = [k for k, _ in payloads]
+        else:
+            keys = payloads
+        groups = self._route_groups(keys)
+        parts = [
+            (idx, self.shards[sid].submit(kind, [payloads[j] for j in idx]))
+            for sid, idx in groups
+        ]
+        self._set_last_report(parts, groups)
+        return self._merge_results(kind, len(payloads), parts)
+
+    def drain(self) -> StreamOverlapStats:
+        """Close every shard's submit window and fold the concurrent
+        windows (makespan = slowest shard) into one stats record."""
+        merged: Optional[StreamOverlapStats] = None
+        for shard in self.shards:
+            window = shard.drain()
+            if merged is None:
+                merged = window
+            else:
+                merged.merge_parallel(window)
+        self.publish_shard_stats()
+        return merged if merged is not None else StreamOverlapStats(streams=0)
+
+    # -- observability ---------------------------------------------------
+    def publish_shard_stats(self) -> float:
+        """Refresh the per-shard heat gauges and the imbalance ratio;
+        returns the ratio."""
+        per_shard = self.router.shard_heat()
+        for i, h in enumerate(per_shard):
+            self._g_heat.labels(shard=str(i)).set(float(h))
+        ratio = self.router.imbalance()
+        self._g_imbalance.set(ratio)
+        return ratio
+
+    def imbalance(self) -> float:
+        return self.router.imbalance()
+
+    # -- online rebalancing ----------------------------------------------
+    def rebalance(self, *, max_moves: Optional[int] = None) -> dict:
+        """Migrate hot partitions between shards to even out heat.
+
+        Protocol, in order:
+
+        1. **Drain** — every in-flight batch completes (simulated);
+           migrations never interleave with serving.
+        2. **Plan** — :meth:`ShardRouter.balanced_assignment` picks the
+           minimal-churn move set from the heat counters.
+        3. **Migrate** — the affected shards' host trees are flushed,
+           their items re-routed under the new table, and each affected
+           shard is rebuilt through the serialize/re-map path (fresh
+           tree, bulk populate, ``map_to_device``).  The simulated PCIe
+           cost of moving the records (device→host on the source, host→
+           device on the destination) is charged and reported.
+        4. **Reset** — heat counters clear so the next skew episode is
+           measured fresh.
+
+        Returns a summary dict; a no-op plan returns with
+        ``moved_partitions == 0`` and leaves every shard untouched.
+        """
+        imbalance_before = self.router.imbalance()
+        self.drain()
+        new_assignment, moves = self.router.balanced_assignment(
+            max_moves=max_moves
+        )
+        if not moves:
+            return {
+                "moved_partitions": 0, "moved_keys": 0, "migrated_bytes": 0,
+                "sim_transfer_s": 0.0, "affected_shards": [],
+                "imbalance_before": imbalance_before,
+                "imbalance_after": imbalance_before,
+            }
+        affected = sorted(
+            {src for _, src, _ in moves} | {dst for _, _, dst in moves}
+        )
+        with self.tracer.span(
+            "shard.rebalance",
+            {"moves": len(moves), "shards": len(affected)},
+        ):
+            partition_of = self.router.partition_of
+            final: dict[int, list] = {i: [] for i in affected}
+            moved_keys = 0
+            migrated_bytes = 0
+            for i in affected:
+                # reading .tree flushes the deferred write mirror first
+                for k, v in self.shards[i].tree.items():
+                    dst = int(new_assignment[partition_of(k)])
+                    final[dst].append((k, v))
+                    if dst != i:
+                        moved_keys += 1
+                        migrated_bytes += len(k) + 8
+            self.router.assignment = new_assignment
+            for i in affected:
+                shard = self.shards[i]
+                shard.tree = AdaptiveRadixTree()
+                shard.layout = None
+                shard.root_table = None
+                shard.populate(final[i])
+                shard.map_to_device()
+        # each record crosses the source link down and the destination
+        # link up; the two legs pipeline through host memory, so charge
+        # the slower leg plus one setup latency for the second
+        leg = self._pcie.transfer_time(migrated_bytes)
+        sim_transfer_s = leg + self._pcie.latency_s
+        self._m_rebalances.inc()
+        self._m_migrated.inc(moved_keys)
+        self._m_migration_us.inc(int(sim_transfer_s * 1e6))
+        self.router.reset_heat()
+        self.publish_shard_stats()
+        return {
+            "moved_partitions": len(moves),
+            "moved_keys": moved_keys,
+            "migrated_bytes": migrated_bytes,
+            "sim_transfer_s": sim_transfer_s,
+            "affected_shards": affected,
+            "imbalance_before": imbalance_before,
+            "imbalance_after": self.router.imbalance(),
+        }
+
+
+class ShardedMixedExecutor:
+    """Mixed-stream serving over a :class:`ShardedEngine`.
+
+    The stream is pre-split into per-shard sub-streams (routing is
+    deterministic per key, so per-key op order is preserved inside each
+    sub-stream) and each runs through its own
+    :class:`~repro.host.mixed.MixedWorkloadExecutor` — per-shard
+    coalescer, per-shard store-to-load forwarding overlay, per-shard
+    submit/drain pipeline.  A same-key conflict therefore only ever
+    cuts the owning shard's batches; the other shards keep coalescing.
+    Scans are global barriers: every pending sub-stream segment
+    executes and drains, then the sharded engine's merged range query
+    runs.
+
+    Reports merge with :meth:`MixedReport.merge` — shard segments are
+    concurrent (makespan = slowest shard), scan-delimited segments are
+    sequential (makespans add) — so ``report.stream_overlap`` is the
+    whole run's simulated device timeline.
+    """
+
+    def __init__(self, engine: ShardedEngine) -> None:
+        self.engine = engine
+        self.metrics = engine.metrics
+        self.tracer = engine.tracer
+        self._inner = [MixedWorkloadExecutor(s) for s in engine.shards]
+
+    def run(self, stream) -> tuple[list, MixedReport]:
+        """Execute the stream; returns (lookup results in stream order,
+        merged report) — the same contract as
+        :meth:`MixedWorkloadExecutor.run`."""
+        results: list = []
+        total = MixedReport()
+        segment: list = []
+        for kind, payload in stream:
+            if kind == "scan":
+                self._run_segment(segment, results, total)
+                segment = []
+                self._run_scan(payload, total)
+            else:
+                segment.append((kind, payload))
+        self._run_segment(segment, results, total)
+        total.latency_percentiles_by_op = self._merged_percentiles(total)
+        self.engine.publish_shard_stats()
+        return results, total
+
+    def _run_segment(self, ops: list, results: list, total: MixedReport
+                     ) -> None:
+        if not ops:
+            return
+        router = self.engine.router
+        subs: list[list] = [[] for _ in self._inner]
+        order: list[int] = []
+        for kind, payload in ops:
+            key = payload if kind in ("lookup", "delete") else payload[0]
+            sid = router.shard_of(key, record=True)
+            subs[sid].append((kind, payload))
+            if kind == "lookup":
+                order.append(sid)
+        queues: dict[int, object] = {}
+        seg: Optional[MixedReport] = None
+        for sid, sub in enumerate(subs):
+            if not sub:
+                continue
+            res, rep = self._inner[sid].run(sub)
+            queues[sid] = iter(res)
+            if seg is None:
+                seg = rep
+            else:
+                seg.merge(rep, concurrent=True)
+        for sid in order:
+            results.append(next(queues[sid]))
+        if seg is not None:
+            total.merge(seg, concurrent=False)
+
+    def _run_scan(self, payload, total: MixedReport) -> None:
+        if not (isinstance(payload, (tuple, list)) and len(payload) == 2):
+            raise ValueError(f"malformed scan payload {payload!r}")
+        lo, hi = payload
+        t0 = time.perf_counter()
+        with self.tracer.span("mixed.scan", {"n": 1}):
+            rows = self.engine.range(lo, hi)
+        dt = time.perf_counter() - t0
+        total.scans += 1
+        total.records_scanned += len(rows)
+        total.batches += 1
+        total.batches_by_op["scan"] = total.batches_by_op.get("scan", 0) + 1
+        total.wall_s["scan"] = total.wall_s.get("scan", 0.0) + dt
+        by = total.ops_by_status
+        by["OK"] = by.get("OK", 0) + 1
+
+    def _merged_percentiles(self, total: MixedReport) -> dict:
+        """Per-op latency summaries merged across shards.
+
+        The registry histograms are cumulative per shard (Prometheus
+        semantics), so read each shard's final summary once rather than
+        folding per-segment snapshots (which would double-count)."""
+        merged: dict = {}
+        for ex in self._inner:
+            for op in total.wall_s:
+                summary = ex.metrics.value("mixed_op_latency_us", op=op)
+                if summary and summary.get("count"):
+                    merged[op] = merge_percentile_summaries(
+                        merged.get(op), summary
+                    )
+        return merged

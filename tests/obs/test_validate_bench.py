@@ -102,6 +102,47 @@ def test_status_sum_mismatch_flagged():
     assert any("sums to" in p for p in vb.validate(doc))
 
 
+def _sharded_record() -> dict:
+    dev = {"mixed_sim_mops": 100.0, "update_sim_mops": 100.0}
+    return {
+        "wall_s": 1.0, "keys_per_sec": 1000.0, "n": 1000,
+        "devices": {
+            "1": dict(dev),
+            "4": {"mixed_sim_mops": 340.0, "update_sim_mops": 350.0},
+        },
+        "scaling": {"mixed_x4": 3.4, "update_x4": 3.5,
+                    "mixed_x8": 4.1, "update_x8": 5.8},
+        "lockstep": {"device_counts": [1, 2, 4, 8], "ok": True},
+        "rebalance": {"recovery_vs_uniform": 1.04,
+                      "imbalance_before": 3.4, "imbalance_after": 1.0},
+    }
+
+
+class TestShardedSchema:
+    def test_valid_sharded_record_passes(self):
+        doc = _minimal_doc()
+        doc["ops"]["mixed_sharded"] = _sharded_record()
+        assert vb.validate(doc) == []
+
+    def test_missing_scaling_flagged(self):
+        doc = _minimal_doc()
+        doc["ops"]["mixed_sharded"] = _sharded_record()
+        del doc["ops"]["mixed_sharded"]["scaling"]
+        assert any("mixed_sharded.scaling" in p for p in vb.validate(doc))
+
+    def test_lockstep_false_flagged(self):
+        doc = _minimal_doc()
+        doc["ops"]["mixed_sharded"] = _sharded_record()
+        doc["ops"]["mixed_sharded"]["lockstep"]["ok"] = False
+        assert any("lockstep" in p for p in vb.validate(doc))
+
+    def test_missing_rebalance_recovery_flagged(self):
+        doc = _minimal_doc()
+        doc["ops"]["mixed_sharded"] = _sharded_record()
+        del doc["ops"]["mixed_sharded"]["rebalance"]["recovery_vs_uniform"]
+        assert any("recovery_vs_uniform" in p for p in vb.validate(doc))
+
+
 class TestRegressionGate:
     def test_within_limit_passes(self):
         base, cur = _minimal_doc(), _minimal_doc()
@@ -136,3 +177,36 @@ class TestRegressionGate:
         cur = json.loads((root / "BENCH_pr5.json").read_text())
         base = json.loads((root / "BENCH_pr4.json").read_text())
         assert vb.compare(cur, base) == []
+
+    def test_write_scaling_below_gate_flagged(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        cur["ops"]["mixed_sharded"] = _sharded_record()
+        cur["ops"]["mixed_sharded"]["scaling"]["update_x4"] = 2.1
+        problems = vb.compare(cur, base)
+        assert any("update_x4" in p for p in problems)
+        cur["ops"]["mixed_sharded"]["scaling"]["update_x4"] = 3.5
+        assert vb.compare(cur, base) == []
+
+    def test_rebalance_recovery_below_gate_flagged(self):
+        base, cur = _minimal_doc(), _minimal_doc()
+        cur["ops"]["mixed"]["flush_reasons"]["write-dependency"] = 0
+        cur["ops"]["mixed_sharded"] = _sharded_record()
+        reb = cur["ops"]["mixed_sharded"]["rebalance"]
+        reb["recovery_vs_uniform"] = 0.5
+        problems = vb.compare(cur, base)
+        assert any("rebalance" in p for p in problems)
+        reb["recovery_vs_uniform"] = 0.95
+        assert vb.compare(cur, base) == []
+
+    def test_committed_pr7_passes_gate_vs_pr6(self):
+        # lookup_zipf/mixed/update allow-listed to mirror the CI gate:
+        # the PR 7 diff is additive outside the sharding module and the
+        # drift is recording-machine state (see ci.yml measurements)
+        root = _SCRIPT.parents[1]
+        cur = json.loads((root / "BENCH_pr7.json").read_text())
+        base = json.loads((root / "BENCH_pr6.json").read_text())
+        assert vb.validate(cur) == []
+        assert vb.compare(
+            cur, base, allow=("lookup_zipf", "mixed", "update")
+        ) == []
