@@ -46,6 +46,11 @@ try:  # fault-tolerance layer (PR 4); absent on older checkouts
 except ImportError:  # pragma: no cover - baseline-checkout compatibility
     FaultConfig = ResiliencePolicy = None
 
+try:  # flight recorder + critical-path attribution (PR 8)
+    from repro.obs import FlightRecorder, attribute_stats
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    FlightRecorder = attribute_stats = None
+
 try:  # key-space sharding layer (PR 7); absent on older checkouts
     from repro.host.sharding import (
         ShardedEngine,
@@ -85,8 +90,8 @@ SH_REBALANCE_OPS = 32768
 def _engine(**kwargs) -> CuartEngine:
     """Build an engine, dropping kwargs older engines don't know."""
     # drop newest-first so an older engine keeps the kwargs it does know
-    for drop in ("hash_table", "resilience", "faults", "tracer", "metrics",
-                 "cache_size", None):
+    for drop in ("flight_recorder", "hash_table", "resilience", "faults",
+                 "tracer", "metrics", "cache_size", None):
         try:
             return CuartEngine(batch_size=BATCH_SIZE, **kwargs)
         except TypeError:
@@ -106,7 +111,8 @@ def _op(wall_s: float, n: int) -> dict:
 
 
 def run(scale: int, label: str, trace_path: str | None = None,
-        fault_rate: float = 0.0, fault_seed: int = 1234) -> dict:
+        fault_rate: float = 0.0, fault_seed: int = 1234,
+        flight: bool = False, flight_dump: str | None = None) -> dict:
     n = max(PAPER_KEYS // scale, 1024)
     keys = random_keys(n, KEY_LEN, seed=SEED)
     items = [(k, i) for i, k in enumerate(keys)]
@@ -122,6 +128,12 @@ def run(scale: int, label: str, trace_path: str | None = None,
         obs_kwargs["metrics"] = registry
     if tracer is not None:
         obs_kwargs["tracer"] = tracer
+    # per-op flight recorder (PR 8): opt-in — the default path must stay
+    # on the allocation-free NULL_FLIGHT_RECORDER fast path
+    flight_rec = None
+    if flight and FlightRecorder is not None:
+        flight_rec = FlightRecorder(capacity=8192, dump_path=flight_dump)
+        obs_kwargs["flight_recorder"] = flight_rec
     # fault-injection soak mode (PR 4): inject transient device faults at
     # the given rate and serve through the resilience layer; the oracle
     # asserts below still hold — faults must never corrupt results
@@ -196,8 +208,9 @@ def run(scale: int, label: str, trace_path: str | None = None,
     # into tiny per-run batches, and 16Ki ops measure the dispatch path
     mix = QueryMix(lookups=0.70, updates=0.25, deletes=0.05)
     stream = mixed_queries(keys, min(n // 4, 16384), mix, seed=17)
+    mx = MixedWorkloadExecutor(eng)
     t0 = time.perf_counter()
-    _, report = MixedWorkloadExecutor(eng).run(stream)
+    _, report = mx.run(stream)
     ops["mixed"] = _op(time.perf_counter() - t0, report.operations)
     ops["mixed"]["batches"] = report.batches
     ops["mixed"]["batches_issued"] = report.batches
@@ -223,6 +236,23 @@ def run(scale: int, label: str, trace_path: str | None = None,
     overlap = getattr(report, "stream_overlap", None)
     if overlap:  # PR 5 executors: multi-stream pipelining accounting
         ops["mixed"]["stream_overlap"] = dict(overlap)
+    # critical-path attribution (PR 8): reconstruct, per stream window,
+    # which stage bound the makespan; the walk's stage intervals must
+    # partition [0, makespan] exactly, so reconciliation is a hard gate
+    ostats = getattr(mx, "last_overlap_stats", None)
+    if (attribute_stats is not None and ostats is not None
+            and getattr(ostats, "events", None)):
+        cp = attribute_stats(ostats)
+        span = ostats.makespan_s
+        drift = abs(cp.total_stage_s - span) / max(span, 1e-12)
+        assert drift < 0.01, (
+            f"critical-path stage totals ({cp.total_stage_s:.6f}s) do not "
+            f"reconcile with the stream makespan ({span:.6f}s): "
+            f"{drift:.2%} drift"
+        )
+        ops["mixed"]["critical_path"] = cp.as_dict()
+    if flight_rec is not None:
+        ops["mixed"]["flight"] = flight_rec.summary()
     if pcts and "delete" in pcts and "lookup" in pcts:
         # delete tail-latency regression gate: grouping the parent-unlink
         # scatters by present node type keeps the delete p95 within a
@@ -270,6 +300,10 @@ def run(scale: int, label: str, trace_path: str | None = None,
 
     if tracer is not None and trace_path:
         write_chrome_trace(tracer, trace_path)
+    if flight_rec is not None and flight_dump:
+        # end-of-run black box: always leave an artifact even when no
+        # fault-burst / p99 trigger fired during the run
+        flight_rec.dump("end-of-run", {"label": label, "scale": scale})
 
     headline_s = ops["populate"]["wall_s"] + ops["lookup_zipf"]["wall_s"]
     return {
@@ -439,6 +473,14 @@ def _sharded_scenario(items: list, keys: list,
             "streams": st.streams,
             "imbalance": round(eng.imbalance(), 4),
         }
+        if (nd == 4 and attribute_stats is not None
+                and getattr(st, "shard_parts", None)):
+            # shard-skew attribution at the headline device count: the
+            # merged-parallel stats carry per-shard windows, so the
+            # report splits makespan into stages + skew vs slowest shard
+            devices[str(nd)]["update_critical_path"] = (
+                attribute_stats(st).as_dict()
+            )
 
     d1, d4, d8 = devices["1"], devices["4"], devices["8"]
     scaling = {
@@ -547,6 +589,13 @@ def main(argv=None) -> int:
                          "layer (0 = off)")
     ap.add_argument("--fault-seed", type=int, default=1234,
                     help="seed of the fault injector's random stream")
+    ap.add_argument("--flight-recorder", action="store_true",
+                    help="thread a per-op flight recorder through the "
+                         "mixed stream and embed its summary plus the "
+                         "critical-path attribution in the JSON")
+    ap.add_argument("--flight-dump", default=None, metavar="PATH",
+                    help="write the flight recorder's black-box dump "
+                         "here (implies --flight-recorder)")
     args = ap.parse_args(argv)
     if args.scale < 1:
         ap.error(f"--scale must be >= 1, got {args.scale}")
@@ -558,11 +607,17 @@ def main(argv=None) -> int:
         ap.error(f"--baseline file not found: {args.baseline}")
     if args.trace and Tracer is None:
         ap.error("--trace needs the repro.obs package on PYTHONPATH")
+    if args.flight_dump:
+        args.flight_recorder = True
+    if args.flight_recorder and FlightRecorder is None:
+        ap.error("--flight-recorder needs repro.obs.flightrec on PYTHONPATH")
 
     runs = [
         run(args.scale, args.label,
             trace_path=args.trace if i == 0 else None,
-            fault_rate=args.fault_rate, fault_seed=args.fault_seed)
+            fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+            flight=args.flight_recorder,
+            flight_dump=args.flight_dump if i == 0 else None)
         for i in range(args.repeats)
     ]
     result = merge_min(runs)
@@ -592,6 +647,11 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     if args.trace:
         print(f"wrote {args.trace} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.flight_dump:
+        print(f"wrote {args.flight_dump} (flight-recorder black box)")
+    cp = result["ops"].get("mixed", {}).get("critical_path")
+    if cp:
+        print(f"  mixed critical-path bottleneck: {cp['bottleneck']}")
     for op, rec in result["ops"].items():
         rate = rec["keys_per_sec"]
         print(f"  {op:16s} {rec['wall_s']:8.3f}s  "

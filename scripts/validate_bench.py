@@ -295,6 +295,26 @@ def compare(
     return problems
 
 
+def _print_attribution(base: dict, doc: dict) -> None:
+    """Best-effort stage attribution of a failed baseline gate via
+    bench_diff (loaded from this script's directory, since the test
+    suite imports this file by path rather than as a package)."""
+    try:
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_diff",
+            pathlib.Path(__file__).resolve().parent / "bench_diff.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        print(mod.render_text(mod.diff_docs(base, doc)), file=sys.stderr)
+    except Exception as exc:  # pragma: no cover - triage is best-effort
+        print(f"(bench_diff attribution unavailable: {exc})",
+              file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("bench", help="candidate BENCH JSON to validate")
@@ -338,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
     if doc is None:
         return 1
     problems = validate(doc)
+    base = None
     if args.baseline and not problems:
         base = _load(args.baseline)
         if base is None:
@@ -354,6 +375,12 @@ def main(argv: list[str] | None = None) -> int:
     if problems:
         for p in problems:
             print(f"{args.bench}: {p}", file=sys.stderr)
+        if base is not None:
+            # a failed baseline gate prints the bench_diff stage
+            # attribution so CI says *which stage* ate the time, not
+            # just that an op got slower; triage must never mask the
+            # gate, so any attribution failure is swallowed
+            _print_attribution(base, doc)
         print(f"{args.bench}: INVALID ({len(problems)} problem(s))",
               file=sys.stderr)
         return 1

@@ -88,6 +88,19 @@ class StreamEvent:
         return self.h2d_s + self.kernel_s + self.d2h_s
 
 
+@dataclass(frozen=True)
+class ShardWindow:
+    """One concurrent device's share of a parallel fold: enough of its
+    pre-merge :class:`StreamOverlapStats` to reconstruct its critical
+    path (:mod:`repro.obs.critical_path`) after
+    :meth:`StreamOverlapStats.merge_parallel` collapsed the numbers."""
+
+    makespan_s: float
+    streams: int
+    events: list
+    window_starts: list
+
+
 @dataclass
 class StreamOverlapStats:
     """Aggregate overlap accounting of one submit/drain window."""
@@ -99,6 +112,23 @@ class StreamOverlapStats:
     #: makespan: staging of batch *i+1* overlaps batch *i*'s kernel).
     makespan_s: float = 0.0
     streams: int = 2
+    #: the window's :class:`StreamEvent` timeline (window-relative
+    #: clocks), retained so :mod:`repro.obs.critical_path` can
+    #: reconstruct which stage bound the makespan.  Excluded from
+    #: :meth:`as_dict` and from equality.
+    events: list = field(default_factory=list, repr=False, compare=False)
+    #: after :meth:`add_window` folds, the :attr:`events` index where
+    #: each *subsequent* window begins (the first window starts at 0;
+    #: each window keeps its own relative clock).
+    window_starts: list = field(
+        default_factory=list, repr=False, compare=False
+    )
+    #: after :meth:`merge_parallel` folds, one :class:`ShardWindow` per
+    #: concurrent device (the per-shard timelines the max-makespan fold
+    #: would otherwise lose).  Empty while no parallel fold happened.
+    shard_parts: list = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def saved_s(self) -> float:
@@ -118,6 +148,18 @@ class StreamOverlapStats:
         self.batches += other.batches
         self.serial_s += other.serial_s
         self.makespan_s += other.makespan_s
+        if other.events:
+            off = len(self.events)
+            if self.events:
+                self.window_starts.append(off)
+            self.window_starts.extend(b + off for b in other.window_starts)
+            self.events.extend(other.events)
+
+    def _as_part(self) -> ShardWindow:
+        return ShardWindow(
+            makespan_s=self.makespan_s, streams=self.streams,
+            events=self.events, window_starts=list(self.window_starts),
+        )
 
     def merge_parallel(self, other: "StreamOverlapStats") -> None:
         """Fold a *concurrent* window into this one.  The windows ran on
@@ -126,6 +168,15 @@ class StreamOverlapStats:
         device — while serial cost and batch counts still add.  This is
         the device-scaling primitive: N balanced shards each doing 1/N
         of the serial work leave the makespan ~flat."""
+        # move both timelines into per-device parts before the numeric
+        # fold erases which device they belonged to
+        if not self.shard_parts and (self.events or self.batches):
+            self.shard_parts.append(self._as_part())
+            self.events, self.window_starts = [], []
+        if other.shard_parts:
+            self.shard_parts.extend(other.shard_parts)
+        elif other.events or other.batches:
+            self.shard_parts.append(other._as_part())
         self.batches += other.batches
         self.serial_s += other.serial_s
         self.makespan_s = max(self.makespan_s, other.makespan_s)
@@ -212,10 +263,12 @@ class StreamScheduler:
         st.makespan_s = max(st.makespan_s, done)
         if self._m_batches is not None:
             self._m_batches.inc()
-        return StreamEvent(
+        ev = StreamEvent(
             op=op, h2d_s=h2d_s, kernel_s=kernel_s, d2h_s=d2h_s,
             copy_start_s=copy_start, kernel_start_s=kernel_start, done_s=done,
         )
+        st.events.append(ev)
+        return ev
 
     def drain(self) -> StreamOverlapStats:
         """Close the window: return the accumulated overlap stats and

@@ -154,6 +154,9 @@ class OpClassCoalescer:
         self._kind_of_bit: dict[int, str] = {}
         #: direct ordering edges: ``preds[q]`` must all flush before q.
         self._preds: dict[str, set] = {}
+        #: running count of flushed batches (stable batch-id sequence
+        #: for the flight recorder, regardless of flush reason).
+        self.batches_flushed = 0
         if metrics is None:
             metrics = MetricsRegistry()
         self.metrics = metrics
@@ -226,9 +229,16 @@ class OpClassCoalescer:
                 break
         return out
 
+    def queue_len(self, kind: str) -> int:
+        """Current depth of one class queue (the flight recorder reads
+        this to stamp an op's queue position at enqueue time)."""
+        q = self._queues.get(kind)
+        return len(q) if q is not None else 0
+
     def _pop_queue(self, kind: str) -> list:
         """Remove one class queue and every trace of it (pending-key
         bits, ordering edges, arrival order)."""
+        self.batches_flushed += 1
         q = self._queues.pop(kind)
         self._order.remove(kind)
         bit = self._bit_of[kind]

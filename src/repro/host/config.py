@@ -75,6 +75,9 @@ class EngineConfig:
     #: the no-op tracer.
     metrics: Optional[MetricsRegistry] = None
     tracer: object = None
+    #: per-op flight recorder (:class:`repro.obs.flightrec.
+    #: FlightRecorder`); None = the allocation-free null recorder.
+    flight_recorder: object = None
     #: deterministic fault injection (None = a cooperative device).
     faults: Optional[FaultConfig] = None
     #: retry / degrade / recovery policy (None = faults propagate as

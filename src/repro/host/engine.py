@@ -83,6 +83,7 @@ from repro.host.results import (
     status_codes,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.flightrec import NULL_FLIGHT_RECORDER
 from repro.obs.tracing import NULL_TRACER
 from repro.util.keys import keys_to_matrix
 
@@ -165,6 +166,16 @@ class _EngineBase:
             config.metrics if config.metrics is not None else MetricsRegistry()
         )
         self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
+        #: per-op flight recorder (repro.obs.flightrec); the null
+        #: singleton keeps the disabled path allocation-free.
+        self.flight = (
+            config.flight_recorder
+            if config.flight_recorder is not None
+            else NULL_FLIGHT_RECORDER
+        )
+        #: StreamEvents of the most recent ``submit`` call (the flight
+        #: recorder maps records onto device sub-batches through this).
+        self.last_events: list = []
         m = self.metrics
         self._m_queries = m.counter(
             "engine_queries_total", "queries served, by operation",
@@ -319,6 +330,7 @@ class _EngineBase:
             )
         result = op(payloads)
         rep = self.last_report
+        events: list = []
         if rep is not None and rep.operation == kind and rep.batches > 0:
             if kind in ("update", "insert"):
                 width = max((len(k) for k, _ in payloads), default=1)
@@ -328,10 +340,11 @@ class _EngineBase:
             per_batch_q = max(rep.queries // rep.batches, 1)
             h2d_s, d2h_s = self._pcie.batch_transfer_times(per_batch_q, width)
             for _ in range(rep.batches):
-                self.streams.submit(
+                events.append(self.streams.submit(
                     kind, h2d_s=h2d_s, kernel_s=rep.kernel_s_per_batch,
                     d2h_s=d2h_s,
-                )
+                ))
+        self.last_events = events
         return result
 
     def drain(self) -> StreamOverlapStats:
@@ -437,7 +450,8 @@ class CuartEngine(_EngineBase):
         )
         self._dispatcher: Optional[ResilientDispatcher] = (
             ResilientDispatcher(
-                config.resilience, metrics=self.metrics, tracer=self.tracer
+                config.resilience, metrics=self.metrics, tracer=self.tracer,
+                flight=self.flight,
             )
             if config.resilience is not None else None
         )

@@ -33,10 +33,14 @@ import numpy as np
 
 from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
+from repro.host.results import OpStatus
 
 #: shared overlay entry for a pending delete (avoids one tuple
 #: allocation per delete in the executor's hot loop).
 _ABSENT = ("absent", None)
+#: OpStatus code -> name, for flight-record stamping.
+_STATUS_NAMES = {int(s): s.name for s in OpStatus}
+from repro.obs.flightrec import NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 
@@ -212,14 +216,21 @@ class MixedWorkloadExecutor:
     ``scan`` streams (the YCSB-profile op set,
     :mod:`repro.workloads.ycsb`)."""
 
-    def __init__(self, engine: CuartEngine) -> None:
+    def __init__(self, engine: CuartEngine, *, shard=None) -> None:
         self.engine = engine
+        #: shard id stamped onto flight records (set by the sharded
+        #: executor; None when serving a single device).
+        self.shard = shard
         #: shares the engine's observability surface so executor, engine,
         #: cache and write-kernel series land in one registry snapshot.
         self.metrics: MetricsRegistry = getattr(
             engine, "metrics", None
         ) or MetricsRegistry()
         self.tracer = getattr(engine, "tracer", None) or NULL_TRACER
+        self.flight = getattr(engine, "flight", None) or NULL_FLIGHT_RECORDER
+        #: StreamOverlapStats of the last run (with per-window event
+        #: timelines) — feed to repro.obs.critical_path.attribute_stats.
+        self.last_overlap_stats = None
         self._m_latency = self.metrics.histogram(
             "mixed_op_latency_us",
             "measured host wall-clock per op through the mixed executor",
@@ -255,6 +266,69 @@ class MixedWorkloadExecutor:
         if getattr(engine, "drain", None) is None:
             submit = None
         overlap = None
+        # flight recording: one hoisted bool keeps the disabled path at
+        # a single truthiness check per op (NULL_FLIGHT_RECORDER is the
+        # allocation-free NullTracer pattern).
+        flight = self.flight
+        fl_on = flight.enabled
+        fr_begin = flight.begin
+        shard = self.shard
+        #: sampled records awaiting their class queue's flush, in queue
+        #: order (only sampled ops appear, so never count-match these
+        #: against payload lists — records carry their queue_pos).
+        pending_fr: dict = {}
+        #: records whose batch already flushed, keyed by the flushed
+        #: payload list's id (popped by execute immediately after).
+        batch_fr: dict = {}
+
+        def fr_enqueue(kind: str, key, payload_obj, batches) -> None:
+            """Create this op's record (sampling permitting) and migrate
+            records of any just-flushed class queues onto their payload
+            lists, so execute() can stamp them."""
+            rec = fr_begin(kind, key, shard)
+            placed = rec is None
+            for k, ps in batches:
+                moved = pending_fr.pop(k, None)
+                mine = (
+                    not placed and k == kind and ps and ps[-1] is payload_obj
+                )
+                if moved or mine:
+                    tgt = batch_fr.setdefault(id(ps), [])
+                    if moved:
+                        tgt.extend(moved)
+                    if mine:
+                        # the op that triggered the size-full flush rides
+                        # in the returned batch itself
+                        rec.queue_pos = len(ps) - 1
+                        tgt.append(rec)
+                        placed = True
+            if not placed:
+                rec.queue_pos = coal.queue_len(kind) - 1
+                pending_fr.setdefault(kind, []).append(rec)
+
+        def fr_complete(kind: str, payloads: list, res, td: float) -> None:
+            """Stamp the batch's sampled records with dispatch time,
+            status/attempts and the simulated device-stage timeline."""
+            recs = batch_fr.pop(id(payloads), None)
+            pend = pending_fr.pop(kind, None)
+            if pend:
+                recs = recs + pend if recs else pend
+            if not recs:
+                return
+            statuses = attempts = None
+            if res is not None:
+                codes = getattr(res, "status", None)
+                if codes is not None:
+                    statuses = [
+                        _STATUS_NAMES.get(int(c), str(c)) for c in codes
+                    ]
+                attempts = getattr(res, "attempts", None)
+            flight.complete(
+                recs, batch_id=coal.batches_flushed, t_dispatch_us=td,
+                statuses=statuses, attempts=attempts,
+                sim_events=getattr(engine, "last_events", None),
+                batch_size=len(payloads),
+            )
 
         def dispatch(kind: str, payloads: list):
             if submit is not None:
@@ -275,9 +349,13 @@ class MixedWorkloadExecutor:
 
         def execute(kind: str, payloads: list) -> None:
             t0 = time.perf_counter()
+            res = None
+            td = flight.now_us() if fl_on else 0.0
             with tracer.span(f"mixed.{kind}", {"n": len(payloads)}):
                 if kind == "lookup":
-                    values = dispatch("lookup", [p[0] for p in payloads])
+                    values = res = dispatch(
+                        "lookup", [p[0] for p in payloads]
+                    )
                     for (_, seq), v in zip(payloads, values):
                         results[seq] = v
                     report.lookups += len(payloads)
@@ -286,14 +364,14 @@ class MixedWorkloadExecutor:
                     report.misses += len(payloads) - hits
                     _tally_status(report, values, len(payloads))
                 elif kind == "update":
-                    found = dispatch("update", payloads)
+                    found = res = dispatch("update", payloads)
                     report.updates += len(payloads)
                     report.update_misses += (
                         len(payloads) - _found_count(found)
                     )
                     _tally_status(report, found, len(payloads))
                 elif kind == "insert":
-                    out = dispatch("insert", payloads)
+                    out = res = dispatch("insert", payloads)
                     report.inserts += len(payloads)
                     summary = getattr(out, "summary", None)
                     report.inserts_deferred += (
@@ -308,12 +386,14 @@ class MixedWorkloadExecutor:
                     report.scans += len(payloads)
                     _tally_status(report, None, len(payloads))
                 else:  # delete
-                    found = dispatch("delete", payloads)
+                    found = res = dispatch("delete", payloads)
                     report.deletes += len(payloads)
                     report.delete_misses += (
                         len(payloads) - _found_count(found)
                     )
                     _tally_status(report, found, len(payloads))
+            if fl_on:
+                fr_complete(kind, payloads, res, td)
             dt = time.perf_counter() - t0
             report.batches += 1
             report.batches_by_op[kind] = report.batches_by_op.get(kind, 0) + 1
@@ -350,12 +430,16 @@ class MixedWorkloadExecutor:
                 hit = exists_memo[key] = contains(key)
             return hit
 
-        def forward(kind: str, ok: bool) -> None:
+        def forward(kind: str, key, ok: bool) -> None:
             report.forwarded[kind] = report.forwarded.get(kind, 0) + 1
             self._m_forwarded.labels(op=kind).inc()
             by = report.ops_by_status
             name = "OK" if ok else "NOT_FOUND"
             by[name] = by.get(name, 0) + 1
+            if fl_on:
+                rec = fr_begin(kind, key, shard)
+                if rec is not None:
+                    flight.complete_forwarded(rec, ok)
 
         # hot loop: branches ordered by op frequency, bound locals, and
         # a forwarding fast path of one dict probe per op (the overlay
@@ -370,9 +454,11 @@ class MixedWorkloadExecutor:
                 st = overlay_get(payload)
                 if st is None:
                     results_append(None)
-                    for k, ps in coal_add(
-                        "lookup", payload, (payload, len(results) - 1)
-                    ):
+                    pl = (payload, len(results) - 1)
+                    batches = coal_add("lookup", payload, pl)
+                    if fl_on:
+                        fr_enqueue("lookup", payload, pl, batches)
+                    for k, ps in batches:
                         execute(k, ps)
                 else:
                     status, val = st
@@ -381,11 +467,11 @@ class MixedWorkloadExecutor:
                     ):
                         results_append(val)
                         report.hits += 1
-                        forward("lookup", True)
+                        forward("lookup", payload, True)
                     else:
                         results_append(None)
                         report.misses += 1
-                        forward("lookup", False)
+                        forward("lookup", payload, False)
                     report.lookups += 1
             elif kind == "update":
                 key = payload[0]
@@ -398,28 +484,37 @@ class MixedWorkloadExecutor:
                     # never resurrect — skip the device entirely
                     report.updates += 1
                     report.update_misses += 1
-                    forward("update", False)
+                    forward("update", key, False)
                     continue
                 else:
                     overlay[key] = (st[0], payload[1])
-                for k, ps in coal_add("update", key, payload):
+                batches = coal_add("update", key, payload)
+                if fl_on:
+                    fr_enqueue("update", key, payload, batches)
+                for k, ps in batches:
                     execute(k, ps)
             elif kind == "delete":
                 st = overlay_get(payload)
                 if st is not None and st[0] == "absent":
                     report.deletes += 1
                     report.delete_misses += 1
-                    forward("delete", False)
+                    forward("delete", payload, False)
                     continue
                 if fwd:
                     overlay[payload] = _ABSENT
-                for k, ps in coal_add("delete", payload, payload):
+                batches = coal_add("delete", payload, payload)
+                if fl_on:
+                    fr_enqueue("delete", payload, payload, batches)
+                for k, ps in batches:
                     execute(k, ps)
             elif kind == "insert":
                 key = payload[0]
                 if fwd:
                     overlay[key] = ("present", payload[1])
-                for k, ps in coal_add("insert", key, payload):
+                batches = coal_add("insert", key, payload)
+                if fl_on:
+                    fr_enqueue("insert", key, payload, batches)
+                for k, ps in batches:
                     execute(k, ps)
             elif kind == "scan":
                 # a range touches an unbounded key set: full barrier,
@@ -430,12 +525,19 @@ class MixedWorkloadExecutor:
                 for k, ps in coal.drain():
                     execute(k, ps)
                 close_window()
-                execute("scan", [tuple(payload)])
+                pl = [tuple(payload)]
+                if fl_on:
+                    rec = fr_begin("scan", payload[0], shard)
+                    if rec is not None:
+                        rec.queue_pos = 0
+                        batch_fr[id(pl)] = [rec]
+                execute("scan", pl)
             else:
                 raise ValueError(f"unknown operation {kind!r}")
         for k, ps in coal.drain():
             execute(k, ps)
         close_window()
+        self.last_overlap_stats = overlap
         if overlap is not None:
             report.stream_overlap = overlap.as_dict()
 

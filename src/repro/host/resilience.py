@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import ReproError, SimulationError
+from repro.obs.flightrec import NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.util.rng import DEFAULT_SEED, make_rng
@@ -173,11 +174,15 @@ class ResilientDispatcher:
         *,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        flight=None,
     ) -> None:
         self.policy = policy
         self.health = DeviceHealth(policy.unhealthy_after)
         self.rng = make_rng(policy.seed)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: flight recorder (repro.obs.flightrec): retry / exhaustion /
+        #: degrade events feed its fault-burst black-box trigger.
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
         #: total backoff charged but not slept (simulate_backoff=True).
         self.simulated_backoff_s = 0.0
         m = metrics if metrics is not None else MetricsRegistry()
@@ -246,6 +251,7 @@ class ResilientDispatcher:
                             {"op": op, "attempts": attempt,
                              "error": type(exc).__name__},
                         )
+                        self.flight.note_fault(op, "exhausted")
                         return None, attempt
                     raise
                 if (
@@ -258,6 +264,7 @@ class ResilientDispatcher:
                         "resilience.recovered",
                         {"op": op, "error": type(exc).__name__},
                     )
+                    self.flight.note_fault(op, "recovered")
                     continue
                 raise
             else:
@@ -273,6 +280,7 @@ class ResilientDispatcher:
             {"op": op, "attempt": attempt, "backoff_s": d,
              "error": type(exc).__name__},
         )
+        self.flight.note_fault(op, "retry")
         if self.policy.simulate_backoff:
             self.simulated_backoff_s += d
         else:  # pragma: no cover - wall-clock mode
@@ -283,6 +291,7 @@ class ResilientDispatcher:
         """One batch was (or will be) served by the CPU path."""
         self._m_degraded.labels(op=op).inc()
         self.health.degraded_calls += 1
+        self.flight.note_fault(op, "degraded")
 
     def due_probe(self) -> bool:
         """Probe cadence while the circuit is open: the first degraded

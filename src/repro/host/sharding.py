@@ -67,6 +67,7 @@ from repro.host.mixed import (
     merge_percentile_summaries,
 )
 from repro.host.results import BatchResult
+from repro.obs.flightrec import NULL_FLIGHT_RECORDER
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 
@@ -260,19 +261,33 @@ class ShardedEngine:
             config.metrics if config.metrics is not None else MetricsRegistry()
         )
         self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
+        self.flight = (
+            config.flight_recorder
+            if config.flight_recorder is not None
+            else NULL_FLIGHT_RECORDER
+        )
         self.router = ShardRouter(self.sharding)
         self.last_report = None
         self._pcie = link_for_device(config.device.name)
         self.shards: list[CuartEngine] = []
+        subtrack = getattr(self.tracer, "subtrack", None)
         for i in range(self.sharding.n_shards):
             faults = config.faults
             if faults is not None and faults.enabled:
                 # independent fault streams per simulated device
                 faults = replace(faults, seed=faults.seed + 1000 * i)
+            # each shard traces onto its own pair of named tracks
+            # (shardN/host, shardN/gpu-sim) so a chrome trace shows the
+            # simulated devices side by side instead of collapsed onto
+            # one host track; every event carries the shard id
+            shard_tracer = (
+                subtrack(f"shard{i}", {"shard": i})
+                if subtrack is not None else self.tracer
+            )
             self.shards.append(CuartEngine(replace(
                 config,
                 metrics=self.metrics.scoped(shard=str(i)),
-                tracer=self.tracer,
+                tracer=shard_tracer,
                 faults=faults,
             )))
         m = self.metrics
@@ -603,7 +618,10 @@ class ShardedMixedExecutor:
         self.engine = engine
         self.metrics = engine.metrics
         self.tracer = engine.tracer
-        self._inner = [MixedWorkloadExecutor(s) for s in engine.shards]
+        self._inner = [
+            MixedWorkloadExecutor(s, shard=i)
+            for i, s in enumerate(engine.shards)
+        ]
 
     def run(self, stream) -> tuple[list, MixedReport]:
         """Execute the stream; returns (lookup results in stream order,

@@ -16,9 +16,15 @@ Three pieces:
   "simulated kernel" events fed from the GPU cost model; the module
   singleton :data:`NULL_TRACER` makes disabled tracing allocation-free;
 * exporters (:mod:`repro.obs.export`) — JSON snapshot, Prometheus text
-  exposition, and chrome://tracing trace-event JSON.
+  exposition, and chrome://tracing trace-event JSON;
+* :class:`FlightRecorder` (:mod:`repro.obs.flightrec`) — bounded,
+  samplable per-op flight records with black-box dumps; the disabled
+  singleton :data:`NULL_FLIGHT_RECORDER` is allocation-free;
+* :mod:`repro.obs.critical_path` — per-window critical-path and
+  stage-breakdown attribution over ``StreamOverlapStats`` timelines.
 
-See ``docs/observability.md`` for the metric catalog.
+See ``docs/observability.md`` for the metric catalog and the stage
+taxonomy.
 """
 
 from repro.obs.metrics import (
@@ -29,12 +35,25 @@ from repro.obs.metrics import (
     MetricsRegistry,
     OCCUPANCY_BUCKETS,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer, TracerView
 from repro.obs.export import (
     chrome_trace,
     snapshot_json,
     to_prometheus,
     write_chrome_trace,
+)
+from repro.obs.flightrec import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecord,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+from repro.obs.critical_path import (
+    CriticalPathReport,
+    WindowAttribution,
+    attribute_stats,
+    attribute_window,
+    stage_breakdown,
 )
 
 __all__ = [
@@ -47,6 +66,16 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Tracer",
+    "TracerView",
+    "NULL_FLIGHT_RECORDER",
+    "FlightRecord",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "CriticalPathReport",
+    "WindowAttribution",
+    "attribute_stats",
+    "attribute_window",
+    "stage_breakdown",
     "chrome_trace",
     "snapshot_json",
     "to_prometheus",

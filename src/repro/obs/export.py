@@ -93,7 +93,10 @@ _TRACK_NAMES = {HOST_TRACK: "host", GPU_TRACK: "gpu-sim"}
 
 def chrome_trace(tracer) -> dict:
     """Trace-event-format document; load via chrome://tracing or
-    https://ui.perfetto.dev."""
+    https://ui.perfetto.dev.  Tracks come from the tracer's
+    ``track_names`` table when present (per-shard subtracks), else the
+    two defaults."""
+    names = getattr(tracer, "track_names", None) or _TRACK_NAMES
     meta = [
         {
             "name": "thread_name",
@@ -102,7 +105,7 @@ def chrome_trace(tracer) -> dict:
             "tid": tid,
             "args": {"name": label},
         }
-        for tid, label in _TRACK_NAMES.items()
+        for tid, label in sorted(names.items())
     ] + [
         {
             "name": "process_name",

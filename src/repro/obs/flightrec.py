@@ -1,0 +1,405 @@
+"""Per-operation flight recorder (bounded, samplable "black box").
+
+The spans/metrics layer (:mod:`repro.obs.tracing`,
+:mod:`repro.obs.metrics`) answers *how much* — aggregate latency
+percentiles, counter totals.  The flight recorder answers *which op*:
+one structured :class:`FlightRecord` per (sampled) operation, threaded
+through the whole serving pipeline and stamped at each stage:
+
+    enqueue -> coalescer residence -> dispatch (dedup + H2D + kernel
+    + D2H, from the batch's simulated :class:`~repro.gpusim.streams.
+    StreamEvent`) -> merge / forwarded
+
+plus retry/degrade/exhaustion events observed by
+:class:`~repro.host.resilience.ResilientDispatcher`.  Records live in a
+bounded ring buffer (``capacity`` newest records) and can be sampled
+(``sample_every=N`` keeps every Nth op) so the recorder is safe to leave
+on in perf runs.
+
+A "black box" dump — a JSON-able snapshot of the ring plus the trigger
+context — fires automatically on
+
+* a **fault burst**: ``fault_burst`` resilience events within a window
+  of ``fault_window`` operations, or
+* a **p99 breach**: the rolling p99 of completed-op host latency
+  exceeding ``p99_threshold_us``.
+
+Dumps accumulate on :attr:`FlightRecorder.dumps` and are written to
+``dump_path`` (suffixed per trigger) when one is configured.
+
+The disabled path mirrors the ``NULL_TRACER`` pattern:
+:data:`NULL_FLIGHT_RECORDER` is a shared singleton whose hot-path
+methods (``begin`` / ``note_fault``) return constants and allocate
+nothing, so instrumented code pays one attribute load + truthiness
+check when recording is off (verified by a tracemalloc test).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from collections import deque
+
+#: ordered stage taxonomy (documented in docs/observability.md); the
+#: sim_* stage stamps come from the batch's StreamEvent, everything
+#: else from the host wall clock.
+STAGES = (
+    "enqueue",       # op accepted by the executor, record created
+    "queue-wait",    # coalescer residence: enqueue -> dispatch
+    "dispatch",      # batch flushed to the engine (dedup runs here)
+    "h2d",           # simulated host->device PCIe copy
+    "kernel",        # simulated device kernel (incl. dedup hash table)
+    "d2h",           # simulated device->host PCIe copy
+    "complete",      # results merged back / op forwarded host-side
+)
+
+
+def _key_hash(key) -> int:
+    """Stable 32-bit content hash of an op's key (``hash()`` is
+    per-process salted for str/bytes, useless for cross-run triage)."""
+    if key is None:
+        return 0
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        return zlib.crc32(key) & 0xFFFFFFFF
+    return zlib.crc32(repr(key).encode()) & 0xFFFFFFFF
+
+
+class FlightRecord:
+    """One operation's flight through the pipeline.  Mutable slots
+    object: the executor stamps fields as the op advances."""
+
+    __slots__ = (
+        "op", "key_hash", "shard", "batch_id", "queue_pos",
+        "status", "attempts", "forwarded",
+        "t_enqueue_us", "t_dispatch_us", "t_complete_us",
+        "queue_wait_us", "host_latency_us",
+        "sim_h2d_us", "sim_kernel_us", "sim_d2h_us",
+        "events",
+    )
+
+    def __init__(self, op: str, key_hash: int, shard, t_enqueue_us: float):
+        self.op = op
+        self.key_hash = key_hash
+        self.shard = shard
+        self.batch_id = -1
+        self.queue_pos = -1
+        self.status = "PENDING"
+        self.attempts = 1
+        self.forwarded = False
+        self.t_enqueue_us = t_enqueue_us
+        self.t_dispatch_us = 0.0
+        self.t_complete_us = 0.0
+        self.queue_wait_us = 0.0
+        self.host_latency_us = 0.0
+        self.sim_h2d_us = 0.0
+        self.sim_kernel_us = 0.0
+        self.sim_d2h_us = 0.0
+        self.events = None  # lazily-created list of (t_us, kind, op)
+
+    def note(self, t_us: float, kind: str, op: str) -> None:
+        if self.events is None:
+            self.events = []
+        self.events.append((round(t_us, 3), kind, op))
+
+    def as_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "key_hash": self.key_hash,
+            "shard": self.shard,
+            "batch_id": self.batch_id,
+            "queue_pos": self.queue_pos,
+            "status": self.status,
+            "attempts": self.attempts,
+            "forwarded": self.forwarded,
+            "t_enqueue_us": round(self.t_enqueue_us, 3),
+            "t_dispatch_us": round(self.t_dispatch_us, 3),
+            "t_complete_us": round(self.t_complete_us, 3),
+            "queue_wait_us": round(self.queue_wait_us, 3),
+            "host_latency_us": round(self.host_latency_us, 3),
+            "sim_h2d_us": round(self.sim_h2d_us, 6),
+            "sim_kernel_us": round(self.sim_kernel_us, 6),
+            "sim_d2h_us": round(self.sim_d2h_us, 6),
+            "events": list(self.events) if self.events else [],
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightRecord` with sampling and
+    automatic black-box dumps.  Pass one instance as
+    ``EngineConfig(flight_recorder=...)``; the executor and resilience
+    layer find it on the engine."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        *,
+        sample_every: int = 1,
+        p99_threshold_us: float | None = None,
+        fault_burst: int = 8,
+        fault_window: int = 256,
+        dump_path=None,
+        clock=None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.p99_threshold_us = p99_threshold_us
+        self.fault_burst = fault_burst
+        self.fault_window = fault_window
+        self.dump_path = dump_path
+        self.records: deque = deque(maxlen=capacity)
+        self.dumps: list = []
+        self.ops_seen = 0
+        self.ops_recorded = 0
+        self.faults_seen = 0
+        self._fault_marks: deque = deque()
+        self._latencies: deque = deque(maxlen=256)
+        self._dump_cooldown_until = 0
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._epoch_ns = self._clock()
+
+    # -- hot path -----------------------------------------------------
+
+    def now_us(self) -> float:
+        return (self._clock() - self._epoch_ns) / 1e3
+
+    def begin(self, op: str, key=None, shard=None):
+        """Admit one op; returns its record, or ``None`` when sampled
+        out (callers skip all further stamping for unsampled ops)."""
+        self.ops_seen += 1
+        if self.sample_every > 1 and self.ops_seen % self.sample_every:
+            return None
+        rec = FlightRecord(op, _key_hash(key), shard, self.now_us())
+        self.records.append(rec)
+        self.ops_recorded += 1
+        return rec
+
+    def note_fault(self, op: str, kind: str, record=None) -> None:
+        """Resilience event (retry / degraded / exhausted / recovered).
+        Counts toward the fault-burst dump trigger; also appended to
+        ``record.events`` when the faulting op was sampled."""
+        self.faults_seen += 1
+        if record is not None:
+            record.note(self.now_us(), kind, op)
+        marks = self._fault_marks
+        marks.append(self.ops_seen)
+        floor = self.ops_seen - self.fault_window
+        while marks and marks[0] < floor:
+            marks.popleft()
+        if len(marks) >= self.fault_burst:
+            marks.clear()
+            self._maybe_dump(
+                "fault-burst",
+                {"faults_in_window": self.fault_burst,
+                 "window_ops": self.fault_window, "last_op": op,
+                 "last_kind": kind},
+            )
+
+    # -- completion ---------------------------------------------------
+
+    def complete(
+        self,
+        recs,
+        *,
+        batch_id: int,
+        t_dispatch_us: float,
+        statuses=None,
+        attempts=None,
+        sim_events=None,
+        batch_size: int = 0,
+    ) -> None:
+        """Stamp a flushed batch's sampled records with dispatch /
+        completion times, per-op status and the batch's simulated
+        device-stage timeline (one or more ``StreamEvent`` per device
+        sub-batch; a record maps to sub-batch ``queue_pos //
+        ceil(batch/len(events))``)."""
+        t_done = self.now_us()
+        n_ev = len(sim_events) if sim_events else 0
+        per_ev = 1
+        if n_ev > 1 and batch_size > 0:
+            per_ev = max((batch_size + n_ev - 1) // n_ev, 1)
+        for rec in recs:
+            rec.batch_id = batch_id
+            rec.t_dispatch_us = t_dispatch_us
+            rec.t_complete_us = t_done
+            rec.queue_wait_us = max(t_dispatch_us - rec.t_enqueue_us, 0.0)
+            rec.host_latency_us = max(t_done - rec.t_enqueue_us, 0.0)
+            q = rec.queue_pos if rec.queue_pos >= 0 else 0
+            if statuses is not None and q < len(statuses):
+                rec.status = statuses[q]
+            elif rec.status == "PENDING":
+                rec.status = "OK"
+            if attempts is not None and q < len(attempts):
+                rec.attempts = int(attempts[q])
+            if n_ev:
+                ev = sim_events[min(q // per_ev, n_ev - 1)]
+                rec.sim_h2d_us = ev.h2d_s * 1e6
+                rec.sim_kernel_us = ev.kernel_s * 1e6
+                rec.sim_d2h_us = ev.d2h_s * 1e6
+            self._latencies.append(rec.host_latency_us)
+        self._check_p99()
+
+    def complete_forwarded(self, rec, found: bool) -> None:
+        """Stamp an op answered host-side (store-to-load forwarding):
+        it never reached the device, so every sim stage stays 0."""
+        t = self.now_us()
+        rec.forwarded = True
+        rec.status = "OK" if found else "NOT_FOUND"
+        rec.t_dispatch_us = t
+        rec.t_complete_us = t
+        rec.host_latency_us = max(t - rec.t_enqueue_us, 0.0)
+        self._latencies.append(rec.host_latency_us)
+
+    # -- dumps and summaries ------------------------------------------
+
+    def _check_p99(self) -> None:
+        if self.p99_threshold_us is None or len(self._latencies) < 32:
+            return
+        lat = sorted(self._latencies)
+        p99 = lat[min(int(len(lat) * 0.99), len(lat) - 1)]
+        if p99 > self.p99_threshold_us:
+            self._maybe_dump(
+                "p99-breach",
+                {"p99_us": round(p99, 3),
+                 "threshold_us": self.p99_threshold_us,
+                 "sample": len(lat)},
+            )
+
+    def _maybe_dump(self, trigger: str, context: dict) -> None:
+        # one dump per fault_window ops: a sustained burst should not
+        # produce a dump per op
+        if self.ops_seen < self._dump_cooldown_until:
+            return
+        self._dump_cooldown_until = self.ops_seen + self.fault_window
+        self.dump(trigger, context)
+
+    def dump(self, trigger: str = "manual", context: dict | None = None) -> dict:
+        """Snapshot the ring into a black-box dump (and to
+        ``dump_path`` when configured).  Returns the dump document."""
+        doc = {
+            "trigger": trigger,
+            "context": context or {},
+            "at_op": self.ops_seen,
+            "summary": self.summary(),
+            "records": [r.as_dict() for r in self.records],
+        }
+        self.dumps.append(doc)
+        if self.dump_path is not None:
+            import pathlib
+
+            p = pathlib.Path(str(self.dump_path))
+            if len(self.dumps) > 1:
+                p = p.with_name(f"{p.stem}.{len(self.dumps)}{p.suffix}")
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        return doc
+
+    def snapshot(self) -> dict:
+        """Full recorder state (meta + ring + any triggered dumps),
+        suitable for ``--flight-dump`` artifacts."""
+        return {
+            "capacity": self.capacity,
+            "sample_every": self.sample_every,
+            "ops_seen": self.ops_seen,
+            "ops_recorded": self.ops_recorded,
+            "faults_seen": self.faults_seen,
+            "summary": self.summary(),
+            "records": [r.as_dict() for r in self.records],
+            "dumps": [
+                {k: d[k] for k in ("trigger", "context", "at_op")}
+                for d in self.dumps
+            ],
+        }
+
+    def summary(self) -> dict:
+        """Per-op-class aggregates over the ring: counts, queue-wait /
+        host-latency means and maxes, sim-stage sums, status tallies.
+        This is what ``bench_diff`` consumes from flight dumps."""
+        by_op: dict = {}
+        for r in self.records:
+            d = by_op.get(r.op)
+            if d is None:
+                d = by_op[r.op] = {
+                    "count": 0, "forwarded": 0,
+                    "queue_wait_us_sum": 0.0, "queue_wait_us_max": 0.0,
+                    "host_latency_us_sum": 0.0, "host_latency_us_max": 0.0,
+                    "sim_h2d_us_sum": 0.0, "sim_kernel_us_sum": 0.0,
+                    "sim_d2h_us_sum": 0.0,
+                    "statuses": {}, "retries": 0,
+                }
+            d["count"] += 1
+            d["forwarded"] += bool(r.forwarded)
+            d["queue_wait_us_sum"] += r.queue_wait_us
+            d["queue_wait_us_max"] = max(
+                d["queue_wait_us_max"], r.queue_wait_us
+            )
+            d["host_latency_us_sum"] += r.host_latency_us
+            d["host_latency_us_max"] = max(
+                d["host_latency_us_max"], r.host_latency_us
+            )
+            d["sim_h2d_us_sum"] += r.sim_h2d_us
+            d["sim_kernel_us_sum"] += r.sim_kernel_us
+            d["sim_d2h_us_sum"] += r.sim_d2h_us
+            d["statuses"][r.status] = d["statuses"].get(r.status, 0) + 1
+            d["retries"] += max(r.attempts - 1, 0)
+        for d in by_op.values():
+            for k in list(d):
+                if isinstance(d[k], float):
+                    d[k] = round(d[k], 3)
+        return {
+            "ops_seen": self.ops_seen,
+            "ops_recorded": self.ops_recorded,
+            "faults_seen": self.faults_seen,
+            "dumps_triggered": len(self.dumps),
+            "by_op": by_op,
+        }
+
+
+class NullFlightRecorder:
+    """Allocation-free disabled recorder (the ``NullTracer`` pattern):
+    every hot-path method returns a constant, so the instrumented fast
+    path costs one truthiness check and records nothing."""
+
+    enabled = False
+    records: tuple = ()
+    dumps: tuple = ()
+    ops_seen = 0
+    ops_recorded = 0
+    faults_seen = 0
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def begin(self, op, key=None, shard=None):
+        return None
+
+    def note_fault(self, op, kind, record=None) -> None:
+        return None
+
+    def complete(self, recs, **kwargs) -> None:
+        return None
+
+    def complete_forwarded(self, rec, found) -> None:
+        return None
+
+    def dump(self, trigger="manual", context=None) -> dict:
+        return {}
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def summary(self) -> dict:
+        return {}
+
+
+#: shared no-op singleton — use this instead of constructing
+#: NullFlightRecorder so the disabled path allocates nothing.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()

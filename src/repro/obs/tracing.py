@@ -55,7 +55,7 @@ class Span:
             "ts": self._start_us,
             "dur": end - self._start_us,
             "pid": 0,
-            "tid": HOST_TRACK,
+            "tid": tracer.host_tid,
         }
         if self.args:
             ev["args"] = self.args
@@ -66,14 +66,44 @@ class Tracer:
     """Collects trace events; export with :func:`repro.obs.export.chrome_trace`."""
 
     enabled = True
+    #: default track ids; subtracks get fresh ids via :meth:`subtrack`.
+    host_tid = HOST_TRACK
+    gpu_tid = GPU_TRACK
 
     def __init__(self) -> None:
         self.events: list[dict] = []
         self._epoch_ns = time.perf_counter_ns()
         self._depth = 0
+        #: chrome "thread_name" per tid — exporters read this; stays at
+        #: the two defaults until :meth:`subtrack` allocates more.
+        self.track_names: dict[int, str] = {
+            HOST_TRACK: "host", GPU_TRACK: "gpu-sim",
+        }
+        self._next_tid = GPU_TRACK + 1
 
     def _now_us(self) -> float:
         return (time.perf_counter_ns() - self._epoch_ns) / 1e3
+
+    def _alloc_tid(self, name: str) -> int:
+        # same label → same track: successive sharded engines (1/2/4/8
+        # devices, then rebalance) reuse the shard-N tracks instead of
+        # piling up identically-named threads in the trace viewer
+        for tid, existing in self.track_names.items():
+            if existing == name:
+                return tid
+        tid = self._next_tid
+        self._next_tid += 1
+        self.track_names[tid] = name
+        return tid
+
+    def subtrack(self, label: str,
+                 args: Optional[dict] = None) -> "TracerView":
+        """A view of this tracer writing to its own pair of named
+        tracks (``label/host``, ``label/gpu-sim``) in the shared event
+        stream — one per shard keeps concurrent engines from
+        collapsing onto a single track.  ``args`` (e.g. the shard id)
+        are merged into every event the view emits."""
+        return TracerView(self, label, args)
 
     def span(self, name: str, args: Optional[dict] = None) -> Span:
         """Open a (nestable) host span as a context manager."""
@@ -82,7 +112,7 @@ class Tracer:
     def instant(self, name: str, args: Optional[dict] = None) -> None:
         """Record a zero-duration marker on the host track."""
         ev = {"name": name, "ph": "i", "ts": self._now_us(), "pid": 0,
-              "tid": HOST_TRACK, "s": "t"}
+              "tid": self.host_tid, "s": "t"}
         if args:
             ev["args"] = args
         self.events.append(ev)
@@ -97,7 +127,7 @@ class Tracer:
             "ts": self._now_us(),
             "dur": duration_s * 1e6,
             "pid": 0,
-            "tid": GPU_TRACK,
+            "tid": self.gpu_tid,
         }
         if args:
             ev["args"] = args
@@ -105,6 +135,62 @@ class Tracer:
 
     def clear(self) -> None:
         self.events = []
+
+
+class TracerView(Tracer):
+    """Per-shard view of a root :class:`Tracer`: shares the root's
+    event list, epoch and track-name table but writes to its own track
+    ids and stamps its ``args`` (the shard id) onto every event."""
+
+    def __init__(self, root: Tracer, label: str,
+                 args: Optional[dict] = None) -> None:
+        root = root._root if isinstance(root, TracerView) else root
+        self._root = root
+        self._label = label
+        self._args = dict(args) if args else None
+        self.events = root.events
+        self.track_names = root.track_names
+        self._depth = 0
+        self.host_tid = root._alloc_tid(f"{label}/host")
+        self.gpu_tid = root._alloc_tid(f"{label}/gpu-sim")
+
+    def _now_us(self) -> float:
+        return self._root._now_us()
+
+    def _alloc_tid(self, name: str) -> int:
+        return self._root._alloc_tid(name)
+
+    def subtrack(self, label: str,
+                 args: Optional[dict] = None) -> "TracerView":
+        merged = dict(self._args or {})
+        if args:
+            merged.update(args)
+        return TracerView(
+            self._root, f"{self._label}/{label}", merged or None
+        )
+
+    def _merge(self, args: Optional[dict]) -> Optional[dict]:
+        if self._args is None:
+            return args
+        if not args:
+            return self._args
+        merged = dict(self._args)
+        merged.update(args)
+        return merged
+
+    def span(self, name: str, args: Optional[dict] = None) -> Span:
+        return Span(self, name, self._merge(args))
+
+    def instant(self, name: str, args: Optional[dict] = None) -> None:
+        super().instant(name, self._merge(args))
+
+    def emit_simulated(self, name: str, duration_s: float,
+                       args: Optional[dict] = None) -> None:
+        super().emit_simulated(name, duration_s, self._merge(args))
+
+    def clear(self) -> None:
+        self._root.clear()
+        self.events = self._root.events
 
 
 class _NullSpan:
@@ -127,6 +213,10 @@ class NullTracer:
 
     enabled = False
     events: list = []  # always empty; shared sentinel is fine for a no-op
+
+    def subtrack(self, label: str,
+                 args: Optional[dict] = None) -> "NullTracer":
+        return self
 
     def span(self, name: str, args: Optional[dict] = None) -> _NullSpan:
         return _NULL_SPAN

@@ -102,6 +102,129 @@ class TestStreamScheduler:
             StreamScheduler(0)
 
 
+class TestStatsFolds:
+    """Edge cases of the two fold directions: sequential
+    (``add_window``) and concurrent (``merge_parallel``), including the
+    event-timeline bookkeeping the critical-path layer depends on."""
+
+    def test_add_window_empty_into_empty(self):
+        a, b = StreamOverlapStats(), StreamOverlapStats()
+        a.add_window(b)
+        assert a.batches == 0 and a.makespan_s == 0.0
+        assert a.events == [] and a.window_starts == []
+
+    def test_add_window_empty_window_adds_no_boundary(self):
+        sched = StreamScheduler(2)
+        _submit_n(sched, 2)
+        a = sched.drain()
+        a.add_window(StreamOverlapStats())  # barrier with no submissions
+        _submit_n(sched, 3)
+        a.add_window(sched.drain())
+        # one boundary: the empty middle window must not split the
+        # timeline (it has no events to slice out)
+        assert a.window_starts == [2]
+        assert len(a.events) == 5
+
+    def test_add_window_event_offsets(self):
+        sched = StreamScheduler(2)
+        _submit_n(sched, 2)
+        a = sched.drain()
+        _submit_n(sched, 1)
+        a.add_window(sched.drain())
+        _submit_n(sched, 3)
+        a.add_window(sched.drain())
+        assert a.window_starts == [2, 3]
+        assert len(a.events) == 6
+        # each window keeps its own relative clock: every window's first
+        # event stages at t=0
+        for start in [0, *a.window_starts]:
+            assert a.events[start].copy_start_s == 0.0
+
+    def test_merge_parallel_zero_submission_sides(self):
+        sched = StreamScheduler(2)
+        _submit_n(sched, 3)
+        a = sched.drain()
+        span = a.makespan_s
+        a.merge_parallel(StreamOverlapStats(streams=2))  # idle device
+        assert a.makespan_s == pytest.approx(span)
+        assert a.batches == 3
+        # the idle side contributes no shard part — only real timelines
+        assert len(a.shard_parts) == 1
+
+        empty = StreamOverlapStats(streams=2)
+        sched2 = StreamScheduler(2)
+        _submit_n(sched2, 2)
+        b = sched2.drain()
+        empty.merge_parallel(b)
+        assert empty.makespan_s == pytest.approx(b.makespan_s)
+        assert len(empty.shard_parts) == 1
+        assert empty.shard_parts[0].events == b.shard_parts[0].events \
+            if b.shard_parts else True
+
+    def test_merge_parallel_single_stream_degenerate(self):
+        """n_streams=1 shards: the fold still maxes makespans and the
+        captured parts keep the serial timelines."""
+        parts = []
+        for n in (2, 4):
+            sched = StreamScheduler(1)
+            _submit_n(sched, n)
+            parts.append(sched.drain())
+        merged = parts[0]
+        merged.merge_parallel(parts[1])
+        assert merged.makespan_s == pytest.approx(4 * (H2D + KERNEL + D2H))
+        assert merged.streams == 2
+        assert [p.streams for p in merged.shard_parts] == [1, 1]
+        assert [len(p.events) for p in merged.shard_parts] == [2, 4]
+
+    def test_merge_parallel_fold_associativity(self):
+        """(a || b) || c and a || (b || c) agree numerically and
+        capture the same per-device parts in the same order."""
+
+        def _mk(n, kernel):
+            sched = StreamScheduler(2)
+            _submit_n(sched, n, kernel=kernel)
+            return sched.drain()
+
+        left = _mk(2, 1.0)
+        left.merge_parallel(_mk(3, 2.0))
+        left.merge_parallel(_mk(4, 3.0))
+
+        right_tail = _mk(3, 2.0)
+        right_tail.merge_parallel(_mk(4, 3.0))
+        right = _mk(2, 1.0)
+        right.merge_parallel(right_tail)
+
+        assert left.makespan_s == pytest.approx(right.makespan_s)
+        assert left.serial_s == pytest.approx(right.serial_s)
+        assert left.batches == right.batches == 9
+        assert left.streams == right.streams == 6
+        assert [len(p.events) for p in left.shard_parts] == [2, 3, 4]
+        assert [len(p.events) for p in right.shard_parts] == [2, 3, 4]
+        for lp, rp in zip(left.shard_parts, right.shard_parts):
+            assert lp.makespan_s == pytest.approx(rp.makespan_s)
+
+    def test_merge_parallel_resets_own_timeline(self):
+        """After a parallel fold the merged stats' flat timeline is
+        empty — per-device history lives only in shard_parts, so a
+        later sequential fold cannot mix clocks across devices."""
+        sched = StreamScheduler(2)
+        _submit_n(sched, 2)
+        a = sched.drain()
+        sched2 = StreamScheduler(2)
+        _submit_n(sched2, 2)
+        a.merge_parallel(sched2.drain())
+        assert a.events == [] and a.window_starts == []
+        assert len(a.shard_parts) == 2
+
+    def test_as_dict_schema_unchanged_by_timelines(self):
+        """The BENCH schema must not grow raw event lists."""
+        sched = StreamScheduler(2)
+        _submit_n(sched, 3)
+        d = sched.drain().as_dict()
+        assert sorted(d) == ["batches", "makespan_s", "overlap_ratio",
+                             "saved_s", "serial_s", "streams"]
+
+
 class TestOverlappedBatchTime:
     def test_serial_when_single_stream(self):
         assert overlapped_batch_time(3.0, 1.0, 0.5, streams=1) == \

@@ -1,0 +1,231 @@
+"""Flight recorder tests: record lifecycle through a real mixed-stream
+run, sampling, the bounded ring, black-box dump triggers, and the
+allocation-free disabled path (the NULL_TRACER pattern)."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.host.config import EngineConfig
+from repro.host.engine import CuartEngine
+from repro.host.mixed import MixedWorkloadExecutor
+from repro.obs import flightrec as fr
+from repro.obs.flightrec import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecord,
+    FlightRecorder,
+)
+from repro.workloads import QueryMix, mixed_queries, random_keys
+
+
+def _engine(recorder, *, n=600, batch_size=256):
+    keys = random_keys(n, 8, seed=71)
+    eng = CuartEngine(
+        config=EngineConfig(batch_size=batch_size, spare=0.25,
+                            flight_recorder=recorder),
+    )
+    eng.populate((k, i) for i, k in enumerate(keys))
+    eng.map_to_device()
+    return eng, keys
+
+
+class TestRecordLifecycle:
+    def test_mixed_stream_stamps_every_stage(self):
+        rec = FlightRecorder(capacity=4096)
+        eng, keys = _engine(rec)
+        stream = mixed_queries(keys, 400, QueryMix(), seed=3)
+        MixedWorkloadExecutor(eng).run(stream)
+
+        assert rec.ops_seen == 400
+        assert rec.ops_recorded == 400
+        assert len(rec.records) == 400
+        ops = {r.op for r in rec.records}
+        assert "lookup" in ops and "update" in ops
+        for r in rec.records:
+            assert r.status != "PENDING"
+            assert r.t_complete_us >= r.t_dispatch_us >= r.t_enqueue_us
+            assert r.host_latency_us >= r.queue_wait_us
+            if not r.forwarded:
+                # device-dispatched ops attach to a batch and carry the
+                # simulated stage times of its StreamEvent
+                assert r.batch_id >= 0, "record never attached to a batch"
+                assert r.queue_pos >= 0
+                assert r.sim_kernel_us > 0
+                assert r.sim_h2d_us > 0
+            else:
+                # overlay-answered ops never reach the device
+                assert r.batch_id == -1
+                assert r.sim_kernel_us == 0.0
+
+    def test_forwarded_ops_marked(self):
+        """A lookup answered by store-to-load forwarding (same-key
+        update still queued) never reaches the device."""
+        rec = FlightRecorder()
+        eng, keys = _engine(rec)
+        stream = [("update", (keys[0], 123)), ("lookup", keys[0])]
+        results, _ = MixedWorkloadExecutor(eng).run(stream)
+        assert results == [123]
+        fwd = [r for r in rec.records if r.forwarded]
+        assert len(fwd) == 1
+        assert fwd[0].op == "lookup" and fwd[0].status == "OK"
+
+    def test_statuses_from_batch_result(self):
+        rec = FlightRecorder()
+        eng, keys = _engine(rec)
+        absent = b"\xff" * 8
+        assert absent not in keys
+        stream = [("lookup", keys[0]), ("lookup", absent)]
+        MixedWorkloadExecutor(eng).run(stream)
+        by_status = {r.status for r in rec.records}
+        assert by_status == {"OK", "NOT_FOUND"}
+
+    def test_key_hash_stable_across_recorders(self):
+        a = FlightRecorder().begin("lookup", "key-a")
+        b = FlightRecorder().begin("lookup", "key-a")
+        c = FlightRecorder().begin("lookup", "key-b")
+        assert a.key_hash == b.key_hash != c.key_hash
+
+    def test_summary_aggregates(self):
+        rec = FlightRecorder()
+        eng, keys = _engine(rec)
+        MixedWorkloadExecutor(eng).run(
+            mixed_queries(keys, 200, QueryMix(), seed=5)
+        )
+        s = rec.summary()
+        assert s["ops_seen"] == 200
+        assert sum(d["count"] for d in s["by_op"].values()) == 200
+        lk = s["by_op"]["lookup"]
+        assert lk["host_latency_us_max"] >= lk["queue_wait_us_max"]
+        assert sum(lk["statuses"].values()) == lk["count"]
+
+
+class TestSamplingAndRing:
+    def test_sample_every_keeps_every_nth(self):
+        rec = FlightRecorder(sample_every=4)
+        eng, keys = _engine(rec)
+        MixedWorkloadExecutor(eng).run(
+            mixed_queries(keys, 400, QueryMix(), seed=3)
+        )
+        assert rec.ops_seen == 400
+        assert rec.ops_recorded == 100
+        # sampled device-dispatched records still complete in full
+        assert all(
+            r.batch_id >= 0 for r in rec.records if not r.forwarded
+        )
+
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=64)
+        eng, keys = _engine(rec)
+        MixedWorkloadExecutor(eng).run(
+            mixed_queries(keys, 400, QueryMix(), seed=3)
+        )
+        assert rec.ops_recorded == 400
+        assert len(rec.records) == 64  # newest 64 survive
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(sample_every=0)
+
+
+class TestDumpTriggers:
+    def test_fault_burst_dump(self):
+        rec = FlightRecorder(fault_burst=3, fault_window=100)
+        for _ in range(10):
+            rec.begin("update", "k")
+        for _ in range(3):
+            rec.note_fault("update", "retry")
+        assert len(rec.dumps) == 1
+        assert rec.dumps[0]["trigger"] == "fault-burst"
+        assert rec.dumps[0]["context"]["last_kind"] == "retry"
+
+    def test_fault_burst_needs_window_density(self):
+        """Faults spread wider than fault_window ops never trigger."""
+        rec = FlightRecorder(fault_burst=2, fault_window=5)
+        for _ in range(3):
+            rec.note_fault("update", "retry")
+            for _ in range(10):  # advance the op clock past the window
+                rec.begin("update", "k")
+        assert rec.dumps == []
+
+    def test_dump_cooldown(self):
+        """A sustained burst yields one dump per fault_window ops, not
+        one per fault."""
+        rec = FlightRecorder(fault_burst=2, fault_window=50)
+        for _ in range(10):
+            rec.note_fault("update", "retry")
+        assert len(rec.dumps) == 1
+
+    def test_p99_breach_dump(self):
+        clock = iter(range(0, 10**9, 10**6))  # 1ms per tick
+        rec = FlightRecorder(p99_threshold_us=500.0,
+                             clock=lambda: next(clock))
+        recs = []
+        for _ in range(40):
+            r = rec.begin("lookup", "k")
+            recs.append(r)
+        # each completion lands >= 1ms after its enqueue: p99 breaches
+        rec.complete(recs, batch_id=0, t_dispatch_us=rec.now_us())
+        assert rec.dumps and rec.dumps[0]["trigger"] == "p99-breach"
+        assert rec.dumps[0]["context"]["p99_us"] > 500.0
+
+    def test_dump_written_to_path(self, tmp_path):
+        p = tmp_path / "flight.json"
+        rec = FlightRecorder(dump_path=str(p))
+        r = rec.begin("lookup", "k")
+        rec.complete([r], batch_id=0, t_dispatch_us=rec.now_us())
+        rec.dump("manual", {"why": "test"})
+        doc = json.loads(p.read_text())
+        assert doc["trigger"] == "manual"
+        assert len(doc["records"]) == 1
+        # a second dump must not clobber the first
+        rec.dump("manual", {})
+        assert (tmp_path / "flight.2.json").exists()
+
+    def test_record_as_dict_roundtrips_json(self):
+        r = FlightRecord("lookup", 42, 1, 0.0)
+        r.note(1.0, "retry", "lookup")
+        json.dumps(r.as_dict())  # must be JSON-able as-is
+
+
+class TestDisabledPath:
+    def test_null_singleton_constant_returns(self):
+        n = NULL_FLIGHT_RECORDER
+        assert n.enabled is False
+        assert n.begin("lookup", "k") is None
+        assert n.note_fault("lookup", "retry") is None
+        assert n.complete([], batch_id=0, t_dispatch_us=0.0) is None
+        assert n.complete_forwarded(None, True) is None
+        assert n.summary() == {} and n.snapshot() == {} and n.dump() == {}
+
+    def test_engine_defaults_to_null(self):
+        eng = CuartEngine(batch_size=256)
+        assert eng.flight is NULL_FLIGHT_RECORDER
+
+    def test_disabled_recorder_allocates_nothing(self):
+        """tests/obs/test_tracing.py's zero-alloc check, extended to the
+        flight recorder: with recording off the hot-path methods must
+        not allocate a single byte inside the flightrec module."""
+        begin = NULL_FLIGHT_RECORDER.begin
+        note = NULL_FLIGHT_RECORDER.note_fault
+
+        def hot_loop():
+            for _ in range(10_000):
+                begin("lookup", "key")
+                note("lookup", "retry")
+
+        hot_loop()  # warm up (method caches, bytecode specialization)
+        tracemalloc.start()
+        try:
+            hot_loop()
+            snap = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = snap.filter_traces(
+            [tracemalloc.Filter(True, fr.__file__)]
+        ).statistics("lineno")
+        allocated = sum(s.size for s in stats)
+        assert allocated == 0, \
+            f"null flight recorder allocated {allocated} bytes: {stats}"

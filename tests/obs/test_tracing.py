@@ -62,6 +62,61 @@ def test_clear():
     assert t.events == []
 
 
+class TestSubtrack:
+    """TracerView: per-shard tracks sharing one root event list."""
+
+    def test_view_writes_to_own_named_tracks(self):
+        t = Tracer()
+        v = t.subtrack("shard0", {"shard": 0})
+        with v.span("mixed.lookup", {"n": 4}):
+            pass
+        (ev,) = t.events  # the view appends to the root's list
+        assert ev["tid"] == v.host_tid != HOST_TRACK
+        assert t.track_names[v.host_tid] == "shard0/host"
+        assert t.track_names[v.gpu_tid] == "shard0/gpu-sim"
+        # view args are stamped onto every event
+        assert ev["args"] == {"shard": 0, "n": 4}
+
+    def test_simulated_events_carry_shard_args(self):
+        t = Tracer()
+        v = t.subtrack("shard1", {"shard": 1})
+        v.emit_simulated("sim:update", 0.25)
+        (ev,) = t.events
+        assert ev["tid"] == v.gpu_tid
+        assert ev["args"]["shard"] == 1
+
+    def test_same_label_reuses_tracks(self):
+        """Successive engines asking for the same shard label must not
+        pile up duplicate identically-named tracks."""
+        t = Tracer()
+        a = t.subtrack("shard0")
+        b = t.subtrack("shard0")
+        assert a.host_tid == b.host_tid
+        assert a.gpu_tid == b.gpu_tid
+        names = list(t.track_names.values())
+        assert names.count("shard0/host") == 1
+
+    def test_nested_subtrack_composes_label(self):
+        t = Tracer()
+        inner = t.subtrack("shard2", {"shard": 2}).subtrack("reb")
+        assert t.track_names[inner.host_tid] == "shard2/reb/host"
+        inner.instant("moved", {"n": 3})
+        (ev,) = t.events
+        assert ev["args"] == {"shard": 2, "n": 3}
+
+    def test_plain_tracer_tracks_unchanged(self):
+        """Without subtrack calls the default two tracks stay alone —
+        the exported chrome trace is byte-identical to pre-view code
+        (pinned exactly in tests/obs/test_export.py)."""
+        t = Tracer()
+        with t.span("x"):
+            pass
+        assert t.track_names == {HOST_TRACK: "host", GPU_TRACK: "gpu-sim"}
+
+    def test_null_tracer_subtrack_is_self(self):
+        assert NULL_TRACER.subtrack("shard0") is NULL_TRACER
+
+
 def test_null_tracer_is_disabled_and_shares_one_span():
     assert NULL_TRACER.enabled is False
     s1 = NULL_TRACER.span("a", {"n": 1})
