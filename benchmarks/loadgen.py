@@ -1,0 +1,303 @@
+"""Open-loop load generator for the async serving front-end.
+
+Drives :class:`~repro.serve.core.ServerCore` with Poisson or bursty
+arrivals on a :class:`~repro.serve.core.VirtualClock` — *open loop*:
+arrival times come from the offered-rate schedule alone, never from
+completions, so queueing delay under overload is measured instead of
+hidden (closed-loop generators throttle themselves and lie about tail
+latency).  Time is entirely simulated — a million-QPS ramp runs in
+seconds of wall clock and is bit-reproducible at a fixed seed.
+
+The run walks a QPS ramp (>= 4 steps by default); each step reports
+offered/completed/shed counts, exact p50/p95/p99 of the per-op
+enqueue-to-completion latency, SLO attainment (fraction of admitted
+ops finishing within ``--slo-us``) and the live batch-close knobs, so a
+retuning SLO controller is visible step by step.  The flight recorder
+shares the virtual clock (``FlightRecorder(clock=vclock.now_ns)``), so
+its queue-wait attribution is exact in simulated microseconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --out serving.json \\
+        --qps-ramp 50000,100000,200000,400000 --ops-per-step 4096 \\
+        --slo-us 1000 --flight-dump flight_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.host.engine import CuartEngine
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServerCore, VirtualClock
+from repro.workloads.queries import QueryMix
+from repro.workloads.synthetic import random_keys
+
+N_KEYS = 65536
+KEY_LEN = 12
+SEED = 7
+BURST_SIZE = 64  # ops per on-period of the bursty arrival pattern
+
+DEFAULT_RAMP = (50_000, 100_000, 200_000, 400_000)
+
+
+def arrival_gaps_us(pattern: str, qps: float, n: int, rng) -> np.ndarray:
+    """Inter-arrival gaps (µs) at mean rate ``qps``.
+
+    ``poisson`` draws exponential gaps; ``bursty`` sends back-to-back
+    bursts of :data:`BURST_SIZE` ops separated by idle gaps sized to
+    keep the same mean rate — the adversarial case for a deadline-based
+    batch close (a burst fills a batch instantly, then the tail op of a
+    short burst waits out the full deadline).
+    """
+    mean_gap = 1e6 / qps
+    if pattern == "poisson":
+        return rng.exponential(mean_gap, size=n)
+    if pattern == "bursty":
+        gaps = np.zeros(n)
+        # one big gap before each burst carries the whole burst's budget
+        for start in range(0, n, BURST_SIZE):
+            width = min(BURST_SIZE, n - start)
+            gaps[start] = rng.exponential(mean_gap * width)
+        return gaps
+    raise ValueError(f"unknown arrival pattern {pattern!r}")
+
+
+def build_core(*, slo_us, max_batch, deadline_us, queue_depth,
+               retune_interval, flight_dump=None):
+    """A served engine on a shared virtual clock; returns (core, clock,
+    flight recorder)."""
+    clock = VirtualClock()
+    keys = random_keys(N_KEYS, KEY_LEN, seed=SEED)
+    flight = FlightRecorder(
+        capacity=16384, sample_every=16, dump_path=flight_dump,
+        clock=clock.now_ns,
+    )
+    eng = CuartEngine(
+        batch_size=8192, metrics=MetricsRegistry(), flight_recorder=flight,
+    )
+    eng.populate((k, i) for i, k in enumerate(keys))
+    eng.map_to_device()
+    core = ServerCore(
+        eng,
+        max_batch=max_batch,
+        deadline_us=deadline_us,
+        queue_depth=queue_depth,
+        slo_p99_us=slo_us,
+        retune_interval=retune_interval,
+        clock=clock,
+    )
+    return core, clock, keys, flight
+
+
+def _percentiles(lat: list) -> dict:
+    if not lat:
+        return {"count": 0}
+    arr = np.asarray(lat)
+    return {
+        "count": int(arr.size),
+        "mean_us": round(float(arr.mean()), 3),
+        "p50_us": round(float(np.percentile(arr, 50)), 3),
+        "p95_us": round(float(np.percentile(arr, 95)), 3),
+        "p99_us": round(float(np.percentile(arr, 99)), 3),
+        "max_us": round(float(arr.max()), 3),
+    }
+
+
+def run_step(core, clock, keys, *, qps, n_ops, pattern, mix, slo_us, rng,
+             tenants=("default",)) -> dict:
+    """Offer ``n_ops`` at mean rate ``qps``; returns the step record."""
+    gaps = arrival_gaps_us(pattern, qps, n_ops, rng)
+    op_draw = rng.random(n_ops)
+    key_idx = rng.integers(0, len(keys), size=n_ops)
+    tenant_idx = rng.integers(0, len(tenants), size=n_ops)
+
+    latencies: list = []
+    offered = shed = 0
+    t_first = clock.now_us()
+    shed_before = core.sheds
+    retunes_before = core.controller.retunes if core.controller else 0
+
+    def on_done(op):
+        if not op.shed:
+            latencies.append(op.latency_us)
+
+    for i in range(n_ops):
+        t_arrival = clock.now_us() + gaps[i]
+        # fire every batch-close deadline due before this arrival — the
+        # event loop's job, replayed deterministically in virtual time
+        while True:
+            due = core.next_deadline_us()
+            if due is None or due > t_arrival:
+                break
+            clock.advance(due - clock.now_us())
+            core.poll()
+        clock.advance(t_arrival - clock.now_us())
+
+        key = keys[int(key_idx[i])]
+        tenant = tenants[int(tenant_idx[i])]
+        p = float(op_draw[i])
+        if p < mix.lookups:
+            core.offer("lookup", key, tenant=tenant, on_done=on_done)
+        elif p < mix.lookups + mix.updates:
+            core.offer("update", (key, i), tenant=tenant, on_done=on_done)
+        else:
+            core.offer("delete", key, tenant=tenant, on_done=on_done)
+        offered += 1
+
+    # close out the step: let the remaining deadlines fire
+    while True:
+        due = core.next_deadline_us()
+        if due is None:
+            break
+        clock.advance(max(due - clock.now_us(), 0.0))
+        core.poll()
+
+    shed = core.sheds - shed_before
+    admitted = offered - shed
+    pct = _percentiles(latencies)
+    within = sum(1 for v in latencies if v <= slo_us)
+    return {
+        "qps": qps,
+        "pattern": pattern,
+        "offered": offered,
+        "admitted": admitted,
+        "shed": shed,
+        "shed_rate": round(shed / offered, 4) if offered else 0.0,
+        "duration_s": round((clock.now_us() - t_first) / 1e6, 6),
+        "latency": pct,
+        "slo_attainment": round(within / len(latencies), 4) if latencies
+        else None,
+        "batch_close": core.batch_close,
+        "deadline_us": core.deadline_us,
+        "retunes": (core.controller.retunes if core.controller else 0)
+        - retunes_before,
+        "_latencies": latencies,  # stripped before serialization
+    }
+
+
+def run_ramp(*, ramp=DEFAULT_RAMP, ops_per_step=4096, pattern="poisson",
+             slo_us=1000.0, max_batch=1024, deadline_us=200.0,
+             queue_depth=8192, retune_interval=512, seed=SEED,
+             tenants=("default",), flight_dump=None) -> dict:
+    """The whole scenario: one server, one ramp, per-step + overall
+    stats.  This is also the BENCH ``serving`` record."""
+    core, clock, keys, flight = build_core(
+        slo_us=slo_us, max_batch=max_batch, deadline_us=deadline_us,
+        queue_depth=queue_depth, retune_interval=retune_interval,
+        flight_dump=flight_dump,
+    )
+    rng = np.random.default_rng(seed)
+    mix = QueryMix(lookups=0.8, updates=0.15, deletes=0.05)
+    steps = []
+    all_lat: list = []
+    for qps in ramp:
+        step = run_step(
+            core, clock, keys, qps=qps, n_ops=ops_per_step,
+            pattern=pattern, mix=mix, slo_us=slo_us, rng=rng,
+            tenants=tenants,
+        )
+        all_lat.extend(step.pop("_latencies"))
+        steps.append(step)
+    core.flush()
+
+    offered = sum(s["offered"] for s in steps)
+    shed = sum(s["shed"] for s in steps)
+    within = sum(1 for v in all_lat if v <= slo_us)
+    overall = {
+        "offered": offered,
+        "shed": shed,
+        "shed_rate": round(shed / offered, 4) if offered else 0.0,
+        "slo_attainment": round(within / len(all_lat), 4) if all_lat
+        else None,
+        "latency": _percentiles(all_lat),
+        "retunes": core.controller.retunes if core.controller else 0,
+        "forwarded": dict(core.report.forwarded),
+    }
+    if flight_dump:
+        flight.dump("end-of-run", {"scenario": "loadgen",
+                                   "ramp": list(ramp)})
+    record = {
+        "meta": {
+            "n_keys": N_KEYS,
+            "key_len": KEY_LEN,
+            "seed": seed,
+            "pattern": pattern,
+            "slo_us": slo_us,
+            "ramp_qps": list(ramp),
+            "ops_per_step": ops_per_step,
+            "max_batch": max_batch,
+            "deadline_us": deadline_us,
+            "queue_depth": queue_depth,
+            "retune_interval": retune_interval,
+            "tenants": list(tenants),
+        },
+        "steps": steps,
+        "overall": overall,
+        # queue-wait attribution on the shared virtual clock: how much
+        # of each op class's latency was spent waiting for batch close
+        "flight": flight.summary(),
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="serving.json", help="output JSON path")
+    ap.add_argument("--qps-ramp", default=",".join(map(str, DEFAULT_RAMP)),
+                    help="comma-separated offered-rate steps (>= 4 for the "
+                         "BENCH gate)")
+    ap.add_argument("--ops-per-step", type=int, default=4096)
+    ap.add_argument("--pattern", choices=("poisson", "bursty"),
+                    default="poisson")
+    ap.add_argument("--slo-us", type=float, default=1000.0,
+                    help="p99 objective driving the feedback loop and the "
+                         "attainment metric")
+    ap.add_argument("--max-batch", type=int, default=1024)
+    ap.add_argument("--deadline-us", type=float, default=200.0)
+    ap.add_argument("--queue-depth", type=int, default=8192)
+    ap.add_argument("--retune-interval", type=int, default=512)
+    ap.add_argument("--seed", type=int, default=SEED)
+    ap.add_argument("--tenants", default="default",
+                    help="comma-separated tenant names to spread ops over")
+    ap.add_argument("--flight-dump", default=None, metavar="PATH",
+                    help="write the flight recorder's black box (queue-wait "
+                         "attribution on the virtual clock) here")
+    args = ap.parse_args(argv)
+
+    ramp = tuple(int(q) for q in args.qps_ramp.split(","))
+    if len(ramp) < 2:
+        ap.error("--qps-ramp needs at least two steps")
+    record = run_ramp(
+        ramp=ramp, ops_per_step=args.ops_per_step, pattern=args.pattern,
+        slo_us=args.slo_us, max_batch=args.max_batch,
+        deadline_us=args.deadline_us, queue_depth=args.queue_depth,
+        retune_interval=args.retune_interval, seed=args.seed,
+        tenants=tuple(args.tenants.split(",")),
+        flight_dump=args.flight_dump,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    for s in record["steps"]:
+        lat = s["latency"]
+        print(f"  {s['qps']:>9} qps  p50={lat.get('p50_us', 0):>8} "
+              f"p99={lat.get('p99_us', 0):>9} "
+              f"attain={s['slo_attainment']} shed={s['shed_rate']:.2%} "
+              f"batch={s['batch_close']} deadline={s['deadline_us']}us")
+    ov = record["overall"]
+    print(f"  overall: attainment={ov['slo_attainment']} "
+          f"shed={ov['shed_rate']:.2%} retunes={ov['retunes']}")
+    if args.flight_dump:
+        print(f"wrote {args.flight_dump} (queue-wait attribution)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,13 @@ try:  # key-space sharding layer (PR 7); absent on older checkouts
 except ImportError:  # pragma: no cover - baseline-checkout compatibility
     ShardedEngine = ShardedMixedExecutor = ShardingConfig = None
 
+try:  # async serving front-end + open-loop loadgen (PR 9); loadgen.py
+    # lives next to this file, so the plain import works when run as
+    # `python benchmarks/perf_smoke.py` and fails cleanly elsewhere
+    from loadgen import run_ramp as _serving_run_ramp
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    _serving_run_ramp = None
+
 PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
 KEY_LEN = 12
 SEED = 7
@@ -275,6 +282,11 @@ def run(scale: int, label: str, trace_path: str | None = None,
     sharded = _sharded_scenario(items, keys, tracer=tracer)
     if sharded is not None:
         ops["mixed_sharded"] = sharded
+
+    # -- SLO-driven async serving (PR 9): open-loop QPS ramp ------------
+    serving = _serving_scenario()
+    if serving is not None:
+        ops["serving"] = serving
 
     fault_injection = None
     if fault_rate > 0.0:
@@ -542,6 +554,37 @@ def _sharded_scenario(items: list, keys: list,
         "migrated_bytes": summary["migrated_bytes"],
         "sim_transfer_s": round(summary["sim_transfer_s"], 6),
     }
+    return rec
+
+
+SERVE_RAMP = (50_000, 100_000, 200_000, 400_000)
+SERVE_OPS_PER_STEP = 2048
+SERVE_SLO_US = 1000.0
+
+
+def _serving_scenario() -> dict | None:
+    """The SLO-driven serving front-end under an open-loop QPS ramp.
+
+    Runs :func:`loadgen.run_ramp` in virtual time (the ramp's rates are
+    simulated; only the numpy work costs wall clock), so the record's
+    ``wall_s`` measures the server's host-side overhead while the
+    latency/attainment numbers live on the deterministic virtual axis.
+    CI gates ``overall.slo_attainment`` and the shed bound via
+    ``validate_bench --min-slo-attainment``.
+    """
+    if _serving_run_ramp is None:
+        return None
+    t0 = time.perf_counter()
+    record = _serving_run_ramp(
+        ramp=SERVE_RAMP, ops_per_step=SERVE_OPS_PER_STEP,
+        slo_us=SERVE_SLO_US,
+    )
+    rec = _op(time.perf_counter() - t0, record["overall"]["offered"])
+    rec["slo_us"] = SERVE_SLO_US
+    rec["ramp_qps"] = list(SERVE_RAMP)
+    rec["steps"] = record["steps"]
+    rec["overall"] = record["overall"]
+    rec["flight"] = record["flight"]
     return rec
 
 

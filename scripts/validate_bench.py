@@ -45,7 +45,10 @@ REQUIRED_OP_KEYS = ("wall_s", "keys_per_sec", "n")
 REQUIRED_META = ("label", "n_keys", "batch_size", "seed")
 REQUIRED_PCT_KEYS = ("count", "mean", "p50", "p95", "p99")
 REQUIRED_FLUSH_REASONS = ("size-full", "write-dependency", "drain")
-KNOWN_STATUSES = ("OK", "NOT_FOUND", "RETRIED", "DEGRADED_CPU", "FAILED")
+KNOWN_STATUSES = ("OK", "NOT_FOUND", "RETRIED", "DEGRADED_CPU", "FAILED",
+                  "SHED")
+REQUIRED_SERVING_STEP_KEYS = ("qps", "offered", "shed", "shed_rate",
+                              "slo_attainment", "batch_close", "deadline_us")
 
 
 def _finite(x) -> bool:
@@ -198,6 +201,46 @@ def validate(doc: dict) -> list[str]:
                         f"non-finite: {reb.get(k)!r}"
                     )
 
+    # optional SLO-driven serving scenario (PR 9+): when present it must
+    # carry a >= 4-step open-loop QPS ramp with per-step attainment/shed
+    # numbers and overall latency percentiles on the virtual clock
+    sv = ops.get("serving")
+    if sv is not None:
+        steps = sv.get("steps")
+        if not isinstance(steps, list) or len(steps) < 4:
+            problems.append(
+                "ops.serving.steps missing or fewer than 4 ramp steps"
+            )
+        else:
+            for i, step in enumerate(steps):
+                for k in REQUIRED_SERVING_STEP_KEYS:
+                    v = step.get(k)
+                    if k == "slo_attainment" and v is None:
+                        continue  # a fully-shed step has no latencies
+                    if not _finite(v):
+                        problems.append(
+                            f"ops.serving.steps[{i}].{k} missing or "
+                            f"non-finite: {v!r}"
+                        )
+        overall = sv.get("overall")
+        if not isinstance(overall, dict):
+            problems.append("ops.serving.overall missing")
+        else:
+            for k in ("offered", "shed", "shed_rate", "slo_attainment"):
+                if not _finite(overall.get(k)):
+                    problems.append(
+                        f"ops.serving.overall.{k} missing or non-finite: "
+                        f"{overall.get(k)!r}"
+                    )
+            lat = overall.get("latency", {})
+            for k in ("p50_us", "p95_us", "p99_us"):
+                if not _finite(lat.get(k) if isinstance(lat, dict)
+                               else None):
+                    problems.append(
+                        f"ops.serving.overall.latency.{k} missing or "
+                        "non-finite"
+                    )
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("missing top-level 'metrics' registry snapshot")
@@ -219,6 +262,8 @@ def compare(
     min_hashtable_tx_drop: float = 4.0,
     min_write_scaling: float = 3.0,
     min_rebalance_recovery: float = 0.8,
+    min_slo_attainment: float = 0.95,
+    max_shed_rate: float = 0.05,
     allow: tuple = (),
 ) -> list[str]:
     """Regression-gate a candidate run against a baseline run.
@@ -292,6 +337,22 @@ def compare(
                 f"zipf rebalance recovered {rec!r} of uniform-shard "
                 f"throughput (gate: >={min_rebalance_recovery:g})"
             )
+    sv = ops.get("serving", {})
+    if sv:
+        overall = sv.get("overall", {}) \
+            if isinstance(sv.get("overall"), dict) else {}
+        attain = overall.get("slo_attainment")
+        if not _finite(attain) or attain < min_slo_attainment:
+            problems.append(
+                f"serving SLO attainment {attain!r} below the "
+                f">={min_slo_attainment:g} gate across the QPS ramp"
+            )
+        shed = overall.get("shed_rate")
+        if not _finite(shed) or shed > max_shed_rate:
+            problems.append(
+                f"serving shed rate {shed!r} above the "
+                f"<={max_shed_rate:g} bound"
+            )
     return problems
 
 
@@ -338,6 +399,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="required fraction of uniform-shard throughput "
                          "recovered after the Zipf rebalance "
                          "(default 0.8)")
+    ap.add_argument("--min-slo-attainment", type=float, default=0.95,
+                    help="required overall p99-SLO attainment of the "
+                         "serving scenario's QPS ramp (default 0.95)")
+    ap.add_argument("--max-shed-rate", type=float, default=0.05,
+                    help="max allowed overall shed fraction in the "
+                         "serving scenario (default 0.05)")
     ap.add_argument("--allow", action="append", default=[], metavar="OP",
                     help="op name exempt from the wall_s gate "
                          "(repeatable; justify each in the PR)")
@@ -370,6 +437,8 @@ def main(argv: list[str] | None = None) -> int:
             min_hashtable_tx_drop=args.min_hashtable_tx_drop,
             min_write_scaling=args.min_write_scaling,
             min_rebalance_recovery=args.min_rebalance_recovery,
+            min_slo_attainment=args.min_slo_attainment,
+            max_shed_rate=args.max_shed_rate,
             allow=tuple(args.allow),
         )
     if problems:

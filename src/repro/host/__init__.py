@@ -21,22 +21,22 @@ from repro.host.hybrid import (
     split_queries,
 )
 from repro.host.config import EngineConfig
-from repro.host.engine import (
-    CuartEngine,
-    EngineReport,
-    FoundFlags,
-    GrtEngine,
-    LazyValues,
-)
+from repro.host.engine import CuartEngine, EngineReport, GrtEngine
+from repro.host.overlay import WriteOverlay
 from repro.host.resilience import (
     DeviceHealth,
     ResiliencePolicy,
     ResilientDispatcher,
     RetryPolicy,
 )
-from repro.host.results import BatchResult, OpStatus, status_codes
+from repro.host.results import (
+    BatchResult,
+    OpStatus,
+    status_codes,
+    values_to_list,
+)
 from repro.host.mixed import MixedWorkloadExecutor, MixedReport
-from repro.host.autotune import autotune_dispatch, TuneResult
+from repro.host.autotune import autotune_dispatch, TunePoint, TuneResult
 from repro.host.multigpu import MultiGpuConfig, multi_gpu_throughput, scaling_curve
 from repro.host.sharding import (
     ShardedEngine,
@@ -65,8 +65,8 @@ __all__ = [
     "BatchResult",
     "OpStatus",
     "status_codes",
-    "FoundFlags",
-    "LazyValues",
+    "values_to_list",
+    "WriteOverlay",
     "DeviceHealth",
     "ResiliencePolicy",
     "ResilientDispatcher",
@@ -74,6 +74,7 @@ __all__ = [
     "MixedWorkloadExecutor",
     "MixedReport",
     "autotune_dispatch",
+    "TunePoint",
     "TuneResult",
     "MultiGpuConfig",
     "multi_gpu_throughput",

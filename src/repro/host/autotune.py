@@ -10,12 +10,14 @@ smaller batches — same resources, less latency).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import NamedTuple, Optional
 
 import numpy as np
 
 from repro.cuart.layout import CuartLayout
 from repro.cuart.lookup import lookup_batch
+from repro.errors import SimulationError
 from repro.gpusim.cost_model import CostModel
 from repro.gpusim.devices import CpuSpec, DeviceSpec
 from repro.host.dispatcher import DispatchConfig, pipeline_throughput
@@ -27,13 +29,34 @@ DEFAULT_BATCH_GRID = tuple(1 << p for p in range(11, 18))  # 2Ki .. 128Ki
 DEFAULT_THREAD_GRID = (1, 2, 4, 8, 12, 16, 24, 32)
 
 
+class TunePoint(NamedTuple):
+    """Stable key of one probed design point.
+
+    A plain ``(batch, threads)`` 2-tuple compares and hashes equal to a
+    ``TunePoint``, so ``surface[(32768, 8)]`` keeps working; the named
+    fields exist so feedback-loop consumers (:mod:`repro.serve`) can
+    read ``point.batch`` instead of indexing blind positions."""
+
+    #: queries per device batch (power of two, figure 8's x-axis).
+    batch: int
+    #: host preparation threads feeding the pipeline.
+    threads: int
+
+
 @dataclass(frozen=True)
 class TuneResult:
-    """Outcome of one auto-tuning sweep."""
+    """Outcome of one auto-tuning sweep.
+
+    ``surface`` maps every probed design point to its modeled sustained
+    throughput: ``{TunePoint(batch, threads): MOps/s}``.  Keys are
+    :class:`TunePoint` named 2-tuples — plain ``(batch, threads)``
+    tuples index it interchangeably, and iteration order follows the
+    sweep (batch-major, thread-minor).
+    """
 
     config: DispatchConfig
     throughput_mops: float
-    #: full sweep surface: (batch, threads) -> MOps/s.
+    #: full sweep surface: :class:`TunePoint` -> modeled MOps/s.
     surface: dict
     #: queries measured per probed batch size.
     probes: int
@@ -44,6 +67,33 @@ class TuneResult:
             f"{self.config.host_threads} -> "
             f"{self.throughput_mops:.1f} MOps/s (modeled)"
         )
+
+    def as_dispatch_config(self, **overrides) -> DispatchConfig:
+        """The winning :class:`~repro.host.dispatcher.DispatchConfig`,
+        optionally with field overrides (``key_bytes=...``, ``api=...``)
+        — the supported way to consume a sweep, instead of reaching into
+        ``.config`` internals."""
+        if not overrides:
+            return self.config
+        return replace(self.config, **overrides)
+
+    def best_under(self, max_batch: Optional[int] = None) -> TunePoint:
+        """Throughput-optimal design point subject to a batch-size cap
+        (``None`` = unconstrained).  This is the feedback-loop query: an
+        SLO controller holding batches at or below a latency-derived cap
+        asks where the modeled optimum sits inside that region."""
+        best: Optional[tuple[float, TunePoint]] = None
+        for point, rate in self.surface.items():
+            if max_batch is not None and point[0] > max_batch:
+                continue
+            if best is None or rate > best[0]:
+                best = (rate, TunePoint(*point))
+        if best is None:
+            raise SimulationError(
+                "no tuned design point within the batch cap",
+                value=max_batch,
+            )
+        return best[1]
 
 
 def autotune_dispatch(
@@ -80,7 +130,7 @@ def autotune_dispatch(
                 batch_size=batch, host_threads=threads, key_bytes=width
             )
             rate = pipeline_throughput(timing, cfg, device, cpu).throughput_mops
-            surface[(batch, threads)] = rate
+            surface[TunePoint(batch, threads)] = rate
             # prefer strictly better rates; on ~ties (within 1%), prefer
             # fewer threads, then smaller batches (lower latency)
             if best is None or rate > best[0] * 1.01:

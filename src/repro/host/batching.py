@@ -170,6 +170,7 @@ class OpClassCoalescer:
         self._flush_conflict = self._flushes.labels(reason="key-conflict")
         self._flush_order = self._flushes.labels(reason="dep-order")
         self._flush_drain = self._flushes.labels(reason="drain")
+        self._flush_deadline = self._flushes.labels(reason="deadline")
         self._occupancy = metrics.histogram(
             "coalescer_batch_occupancy",
             "flushed batch size as a fraction of batch_size",
@@ -187,6 +188,7 @@ class OpClassCoalescer:
             "key-conflict": self._flush_conflict.value,
             "dep-order": self._flush_order.value,
             "drain": self._flush_drain.value,
+            "deadline": self._flush_deadline.value,
         }
 
     # -- dependency bookkeeping -------------------------------------------
@@ -234,6 +236,25 @@ class OpClassCoalescer:
         this to stamp an op's queue position at enqueue time)."""
         q = self._queues.get(kind)
         return len(q) if q is not None else 0
+
+    def pending_kinds(self) -> tuple:
+        """Op classes with a non-empty queue, in first-arrival order."""
+        return tuple(self._order)
+
+    def peek_oldest(self, kind: str):
+        """First (oldest) queued payload of one class, or ``None`` —
+        the serving front-end reads its enqueue stamp to decide when the
+        class's batch-close deadline fires."""
+        q = self._queues.get(kind)
+        return q[0] if q else None
+
+    def flush_due(self, kind: str) -> list[tuple[str, list]]:
+        """Deadline batch-close (the serving front-end's timer path):
+        flush one class and its ordering ancestors now, charged to the
+        ``deadline`` flush reason."""
+        if kind not in self._queues:
+            return []
+        return self._flush_with_ancestors(kind, self._flush_deadline)
 
     def _pop_queue(self, kind: str) -> list:
         """Remove one class queue and every trace of it (pending-key

@@ -77,10 +77,9 @@ from repro.host.dispatcher import DispatchConfig, pipeline_throughput
 from repro.host.resilience import ResilientDispatcher
 from repro.host.results import (
     BatchResult,
-    FoundFlags,
-    LazyValues,
     OpStatus,
     status_codes,
+    values_to_list,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.flightrec import NULL_FLIGHT_RECORDER
@@ -92,9 +91,7 @@ __all__ = [
     "CuartEngine",
     "EngineConfig",
     "EngineReport",
-    "FoundFlags",
     "GrtEngine",
-    "LazyValues",
     "OpStatus",
 ]
 
@@ -214,6 +211,17 @@ class _EngineBase:
         if n > 0:
             dt_us = (time.perf_counter() - t0) * 1e6
             self._m_op_latency.labels(op=op).observe(dt_us / n, n)
+
+    @property
+    def device_health(self):
+        """Circuit-breaker state (:class:`repro.host.resilience.DeviceHealth`)
+        of this engine's device, or ``None`` when no resilience policy is
+        configured.  The serving front-end layers its admission control
+        on this: an open circuit shrinks the effective queue bound so
+        backpressure engages before degraded CPU serving piles up
+        latency."""
+        d = getattr(self, "_dispatcher", None)
+        return d.health if d is not None else None
 
     @property
     def tree(self) -> AdaptiveRadixTree:
@@ -458,6 +466,9 @@ class CuartEngine(_EngineBase):
         #: device buffers are behind the host tree (degraded writes went
         #: to the CPU path); re-map as soon as the device is healthy.
         self._needs_remap = False
+        self._init_buffer_gauges()
+
+    def _init_buffer_gauges(self) -> None:
         # device-buffer shape gauges, refreshed after every write batch
         m = self.metrics
         self._g_nodes = m.gauge(
@@ -899,7 +910,7 @@ class CuartEngine(_EngineBase):
                 attempts_u[pos_arr] = m_att
                 degraded_u[pos_arr] = m_deg
             put = self.cache.put
-            for k, v in zip(miss_keys, LazyValues(mvals, movr)):
+            for k, v in zip(miss_keys, values_to_list(mvals, movr)):
                 put(k, v)
             for p, val in movr.items():
                 overrides[miss_pos[p]] = val

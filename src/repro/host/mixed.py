@@ -33,11 +33,9 @@ import numpy as np
 
 from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
+from repro.host.overlay import WriteOverlay
 from repro.host.results import OpStatus
 
-#: shared overlay entry for a pending delete (avoids one tuple
-#: allocation per delete in the executor's hot loop).
-_ABSENT = ("absent", None)
 #: OpStatus code -> name, for flight-record stamping.
 _STATUS_NAMES = {int(s): s.name for s in OpStatus}
 from repro.obs.flightrec import NULL_FLIGHT_RECORDER
@@ -231,6 +229,9 @@ class MixedWorkloadExecutor:
         #: StreamOverlapStats of the last run (with per-window event
         #: timelines) — feed to repro.obs.critical_path.attribute_stats.
         self.last_overlap_stats = None
+        #: :class:`~repro.host.overlay.WriteOverlay` of the current/last
+        #: run (fresh per run(); snapshot() exposes pending effects).
+        self.overlay = None
         self._m_latency = self.metrics.histogram(
             "mixed_op_latency_us",
             "measured host wall-clock per op through the mixed executor",
@@ -405,30 +406,15 @@ class MixedWorkloadExecutor:
                     engine.last_report.end_to_end_mops
                 )
 
-        # Store-to-load forwarding: ``overlay`` holds the per-key
-        # cumulative effect of every write that entered the queues.
-        # status is "present" (a pending insert), "absent" (a pending
-        # delete) or "maybe" (pending updates only: present iff the key
-        # exists in the engine's applied state); ``value`` is what a
-        # reader would observe while present.  A lookup on an overlaid
-        # key is answered here — exactly what a serial client would see —
+        # Store-to-load forwarding through the engine-level pending-write
+        # overlay (repro.host.overlay): a lookup on an overlaid key is
+        # answered host-side — exactly what a serial client would see —
         # instead of forcing a dependency cut through the coalescer, and
         # a write against a definitely-absent key short-circuits to a
-        # miss without any device work.  Entries stay valid after their
-        # queues flush: the summary then merely restates what the
-        # applied batches already did to the engine's state.
-        contains = getattr(engine, "contains", None)
-        overlay: dict = {}
-        # base-existence memo for "maybe" keys: pending updates never
-        # change existence and a pending delete/insert sets a definite
-        # overlay status, so one probe per distinct key is enough.
-        exists_memo: dict = {}
-
-        def base_exists(key) -> bool:
-            hit = exists_memo.get(key)
-            if hit is None:
-                hit = exists_memo[key] = contains(key)
-            return hit
+        # miss without any device work.
+        overlay = self.overlay = WriteOverlay(
+            getattr(engine, "contains", None)
+        )
 
         def forward(kind: str, key, ok: bool) -> None:
             report.forwarded[kind] = report.forwarded.get(kind, 0) + 1
@@ -442,12 +428,16 @@ class MixedWorkloadExecutor:
                     flight.complete_forwarded(rec, ok)
 
         # hot loop: branches ordered by op frequency, bound locals, and
-        # a forwarding fast path of one dict probe per op (the overlay
-        # stays empty when the engine lacks ``contains``, so the probes
-        # degrade to no-ops without per-op feature checks)
-        fwd = contains is not None
+        # a forwarding fast path of one dict probe per read (the overlay
+        # entries stay empty when the engine lacks ``contains``, so the
+        # probes degrade to no-ops without per-op feature checks; writes
+        # pay one bound-method call that records their pending effect)
         coal_add = coal.add
-        overlay_get = overlay.get
+        overlay_get = overlay.entries.get
+        resolve_read = overlay.resolve_read
+        note_update = overlay.note_update
+        note_delete = overlay.note_delete
+        note_insert = overlay.note_insert
         results_append = results.append
         for kind, payload in stream:
             if kind == "lookup":
@@ -461,10 +451,8 @@ class MixedWorkloadExecutor:
                     for k, ps in batches:
                         execute(k, ps)
                 else:
-                    status, val = st
-                    if status == "present" or (
-                        status == "maybe" and base_exists(payload)
-                    ):
+                    found, val = resolve_read(payload, st)
+                    if found:
                         results_append(val)
                         report.hits += 1
                         forward("lookup", payload, True)
@@ -475,33 +463,24 @@ class MixedWorkloadExecutor:
                     report.lookups += 1
             elif kind == "update":
                 key = payload[0]
-                st = overlay_get(key)
-                if st is None:
-                    if fwd:
-                        overlay[key] = ("maybe", payload[1])
-                elif st[0] == "absent":
+                if not note_update(key, payload[1]):
                     # definitely gone: a guaranteed miss, and updates
                     # never resurrect — skip the device entirely
                     report.updates += 1
                     report.update_misses += 1
                     forward("update", key, False)
                     continue
-                else:
-                    overlay[key] = (st[0], payload[1])
                 batches = coal_add("update", key, payload)
                 if fl_on:
                     fr_enqueue("update", key, payload, batches)
                 for k, ps in batches:
                     execute(k, ps)
             elif kind == "delete":
-                st = overlay_get(payload)
-                if st is not None and st[0] == "absent":
+                if not note_delete(payload):
                     report.deletes += 1
                     report.delete_misses += 1
                     forward("delete", payload, False)
                     continue
-                if fwd:
-                    overlay[payload] = _ABSENT
                 batches = coal_add("delete", payload, payload)
                 if fl_on:
                     fr_enqueue("delete", payload, payload, batches)
@@ -509,8 +488,7 @@ class MixedWorkloadExecutor:
                     execute(k, ps)
             elif kind == "insert":
                 key = payload[0]
-                if fwd:
-                    overlay[key] = ("present", payload[1])
+                note_insert(key, payload[1])
                 batches = coal_add("insert", key, payload)
                 if fl_on:
                     fr_enqueue("insert", key, payload, batches)

@@ -11,35 +11,39 @@ Every public engine operation (``lookup`` / ``update`` / ``insert`` /
 
 so callers *observe* degradation instead of catching exceptions.
 
-Back-compat: a :class:`BatchResult` still behaves like the legacy
-shapes — it is a sequence over the old Python-object results (lookup
-values / found booleans), compares equal to the equivalent ``list``,
-and serves the old insert-summary dict keys through ``result["..."]``.
-The pre-PR-4 classes :class:`LazyValues` and :class:`FoundFlags` live
-here too (the engine re-exports them); the legacy *accessors*
-(``.values``, ``.array``, ``.hit_mask``, string ``[...]``) emit
-:class:`repro.errors.ReproDeprecationWarning`.
+A :class:`BatchResult` still behaves like a plain result sequence — it
+iterates / indexes over the Python-object results (lookup values /
+found booleans) and compares equal to the equivalent ``list``.
+
+The PR 4 deprecation shims (``LazyValues`` / ``FoundFlags`` and the
+``.values`` / ``.array`` / ``.hit_mask`` / string ``[...]`` accessors)
+completed their deprecation cycle and are gone; see the migration table
+in ``docs/api.md``.
 """
 
 from __future__ import annotations
 
 import enum
-import warnings
 from collections.abc import Sequence as _SequenceABC
 from typing import Optional
 
 import numpy as np
 
 from repro.constants import NIL_VALUE
-from repro.errors import ReproDeprecationWarning
 
 
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new}",
-        ReproDeprecationWarning,
-        stacklevel=3,
-    )
+def values_to_list(
+    array: np.ndarray, overrides: Optional[dict] = None
+) -> list:
+    """Convert a raw uint64 kernel value vector (``NIL_VALUE`` = miss)
+    to the Python-object list shape (``int`` / ``None``), applying
+    host-resolved row overrides (long-key strategy b)."""
+    obj = array.astype(object)
+    obj[array == np.uint64(NIL_VALUE)] = None
+    if overrides:
+        for pos, val in overrides.items():
+            obj[pos] = val
+    return obj.tolist()
 
 
 class OpStatus(enum.IntEnum):
@@ -49,13 +53,17 @@ class OpStatus(enum.IntEnum):
     not whether the key existed — read :attr:`BatchResult.found_array`
     for hit/miss.  ``FAILED`` only appears when every retry, recovery
     and degradation avenue was exhausted (with degradation enabled it
-    should never occur)."""
+    should never occur).  ``SHED`` is assigned by the serving front-end
+    (:mod:`repro.serve`) when admission control rejects an op on a full
+    queue: the op never executed and should be retried after the
+    returned ``retry_after_us``."""
 
     OK = 0
     NOT_FOUND = 1
     RETRIED = 2
     DEGRADED_CPU = 3
     FAILED = 4
+    SHED = 5
 
 
 def status_codes(
@@ -78,82 +86,6 @@ def status_codes(
     if failed is not None:
         st[np.asarray(failed, dtype=bool)] = np.uint8(OpStatus.FAILED)
     return st
-
-
-class LazyValues(_SequenceABC):
-    """Batched lookup results, kept as the kernel's uint64 vector.
-
-    Python-object conversion (``int`` / ``None``) happens once, lazily, on
-    first consumption — engines and executors that only need hit/miss
-    statistics read :attr:`array` / :attr:`hit_mask` and never pay it.
-    Compares equal to the equivalent ``list``.
-
-    Since PR 4 the public engine ops return :class:`BatchResult`;
-    ``LazyValues`` remains as the payload behind its deprecated
-    ``.values`` accessor and for internal plumbing.
-    """
-
-    __slots__ = ("array", "_overrides", "_list")
-
-    def __init__(
-        self, array: np.ndarray, overrides: Optional[dict] = None
-    ) -> None:
-        #: (n,) uint64 raw kernel values (``NIL_VALUE`` = miss).
-        self.array = array
-        # host-resolved rows (long-key strategy b): position -> value/None
-        self._overrides = overrides or {}
-        self._list: Optional[list] = None
-
-    def to_list(self) -> list:
-        """Materialize (and memoize) the Python-object result list."""
-        if self._list is None:
-            obj = self.array.astype(object)
-            obj[self.array == np.uint64(NIL_VALUE)] = None
-            for pos, val in self._overrides.items():
-                obj[pos] = val
-            self._list = obj.tolist()
-        return self._list
-
-    @property
-    def hit_mask(self) -> np.ndarray:
-        """(n,) bool — which queries found their key (vectorized)."""
-        mask = self.array != np.uint64(NIL_VALUE)
-        for pos, val in self._overrides.items():
-            mask[pos] = val is not None
-        return mask
-
-    def __len__(self) -> int:
-        return len(self.array)
-
-    def __getitem__(self, index):
-        return self.to_list()[index]
-
-    def __iter__(self):
-        return iter(self.to_list())
-
-    def __eq__(self, other) -> bool:
-        if isinstance(other, (LazyValues, BatchResult)):
-            return self.to_list() == other.to_list()
-        if isinstance(other, (list, tuple)):
-            return self.to_list() == list(other)
-        return NotImplemented
-
-    __hash__ = None  # type: ignore[assignment]
-
-    def __repr__(self) -> str:
-        return repr(self.to_list())
-
-
-class FoundFlags(list):
-    """``list[bool]`` result that also carries the raw kernel flag vector
-    (:attr:`array`) for vectorized tallies.  Superseded by
-    :class:`BatchResult` (kept for back-compat plumbing)."""
-
-    __slots__ = ("array",)
-
-    def __init__(self, array: np.ndarray) -> None:
-        super().__init__(array.tolist())
-        self.array = array
 
 
 class BatchResult(_SequenceABC):
@@ -285,38 +217,29 @@ class BatchResult(_SequenceABC):
         }
 
     def to_list(self) -> list:
-        """The legacy Python-object result list (memoized)."""
+        """The Python-object result list (memoized): values-with-``None``
+        for lookups, found booleans for write ops."""
         if self._list is None:
             if self.value_array is not None:
-                obj = self.value_array.astype(object)
-                obj[self.value_array == np.uint64(NIL_VALUE)] = None
-                for pos, val in self._overrides.items():
-                    obj[pos] = val
-                self._list = obj.tolist()
+                self._list = values_to_list(
+                    self.value_array, self._overrides
+                )
             else:
                 self._list = self.found_array.tolist()
         return self._list
 
-    # -- sequence protocol (legacy list compatibility) -------------------
+    # -- sequence protocol -----------------------------------------------
     def __len__(self) -> int:
         return len(self.found_array)
 
     def __getitem__(self, index):
-        if isinstance(index, str):
-            # legacy insert-summary dict shape: out["device_inserted"]
-            _warn_deprecated(
-                f"BatchResult[{index!r}]", "BatchResult.summary[...]"
-            )
-            if self.summary is None:
-                raise KeyError(index)
-            return self.summary[index]
         return self.to_list()[index]
 
     def __iter__(self):
         return iter(self.to_list())
 
     def __eq__(self, other) -> bool:
-        if isinstance(other, (BatchResult, LazyValues)):
+        if isinstance(other, BatchResult):
             return self.to_list() == other.to_list()
         if isinstance(other, (list, tuple)):
             return self.to_list() == list(other)
@@ -326,29 +249,3 @@ class BatchResult(_SequenceABC):
 
     def __repr__(self) -> str:
         return repr(self.to_list())
-
-    # -- deprecated legacy accessors -------------------------------------
-    @property
-    def values(self):
-        """Deprecated: the old :class:`LazyValues` lookup shape."""
-        _warn_deprecated("BatchResult.values", "value_array / to_list()")
-        if self.value_array is not None:
-            return LazyValues(self.value_array, dict(self._overrides))
-        return self.to_list()
-
-    @property
-    def array(self) -> np.ndarray:
-        """Deprecated: raw vector of the legacy shape (lookup values /
-        found flags)."""
-        _warn_deprecated(
-            "BatchResult.array", "value_array / found_array"
-        )
-        if self.value_array is not None:
-            return self.value_array
-        return self.found_array
-
-    @property
-    def hit_mask(self) -> np.ndarray:
-        """Deprecated: the old :attr:`LazyValues.hit_mask`."""
-        _warn_deprecated("BatchResult.hit_mask", "found_array")
-        return self.found_array

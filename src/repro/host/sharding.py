@@ -316,6 +316,26 @@ class ShardedEngine:
     def n_shards(self) -> int:
         return self.sharding.n_shards
 
+    @property
+    def device_health(self):
+        """Worst-case circuit-breaker state across shards: an unhealthy
+        shard's :class:`~repro.host.resilience.DeviceHealth` if any
+        circuit is open, else the first shard reporting health, else
+        ``None`` (no resilience policy anywhere).  The serving layer
+        treats one open circuit as cluster-wide pressure because a
+        single degraded shard already serializes its keys through the
+        CPU path."""
+        first = None
+        for shard in self.shards:
+            h = shard.device_health
+            if h is None:
+                continue
+            if not h.healthy:
+                return h
+            if first is None:
+                first = h
+        return first
+
     def _route_groups(
         self, keys: Sequence[bytes], *, record: bool = True
     ) -> list[tuple[int, np.ndarray]]:

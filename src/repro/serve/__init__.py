@@ -1,0 +1,50 @@
+"""Async serving front-end: SLO-driven adaptive batching behind one
+``submit`` API.
+
+The offline executors answer "how fast can this engine chew a recorded
+stream"; this package answers the online question — individual clients
+submitting single ops, a bounded queue, batches closed adaptively on
+size *or* deadline, p99 latency held to an SLO by a closed feedback
+loop over the PR 3 metrics histograms, and overload handled by shedding
+(:attr:`~repro.host.results.OpStatus.SHED` + retry-after) with
+per-tenant weighted fairness.
+
+Layering:
+
+- :class:`ServerCore` (:mod:`repro.serve.core`) — the whole policy as a
+  deterministic, clock-injectable object;
+- :class:`CuartServer` / :class:`SyncCuartServer`
+  (:mod:`repro.serve.server`) — asyncio and threaded front doors;
+- :class:`SloController` (:mod:`repro.serve.slo`) — the batch-close
+  feedback loop;
+- :class:`Dispatch` / :func:`make_dispatch`
+  (:mod:`repro.serve.dispatch`) — the shared ``run(stream)`` contract
+  uniting executors and servers.
+
+See ``docs/serving.md`` for the queueing model and knob guide.
+"""
+
+from repro.serve.core import (
+    ServedOp,
+    ServerConfig,
+    ServerCore,
+    ServerOverloadedError,
+    VirtualClock,
+)
+from repro.serve.dispatch import Dispatch, make_dispatch
+from repro.serve.server import CuartServer, SyncCuartServer
+from repro.serve.slo import SloController, windowed_quantile
+
+__all__ = [
+    "CuartServer",
+    "Dispatch",
+    "ServedOp",
+    "ServerConfig",
+    "ServerCore",
+    "ServerOverloadedError",
+    "SloController",
+    "SyncCuartServer",
+    "VirtualClock",
+    "make_dispatch",
+    "windowed_quantile",
+]

@@ -1,0 +1,70 @@
+"""The one batch-serving contract every front-end drives.
+
+Three execution surfaces grew side by side — the single-device
+:class:`~repro.host.mixed.MixedWorkloadExecutor`, the key-space-sharded
+:class:`~repro.host.sharding.ShardedMixedExecutor`, and now the online
+:class:`~repro.serve.core.ServerCore` — all consuming the same
+interleaved op stream and producing the same ``(results, MixedReport)``
+pair.  :class:`Dispatch` names that contract so benchmarks, the load
+generator and user code can accept "anything that serves a stream"
+without caring which engine topology sits behind it, and
+:func:`make_dispatch` picks the right implementation from whatever the
+caller already has in hand.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ReproError
+from repro.host.mixed import MixedReport, MixedWorkloadExecutor
+from repro.host.sharding import ShardedEngine, ShardedMixedExecutor
+
+__all__ = ["Dispatch", "make_dispatch"]
+
+
+@runtime_checkable
+class Dispatch(Protocol):
+    """A batch-serving execution surface.
+
+    Implementations hold an ``engine`` (the device topology they
+    account against) and execute one interleaved op stream —
+    ``(kind, payload)`` pairs with kinds ``lookup`` / ``update`` /
+    ``delete`` / ``insert`` / ``scan`` — returning the lookup results
+    in stream order plus a :class:`~repro.host.mixed.MixedReport`.
+
+    Known implementations: :class:`~repro.host.mixed.MixedWorkloadExecutor`
+    (one device), :class:`~repro.host.sharding.ShardedMixedExecutor`
+    (key-space shards) and :class:`~repro.serve.core.ServerCore` /
+    :class:`~repro.serve.server.CuartServer` (online serving with
+    adaptive batch close and admission control).
+    """
+
+    engine: object
+
+    def run(self, stream) -> tuple[list, MixedReport]:
+        """Execute the stream; returns (lookup results in stream order,
+        report)."""
+        ...
+
+
+def make_dispatch(target) -> Dispatch:
+    """Resolve *target* to a :class:`Dispatch` implementation.
+
+    - an object already satisfying the protocol passes through
+      (executors, servers, user implementations);
+    - a :class:`~repro.host.sharding.ShardedEngine` gets a
+      :class:`~repro.host.sharding.ShardedMixedExecutor`;
+    - any single engine exposing the batch-op surface gets a
+      :class:`~repro.host.mixed.MixedWorkloadExecutor`.
+    """
+    if isinstance(target, Dispatch):
+        return target
+    if isinstance(target, ShardedEngine):
+        return ShardedMixedExecutor(target)
+    if hasattr(target, "lookup") and hasattr(target, "batch_size"):
+        return MixedWorkloadExecutor(target)
+    raise ReproError(
+        f"cannot build a Dispatch from {type(target).__name__!r}: pass an "
+        "engine, a sharded engine, or an object with run(stream)"
+    )

@@ -253,7 +253,8 @@ class TestEngineInsert:
         extra = [k for k in random_keys(200, 8, seed=32)
                  if k not in set(keys)]
         out = eng.insert([(k, 9000 + i) for i, k in enumerate(extra)])
-        assert out["device_inserted"] + out["deferred"] == len(extra)
+        s = out.summary
+        assert s["device_inserted"] + s["deferred"] == len(extra)
         got = eng.lookup(extra)
         assert got == [9000 + i for i in range(len(extra))]
 
@@ -264,7 +265,7 @@ class TestEngineInsert:
         eng.populate([(b"commonAA", 1), (b"commonBB", 2)])
         eng.map_to_device()
         out = eng.insert([(b"comXotCC", 3)])  # prefix split: host work
-        assert out["remapped"]
+        assert out.summary["remapped"]
         assert eng.lookup([b"comXotCC", b"commonAA"]) == [3, 1]
 
     def test_engine_mirrors_keep_remap_consistent(self):

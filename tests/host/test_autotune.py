@@ -5,8 +5,9 @@ import pytest
 
 from repro.cuart.layout import CuartLayout
 from repro.cuart.root_table import RootTable
+from repro.errors import SimulationError
 from repro.gpusim.devices import A100, SERVER_CPU
-from repro.host.autotune import autotune_dispatch
+from repro.host.autotune import TunePoint, autotune_dispatch
 from repro.workloads import build_tree, random_keys
 
 
@@ -51,3 +52,51 @@ class TestAutotune:
     def test_describe(self, tuned):
         text = tuned.describe()
         assert "batch=" in text and "MOps/s" in text
+
+
+class TestTunePointSurface:
+    def test_keys_are_tune_points(self, tuned):
+        for point in tuned.surface:
+            assert isinstance(point, TunePoint)
+            assert point.batch == point[0]
+            assert point.threads == point[1]
+
+    def test_plain_tuples_index_interchangeably(self, tuned):
+        point = next(iter(tuned.surface))
+        assert tuned.surface[(point.batch, point.threads)] == \
+            tuned.surface[point]
+        assert (point.batch, point.threads) == point
+
+    def test_iteration_order_is_sweep_order(self, tuned):
+        batches = [p.batch for p in tuned.surface]
+        assert batches == sorted(batches)  # batch-major
+        for batch in (2048, 8192, 32768):
+            threads = [p.threads for p in tuned.surface if p.batch == batch]
+            assert threads == sorted(threads)  # thread-minor
+
+
+class TestAsDispatchConfig:
+    def test_no_overrides_returns_the_winner(self, tuned):
+        assert tuned.as_dispatch_config() is tuned.config
+
+    def test_overrides_replace_fields(self, tuned):
+        cfg = tuned.as_dispatch_config(host_threads=2)
+        assert cfg.host_threads == 2
+        assert cfg.batch_size == tuned.config.batch_size
+        assert tuned.config.host_threads != 2 or cfg is not tuned.config
+
+
+class TestBestUnder:
+    def test_unconstrained_matches_recommendation(self, tuned):
+        point = tuned.best_under()
+        assert tuned.surface[point] == max(tuned.surface.values())
+
+    def test_cap_restricts_the_region(self, tuned):
+        point = tuned.best_under(max_batch=8192)
+        assert point.batch <= 8192
+        capped = {p: r for p, r in tuned.surface.items() if p.batch <= 8192}
+        assert tuned.surface[point] == max(capped.values())
+
+    def test_empty_region_raises(self, tuned):
+        with pytest.raises(SimulationError):
+            tuned.best_under(max_batch=1)

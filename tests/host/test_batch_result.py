@@ -8,13 +8,11 @@ import numpy as np
 import pytest
 
 from repro.constants import NIL_VALUE
-from repro.errors import ReproDeprecationWarning
 from repro.host.results import (
     BatchResult,
-    FoundFlags,
-    LazyValues,
     OpStatus,
     status_codes,
+    values_to_list,
 )
 
 NIL = np.uint64(NIL_VALUE)
@@ -52,6 +50,22 @@ class TestStatusCodes:
         # served, found_array says whether the key existed
         st = status_codes(np.array([False]), attempts=np.array([3]))
         assert st.tolist() == [OpStatus.RETRIED]
+
+    def test_shed_status_exists_for_admission_control(self):
+        # the serving front-end stamps SHED on ops rejected at the
+        # queue; it never appears in device-produced status vectors
+        assert OpStatus.SHED == 5
+        assert OpStatus.SHED.name == "SHED"
+
+
+class TestValuesToList:
+    def test_nil_maps_to_none(self):
+        vals = np.array([7, NIL, 42], dtype=np.uint64)
+        assert values_to_list(vals) == [7, None, 42]
+
+    def test_overrides_apply(self):
+        vals = np.array([NIL, NIL], dtype=np.uint64)
+        assert values_to_list(vals, {0: 99}) == [99, None]
 
 
 class TestCanonicalAccessors:
@@ -99,6 +113,14 @@ class TestCanonicalAccessors:
         )
         assert res.to_list() == [99, None]
 
+    def test_insert_summary_via_attribute(self):
+        res = BatchResult(
+            "insert", found=np.array([True]),
+            summary={"device_inserted": 1, "deferred": 0},
+        )
+        assert res.summary["device_inserted"] == 1
+        assert res.summary["deferred"] == 0
+
 
 class TestSequenceProtocol:
     def test_len_iter_index_do_not_warn(self):
@@ -112,12 +134,11 @@ class TestSequenceProtocol:
             assert res[-1] == 42
             assert res[0:2] == [7, None]
 
-    def test_equality_against_legacy_shapes(self):
+    def test_equality_against_plain_sequences(self):
         res = _lookup_result()
         assert res == [7, None, 42]
         assert res == (7, None, 42)
         assert res != [7, None, 41]
-        assert res == LazyValues(np.array([7, NIL, 42], dtype=np.uint64))
         assert res == _lookup_result()
         assert (res == object()) is False  # NotImplemented -> identity
 
@@ -125,56 +146,30 @@ class TestSequenceProtocol:
         assert repr(_lookup_result()) == "[7, None, 42]"
 
 
-class TestDeprecatedAccessors:
-    def test_values_warns_and_returns_lazyvalues(self):
-        res = _lookup_result()
-        with pytest.warns(ReproDeprecationWarning, match="BatchResult.values"):
-            vals = res.values
-        assert isinstance(vals, LazyValues)
-        assert vals == [7, None, 42]
+class TestShimsRetired:
+    """The PR 4 deprecation shims completed their cycle and are gone;
+    the -W error::DeprecationWarning CI gate stays honest because no
+    code path can emit the shim warnings any more."""
 
-    def test_array_warns(self):
+    def test_legacy_accessors_removed(self):
         res = _lookup_result()
-        with pytest.warns(ReproDeprecationWarning, match="BatchResult.array"):
-            assert res.array.dtype == np.uint64
-        wres = BatchResult("delete", found=np.array([True]))
-        with pytest.warns(ReproDeprecationWarning):
-            assert wres.array.dtype == bool
+        with pytest.raises(AttributeError):
+            res.values
+        with pytest.raises(AttributeError):
+            res.array
+        with pytest.raises(AttributeError):
+            res.hit_mask
 
-    def test_hit_mask_warns(self):
-        res = _lookup_result()
-        with pytest.warns(ReproDeprecationWarning, match="hit_mask"):
-            assert res.hit_mask.tolist() == [True, False, True]
-
-    def test_string_getitem_reads_summary(self):
+    def test_string_getitem_removed(self):
         res = BatchResult(
             "insert", found=np.array([True]),
-            summary={"device_inserted": 1, "deferred": 0},
+            summary={"device_inserted": 1},
         )
-        with pytest.warns(ReproDeprecationWarning, match="summary"):
-            assert res["device_inserted"] == 1
+        with pytest.raises(TypeError):
+            res["device_inserted"]
 
-    def test_string_getitem_without_summary_raises_keyerror(self):
-        res = _lookup_result()
-        with pytest.warns(ReproDeprecationWarning):
-            with pytest.raises(KeyError):
-                res["device_inserted"]
+    def test_legacy_classes_removed(self):
+        import repro.host.results as results
 
-    def test_deprecation_warning_is_a_deprecation_warning(self):
-        # pytest's -W error::DeprecationWarning must be allow-listable
-        # by our own subclass
-        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
-
-
-class TestLegacyShapes:
-    def test_lazy_values_round_trip(self):
-        lv = LazyValues(np.array([1, NIL], dtype=np.uint64))
-        assert lv.to_list() == [1, None]
-        assert lv.hit_mask.tolist() == [True, False]
-        assert lv == [1, None]
-        assert repr(lv) == "[1, None]"
-
-    def test_found_flags_is_a_list(self):
-        ff = FoundFlags(np.array([True, False]))
-        assert ff == [True, False]
-        assert ff.array.tolist() == [True, False]
+        assert not hasattr(results, "LazyValues")
+        assert not hasattr(results, "FoundFlags")

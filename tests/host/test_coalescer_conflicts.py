@@ -88,7 +88,7 @@ class TestKeyLevelCoalescing:
         coal = OpClassCoalescer(8)
         assert set(coal.flush_reasons()) == {
             "size-full", "write-dependency", "key-conflict",
-            "dep-order", "drain",
+            "dep-order", "drain", "deadline",
         }
 
 

@@ -52,8 +52,9 @@ class TestCacheTransparency:
                 items = [(k, 20_000 + step) for k in qs]
                 ra = cached.insert(items)
                 rb = plain.insert(items)
-                assert ra["device_inserted"] == rb["device_inserted"]
-                assert ra["updated"] == rb["updated"]
+                assert ra.summary["device_inserted"] == \
+                    rb.summary["device_inserted"]
+                assert ra.summary["updated"] == rb.summary["updated"]
             # every key's serve state must agree after each mutation
             assert list(cached.lookup(pool)) == list(plain.lookup(pool))
 

@@ -147,7 +147,7 @@ class TestFailureInjection:
         eng.populate([(b"left0001", 1), (b"right002", 2)])
         eng.map_to_device()
         out = eng.insert([(b"middle03", 3)])
-        assert out["remapped"]
+        assert out.summary["remapped"]
         assert eng.lookup([b"left0001", b"middle03"]) == [1, 3]
 
 

@@ -1,0 +1,163 @@
+"""The asyncio front door and its sync shim.
+
+These are integration smoke tests over real event loops (the
+deterministic policy coverage lives in ``test_adaptive_batching.py``
+against the clock-injectable core): concurrent awaiters coalescing into
+shared batches, the unified ``submit`` surface, shed surfacing as
+:class:`~repro.serve.core.ServerOverloadedError`, and the threaded shim
+bridging to the same core.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.host.engine import CuartEngine
+from repro.host.results import OpStatus
+from repro.serve import CuartServer, ServerOverloadedError, SyncCuartServer
+from repro.workloads import random_keys
+
+KEYS = random_keys(128, 8, seed=51)
+
+
+def build_engine():
+    eng = CuartEngine(batch_size=64)
+    eng.populate((k, i) for i, k in enumerate(KEYS))
+    eng.map_to_device()
+    return eng
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncServer:
+    def test_concurrent_lookups_batch_together(self):
+        async def main():
+            async with CuartServer(
+                build_engine(), max_batch=8, deadline_us=50_000.0
+            ) as server:
+                values = await asyncio.gather(
+                    *[server.lookup(KEYS[i]) for i in range(8)]
+                )
+                return values, server.core.report.batches
+
+        values, batches = run(main())
+        assert values == list(range(8))
+        assert batches == 1  # eight awaiters, one device batch
+
+    def test_deadline_closes_partial_batch(self):
+        async def main():
+            async with CuartServer(
+                build_engine(), max_batch=1024, deadline_us=2_000.0
+            ) as server:
+                return await asyncio.wait_for(
+                    server.lookup(KEYS[3]), timeout=10.0
+                )
+
+        assert run(main()) == 3  # resolved by the pump timer, not size
+
+    def test_full_op_surface(self):
+        async def main():
+            async with CuartServer(
+                build_engine(), max_batch=2, deadline_us=1_000.0
+            ) as server:
+                out = {}
+                out["missing"] = await server.lookup(b"\xff" * 8)
+                out["update"] = await server.update(KEYS[0], 4242)
+                out["updated"] = await server.lookup(KEYS[0])
+                out["delete"] = await server.delete(KEYS[1])
+                out["deleted"] = await server.lookup(KEYS[1])
+                out["insert"] = await server.insert(b"newkey\x00\x00", 7)
+                out["inserted"] = await server.lookup(b"newkey\x00\x00")
+                lo, hi = min(KEYS[:8]), max(KEYS[:8])
+                out["scan"] = await server.scan(lo, hi)
+                return out
+
+        out = run(main())
+        assert out["missing"] is None
+        assert out["update"] is True and out["updated"] == 4242
+        assert out["delete"] is True and out["deleted"] is None
+        assert out["insert"] is True and out["inserted"] == 7
+        assert len(out["scan"]) >= 1
+
+    def test_submit_returns_the_served_op(self):
+        async def main():
+            async with CuartServer(
+                build_engine(), max_batch=2, deadline_us=1_000.0
+            ) as server:
+                op = await server.submit("lookup", KEYS[5])
+                return op
+
+        op = run(main())
+        assert op.done and op.value == 5
+        assert op.status == int(OpStatus.OK)
+        assert op.latency_us >= 0.0
+
+    def test_shed_raises_overloaded_with_retry_after(self):
+        async def main():
+            async with CuartServer(
+                build_engine(), max_batch=1024, deadline_us=10_000_000.0,
+                queue_depth=2, high_water=1.0,
+            ) as server:
+                t1 = asyncio.ensure_future(server.lookup(KEYS[0]))
+                t2 = asyncio.ensure_future(server.lookup(KEYS[1]))
+                await asyncio.sleep(0)  # let both enqueue
+                with pytest.raises(ServerOverloadedError) as err:
+                    await server.lookup(KEYS[2])
+                server.core.flush()  # resolve the two queued awaiters
+                await asyncio.gather(t1, t2)
+                return err.value
+
+        err = run(main())
+        assert err.retry_after_us > 0.0
+
+    def test_stop_flushes_pending_ops(self):
+        async def main():
+            server = CuartServer(
+                build_engine(), max_batch=1024, deadline_us=10_000_000.0
+            )
+            await server.start()
+            fut = asyncio.ensure_future(server.lookup(KEYS[7]))
+            await asyncio.sleep(0)
+            await server.stop()  # must resolve the queued future
+            return await asyncio.wait_for(fut, timeout=5.0)
+
+        assert run(main()) == 7
+
+    def test_submit_before_start_errors(self):
+        async def main():
+            server = CuartServer(build_engine())
+            with pytest.raises(RuntimeError):
+                await server.submit("lookup", KEYS[0])
+
+        run(main())
+
+
+class TestSyncShim:
+    def test_context_manager_roundtrip(self):
+        with SyncCuartServer(
+            build_engine(), max_batch=2, deadline_us=1_000.0
+        ) as server:
+            assert server.lookup(KEYS[2]) == 2
+            assert server.update(KEYS[2], 99) is True
+            assert server.lookup(KEYS[2]) == 99
+            assert server.insert(b"synckey\x00", 1) is True
+            assert server.delete(b"synckey\x00") is True
+            stats = server.stats()
+        assert stats["completed"] >= 5
+
+    def test_stats_surface(self):
+        with SyncCuartServer(
+            build_engine(), max_batch=2, deadline_us=1_000.0
+        ) as server:
+            server.lookup(KEYS[0])
+            stats = server.stats()
+        for key in ("admitted", "sheds", "backlog", "batch_close",
+                    "deadline_us", "slo_latency", "queue_wait"):
+            assert key in stats
+
+    def test_calls_before_start_error(self):
+        server = SyncCuartServer(build_engine())
+        with pytest.raises(RuntimeError):
+            server.lookup(KEYS[0])

@@ -1,0 +1,181 @@
+"""The SLO feedback loop on a simulated clock.
+
+A :class:`~repro.serve.slo.SloController` watching the windowed p99 of
+``server_slo_latency_us`` must tighten the batch-close knobs when the
+objective is violated, relax them back when there is headroom, hold at
+the floors, and — when an autotune sweep is wired in — land relax steps
+on probed design points instead of blind doubles.
+"""
+
+import pytest
+
+from repro.host.autotune import TunePoint
+from repro.host.engine import CuartEngine
+from repro.serve import ServerCore, SloController, VirtualClock
+from repro.serve.slo import windowed_quantile
+from repro.workloads import random_keys
+
+KEYS = random_keys(512, 8, seed=41)
+
+
+def build_core(clock, **kwargs):
+    eng = CuartEngine(batch_size=256)
+    eng.populate((k, i) for i, k in enumerate(KEYS))
+    eng.map_to_device()
+    kwargs.setdefault("max_batch", 64)
+    kwargs.setdefault("deadline_us", 800.0)
+    kwargs.setdefault("retune_interval", 64)
+    return ServerCore(eng, clock=clock, **kwargs)
+
+
+def drive(core, clock, rounds, *, ops_per_round=64, gap_us=0.0):
+    """Offer full batches (size-close) with optional inter-round clock
+    gaps, so per-op latencies are deterministic."""
+    i = 0
+    for _ in range(rounds):
+        for _ in range(ops_per_round):
+            core.offer("lookup", KEYS[i % len(KEYS)])
+            i += 1
+        if gap_us:
+            clock.advance(gap_us)
+            core.poll()
+
+
+class TestWindowedQuantile:
+    def test_empty_window_is_zero(self):
+        assert windowed_quantile((1.0, 2.0), [0, 0, 0], 0.99) == 0.0
+
+    def test_single_bucket_interpolates(self):
+        # 100 observations all in (1, 2]: p50 lands mid-bucket
+        assert windowed_quantile((1.0, 2.0), [0, 100, 0], 0.5) == \
+            pytest.approx(1.5)
+
+    def test_overflow_bucket_extrapolates(self):
+        v = windowed_quantile((1.0, 2.0), [0, 0, 10], 0.99)
+        assert v > 2.0
+
+    def test_window_isolation(self):
+        # deltas see only the window: earlier observations cancel out
+        before = [50, 0, 0]
+        after = [50, 100, 0]
+        deltas = [a - b for a, b in zip(after, before)]
+        assert windowed_quantile((1.0, 2.0), deltas, 0.99) > 1.0
+
+
+class TestTighten:
+    def test_violation_halves_deadline_first(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=10.0)
+        drive(core, clock, 1)  # one full retune window
+        core.flush()
+        assert core.deadline_us == 400.0  # one halving per window
+        assert core.controller.history[0][0] == "tighten"
+
+    def test_deadline_floors_then_batch_shrinks(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=10.0, min_deadline_us=100.0,
+                          min_batch=32)
+        drive(core, clock, 8)
+        core.flush()
+        assert core.deadline_us == 100.0
+        assert core.batch_close == 32  # 64 -> 32 after the deadline floored
+
+    def test_floored_out_holds(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=10.0, min_deadline_us=800.0,
+                          max_batch=64, min_batch=64)
+        drive(core, clock, 4)
+        assert core.deadline_us == 800.0
+        assert core.batch_close == 64
+        assert all(d == "hold" for d, _, _ in core.controller.history)
+        assert core.controller.retunes == 0
+
+    def test_retunes_counted_in_metrics(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=10.0)
+        drive(core, clock, 2)
+        assert core.metrics.value(
+            "server_retunes_total", direction="tighten"
+        ) == core.controller.retunes > 0
+
+
+class TestRelax:
+    def test_headroom_grows_batch_toward_cap(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=1e9, batch_cap=256)
+        drive(core, clock, 4)
+        assert core.batch_close == 256  # 64 -> 128 -> 256
+        assert core.controller.history[0][0] == "relax"
+
+    def test_at_cap_deadline_stretches(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=1e9, batch_cap=64,
+                          max_deadline_us=3200.0)
+        drive(core, clock, 1)
+        assert core.batch_close == 64
+        assert core.deadline_us == 1600.0
+
+    def test_shed_window_blocks_relaxing(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=1e9, batch_cap=256,
+                          queue_depth=32, high_water=1.0)
+        # overfill each deadline window: 32 admitted, 8 shed per round
+        for _ in range(2):
+            for i in range(40):
+                core.offer("lookup", KEYS[i])
+            clock.advance(800.0)
+            core.poll()
+        assert core.sheds > 0
+        assert core.controller.history  # a window closed with sheds
+        assert all(d != "relax" for d, _, _ in core.controller.history)
+
+    def test_hysteresis_band_holds(self):
+        # p99 between half the SLO and the SLO: no knob moves
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=1e9, batch_cap=64,
+                          max_deadline_us=800.0)
+        drive(core, clock, 2)
+        # both knobs already at their caps: relax has nowhere to go
+        assert core.controller.history[0][0] == "hold"
+
+
+class TestAutotuneCoupling:
+    def test_relax_lands_on_probed_points(self):
+        surface = {
+            TunePoint(32, 8): 50.0,
+            TunePoint(64, 8): 80.0,
+            TunePoint(128, 8): 60.0,   # probed worse than 64
+            TunePoint(256, 8): 100.0,
+        }
+
+        class _Tune:
+            def best_under(self, max_batch=None):
+                best = None
+                for p, r in surface.items():
+                    if max_batch is not None and p.batch > max_batch:
+                        continue
+                    if best is None or r > best[1]:
+                        best = (p, r)
+                return best[0]
+
+        clock = VirtualClock()
+        # global cap 128: the sweep says 64 beats 128, so the knob
+        # holds at the probed optimum instead of blindly doubling
+        core = build_core(clock, slo_p99_us=1e9, batch_cap=128,
+                          tune=_Tune())
+        drive(core, clock, 2)
+        assert core.batch_close == 64
+
+        clock2 = VirtualClock()
+        # cap 256 unlocks the better probed point: one jump, no ladder
+        core2 = build_core(clock2, slo_p99_us=1e9, batch_cap=256,
+                           tune=_Tune())
+        drive(core2, clock2, 2)
+        assert core2.batch_close == 256
+
+    def test_config_threads_tune_through(self):
+        clock = VirtualClock()
+        core = build_core(clock, slo_p99_us=50.0, tune=None)
+        assert core.controller is not None
+        assert core.controller.slo_p99_us == 50.0
+        assert core.controller.interval == 64

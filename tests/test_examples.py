@@ -9,11 +9,9 @@ import pytest
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
 
 # mirror the suite's deprecation discipline (pyproject filterwarnings):
-# examples fail on any DeprecationWarning except our own shim warnings
-WARNING_FLAGS = [
-    "-W", "error::DeprecationWarning",
-    "-W", "default::repro.errors.ReproDeprecationWarning",
-]
+# examples fail on any DeprecationWarning, including repro's own (the
+# PR 4 shims completed their cycle, so there is no allow-list left)
+WARNING_FLAGS = ["-W", "error::DeprecationWarning"]
 
 
 @pytest.mark.slow
