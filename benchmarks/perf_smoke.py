@@ -67,6 +67,13 @@ try:  # async serving front-end + open-loop loadgen (PR 9); loadgen.py
 except ImportError:  # pragma: no cover - baseline-checkout compatibility
     _serving_run_ramp = None
 
+try:  # log-structured write absorption (PR 10)
+    from loadgen import arrival_gaps_us as _arrival_gaps_us
+    from repro.host.memtable import MemtableConfig
+    from repro.serve.core import ServerCore, VirtualClock
+except ImportError:  # pragma: no cover - baseline-checkout compatibility
+    _arrival_gaps_us = MemtableConfig = ServerCore = VirtualClock = None
+
 PAPER_KEYS = 16 * 1024 * 1024  # the paper's headline tree size
 KEY_LEN = 12
 SEED = 7
@@ -287,6 +294,11 @@ def run(scale: int, label: str, trace_path: str | None = None,
     serving = _serving_scenario()
     if serving is not None:
         ops["serving"] = serving
+
+    # -- log-structured write absorption (PR 10): bursty write storm ----
+    write_burst = _write_burst_scenario()
+    if write_burst is not None:
+        ops["write_burst"] = write_burst
 
     fault_injection = None
     if fault_rate > 0.0:
@@ -585,6 +597,165 @@ def _serving_scenario() -> dict | None:
     rec["steps"] = record["steps"]
     rec["overall"] = record["overall"]
     rec["flight"] = record["flight"]
+    return rec
+
+
+# log-structured write absorption scenario: the *same* bursty 90%-write
+# arrival schedule replayed twice through the serving front-end — once
+# on the PR-9 synchronous write path, once with the host memtable
+# absorbing writes — so the speedup numbers compare like with like.
+# Keys are Zipf-drawn so the fold (LWW dedup before scatter) has teeth.
+WB_KEYS = 16384
+WB_OPS = 16384
+WB_QPS = 400_000
+WB_WRITE_FRAC = 0.9  # 0.8 update + 0.1 delete; 0.1 lookup
+WB_SEGMENT_OPS = 512
+WB_MAX_DEBT = 4
+
+
+def _write_burst_pct(lat: list) -> dict:
+    if not lat:
+        return {"count": 0}
+    arr = np.asarray(lat)
+    return {
+        "count": int(arr.size),
+        "mean_us": round(float(arr.mean()), 3),
+        "p50_us": round(float(np.percentile(arr, 50)), 3),
+        "p99_us": round(float(np.percentile(arr, 99)), 3),
+        "max_us": round(float(arr.max()), 3),
+    }
+
+
+def _write_burst_pass(keys, items, gaps, op_draw, key_idx, memtable_cfg):
+    """Replay one arrival schedule through a fresh served engine.
+
+    Open loop on a virtual clock, exactly like :mod:`loadgen`: deadlines
+    due before each arrival fire first, then the clock advances to the
+    arrival and the op is offered.  Returns the per-pass record plus the
+    engine (for the cross-pass content oracle)."""
+    clock = VirtualClock()
+    eng = _engine()
+    eng.populate(items)
+    eng.map_to_device()
+    kwargs = dict(
+        max_batch=1024, deadline_us=200.0, queue_depth=WB_OPS, clock=clock,
+    )
+    if memtable_cfg is not None:
+        kwargs["memtable"] = memtable_cfg
+    core = ServerCore(eng, **kwargs)
+
+    write_lat: list = []
+    read_lat: list = []
+
+    def on_done(op):
+        if op.shed:
+            return
+        (read_lat if op.op == "lookup" else write_lat).append(op.latency_us)
+
+    t0 = time.perf_counter()
+    t_first = clock.now_us()
+    for i in range(len(gaps)):
+        t_arrival = clock.now_us() + gaps[i]
+        while True:
+            due = core.next_deadline_us()
+            if due is None or due > t_arrival:
+                break
+            clock.advance(due - clock.now_us())
+            core.poll()
+        clock.advance(t_arrival - clock.now_us())
+        key = keys[int(key_idx[i])]
+        p = float(op_draw[i])
+        if p < 0.8:
+            core.offer("update", (key, i), on_done=on_done)
+        elif p < WB_WRITE_FRAC:
+            core.offer("delete", key, on_done=on_done)
+        else:
+            core.offer("lookup", key, on_done=on_done)
+    core.flush()
+    wall_s = time.perf_counter() - t0
+
+    # sustained throughput over the virtual makespan: arrival span plus
+    # whatever device work is still draining past the last arrival
+    makespan_s = (max(clock.now_us(), core.device_free_us) - t_first) / 1e6
+    n_writes = len(write_lat)
+    rec = {
+        "wall_s": round(wall_s, 6),
+        "offered": len(gaps),
+        "shed": core.sheds,
+        "makespan_s": round(makespan_s, 6),
+        "write_ops_per_sec": round(n_writes / makespan_s, 1)
+        if makespan_s > 0 else None,
+        "write_latency": _write_burst_pct(write_lat),
+        "read_latency": _write_burst_pct(read_lat),
+        "batches": core.report.batches,
+    }
+    if core.memtable is not None:
+        m = core.memtable.stats()
+        rec["absorbed_write_ratio"] = m["absorbed_write_ratio"]
+        rec["compactions"] = m["compactions"]
+        rec["dispatched_rows"] = m["dispatched_rows"]
+        rec["folded_away"] = m["folded_away"]
+        rec["max_debt_seen"] = m["max_debt_seen"]
+    return rec, eng
+
+
+def _write_burst_scenario() -> dict | None:
+    """Bursty 90%-write storm: synchronous write path vs. memtable.
+
+    The acceptance gate for the log-structured write path: the memtable
+    pass must show >= 2x sustained write throughput or a >= 4x write-p99
+    drop on the identical schedule, with the absorbed-write ratio
+    reported (CI gates it via ``validate_bench
+    --min-write-absorption``).  Both passes must converge to the same
+    content — absorption reorders acknowledgement, never effect.
+    """
+    if MemtableConfig is None or ServerCore is None \
+            or _arrival_gaps_us is None:
+        return None
+    rng = np.random.default_rng(SEED)
+    keys = random_keys(WB_KEYS, KEY_LEN, seed=SEED)
+    items = [(k, i) for i, k in enumerate(keys)]
+    gaps = _arrival_gaps_us("bursty", WB_QPS, WB_OPS, rng)
+    op_draw = rng.random(WB_OPS)
+    key_idx = np.asarray(
+        zipf_indices(WB_KEYS, WB_OPS, a=ZIPF_A, seed=13)
+    )
+
+    sync_rec, sync_eng = _write_burst_pass(
+        keys, items, gaps, op_draw, key_idx, None
+    )
+    mem_rec, mem_eng = _write_burst_pass(
+        keys, items, gaps, op_draw, key_idx,
+        MemtableConfig(segment_ops=WB_SEGMENT_OPS, max_debt=WB_MAX_DEBT),
+    )
+
+    # content oracle: identical schedule -> identical surviving values
+    assert mem_eng.lookup(list(keys)) == sync_eng.lookup(list(keys)), \
+        "write_burst: memtable pass diverged from synchronous pass"
+
+    sync_p99 = sync_rec["write_latency"].get("p99_us") or 0.0
+    mem_p99 = mem_rec["write_latency"].get("p99_us") or 0.0
+    tput_x = (mem_rec["write_ops_per_sec"] / sync_rec["write_ops_per_sec"]
+              if sync_rec["write_ops_per_sec"] else None)
+    # absorbed acks complete in zero virtual time; floor the denominator
+    # so the ratio stays finite
+    p99_drop = sync_p99 / max(mem_p99, 0.01)
+    assert tput_x >= 2.0 or p99_drop >= 4.0, (
+        f"write_burst speedup below the acceptance bar: "
+        f"tput_x={tput_x:.2f} p99_drop={p99_drop:.2f}"
+    )
+
+    rec = _op(sync_rec["wall_s"] + mem_rec["wall_s"], 2 * WB_OPS)
+    rec["pattern"] = "bursty"
+    rec["qps"] = WB_QPS
+    rec["write_fraction"] = WB_WRITE_FRAC
+    rec["zipf_a"] = ZIPF_A
+    rec["sync"] = sync_rec
+    rec["memtable"] = mem_rec
+    rec["speedup"] = {
+        "write_tput_x": round(tput_x, 2) if tput_x is not None else None,
+        "write_p99_drop_x": round(p99_drop, 2),
+    }
     return rec
 
 

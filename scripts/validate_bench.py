@@ -241,6 +241,53 @@ def validate(doc: dict) -> list[str]:
                         "non-finite"
                     )
 
+    # optional log-structured write-absorption scenario (PR 10+): when
+    # present it must carry both passes over the identical schedule,
+    # finite write-latency percentiles, the absorbed-write ratio and
+    # the speedup record the CI gate reads
+    wb = ops.get("write_burst")
+    if wb is not None:
+        for variant in ("sync", "memtable"):
+            rec = wb.get(variant)
+            if not isinstance(rec, dict):
+                problems.append(f"ops.write_burst.{variant} missing")
+                continue
+            for k in ("makespan_s", "write_ops_per_sec"):
+                if not _finite(rec.get(k)):
+                    problems.append(
+                        f"ops.write_burst.{variant}.{k} missing or "
+                        f"non-finite: {rec.get(k)!r}"
+                    )
+            lat = rec.get("write_latency", {})
+            for k in ("p50_us", "p99_us"):
+                if not _finite(lat.get(k) if isinstance(lat, dict)
+                               else None):
+                    problems.append(
+                        f"ops.write_burst.{variant}.write_latency.{k} "
+                        "missing or non-finite"
+                    )
+        mem = wb.get("memtable", {})
+        if isinstance(mem, dict):
+            ratio = mem.get("absorbed_write_ratio")
+            if not _finite(ratio) or not 0.0 <= ratio <= 1.0:
+                problems.append(
+                    "ops.write_burst.memtable.absorbed_write_ratio "
+                    f"missing or out of [0, 1]: {ratio!r}"
+                )
+            if not _finite(mem.get("compactions")):
+                problems.append(
+                    "ops.write_burst.memtable.compactions missing or "
+                    f"non-finite: {mem.get('compactions')!r}"
+                )
+        speedup = wb.get("speedup")
+        if not isinstance(speedup, dict) or not _finite(
+            speedup.get("write_p99_drop_x")
+        ):
+            problems.append(
+                "ops.write_burst.speedup.write_p99_drop_x missing or "
+                "non-finite"
+            )
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         problems.append("missing top-level 'metrics' registry snapshot")
@@ -264,6 +311,7 @@ def compare(
     min_rebalance_recovery: float = 0.8,
     min_slo_attainment: float = 0.95,
     max_shed_rate: float = 0.05,
+    min_write_absorption: float = 0.5,
     allow: tuple = (),
 ) -> list[str]:
     """Regression-gate a candidate run against a baseline run.
@@ -279,7 +327,11 @@ def compare(
     and the pure-update simulated throughput scaling by at least
     ``min_write_scaling``x at 4 devices and the Zipf rebalance
     recovering at least ``min_rebalance_recovery`` of the
-    uniform-traffic throughput.
+    uniform-traffic throughput.  A candidate recording the
+    ``write_burst`` scenario must absorb at least
+    ``min_write_absorption`` of its effective writes host-side and show
+    the log-structured speedup (>=2x write throughput or >=4x
+    write-p99 drop vs. the synchronous pass).
     """
     problems: list[str] = []
     ops = doc.get("ops", {})
@@ -353,6 +405,27 @@ def compare(
                 f"serving shed rate {shed!r} above the "
                 f"<={max_shed_rate:g} bound"
             )
+    wb = ops.get("write_burst", {})
+    if wb:
+        mem = wb.get("memtable", {}) \
+            if isinstance(wb.get("memtable"), dict) else {}
+        ratio = mem.get("absorbed_write_ratio")
+        if not _finite(ratio) or ratio < min_write_absorption:
+            problems.append(
+                f"write_burst absorbed-write ratio {ratio!r} below the "
+                f">={min_write_absorption:g} gate"
+            )
+        speedup = wb.get("speedup", {}) \
+            if isinstance(wb.get("speedup"), dict) else {}
+        tput_x = speedup.get("write_tput_x")
+        p99_drop = speedup.get("write_p99_drop_x")
+        if not ((_finite(tput_x) and tput_x >= 2.0)
+                or (_finite(p99_drop) and p99_drop >= 4.0)):
+            problems.append(
+                f"write_burst speedup below the acceptance bar "
+                f"(needs >=2x write throughput or >=4x write-p99 drop): "
+                f"write_tput_x={tput_x!r} write_p99_drop_x={p99_drop!r}"
+            )
     return problems
 
 
@@ -405,6 +478,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--max-shed-rate", type=float, default=0.05,
                     help="max allowed overall shed fraction in the "
                          "serving scenario (default 0.05)")
+    ap.add_argument("--min-write-absorption", type=float, default=0.5,
+                    help="required absorbed-write ratio in the "
+                         "write_burst scenario's memtable pass "
+                         "(default 0.5)")
     ap.add_argument("--allow", action="append", default=[], metavar="OP",
                     help="op name exempt from the wall_s gate "
                          "(repeatable; justify each in the PR)")
@@ -439,6 +516,7 @@ def main(argv: list[str] | None = None) -> int:
             min_rebalance_recovery=args.min_rebalance_recovery,
             min_slo_attainment=args.min_slo_attainment,
             max_shed_rate=args.max_shed_rate,
+            min_write_absorption=args.min_write_absorption,
             allow=tuple(args.allow),
         )
     if problems:

@@ -22,6 +22,7 @@ from repro.host.hybrid import (
 )
 from repro.host.config import EngineConfig
 from repro.host.engine import CuartEngine, EngineReport, GrtEngine
+from repro.host.memtable import Memtable, MemtableConfig, MemtableSnapshot
 from repro.host.overlay import WriteOverlay
 from repro.host.resilience import (
     DeviceHealth,
@@ -67,6 +68,9 @@ __all__ = [
     "status_codes",
     "values_to_list",
     "WriteOverlay",
+    "Memtable",
+    "MemtableConfig",
+    "MemtableSnapshot",
     "DeviceHealth",
     "ResiliencePolicy",
     "ResilientDispatcher",

@@ -494,6 +494,16 @@ class CuartEngine(_EngineBase):
             labels=("kind",),
         )
         self._gauge_children = None
+        #: monotonic device-layout version: bumped every time a freshly
+        #: mapped layout is adopted (map / remap / recovery).  The
+        #: memtable's snapshot epoch tracks compaction installs; this
+        #: tracks wholesale layout swaps — together they version every
+        #: way the device state can move under a reader.
+        self.layout_epoch = 0
+        self._g_layout_epoch = m.gauge(
+            "device_layout_epoch",
+            "monotonic version of the adopted device layout",
+        )
         # kernel engines are layout-bound; cached so repeated update /
         # insert / delete calls reuse one conflict hash table instead of
         # re-allocating it per call (see AtomicMaxHashTable.reset)
@@ -560,6 +570,8 @@ class CuartEngine(_EngineBase):
         self._updater = None
         self._inserter = None
         self._needs_remap = False
+        self.layout_epoch += 1
+        self._g_layout_epoch.set(self.layout_epoch)
         if self.cache is not None:
             self.cache.clear()
         self._refresh_device_gauges()

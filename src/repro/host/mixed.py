@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.host.batching import OpClassCoalescer
 from repro.host.engine import CuartEngine
+from repro.host.memtable import Memtable, MemtableConfig
 from repro.host.overlay import WriteOverlay
 from repro.host.results import OpStatus
 
@@ -93,6 +94,13 @@ class MixedReport:
     #: batches cut per flush reason during this run
     #: (``size-full`` / ``write-dependency`` / ``drain``).
     flush_reasons: dict = field(default_factory=dict)
+    #: merge-compaction installs run by this dispatch surface (the
+    #: memtable write-absorption path; 0 when it is disabled).
+    compactions: int = 0
+    #: writes acked host-side by the memtable (O(1) absorb), per op
+    #: class — their folded device rows ride compaction batches, which
+    #: show up as ``compact-*`` entries in :attr:`batches_by_op`.
+    absorbed: dict = field(default_factory=dict)
     #: operations per :class:`~repro.host.results.OpStatus` name
     #: (``OK`` / ``NOT_FOUND`` / ``RETRIED`` / ``DEGRADED_CPU`` /
     #: ``FAILED``); scans count as ``OK``.
@@ -127,11 +135,11 @@ class MixedReport:
     _COUNT_FIELDS = (
         "lookups", "updates", "deletes", "inserts", "scans", "hits",
         "misses", "update_misses", "delete_misses", "inserts_deferred",
-        "records_scanned", "batches",
+        "records_scanned", "batches", "compactions",
     )
     _SUM_DICTS = (
         "batches_by_op", "wall_s", "flush_reasons", "ops_by_status",
-        "forwarded",
+        "forwarded", "absorbed",
     )
 
     def merge(self, other: "MixedReport", *, concurrent: bool = True) -> None:
@@ -214,11 +222,25 @@ class MixedWorkloadExecutor:
     ``scan`` streams (the YCSB-profile op set,
     :mod:`repro.workloads.ycsb`)."""
 
-    def __init__(self, engine: CuartEngine, *, shard=None) -> None:
+    def __init__(self, engine: CuartEngine, *, shard=None,
+                 memtable=None) -> None:
         self.engine = engine
         #: shard id stamped onto flight records (set by the sharded
         #: executor; None when serving a single device).
         self.shard = shard
+        #: write-absorption policy: ``None`` keeps the synchronous
+        #: coalesced write path; a :class:`~repro.host.memtable.
+        #: MemtableConfig` (or ``True`` for the defaults) absorbs
+        #: writes host-side and merge-compacts in the background (a
+        #: fresh :class:`~repro.host.memtable.Memtable` per run, on
+        #: :attr:`memtable`).
+        self.memtable_config = (
+            MemtableConfig() if memtable is True else memtable
+        )
+        #: :class:`~repro.host.memtable.Memtable` of the current/last
+        #: run (None while disabled); ``memtable.stats()`` carries the
+        #: absorbed-ratio / compaction-debt numbers.
+        self.memtable = None
         #: shares the engine's observability surface so executor, engine,
         #: cache and write-kernel series land in one registry snapshot.
         self.metrics: MetricsRegistry = getattr(
@@ -349,6 +371,7 @@ class MixedWorkloadExecutor:
                 overlap.add_window(window)
 
         def execute(kind: str, payloads: list) -> None:
+            nonlocal read_snap
             t0 = time.perf_counter()
             res = None
             td = flight.now_us() if fl_on else 0.0
@@ -357,13 +380,44 @@ class MixedWorkloadExecutor:
                     values = res = dispatch(
                         "lookup", [p[0] for p in payloads]
                     )
-                    for (_, seq), v in zip(payloads, values):
+                    vals = list(values)
+                    flips: list = []
+                    if read_snap is not None:
+                        # snapshot reads: the batch pinned the layout
+                        # epoch its first lookup was enqueued on; if a
+                        # debt-triggered compaction installed newer
+                        # writes since, restate those keys from the
+                        # snapshot's shield / pinned delta
+                        snap = read_snap
+                        read_snap = None
+                        shield, pinned = snap.shield, snap.pinned
+                        if shield or pinned:
+                            for i, (key, _) in enumerate(payloads):
+                                ent = shield.get(key)
+                                if ent is None:
+                                    pe = pinned.get(key)
+                                    if pe is not None:
+                                        ent = (pe[0] != "absent", pe[1])
+                                if ent is not None:
+                                    found, val = ent
+                                    dev_found = vals[i] is not None
+                                    if dev_found != found:
+                                        flips.append(found)
+                                    vals[i] = val if found else None
+                        snap.release()
+                    for (_, seq), v in zip(payloads, vals):
                         results[seq] = v
                     report.lookups += len(payloads)
-                    hits = _found_count(values)
+                    hits = sum(1 for v in vals if v is not None)
                     report.hits += hits
                     report.misses += len(payloads) - hits
                     _tally_status(report, values, len(payloads))
+                    for found in flips:
+                        by = report.ops_by_status
+                        dec = "NOT_FOUND" if found else "OK"
+                        inc = "OK" if found else "NOT_FOUND"
+                        by[dec] = by.get(dec, 0) - 1
+                        by[inc] = by.get(inc, 0) + 1
                 elif kind == "update":
                     found = res = dispatch("update", payloads)
                     report.updates += len(payloads)
@@ -412,9 +466,73 @@ class MixedWorkloadExecutor:
         # instead of forcing a dependency cut through the coalescer, and
         # a write against a definitely-absent key short-circuits to a
         # miss without any device work.
-        overlay = self.overlay = WriteOverlay(
-            getattr(engine, "contains", None)
+        #
+        # With the memtable enabled (repro.host.memtable) the overlay IS
+        # the memtable's delta: writes absorb host-side in O(1) instead
+        # of queueing, and their folded device rows ride background
+        # merge-compaction batches; reads keep the same one-dict-probe
+        # forwarding path over the shared delta.
+        mt = None
+        if self.memtable_config is not None \
+                and getattr(engine, "contains", None) is not None:
+            mt = Memtable(
+                engine, self.memtable_config, metrics=self.metrics
+            )
+        self.memtable = mt
+        overlay = self.overlay = (
+            mt.delta if mt is not None
+            else WriteOverlay(getattr(engine, "contains", None))
         )
+        #: snapshot pinned by the oldest queued device lookup (None
+        #: while no lookup is in flight); released at its batch flush.
+        read_snap = None
+
+        def compact_dispatch(kind: str, payloads: list):
+            """Scatter one folded compaction batch, accounted like any
+            other flush (it rides the submit/drain stream pipeline) but
+            without re-tallying per-op outcomes — those were resolved
+            at absorb time."""
+            t0 = time.perf_counter()
+            with tracer.span(f"mixed.compact.{kind}",
+                             {"n": len(payloads)}):
+                res = dispatch(kind, payloads)
+            dt = time.perf_counter() - t0
+            report.batches += 1
+            bkey = f"compact-{kind}"
+            report.batches_by_op[bkey] = (
+                report.batches_by_op.get(bkey, 0) + 1
+            )
+            report.wall_s[bkey] = report.wall_s.get(bkey, 0.0) + dt
+            if kind == "insert":
+                summary = getattr(res, "summary", None)
+                if summary is not None:
+                    report.inserts_deferred += summary["deferred"]
+            if engine.last_report is not None:
+                report.simulated_mops[kind] = (
+                    engine.last_report.end_to_end_mops
+                )
+            return res
+
+        def maybe_compact(force: bool = False) -> None:
+            if mt is None:
+                return
+            if force or mt.should_compact():
+                out = mt.compact(compact_dispatch, force=force)
+                if out is not None:
+                    report.compactions += 1
+
+        def absorb_done(kind: str, key, ok: bool) -> None:
+            """Account one write acked host-side by the memtable, then
+            run a compaction if the debt went over budget."""
+            report.absorbed[kind] = report.absorbed.get(kind, 0) + 1
+            by = report.ops_by_status
+            name = "OK" if ok else "NOT_FOUND"
+            by[name] = by.get(name, 0) + 1
+            if fl_on:
+                rec = fr_begin(kind, key, shard)
+                if rec is not None:
+                    flight.complete_absorbed(rec, ok)
+            maybe_compact()
 
         def forward(kind: str, key, ok: bool) -> None:
             report.forwarded[kind] = report.forwarded.get(kind, 0) + 1
@@ -443,6 +561,19 @@ class MixedWorkloadExecutor:
             if kind == "lookup":
                 st = overlay_get(payload)
                 if st is None:
+                    if mt is not None:
+                        # snapshot reads: every queued lookup batch is
+                        # pinned to ONE layout epoch.  If a compaction
+                        # installed since the open batch pinned, close
+                        # that batch at its own epoch (the snapshot's
+                        # shield keeps its answers exact) before this
+                        # read starts a new window on the fresh epoch.
+                        if read_snap is not None \
+                                and read_snap.epoch != mt.epoch:
+                            for k, ps in coal.drain():
+                                execute(k, ps)
+                        if read_snap is None:
+                            read_snap = mt.pin()
                     results_append(None)
                     pl = (payload, len(results) - 1)
                     batches = coal_add("lookup", payload, pl)
@@ -463,6 +594,13 @@ class MixedWorkloadExecutor:
                     report.lookups += 1
             elif kind == "update":
                 key = payload[0]
+                if mt is not None:
+                    ok = mt.absorb_update(key, payload[1])
+                    report.updates += 1
+                    if not ok:
+                        report.update_misses += 1
+                    absorb_done("update", key, ok)
+                    continue
                 if not note_update(key, payload[1]):
                     # definitely gone: a guaranteed miss, and updates
                     # never resurrect — skip the device entirely
@@ -476,6 +614,13 @@ class MixedWorkloadExecutor:
                 for k, ps in batches:
                     execute(k, ps)
             elif kind == "delete":
+                if mt is not None:
+                    ok = mt.absorb_delete(payload)
+                    report.deletes += 1
+                    if not ok:
+                        report.delete_misses += 1
+                    absorb_done("delete", payload, ok)
+                    continue
                 if not note_delete(payload):
                     report.deletes += 1
                     report.delete_misses += 1
@@ -488,6 +633,11 @@ class MixedWorkloadExecutor:
                     execute(k, ps)
             elif kind == "insert":
                 key = payload[0]
+                if mt is not None:
+                    mt.absorb_insert(key, payload[1])
+                    report.inserts += 1
+                    absorb_done("insert", key, True)
+                    continue
                 note_insert(key, payload[1])
                 batches = coal_add("insert", key, payload)
                 if fl_on:
@@ -502,6 +652,9 @@ class MixedWorkloadExecutor:
                     raise ValueError(f"malformed scan payload {payload!r}")
                 for k, ps in coal.drain():
                     execute(k, ps)
+                # the scan reads the device layout: install every
+                # absorbed write first (forced — correctness over cost)
+                maybe_compact(force=True)
                 close_window()
                 pl = [tuple(payload)]
                 if fl_on:
@@ -514,6 +667,9 @@ class MixedWorkloadExecutor:
                 raise ValueError(f"unknown operation {kind!r}")
         for k, ps in coal.drain():
             execute(k, ps)
+        # end of stream: drain the memtable so the device layout holds
+        # the folded effect of every absorbed write (serial-equivalent)
+        maybe_compact(force=True)
         close_window()
         self.last_overlap_stats = overlap
         if overlap is not None:

@@ -137,6 +137,22 @@ class WriteOverlay:
         ``"maybe"`` — the hook a memtable / checkpointer consumes."""
         return dict(self.entries)
 
+    def forget(self, key) -> None:
+        """Retire one key's pending effect *and* its base-existence memo.
+
+        The memtable's merge-compactor calls this per installed key: the
+        device layout now carries the folded write, so the overlay entry
+        would merely restate applied state — and the memo is stale, the
+        install may have changed the key's base existence."""
+        self.entries.pop(key, None)
+        self._exists_memo.pop(key, None)
+
+    def forget_exists(self, key) -> None:
+        """Drop only the base-existence memo for a key (the entry stays
+        pending).  Used when a compaction changes applied state under a
+        key whose newest write lives in a still-active segment."""
+        self._exists_memo.pop(key, None)
+
     def clear(self) -> None:
         """Forget all pending effects (e.g. after a full drain when the
         caller wants overlay reads to reflect only applied state)."""

@@ -634,12 +634,15 @@ class ShardedMixedExecutor:
     whole run's simulated device timeline.
     """
 
-    def __init__(self, engine: ShardedEngine) -> None:
+    def __init__(self, engine: ShardedEngine, *, memtable=None) -> None:
         self.engine = engine
         self.metrics = engine.metrics
         self.tracer = engine.tracer
+        #: write-absorption policy, handed to every per-shard executor
+        #: (each shard gets its own memtable: absorption and compaction
+        #: debt stay local to the shard that owns the keys).
         self._inner = [
-            MixedWorkloadExecutor(s, shard=i)
+            MixedWorkloadExecutor(s, shard=i, memtable=memtable)
             for i, s in enumerate(engine.shards)
         ]
 

@@ -71,7 +71,7 @@ class FlightRecord:
 
     __slots__ = (
         "op", "key_hash", "shard", "batch_id", "queue_pos",
-        "status", "attempts", "forwarded",
+        "status", "attempts", "forwarded", "absorbed",
         "t_enqueue_us", "t_dispatch_us", "t_complete_us",
         "queue_wait_us", "host_latency_us",
         "sim_h2d_us", "sim_kernel_us", "sim_d2h_us",
@@ -87,6 +87,7 @@ class FlightRecord:
         self.status = "PENDING"
         self.attempts = 1
         self.forwarded = False
+        self.absorbed = False
         self.t_enqueue_us = t_enqueue_us
         self.t_dispatch_us = 0.0
         self.t_complete_us = 0.0
@@ -112,6 +113,7 @@ class FlightRecord:
             "status": self.status,
             "attempts": self.attempts,
             "forwarded": self.forwarded,
+            "absorbed": self.absorbed,
             "t_enqueue_us": round(self.t_enqueue_us, 3),
             "t_dispatch_us": round(self.t_dispatch_us, 3),
             "t_complete_us": round(self.t_complete_us, 3),
@@ -258,6 +260,15 @@ class FlightRecorder:
         rec.host_latency_us = max(t - rec.t_enqueue_us, 0.0)
         self._latencies.append(rec.host_latency_us)
 
+    def complete_absorbed(self, rec, found: bool) -> None:
+        """Stamp a write acked host-side by the memtable: its folded
+        effect reaches the device later through a compaction batch, so
+        the record carries no sim stages of its own — ``absorbed``
+        distinguishes it from device-served writes in the summary."""
+        self.complete_forwarded(rec, found)
+        rec.forwarded = False
+        rec.absorbed = True
+
     # -- dumps and summaries ------------------------------------------
 
     def _check_p99(self) -> None:
@@ -328,7 +339,7 @@ class FlightRecorder:
             d = by_op.get(r.op)
             if d is None:
                 d = by_op[r.op] = {
-                    "count": 0, "forwarded": 0,
+                    "count": 0, "forwarded": 0, "absorbed": 0,
                     "queue_wait_us_sum": 0.0, "queue_wait_us_max": 0.0,
                     "host_latency_us_sum": 0.0, "host_latency_us_max": 0.0,
                     "sim_h2d_us_sum": 0.0, "sim_kernel_us_sum": 0.0,
@@ -337,6 +348,7 @@ class FlightRecorder:
                 }
             d["count"] += 1
             d["forwarded"] += bool(r.forwarded)
+            d["absorbed"] += bool(r.absorbed)
             d["queue_wait_us_sum"] += r.queue_wait_us
             d["queue_wait_us_max"] = max(
                 d["queue_wait_us_max"], r.queue_wait_us
@@ -388,6 +400,9 @@ class NullFlightRecorder:
         return None
 
     def complete_forwarded(self, rec, found) -> None:
+        return None
+
+    def complete_absorbed(self, rec, found) -> None:
         return None
 
     def dump(self, trigger="manual", context=None) -> dict:

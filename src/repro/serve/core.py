@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.host.batching import OpClassCoalescer
+from repro.host.memtable import Memtable, MemtableConfig
 from repro.host.mixed import MixedReport
 from repro.host.overlay import WriteOverlay
 from repro.host.results import OpStatus
@@ -153,6 +154,12 @@ class ServerConfig:
     #: batch size under the cap (``tune.best_under``) instead of blind
     #: doubling.
     tune: object = None
+    #: write-absorption policy (:class:`~repro.host.memtable.
+    #: MemtableConfig`, or ``True`` for the defaults): writes ack O(1)
+    #: host-side and merge-compact in the background instead of paying
+    #: a device batch per coalesced flush.  ``None`` keeps the
+    #: synchronous write path.
+    memtable: object = None
 
     def __post_init__(self) -> None:
         # the coalescer (and every halve/double retune step) keeps
@@ -294,7 +301,24 @@ class ServerCore:
 
         self._coal = OpClassCoalescer(self.batch_close, metrics=self.metrics)
         self._reasons_before = self._coal.flush_reasons()
-        self.overlay = WriteOverlay(getattr(engine, "contains", None))
+        #: :class:`~repro.host.memtable.Memtable` when write absorption
+        #: is on (:attr:`ServerConfig.memtable`): writes ack host-side
+        #: in O(1) and never consume queue depth; the overlay below IS
+        #: its delta, so forwarding reads stay one dict probe.
+        self.memtable = None
+        if config.memtable is not None \
+                and getattr(engine, "contains", None) is not None:
+            mtc = (MemtableConfig() if config.memtable is True
+                   else config.memtable)
+            self.memtable = Memtable(engine, mtc, metrics=self.metrics)
+        self.overlay = (
+            self.memtable.delta if self.memtable is not None
+            else WriteOverlay(getattr(engine, "contains", None))
+        )
+        #: snapshot pinned by the oldest queued device lookup (None
+        #: while no lookup is in flight): every queued lookup batch is
+        #: answered at ONE memtable epoch (released at its dispatch).
+        self._read_snap = None
         self._submit = getattr(engine, "submit", None)
         if getattr(engine, "drain", None) is None:
             self._submit = None
@@ -478,11 +502,47 @@ class ServerCore:
 
         if kind == "scan":
             # unbounded key range: full barrier, served immediately
+            # (flush() force-compacts first, so the range observes
+            # every absorbed write)
             self.flush()
             rows = self.engine.range(key, value_arg)
             rep.scans += 1
             rep.records_scanned += len(rows)
             self._finish(op, int(OpStatus.OK), rows, self.clock())
+            return op
+
+        mt = self.memtable
+        if mt is not None and kind != "lookup":
+            # log-structured write absorption: the op acks right here —
+            # hit/miss resolved against the delta + one memoized base
+            # probe — and its folded device row rides a background
+            # compaction batch.  Absorbed writes never consume queue
+            # depth, so they are never shed.
+            if kind == "update":
+                ok = mt.absorb_update(key, value_arg)
+                rep.updates += 1
+                if not ok:
+                    rep.update_misses += 1
+                value = ok
+            elif kind == "delete":
+                ok = mt.absorb_delete(key)
+                rep.deletes += 1
+                if not ok:
+                    rep.delete_misses += 1
+                value = ok
+            else:
+                mt.absorb_insert(key, value_arg)
+                ok = True
+                value = True
+                rep.inserts += 1
+            rep.absorbed[kind] = rep.absorbed.get(kind, 0) + 1
+            if self.flight.enabled:
+                rec = self.flight.begin(kind, key, None)
+                if rec is not None:
+                    self.flight.complete_absorbed(rec, ok)
+            status = OpStatus.OK if ok else OpStatus.NOT_FOUND
+            self._finish(op, int(status), value, now)
+            self._maybe_compact()
             return op
 
         # store-to-load forwarding through the pending-write overlay:
@@ -522,6 +582,18 @@ class ServerCore:
             overlay.note_delete(key)
         elif kind == "insert":
             overlay.note_insert(key, value_arg)
+        elif mt is not None:
+            # snapshot reads: the queued lookup batch is pinned to ONE
+            # memtable epoch.  If a compaction installed since the open
+            # batch pinned, dispatch that batch at its own epoch (the
+            # snapshot's shield keeps its answers exact) before this
+            # read opens a new window on the fresh epoch.
+            if self._read_snap is not None \
+                    and self._read_snap.epoch != mt.epoch:
+                for k, ops in self._coal.drain():
+                    self._dispatch(k, ops)
+            if self._read_snap is None:
+                self._read_snap = mt.pin()
         self.backlog += 1
         self.tenant_backlog[tenant] = self.tenant_backlog.get(tenant, 0) + 1
         self._g_backlog.set(self.backlog)
@@ -565,12 +637,14 @@ class ServerCore:
         return dispatched
 
     def flush(self) -> int:
-        """Dispatch everything queued (shutdown / scan barrier) and
-        close the simulated stream window."""
+        """Dispatch everything queued (shutdown / scan barrier), drain
+        the memtable into the device layout, and close the simulated
+        stream window."""
         dispatched = 0
         for k, ops in self._coal.drain():
             dispatched += len(ops)
             self._dispatch(k, ops)
+        self._maybe_compact(force=True)
         self._close_window()
         return dispatched
 
@@ -621,6 +695,28 @@ class ServerCore:
             else 0.8 * self.service_ewma_us + 0.2 * per_op
         )
 
+        # snapshot reads: the batch pinned the memtable epoch its first
+        # lookup was enqueued on; if a compaction installed newer writes
+        # since, restate those keys from the snapshot's shield / pinned
+        # delta so the batch answers at its own epoch
+        overrides: dict = {}
+        values = list(res) if kind == "lookup" else None
+        if kind == "lookup" and self._read_snap is not None:
+            snap = self._read_snap
+            self._read_snap = None
+            shield, pinned = snap.shield, snap.pinned
+            if shield or pinned:
+                for i, o in enumerate(ops):
+                    ent = shield.get(o.key)
+                    if ent is None:
+                        pe = pinned.get(o.key)
+                        if pe is not None:
+                            ent = (pe[0] != "absent", pe[1])
+                    if ent is not None:
+                        overrides[i] = ent
+                        values[i] = ent[1] if ent[0] else None
+            snap.release()
+
         # book-keeping mirrors the offline executor's report shape
         rep = self.report
         rep.batches += 1
@@ -628,6 +724,8 @@ class ServerCore:
         found = getattr(res, "found_array", None)
         hits = int(np.count_nonzero(found)) if found is not None else 0
         if kind == "lookup":
+            if overrides:
+                hits = sum(1 for v in values if v is not None)
             rep.lookups += n
             rep.hits += hits
             rep.misses += n - hits
@@ -646,7 +744,6 @@ class ServerCore:
             rep.simulated_mops[kind] = engine.last_report.end_to_end_mops
 
         codes = getattr(res, "status", None)
-        values = list(res) if kind == "lookup" else None
         recs = []
         for i, op in enumerate(ops):
             self.backlog -= 1
@@ -658,6 +755,12 @@ class ServerCore:
                 recs.append(op.rec)
             status = int(codes[i]) if codes is not None else int(OpStatus.OK)
             if kind == "lookup":
+                ov = overrides.get(i)
+                if ov is not None:
+                    # answered from the pinned snapshot, not the device
+                    status = int(
+                        OpStatus.OK if ov[0] else OpStatus.NOT_FOUND
+                    )
                 value = values[i]
             elif kind == "insert":
                 value = status != int(OpStatus.FAILED)
@@ -681,6 +784,48 @@ class ServerCore:
             )
         if self.controller is not None:
             self.controller.maybe_retune(self)
+
+    # -- background merge-compaction -------------------------------------
+
+    def _compact_dispatch(self, kind: str, payloads: list):
+        """Scatter one folded compaction batch.  It occupies the virtual
+        device like any foreground batch (the cursor advances) but
+        completes no ServedOps — their outcomes were resolved at absorb
+        time — so foreground lookups queue behind it exactly the way
+        they would behind a second stream's transfer."""
+        engine = self.engine
+        td = self.clock()
+        with self.tracer.span(f"serve.compact.{kind}",
+                              {"n": len(payloads)}):
+            if self._submit is not None:
+                res = self._submit(kind, payloads)
+            else:
+                res = getattr(engine, kind)(payloads)
+        sim_us = 0.0
+        for ev in getattr(engine, "last_events", ()) or ():
+            sim_us += (ev.h2d_s + ev.kernel_s + ev.d2h_s) * 1e6
+        start = max(td, self.device_free_us)
+        self.device_free_us = start + sim_us
+        rep = self.report
+        rep.batches += 1
+        bkey = f"compact-{kind}"
+        rep.batches_by_op[bkey] = rep.batches_by_op.get(bkey, 0) + 1
+        if kind == "insert":
+            summary = getattr(res, "summary", None)
+            if summary is not None:
+                rep.inserts_deferred += summary["deferred"]
+        if engine.last_report is not None:
+            rep.simulated_mops[kind] = engine.last_report.end_to_end_mops
+        return res
+
+    def _maybe_compact(self, force: bool = False) -> None:
+        mt = self.memtable
+        if mt is None:
+            return
+        if force or mt.should_compact():
+            out = mt.compact(self._compact_dispatch, force=force)
+            if out is not None:
+                self.report.compactions += 1
 
     # -- offline Dispatch conformance ------------------------------------
 
@@ -734,6 +879,11 @@ class ServerCore:
             "sheds": self.sheds,
             "completed": self.completed,
             "forwarded": dict(self.report.forwarded),
+            "absorbed": dict(self.report.absorbed),
+            "compactions": self.report.compactions,
+            "memtable": (
+                self.memtable.stats() if self.memtable is not None else None
+            ),
             "backlog": self.backlog,
             "batch_close": self.batch_close,
             "deadline_us": self.deadline_us,

@@ -1,0 +1,376 @@
+"""Lockstep oracle tests for the log-structured write-absorption layer.
+
+The memtable acks writes host-side in O(1), folds them per key with
+last-writer-wins semantics, and merge-compacts sealed segments into the
+device layout in the background — while readers pin snapshot epochs so
+a compaction install never changes an in-flight batch's answers.  These
+tests pin the whole stack — absorb, seal, fold, classify, scatter,
+snapshot shield — against the one-op-at-a-time scalar oracle:
+
+* update/delete traffic must leave **byte-identical serialized device
+  layouts** (updates scatter in place, deletes clear leaves without
+  restructuring, and class batches dispatch in absorb order so
+  free-list push order matches the serial history);
+* insert / delete-then-reinsert traffic may legitimately reuse leaf
+  slots in a different order, so it is compared through a canonical
+  re-serialization of the surviving content;
+* a reader pinned at epoch N must never observe epoch N+1 writes, even
+  when a debt-triggered compaction races mid-batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuart.serialize import save_layout
+from repro.host.cache import HotKeyCache
+from repro.host.config import EngineConfig
+from repro.host.engine import CuartEngine
+from repro.host.memtable import Memtable, MemtableConfig
+from repro.host.mixed import MixedWorkloadExecutor
+from repro.host.sharding import (
+    ShardedEngine,
+    ShardedMixedExecutor,
+    ShardingConfig,
+)
+from repro.workloads.queries import QueryMix, mixed_queries
+from repro.workloads.synthetic import random_keys
+from tests.cuart.test_write_path_lockstep import _assert_layouts_equal
+
+SEEDS = [3, 17, 91]
+
+#: tiny segments + minimal debt budget: compactions race mid-stream
+#: instead of only firing at the end-of-run drain.
+RACY = MemtableConfig(segment_ops=8, max_debt=1)
+
+
+def _engine(keys, *, batch_size=16, cache_size=0) -> CuartEngine:
+    eng = CuartEngine(EngineConfig(
+        batch_size=batch_size, cache_size=cache_size,
+    ))
+    eng.populate([(k, i + 1) for i, k in enumerate(keys)])
+    eng.map_to_device()
+    return eng
+
+
+def _scalar_oracle(eng: CuartEngine, stream) -> list:
+    out = []
+    for kind, payload in stream:
+        if kind == "lookup":
+            out.append(eng.lookup([payload])[0])
+        elif kind == "update":
+            eng.update([payload])
+        elif kind == "delete":
+            eng.delete([payload])
+        elif kind == "insert":
+            eng.insert([payload])
+        else:  # pragma: no cover - streams below never emit scans
+            raise AssertionError(kind)
+    return out
+
+
+def _canonical_engine(eng) -> CuartEngine:
+    canon = CuartEngine(batch_size=64)
+    items = eng.items() if hasattr(eng, "items") else eng.tree.items()
+    canon.populate(sorted(items))
+    canon.map_to_device()
+    return canon
+
+
+def _assert_lockstep(keys, stream, *, config=RACY, tmp_path=None):
+    """Memtable-path run vs scalar oracle: identical per-op results and
+    byte-identical serialized layouts (only valid for streams without
+    inserts — slot reuse is order-free for update/delete traffic)."""
+    absorbed = _engine(keys)
+    scalar = _engine(keys)
+    ex = MixedWorkloadExecutor(absorbed, memtable=config)
+    results, report = ex.run(stream)
+    oracle = _scalar_oracle(scalar, stream)
+
+    assert results == oracle, "per-op lookup results diverged from serial"
+    _assert_layouts_equal(absorbed.layout, scalar.layout)
+    if tmp_path is not None:
+        a, b = tmp_path / "absorbed.npz", tmp_path / "scalar.npz"
+        save_layout(absorbed.layout, a)
+        save_layout(scalar.layout, b)
+        assert a.read_bytes() == b.read_bytes(), (
+            "serialized layouts are not byte-identical"
+        )
+    return ex, report
+
+
+class TestMemtableLockstep:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_mixed_stream(self, seed, tmp_path):
+        keys = random_keys(256, 12, seed=seed)
+        mix = QueryMix(lookups=0.5, updates=0.35, deletes=0.15)
+        stream = mixed_queries(keys, 600, mix, seed=seed + 1)
+        ex, report = _assert_lockstep(keys, stream, tmp_path=tmp_path)
+        assert report.operations == 600
+        # every write acked host-side; debt fully drained at end of run
+        assert sum(report.absorbed.values()) == (
+            report.updates + report.deletes + report.inserts
+        )
+        assert ex.memtable.debt == 0
+        assert ex.memtable.pending_ops() == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adversarial_hot_key_raw_waw(self, seed, tmp_path):
+        """RAW / WAW chains concentrated on a tiny hot set: reads must
+        come from the delta (read-your-writes) while the folded device
+        rows trail behind in compaction batches."""
+        rng = np.random.default_rng(seed)
+        keys = random_keys(64, 12, seed=seed)
+        hot = keys[:6]
+        stream = []
+        for i in range(500):
+            k = hot[int(rng.integers(len(hot)))]
+            r = int(rng.integers(5))
+            if r == 0:
+                stream.append(("update", (k, 10_000 + i)))  # WAW chains
+            elif r == 1:
+                stream.append(("update", (k, 20_000 + i)))
+                stream.append(("lookup", k))  # immediate RAW
+            elif r == 2:
+                stream.append(("delete", k))
+                stream.append(("lookup", k))  # read-after-delete
+            else:
+                stream.append(("lookup", k))
+        ex, report = _assert_lockstep(keys, stream, tmp_path=tmp_path)
+        # hot-key LWW folding must actually shrink the device batches
+        assert ex.memtable.folded_away > 0
+        assert ex.memtable.absorbed_write_ratio() > 0.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compaction_races_mid_stream(self, seed, tmp_path):
+        """Debt-triggered compactions must fire *during* the stream (not
+        just at the final drain) and still stay lockstep with serial."""
+        mix = QueryMix(lookups=0.3, updates=0.5, deletes=0.2)
+        keys = random_keys(128, 12, seed=seed)
+        stream = mixed_queries(keys, 800, mix, seed=seed + 5)
+        ex, report = _assert_lockstep(keys, stream, tmp_path=tmp_path)
+        # > 1: at least one mid-stream install plus the end-of-run drain
+        assert report.compactions > 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_delete_reinsert_serves_serial_content(self, seed, tmp_path):
+        """Delete → insert → read chains: slot reuse order may differ,
+        so compare per-op results plus canonical re-serialization."""
+        rng = np.random.default_rng(seed + 7)
+        keys = random_keys(64, 12, seed=seed)
+        hot = keys[:8]
+        stream = []
+        for i in range(300):
+            k = hot[int(rng.integers(len(hot)))]
+            r = int(rng.integers(4))
+            if r == 0:
+                stream.append(("delete", k))
+            elif r == 1:
+                stream.append(("insert", (k, 30_000 + i)))
+                stream.append(("lookup", k))
+            elif r == 2:
+                stream.append(("update", (k, 40_000 + i)))
+            else:
+                stream.append(("lookup", k))
+        absorbed = _engine(keys)
+        scalar = _engine(keys)
+        results, _ = MixedWorkloadExecutor(
+            absorbed, memtable=RACY
+        ).run(stream)
+        oracle = _scalar_oracle(scalar, stream)
+        assert results == oracle
+        ca, cb = _canonical_engine(absorbed), _canonical_engine(scalar)
+        _assert_layouts_equal(ca.layout, cb.layout)
+        pa, pb = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_layout(ca.layout, pa)
+        save_layout(cb.layout, pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_duplicate_key_bursts(self, seed, tmp_path):
+        """Bursts of identical ops on one key: duplicate deletes report
+        exactly one hit, duplicate updates are last-writer-wins, and the
+        memtable folds each burst to at most one device row."""
+        rng = np.random.default_rng(seed + 40)
+        keys = random_keys(48, 12, seed=seed)
+        stream = []
+        for i in range(120):
+            k = keys[int(rng.integers(len(keys)))]
+            burst = int(rng.integers(2, 5))
+            r = int(rng.integers(3))
+            if r == 0:
+                stream.extend([("delete", k)] * burst)
+            elif r == 1:
+                stream.extend(
+                    ("update", (k, 1_000 * i + j)) for j in range(burst)
+                )
+            else:
+                stream.extend([("lookup", k)] * burst)
+            stream.append(("lookup", keys[int(rng.integers(len(keys)))]))
+        _assert_lockstep(keys, stream, tmp_path=tmp_path)
+
+    def test_report_tallies_match_oracle(self):
+        """Absorb-time hit/miss resolution agrees with a serial replay,
+        and absorbed + forwarded + statuses account for every op."""
+        keys = random_keys(128, 12, seed=9)
+        mix = QueryMix(lookups=0.6, updates=0.25, deletes=0.15)
+        stream = mixed_queries(keys, 400, mix, seed=10)
+        eng = _engine(keys)
+        _, report = MixedWorkloadExecutor(eng, memtable=RACY).run(stream)
+
+        state = {k: i + 1 for i, k in enumerate(keys)}
+        hits = misses = upd_miss = del_miss = 0
+        for kind, payload in stream:
+            if kind == "lookup":
+                if payload in state:
+                    hits += 1
+                else:
+                    misses += 1
+            elif kind == "update":
+                if payload[0] in state:
+                    state[payload[0]] = payload[1]
+                else:
+                    upd_miss += 1
+            elif kind == "delete":
+                if payload in state:
+                    del state[payload]
+                else:
+                    del_miss += 1
+        assert (report.hits, report.misses) == (hits, misses)
+        assert report.update_misses == upd_miss
+        assert report.delete_misses == del_miss
+        assert sum(report.ops_by_status.values()) == report.operations
+
+
+class TestSnapshotIsolation:
+    def _memtable(self, keys):
+        eng = _engine(keys)
+        return eng, Memtable(eng, MemtableConfig(segment_ops=4, max_debt=0))
+
+    def test_pinned_reader_never_observes_next_epoch(self):
+        """A reader pinned at epoch N answers from pre-install state even
+        after a compaction installs epoch N+1 writes under it."""
+        keys = random_keys(32, 12, seed=5)
+        eng, mt = self._memtable(keys)
+        snap = mt.pin()
+        base_epoch = snap.epoch
+
+        victims = keys[:8]
+        for i, k in enumerate(victims):
+            mt.absorb_update(k, 90_000 + i)
+        mt.absorb_delete(keys[8])
+        assert mt.compact(force=True) is not None
+        assert mt.epoch == base_epoch + 1
+
+        # the pinned reader still sees the epoch-N values …
+        for i, k in enumerate(victims):
+            assert snap.read(k) == (True, i + 1)
+        assert snap.read(keys[8]) == (True, 9)
+        # … while the device and a fresh reader see epoch N+1
+        assert eng.lookup([victims[0]])[0] == 90_000
+        fresh = mt.pin()
+        assert fresh.epoch == base_epoch + 1
+        assert fresh.read(victims[0]) == (True, 90_000)
+        assert fresh.read(keys[8]) == (False, None)
+        snap.release()
+        fresh.release()
+
+    def test_pinned_reader_sees_its_own_epoch_delta(self):
+        """Writes absorbed *before* the pin are part of the reader's
+        view (read-your-writes), installs after it are not."""
+        keys = random_keys(16, 12, seed=6)
+        eng, mt = self._memtable(keys)
+        mt.absorb_update(keys[0], 555)
+        snap = mt.pin()
+        assert snap.read(keys[0]) == (True, 555)
+        # a post-pin write to another key is invisible to this reader
+        mt.absorb_update(keys[1], 777)
+        mt.compact(force=True)
+        assert snap.read(keys[1]) == (True, 2)
+        snap.release()
+
+    def test_released_snapshot_costs_the_compactor_nothing(self):
+        keys = random_keys(16, 12, seed=8)
+        _, mt = self._memtable(keys)
+        snap = mt.pin()
+        snap.release()
+        mt.absorb_update(keys[0], 123)
+        mt.compact(force=True)
+        assert snap.shield == {}  # nothing was shielded for it
+
+
+class TestCacheCoherence:
+    def test_no_stale_read_after_absorbed_update(self):
+        """Regression: an absorbed update must refresh the hot-key LRU
+        entry immediately — the device-applied patch only runs at
+        compaction time, long after a cached reader could go stale."""
+        keys = random_keys(32, 12, seed=12)
+        eng = _engine(keys, cache_size=16)
+        k = keys[0]
+        assert eng.lookup([k]) == [1]
+        assert eng.lookup([k]) == [1]  # k is now LRU-resident
+
+        mt = Memtable(eng, MemtableConfig(segment_ops=64, max_debt=4))
+        assert mt.absorb_update(k, 4242) is True
+        # nothing compacted yet: the device still holds the old value,
+        # but the cached read path must already serve the new one
+        assert mt.debt == 0 and mt.epoch == 0
+        assert eng.lookup([k]) == [4242]
+
+    def test_no_stale_read_after_absorbed_delete(self):
+        keys = random_keys(32, 12, seed=13)
+        eng = _engine(keys, cache_size=16)
+        k = keys[0]
+        assert eng.lookup([k]) == [1]
+        mt = Memtable(eng, MemtableConfig(segment_ops=64, max_debt=4))
+        assert mt.absorb_delete(k) is True
+        assert eng.lookup([k]) == [None]
+
+    def test_cold_keys_never_pollute_the_lru(self):
+        """update_if_cached semantics carry over: absorbing a write to a
+        key that is not resident must not insert it."""
+        keys = random_keys(32, 12, seed=14)
+        eng = _engine(keys, cache_size=16)
+        mt = Memtable(eng, MemtableConfig())
+        cold = keys[5]
+        mt.absorb_update(cold, 99)
+        assert cold not in eng.cache._data
+
+
+class TestShardedMemtable:
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_sharded_memtable_matches_single_oracle(self, seed, tmp_path):
+        """Per-shard memtables: same per-op results and canonical bytes
+        as a single-engine serial oracle."""
+        keys = random_keys(192, 12, seed=seed)
+        items = [(k, i + 1) for i, k in enumerate(keys)]
+        sharded = ShardedEngine(
+            sharding=ShardingConfig(n_shards=4), batch_size=16
+        )
+        sharded.populate(items)
+        sharded.map_to_device()
+        single = _engine(keys)
+        rng = np.random.default_rng(seed + 3)
+        stream = []
+        for i in range(500):
+            k = keys[int(rng.integers(len(keys)))]
+            r = float(rng.random())
+            if r < 0.4:
+                stream.append(("lookup", k))
+            elif r < 0.75:
+                stream.append(("update", (k, 50_000 + i)))
+            elif r < 0.9:
+                stream.append(("delete", k))
+            else:
+                stream.append(("insert", (k, 60_000 + i)))
+        got, rep = ShardedMixedExecutor(sharded, memtable=RACY).run(stream)
+        want = _scalar_oracle(single, stream)
+        assert got == want
+        ca, cb = _canonical_engine(sharded), _canonical_engine(single)
+        _assert_layouts_equal(ca.layout, cb.layout)
+        pa, pb = tmp_path / "sharded.npz", tmp_path / "single.npz"
+        save_layout(ca.layout, pa)
+        save_layout(cb.layout, pb)
+        assert pa.read_bytes() == pb.read_bytes()
+        assert sum(rep.absorbed.values()) > 0
